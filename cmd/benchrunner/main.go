@@ -1,0 +1,37 @@
+// Command benchrunner regenerates the experiment tables of EXPERIMENTS.md:
+// one table per experiment E1–E11 of DESIGN.md §5.
+//
+// Usage:
+//
+//	benchrunner              # run every experiment (full sweeps)
+//	benchrunner -quick       # trimmed sweeps, seconds instead of minutes
+//	benchrunner -exp e6      # a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"extract/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (e1..e11, all)")
+		quick = flag.Bool("quick", false, "trim sweep sizes for a fast run")
+	)
+	flag.Parse()
+
+	tables := bench.ByID(*exp, bench.Sizes{Quick: *quick})
+	if tables == nil {
+		fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q (use e1..e11 or all)\n", *exp)
+		os.Exit(2)
+	}
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(t.Render())
+	}
+}

@@ -1,0 +1,87 @@
+// Command datagen writes synthetic XML corpora for the eXtract experiments
+// and examples.
+//
+// Usage:
+//
+//	datagen -kind stores -retailers 4 -stores 5 -clothes 20 -out stores.xml
+//	datagen -kind figure1 -out figure1.xml     # the paper's running example
+//	datagen -kind figure5 -out demo.xml        # the paper's demo scenario
+//	datagen -kind movies -movies 50 -out movies.xml
+//	datagen -kind auctions -people 100 -out auctions.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"extract/internal/gen"
+	"extract/xmltree"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "stores", "stores|movies|auctions|figure1|figure5")
+		out  = flag.String("out", "", "output file (default stdout)")
+		seed = flag.Int64("seed", 1, "random seed")
+		skew = flag.Float64("skew", 0, "Zipf skew for value distributions (<=1 uniform)")
+
+		retailers = flag.Int("retailers", 4, "stores: retailer count")
+		stores    = flag.Int("stores", 5, "stores: stores per retailer")
+		clothes   = flag.Int("clothes", 20, "stores: clothes per store")
+
+		movies  = flag.Int("movies", 20, "movies: movie count")
+		actors  = flag.Int("actors", 4, "movies: actors per movie")
+		reviews = flag.Int("reviews", 3, "movies: reviews per movie")
+
+		people   = flag.Int("people", 20, "auctions: person count")
+		auctions = flag.Int("auctions", 15, "auctions: auction count")
+		items    = flag.Int("items", 25, "auctions: item count")
+	)
+	flag.Parse()
+
+	var doc *xmltree.Document
+	switch *kind {
+	case "stores":
+		doc = gen.Stores(gen.StoresConfig{
+			Retailers: *retailers, StoresPerRetailer: *stores,
+			ClothesPerStore: *clothes, Skew: *skew, Seed: *seed,
+		})
+	case "movies":
+		doc = gen.Movies(gen.MoviesConfig{
+			Movies: *movies, ActorsPerMovie: *actors,
+			ReviewsPerMovie: *reviews, Skew: *skew, Seed: *seed,
+		})
+	case "auctions":
+		doc = gen.Auctions(gen.AuctionsConfig{
+			People: *people, Auctions: *auctions, Items: *items,
+			Skew: *skew, Seed: *seed,
+		})
+	case "figure1":
+		doc = gen.Figure1Corpus()
+	case "figure5":
+		doc = gen.Figure5Corpus()
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := xmltree.WriteXML(w, doc.Root); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		s := doc.ComputeStats()
+		fmt.Fprintf(os.Stderr, "datagen: wrote %s (%d nodes, %d elements)\n", *out, s.Nodes, s.Elements)
+	}
+}

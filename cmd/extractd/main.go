@@ -1,0 +1,231 @@
+// Command extractd serves the eXtract web demo (the paper's Figure 5): pick
+// a dataset, type a keyword query, set the snippet size bound, and browse
+// result snippets with links to the full results. A text-search-engine
+// snippet (best keyword window over the flattened text, the paper's
+// "Google Desktop" comparison) is shown side by side.
+//
+// Usage:
+//
+//	extractd                                  # built-in demo datasets
+//	extractd -addr :8080 -data name=file.xml  # add a dataset from disk
+package main
+
+import (
+	"flag"
+	"fmt"
+	"html/template"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"extract"
+	"extract/internal/baseline"
+	"extract/internal/gen"
+)
+
+type dataset struct {
+	Name   string
+	Corpus *extract.Corpus
+}
+
+type server struct {
+	datasets map[string]*dataset
+	names    []string
+	tmpl     *template.Template
+}
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+	)
+	var dataFlags multiFlag
+	flag.Var(&dataFlags, "data", "dataset as name=file.xml (repeatable)")
+	flag.Parse()
+
+	s := &server{datasets: make(map[string]*dataset)}
+
+	// Built-in demo datasets: the paper's two scenarios plus movies.
+	s.add("stores (Figure 5)", extract.FromDocument(gen.Figure5Corpus(), nil))
+	s.add("retailers (Figure 1)", extract.FromDocument(gen.Figure1Corpus(), nil))
+	s.add("movies", extract.FromDocument(gen.Movies(gen.MoviesConfig{Movies: 30, Seed: 7}), nil))
+
+	for _, df := range dataFlags {
+		name, path, ok := strings.Cut(df, "=")
+		if !ok {
+			log.Fatalf("extractd: bad -data %q, want name=file.xml", df)
+		}
+		c, err := extract.LoadFile(path)
+		if err != nil {
+			log.Fatalf("extractd: load %s: %v", path, err)
+		}
+		s.add(name, c)
+	}
+	sort.Strings(s.names)
+
+	s.tmpl = template.Must(template.New("page").Parse(pageHTML))
+	http.HandleFunc("/", s.handleSearch)
+	http.HandleFunc("/view", s.handleView)
+
+	log.Printf("extractd: demo on http://localhost%s/ with datasets: %s",
+		*addr, strings.Join(s.names, "; "))
+	log.Fatal(http.ListenAndServe(*addr, nil))
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func (s *server) add(name string, c *extract.Corpus) {
+	s.datasets[name] = &dataset{Name: name, Corpus: c}
+	s.names = append(s.names, name)
+}
+
+type hitView struct {
+	Index    int
+	Key      string
+	Edges    int
+	Size     int
+	Snippet  template.HTML // highlighted tree, pre-escaped by RenderHTML
+	Text     string
+	IList    string
+	ViewURL  string
+	Covered  int
+	IListLen int
+}
+
+type pageData struct {
+	Datasets    []string
+	Dataset     string
+	Query       string
+	Bound       int
+	Ran         bool
+	Error       string
+	Hits        []hitView
+	Stats       string
+	Suggestions []string
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	data := pageData{
+		Datasets: s.names,
+		Dataset:  r.FormValue("dataset"),
+		Query:    r.FormValue("q"),
+		Bound:    6,
+	}
+	if b, err := strconv.Atoi(r.FormValue("bound")); err == nil && b >= 0 && b <= 200 {
+		data.Bound = b
+	}
+	if data.Dataset == "" && len(s.names) > 0 {
+		data.Dataset = s.names[len(s.names)-1] // "stores (Figure 5)" sorts last
+	}
+	ds := s.datasets[data.Dataset]
+	if ds != nil {
+		st := ds.Corpus.Stats()
+		data.Stats = fmt.Sprintf("%d nodes, entities: %s",
+			st.Nodes, strings.Join(st.Entities, ", "))
+		// Populate the keyword datalist: completions of the last typed
+		// token, or frequent entity vocabulary when the box is empty.
+		last := ""
+		if toks := extract.Tokenize(data.Query); len(toks) > 0 {
+			last = toks[len(toks)-1]
+		}
+		if last != "" {
+			data.Suggestions = ds.Corpus.Suggest(last, 12)
+		} else {
+			data.Suggestions = st.Entities
+		}
+	}
+	if ds != nil && data.Query != "" {
+		data.Ran = true
+		hits, err := ds.Corpus.Query(data.Query, data.Bound, extract.WithMaxResults(25))
+		if err != nil {
+			data.Error = err.Error()
+		}
+		kws := extract.Tokenize(data.Query)
+		for i, h := range hits {
+			text := baseline.TextWindow(h.Result.Root(), kws, 16)
+			data.Hits = append(data.Hits, hitView{
+				Index:    i + 1,
+				Key:      h.Snippet.ResultKey(),
+				Edges:    h.Snippet.Edges(),
+				Size:     h.Result.Size(),
+				Snippet:  template.HTML(h.Snippet.HTML()),
+				Text:     text.Text,
+				IList:    strings.Join(h.Snippet.IList(), ", "),
+				Covered:  len(h.Snippet.Covered()),
+				IListLen: len(h.Snippet.IList()),
+				ViewURL: fmt.Sprintf("/view?dataset=%s&q=%s&result=%d",
+					template.URLQueryEscaper(data.Dataset),
+					template.URLQueryEscaper(data.Query), i),
+			})
+		}
+	}
+	if err := s.tmpl.Execute(w, data); err != nil {
+		log.Printf("extractd: render: %v", err)
+	}
+}
+
+func (s *server) handleView(w http.ResponseWriter, r *http.Request) {
+	ds := s.datasets[r.FormValue("dataset")]
+	if ds == nil {
+		http.Error(w, "unknown dataset", http.StatusNotFound)
+		return
+	}
+	idx, err := strconv.Atoi(r.FormValue("result"))
+	if err != nil || idx < 0 {
+		http.Error(w, "bad result index", http.StatusBadRequest)
+		return
+	}
+	results, err := ds.Corpus.Search(r.FormValue("q"), extract.WithMaxResults(idx+1))
+	if err != nil || idx >= len(results) {
+		http.Error(w, "result not found", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, results[idx].XML())
+}
+
+const pageHTML = `<!DOCTYPE html>
+<html><head><title>eXtract: XML search result snippets</title>
+<style>
+ body { font-family: sans-serif; margin: 2em; max-width: 75em; }
+ pre { background: #f6f6f6; padding: .6em; overflow-x: auto; }
+ .hit { border: 1px solid #ccc; margin: 1em 0; padding: .8em; }
+ .cols { display: flex; gap: 1em; } .cols > div { flex: 1; }
+ .muted { color: #666; font-size: .9em; }
+ input[type=text] { width: 24em; }
+ ul.xmltree, ul.xmltree ul { list-style: none; padding-left: 1.2em; margin: .2em 0; }
+ ul.xmltree .tag { color: #046; font-weight: 600; }
+ ul.xmltree mark { background: #ffd54d; }
+</style></head>
+<body>
+<h1>eXtract</h1>
+<p class="muted">Snippet generation for XML keyword search (Huang, Liu, Chen — VLDB 2008 demo).</p>
+<form method="GET" action="/">
+ dataset: <select name="dataset">
+ {{range .Datasets}}<option {{if eq . $.Dataset}}selected{{end}}>{{.}}</option>{{end}}
+ </select>
+ keywords: <input type="text" name="q" value="{{.Query}}" placeholder="store texas" list="kw">
+ <datalist id="kw">{{range .Suggestions}}<option value="{{.}}">{{end}}</datalist>
+ snippet size: <input type="number" name="bound" value="{{.Bound}}" min="0" max="200" style="width:4em">
+ <input type="submit" value="Search">
+</form>
+<p class="muted">{{.Stats}}</p>
+{{if .Error}}<p style="color:#a00">{{.Error}}</p>{{end}}
+{{if and .Ran (not .Hits) (not .Error)}}<p>No results.</p>{{end}}
+{{range .Hits}}
+<div class="hit">
+ <b>result {{.Index}}</b>{{if .Key}} — <b>{{.Key}}</b>{{end}}
+ <span class="muted">(snippet {{.Edges}} edges, covers {{.Covered}}/{{.IListLen}} items; full result {{.Size}} edges)</span>
+ — <a href="{{.ViewURL}}">view full result</a>
+ <div class="cols">
+  <div><p class="muted">eXtract snippet</p>{{.Snippet}}</div>
+  <div><p class="muted">text-engine snippet (best keyword window)</p><pre>{{.Text}}</pre></div>
+ </div>
+ <p class="muted">IList: {{.IList}}</p>
+</div>
+{{end}}
+</body></html>`

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"html/template"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"extract"
+	"extract/internal/gen"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	s := &server{datasets: map[string]*dataset{}}
+	s.add("stores (Figure 5)", extract.FromDocument(gen.Figure5Corpus(), nil))
+	s.tmpl = template.Must(template.New("page").Parse(pageHTML))
+	return s
+}
+
+func TestHandleSearch(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest("GET", "/?dataset=stores+%28Figure+5%29&q=store+texas&bound=6", nil)
+	rr := httptest.NewRecorder()
+	s.handleSearch(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	body := rr.Body.String()
+	for _, want := range []string{"Levis", "ESprit", "<mark>", "view full result", "IList:"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("body missing %q", want)
+		}
+	}
+}
+
+func TestHandleSearchEmptyQuery(t *testing.T) {
+	s := testServer(t)
+	rr := httptest.NewRecorder()
+	s.handleSearch(rr, httptest.NewRequest("GET", "/", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	if !strings.Contains(rr.Body.String(), "eXtract") {
+		t.Error("landing page broken")
+	}
+}
+
+func TestHandleSearchNoResults(t *testing.T) {
+	s := testServer(t)
+	rr := httptest.NewRecorder()
+	s.handleSearch(rr, httptest.NewRequest("GET", "/?dataset=stores+%28Figure+5%29&q=zzzz", nil))
+	if !strings.Contains(rr.Body.String(), "No results") {
+		t.Error("no-results message missing")
+	}
+}
+
+func TestHandleView(t *testing.T) {
+	s := testServer(t)
+	rr := httptest.NewRecorder()
+	s.handleView(rr, httptest.NewRequest("GET", "/view?dataset=stores+%28Figure+5%29&q=store+texas&result=0", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	if !strings.Contains(rr.Body.String(), "<name>Levis</name>") {
+		t.Errorf("view body:\n%s", rr.Body.String())
+	}
+}
+
+func TestHandleViewErrors(t *testing.T) {
+	s := testServer(t)
+	cases := []struct {
+		url  string
+		code int
+	}{
+		{"/view?dataset=unknown&q=x&result=0", http.StatusNotFound},
+		{"/view?dataset=stores+%28Figure+5%29&q=store&result=-1", http.StatusBadRequest},
+		{"/view?dataset=stores+%28Figure+5%29&q=store&result=999", http.StatusNotFound},
+		{"/view?dataset=stores+%28Figure+5%29&q=store&result=x", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		rr := httptest.NewRecorder()
+		s.handleView(rr, httptest.NewRequest("GET", c.url, nil))
+		if rr.Code != c.code {
+			t.Errorf("%s: status = %d, want %d", c.url, rr.Code, c.code)
+		}
+	}
+}
+
+func TestSuggestionsInForm(t *testing.T) {
+	s := testServer(t)
+	rr := httptest.NewRecorder()
+	s.handleSearch(rr, httptest.NewRequest("GET", "/?dataset=stores+%28Figure+5%29&q=jea", nil))
+	if !strings.Contains(rr.Body.String(), `value="jeans"`) {
+		t.Error("datalist suggestion for 'jea' missing")
+	}
+}

@@ -1,0 +1,27 @@
+// Package extract is a Go implementation of eXtract, the snippet generation
+// system for XML keyword search of Huang, Liu and Chen (VLDB 2008).
+//
+// Given an XML database, a keyword query and a snippet size bound, eXtract
+// produces for every query result a small snippet tree that is:
+//
+//   - self-contained: it names the entities the result is about,
+//   - distinguishable: it carries the result's key (the key attribute value
+//     of the result's return entity), like a document title,
+//   - representative: it shows the result's dominant features, values whose
+//     normalized frequency (dominance score) exceeds their type's average,
+//   - small: its edge count never exceeds the bound.
+//
+// The typical flow:
+//
+//	corpus, err := extract.LoadFile("retailers.xml")
+//	if err != nil { ... }
+//	hits, err := corpus.Query("Texas apparel retailer", 10)
+//	for _, h := range hits {
+//		fmt.Println(h.Snippet.Render())
+//	}
+//
+// Query evaluation (SLCA/ELCA keyword search with XSeek-style result
+// construction) is built in, but snippets can also be generated for result
+// trees produced elsewhere via Corpus.SnippetForTree — snippet generation
+// is orthogonal to the search engine, as in the paper.
+package extract

@@ -1,0 +1,73 @@
+package extract
+
+import (
+	"strings"
+	"testing"
+)
+
+// A single item instance would not be inferred as an entity; the DOCTYPE
+// internal subset declares it starred, so classification must follow the
+// embedded DTD.
+const doctypeXML = `<?xml version="1.0"?>
+<!DOCTYPE catalog [
+<!ELEMENT catalog (item*)>
+<!ELEMENT item (sku, label)>
+<!ELEMENT sku (#PCDATA)>
+<!ELEMENT label (#PCDATA)>
+]>
+<catalog>
+  <item><sku>A1</sku><label>anvil</label></item>
+</catalog>`
+
+func TestLoadUsesInternalDTDSubset(t *testing.T) {
+	c, err := LoadString(doctypeXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents := c.Stats().Entities
+	if len(ents) != 1 || ents[0] != "item" {
+		t.Errorf("entities = %v, want [item] via internal subset", ents)
+	}
+}
+
+func TestExplicitDTDBeatsInternalSubset(t *testing.T) {
+	// WithDTD overrides the internal subset entirely.
+	c, err := LoadString(doctypeXML, WithDTD(`
+<!ELEMENT catalog (item)>
+<!ELEMENT item (sku*, label)>
+<!ELEMENT sku (#PCDATA)>
+<!ELEMENT label (#PCDATA)>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents := c.Stats().Entities
+	if len(ents) != 1 || ents[0] != "sku" {
+		t.Errorf("entities = %v, want [sku] via explicit DTD", ents)
+	}
+}
+
+func TestBrokenInternalSubsetFails(t *testing.T) {
+	broken := `<!DOCTYPE r [ <!ELEMENT r (a ]><r><a>x</a></r>`
+	if _, err := LoadString(broken); err == nil {
+		t.Error("broken internal subset accepted")
+	}
+}
+
+func TestSnippetHTML(t *testing.T) {
+	c, err := LoadString(`<shops><shop><name>Alpha</name><city>Houston</city></shop>
+	<shop><name>Beta</name><city>Austin</city></shop></shops>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := c.Query("houston shop", 4)
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("hits = %d (%v)", len(hits), err)
+	}
+	html := hits[0].Snippet.HTML()
+	if !strings.Contains(html, "<mark>Houston</mark>") {
+		t.Errorf("keyword not highlighted: %s", html)
+	}
+	if !strings.Contains(html, `<span class="tag"><mark>shop</mark></span>`) {
+		t.Errorf("label keyword not highlighted: %s", html)
+	}
+}

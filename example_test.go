@@ -1,0 +1,82 @@
+package extract_test
+
+import (
+	"fmt"
+	"log"
+
+	"extract"
+)
+
+const libraryXML = `
+<library>
+  <book><title>The Art of Indexing</title><author>Ada Stone</author><topic>databases</topic></book>
+  <book><title>Trees Everywhere</title><author>Ben Rivera</author><topic>databases</topic></book>
+</library>`
+
+// Loading a corpus analyzes it once: entities, attributes, keys, index.
+func ExampleLoadString() {
+	corpus, err := extract.LoadString(libraryXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(corpus.Stats().Entities)
+	key, _ := corpus.EntityKey("book")
+	fmt.Println(key)
+	// Output:
+	// [book]
+	// title
+}
+
+// Query returns each result with a bounded snippet: the result's key plus
+// as much of the ranked information list as fits.
+func ExampleCorpus_Query() {
+	corpus, err := extract.LoadString(libraryXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hits, err := corpus.Query("Ada databases", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, h := range hits {
+		fmt.Println(h.Snippet.ResultKey())
+		fmt.Println(h.Snippet.Inline())
+	}
+	// Output:
+	// The Art of Indexing
+	// book(title:"The Art of Indexing", author:"Ada Stone", topic:"databases")
+}
+
+// Phrase terms in double quotes must match consecutively in one value.
+func ExampleCorpus_Search_phrase() {
+	corpus, err := extract.LoadString(libraryXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, _ := corpus.Search(`"Ada Stone"`)
+	reversed, _ := corpus.Search(`"Stone Ada"`)
+	fmt.Println(len(exact), len(reversed))
+	// Output:
+	// 1 0
+}
+
+// The IList (Snippet Information List) ranks what a snippet should show:
+// keywords, entity names, the result key, then dominant features.
+func ExampleSnippet_IList() {
+	corpus, err := extract.LoadString(libraryXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hits, err := corpus.Query("databases book", 8)
+	if err != nil || len(hits) == 0 {
+		log.Fatal(err)
+	}
+	for _, item := range hits[0].Snippet.IList() {
+		fmt.Println(item)
+	}
+	// Output:
+	// databases
+	// book
+	// The Art of Indexing
+	// Ada Stone
+}

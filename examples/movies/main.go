@@ -1,0 +1,84 @@
+// Movies: the paper's other demo dataset. Shows how the return entity
+// changes with the query — searching for a director returns movie results
+// keyed by title, while searching "actor …" makes the actor the search
+// target — and how dominant features summarize a result (a director's
+// signature genre).
+//
+//	go run ./examples/movies
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"extract"
+)
+
+const data = `
+<movies>
+  <movie>
+    <title>Dust and Echoes</title><year>1999</year><genre>western</genre><director>Leone</director>
+    <cast>
+      <actor><name>Ada Stone</name><role>lead</role></actor>
+      <actor><name>Ben Rivera</name><role>supporting</role></actor>
+    </cast>
+  </movie>
+  <movie>
+    <title>High Noon Again</title><year>2003</year><genre>western</genre><director>Leone</director>
+    <cast>
+      <actor><name>Cora Okafor</name><role>lead</role></actor>
+      <actor><name>Ada Stone</name><role>supporting</role></actor>
+    </cast>
+  </movie>
+  <movie>
+    <title>Silent Harbor</title><year>2005</year><genre>drama</genre><director>Campion</director>
+    <cast>
+      <actor><name>Ada Stone</name><role>lead</role></actor>
+    </cast>
+  </movie>
+</movies>`
+
+func main() {
+	corpus, err := extract.LoadString(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("entities: %s\n", strings.Join(corpus.Stats().Entities, ", "))
+	if key, ok := corpus.EntityKey("movie"); ok {
+		fmt.Printf("key(movie) = %s\n", key)
+	}
+	if key, ok := corpus.EntityKey("actor"); ok {
+		fmt.Printf("key(actor) = %s\n", key)
+	}
+	fmt.Println()
+
+	show := func(query string, bound int) {
+		fmt.Printf("--- %q (bound %d) ---\n", query, bound)
+		hits, err := corpus.Query(query, bound)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(hits) == 0 {
+			fmt.Println("no results")
+			return
+		}
+		for _, h := range hits {
+			fmt.Printf("key %q, return entity %v\n",
+				h.Snippet.ResultKey(), h.Snippet.ReturnEntities())
+			fmt.Print(h.Snippet.Render())
+		}
+		fmt.Println()
+	}
+
+	// "Leone western": movie results keyed by title.
+	show("Leone western", 5)
+
+	// "movie Ada Stone": the movie entity name is a keyword, so movies
+	// are the return entities; each snippet is keyed by its title.
+	show("movie Ada Stone", 5)
+
+	// "actor lead": the actor entity name is a keyword; actors become
+	// the search target, keyed by name.
+	show("actor lead", 3)
+}

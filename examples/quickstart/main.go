@@ -1,0 +1,60 @@
+// Quickstart: load a small XML database, run a keyword query, and print a
+// snippet for each result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"extract"
+)
+
+const data = `
+<library>
+  <book>
+    <title>The Art of Indexing</title>
+    <author>Ada Stone</author>
+    <year>1999</year>
+    <topic>databases</topic>
+  </book>
+  <book>
+    <title>Trees and Where to Find Them</title>
+    <author>Ben Rivera</author>
+    <year>2004</year>
+    <topic>databases</topic>
+  </book>
+  <book>
+    <title>Keyword Search Explained</title>
+    <author>Ada Stone</author>
+    <year>2007</year>
+    <topic>information retrieval</topic>
+  </book>
+</library>`
+
+func main() {
+	// Load analyzes the data: books become entities (they repeat), and
+	// title is mined as their key (unique across instances).
+	corpus, err := extract.LoadString(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := corpus.Stats()
+	fmt.Printf("entities: %s\n", strings.Join(stats.Entities, ", "))
+	if key, ok := corpus.EntityKey("book"); ok {
+		fmt.Printf("key(book) = %s\n\n", key)
+	}
+
+	// Query returns each result with a snippet no larger than the bound.
+	hits, err := corpus.Query("Ada databases", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, h := range hits {
+		fmt.Printf("result %d — key %q, snippet %d edges:\n%s\n",
+			i+1, h.Snippet.ResultKey(), h.Snippet.Edges(), h.Snippet.Render())
+		fmt.Printf("IList: %s\n\n", strings.Join(h.Snippet.IList(), ", "))
+	}
+}

@@ -1,0 +1,81 @@
+// Stores: the paper's demo scenario (Figure 5). A stores database over
+// Texas; the query "store texas" with snippet bound 6 yields snippets that
+// let a user tell the Levis store (jeans, mostly for man) from the ESprit
+// store (outwear, mostly for woman) at a glance — which the full results,
+// dozens of edges each, do not.
+//
+//	go run ./examples/stores
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"extract"
+)
+
+const data = `
+<stores>
+  <store>
+    <name>Levis</name><state>Texas</state><city>Houston</city>
+    <merchandises>
+      <clothes><category>jeans</category><fitting>man</fitting><situation>casual</situation></clothes>
+      <clothes><category>jeans</category><fitting>man</fitting><situation>casual</situation></clothes>
+      <clothes><category>jeans</category><fitting>man</fitting><situation>formal</situation></clothes>
+      <clothes><category>jeans</category><fitting>woman</fitting><situation>casual</situation></clothes>
+      <clothes><category>shirt</category><fitting>man</fitting><situation>casual</situation></clothes>
+    </merchandises>
+  </store>
+  <store>
+    <name>ESprit</name><state>Texas</state><city>Austin</city>
+    <merchandises>
+      <clothes><category>outwear</category><fitting>woman</fitting><situation>casual</situation></clothes>
+      <clothes><category>outwear</category><fitting>woman</fitting><situation>formal</situation></clothes>
+      <clothes><category>outwear</category><fitting>man</fitting><situation>casual</situation></clothes>
+      <clothes><category>outwear</category><fitting>woman</fitting><situation>casual</situation></clothes>
+      <clothes><category>skirt</category><fitting>woman</fitting><situation>casual</situation></clothes>
+    </merchandises>
+  </store>
+  <store>
+    <name>Gap Reno</name><state>Nevada</state><city>Reno</city>
+    <merchandises>
+      <clothes><category>suit</category><fitting>man</fitting><situation>formal</situation></clothes>
+    </merchandises>
+  </store>
+</stores>`
+
+func main() {
+	corpus, err := extract.LoadString(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const query, bound = "store texas", 6
+	fmt.Printf("query %q, snippet bound %d\n\n", query, bound)
+
+	hits, err := corpus.Query(query, bound)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, h := range hits {
+		fmt.Printf("=== result %d: %s (full result has %d edges) ===\n",
+			i+1, h.Snippet.ResultKey(), h.Result.Size())
+		fmt.Print(h.Snippet.Render())
+		fmt.Printf("covered: %s\n", strings.Join(h.Snippet.Covered(), ", "))
+		if skipped := h.Snippet.Skipped(); len(skipped) > 0 {
+			fmt.Printf("did not fit: %s\n", strings.Join(skipped, ", "))
+		}
+		fmt.Println()
+	}
+
+	// Raising the bound admits more of the IList (the dominant city, the
+	// situation); the snippet stays a connected subtree of the result.
+	for _, b := range []int{3, 6, 10} {
+		hs, err := corpus.Query(query, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("bound %2d: %s\n", b, hs[0].Snippet.Inline())
+	}
+}

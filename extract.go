@@ -1,0 +1,492 @@
+package extract
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+
+	"extract/internal/core"
+	"extract/internal/dtd"
+	"extract/internal/index"
+	"extract/internal/persist"
+	"extract/internal/rank"
+	"extract/internal/search"
+	"extract/xmltree"
+	"extract/xpath"
+)
+
+// Corpus is an analyzed XML database: parsed tree, node classification
+// (entity / attribute / connection), mined entity keys and keyword index.
+type Corpus struct {
+	c *core.Corpus
+}
+
+// Option configures corpus loading.
+type Option func(*loadConfig) error
+
+type loadConfig struct {
+	dtd      *dtd.DTD
+	maxNodes int
+}
+
+// WithDTD supplies DTD text governing entity classification; without it the
+// structure is inferred from the data.
+func WithDTD(dtdText string) Option {
+	return func(c *loadConfig) error {
+		d, err := dtd.ParseString(dtdText)
+		if err != nil {
+			return err
+		}
+		c.dtd = d
+		return nil
+	}
+}
+
+// WithDTDFile reads the DTD from a file.
+func WithDTDFile(path string) Option {
+	return func(c *loadConfig) error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		d, err := dtd.ParseString(string(data))
+		if err != nil {
+			return err
+		}
+		c.dtd = d
+		return nil
+	}
+}
+
+// WithMaxNodes bounds the parsed document size.
+func WithMaxNodes(n int) Option {
+	return func(c *loadConfig) error {
+		c.maxNodes = n
+		return nil
+	}
+}
+
+// Load parses and analyzes an XML database from r.
+func Load(r io.Reader, opts ...Option) (*Corpus, error) {
+	var cfg loadConfig
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	var popts []xmltree.ParseOption
+	if cfg.maxNodes > 0 {
+		popts = append(popts, xmltree.WithMaxNodes(cfg.maxNodes))
+	}
+	doc, err := xmltree.Parse(r, popts...)
+	if err != nil {
+		return nil, err
+	}
+	// A DOCTYPE internal subset classifies the document unless the
+	// caller supplied an explicit DTD.
+	if cfg.dtd == nil && doc.InternalSubset != "" {
+		d, err := dtd.ParseString(doc.InternalSubset)
+		if err != nil {
+			return nil, fmt.Errorf("extract: internal DTD subset: %w", err)
+		}
+		cfg.dtd = d
+	}
+	return FromDocument(doc, cfg.dtd), nil
+}
+
+// LoadString parses and analyzes an XML database from a string.
+func LoadString(s string, opts ...Option) (*Corpus, error) {
+	return Load(strings.NewReader(s), opts...)
+}
+
+// LoadFile parses and analyzes an XML database from a file.
+func LoadFile(path string, opts ...Option) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, opts...)
+}
+
+// LoadFiles parses several XML files into one corpus: the documents become
+// children of a synthetic <collection> root, so entities, keys and queries
+// span all of them (the demo site's multi-dataset setting in one corpus).
+func LoadFiles(paths []string, opts ...Option) (*Corpus, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("extract: no files")
+	}
+	var cfg loadConfig
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	var popts []xmltree.ParseOption
+	if cfg.maxNodes > 0 {
+		popts = append(popts, xmltree.WithMaxNodes(cfg.maxNodes))
+	}
+	root := xmltree.Elem("collection")
+	for _, path := range paths {
+		doc, err := xmltree.ParseFile(path, popts...)
+		if err != nil {
+			return nil, fmt.Errorf("extract: %s: %w", path, err)
+		}
+		xmltree.Append(root, doc.Root)
+	}
+	return FromDocument(xmltree.NewDocument(root), cfg.dtd), nil
+}
+
+// Suggest returns up to k indexed keywords starting with prefix, most
+// frequent first — query autocompletion.
+func (c *Corpus) Suggest(prefix string, k int) []string {
+	return c.c.Index.CompletePrefix(prefix, k)
+}
+
+// FromDocument analyzes an already-parsed document. d may be nil.
+func FromDocument(doc *xmltree.Document, d *dtd.DTD) *Corpus {
+	var copts []core.Option
+	if d != nil {
+		copts = append(copts, core.WithDTD(d))
+	}
+	return &Corpus{c: core.BuildCorpus(doc, copts...)}
+}
+
+// Internal exposes the underlying analyzed corpus for the experiment
+// harness and tools; library users should not need it.
+func (c *Corpus) Internal() *core.Corpus { return c.c }
+
+// Stats summarizes the corpus.
+type Stats struct {
+	Nodes            int
+	Elements         int
+	MaxDepth         int
+	DistinctKeywords int
+	Entities         []string
+	Attributes       []string
+	Connections      []string
+}
+
+// Stats returns corpus summary statistics.
+func (c *Corpus) Stats() Stats {
+	ds := c.c.Doc.ComputeStats()
+	return Stats{
+		Nodes:            ds.Nodes,
+		Elements:         ds.Elements,
+		MaxDepth:         ds.MaxDepth,
+		DistinctKeywords: c.c.Index.DistinctKeywords(),
+		Entities:         c.c.Cls.Entities(),
+		Attributes:       c.c.Cls.Attributes(),
+		Connections:      c.c.Cls.Connections(),
+	}
+}
+
+// EntityKey returns the mined key attribute of an entity label.
+func (c *Corpus) EntityKey(entity string) (attr string, ok bool) {
+	return c.c.Keys.KeyAttr(entity)
+}
+
+// SearchOption configures query evaluation.
+type SearchOption func(*searchConfig)
+
+type searchConfig struct {
+	opts   search.Options
+	ranked bool
+}
+
+// WithELCA evaluates queries under ELCA semantics instead of SLCA.
+func WithELCA() SearchOption {
+	return func(c *searchConfig) { c.opts.Semantics = search.SemanticsELCA }
+}
+
+// WithMaxResults bounds the number of results.
+func WithMaxResults(n int) SearchOption {
+	return func(c *searchConfig) { c.opts.MaxResults = n }
+}
+
+// WithTrimmedResults builds XSeek-style trimmed result trees instead of
+// full anchor subtrees.
+func WithTrimmedResults() SearchOption {
+	return func(c *searchConfig) { c.opts.Mode = search.ModeXSeek }
+}
+
+// WithRanking orders results by relevance (IDF-weighted, depth-decayed
+// keyword scores) instead of document order. Snippets complement ranking,
+// per the paper; this supplies the ranking side.
+func WithRanking() SearchOption {
+	return func(c *searchConfig) { c.ranked = true }
+}
+
+// Result is one query result: a tree rooted at the result's anchor entity.
+type Result struct {
+	r     *search.Result
+	score float64
+}
+
+// Score returns the relevance score assigned by WithRanking (0 otherwise).
+func (r *Result) Score() float64 { return r.score }
+
+// Size returns the number of edges of the result tree.
+func (r *Result) Size() int { return r.r.Size() }
+
+// Root returns the result tree root.
+func (r *Result) Root() *xmltree.Node { return r.r.Root }
+
+// XML serializes the result tree.
+func (r *Result) XML() string { return xmltree.XMLString(r.r.Root) }
+
+// Render draws the result tree as ASCII art.
+func (r *Result) Render() string { return xmltree.RenderASCII(r.r.Root) }
+
+// Internal exposes the underlying search result for tools.
+func (r *Result) Internal() *search.Result { return r.r }
+
+// Search evaluates a conjunctive keyword query and returns the results.
+// Double-quoted spans in the query are phrase terms. Results come in
+// document order, or by relevance with WithRanking.
+func (c *Corpus) Search(query string, opts ...SearchOption) ([]*Result, error) {
+	cfg := searchConfig{opts: search.Options{DistinctAnchors: true}}
+	for _, f := range opts {
+		f(&cfg)
+	}
+	rs, err := c.c.Engine(cfg.opts).Search(query)
+	if err != nil {
+		return nil, err
+	}
+	var scores []float64
+	if cfg.ranked {
+		scorer := rank.NewScorer(c.c.Index)
+		terms := search.ParseQuery(query)
+		keys := make([]string, len(terms))
+		for i, t := range terms {
+			keys[i] = t.String()
+		}
+		scores = scorer.Sort(rs, keys)
+	}
+	out := make([]*Result, len(rs))
+	for i, r := range rs {
+		out[i] = &Result{r: r}
+		if scores != nil {
+			out[i].score = scores[i]
+		}
+	}
+	return out, nil
+}
+
+// SnippetOption configures snippet generation.
+type SnippetOption func(*core.Generator)
+
+// WithExactSelection replaces the greedy instance selector with exact
+// branch-and-bound maximization (small results only).
+func WithExactSelection() SnippetOption {
+	return func(g *core.Generator) { g.Algorithm = core.AlgExact }
+}
+
+// Snippet is a generated result snippet with its derivation artifacts.
+type Snippet struct {
+	g *core.Generated
+}
+
+// Edges returns the snippet size in edges.
+func (s *Snippet) Edges() int { return s.g.Snippet.Edges }
+
+// Root returns the snippet tree.
+func (s *Snippet) Root() *xmltree.Node { return s.g.Snippet.Root }
+
+// Render draws the snippet as ASCII art.
+func (s *Snippet) Render() string { return xmltree.RenderASCII(s.g.Snippet.Root) }
+
+// Inline renders the snippet on one line.
+func (s *Snippet) Inline() string { return xmltree.RenderInline(s.g.Snippet.Root) }
+
+// XML serializes the snippet tree.
+func (s *Snippet) XML() string { return xmltree.XMLString(s.g.Snippet.Root) }
+
+// HTML renders the snippet as an escaped HTML tree with the query keywords
+// highlighted; the web demo embeds this directly.
+func (s *Snippet) HTML() string {
+	return xmltree.RenderHTML(s.g.Snippet.Root, s.g.Keywords)
+}
+
+// IList returns the result's Snippet Information List in rank order.
+func (s *Snippet) IList() []string { return s.g.IList.Texts() }
+
+// Covered returns the IList items visible in the snippet, in rank order.
+func (s *Snippet) Covered() []string {
+	var out []string
+	for _, i := range s.g.Snippet.Covered {
+		out = append(out, s.g.IList.Items[i].Text)
+	}
+	return out
+}
+
+// Skipped returns the IList items that did not fit the bound.
+func (s *Snippet) Skipped() []string {
+	var out []string
+	for _, i := range s.g.Snippet.Skipped {
+		out = append(out, s.g.IList.Items[i].Text)
+	}
+	return out
+}
+
+// Coverage returns the fraction of IList items covered (1 for an empty
+// IList).
+func (s *Snippet) Coverage() float64 {
+	if s.g.IList.Len() == 0 {
+		return 1
+	}
+	return float64(len(s.g.Snippet.Covered)) / float64(s.g.IList.Len())
+}
+
+// ResultKey returns the key value identifying the result ("" if none).
+func (s *Snippet) ResultKey() string { return s.g.IList.KeyValue }
+
+// ReturnEntities returns the labels identified as the result's search
+// target.
+func (s *Snippet) ReturnEntities() []string { return s.g.IList.ReturnEntities }
+
+// Internal exposes the underlying generation artifacts for tools.
+func (s *Snippet) Internal() *core.Generated { return s.g }
+
+// Snippet generates a snippet for one search result.
+func (c *Corpus) Snippet(r *Result, query string, bound int, opts ...SnippetOption) *Snippet {
+	g := core.NewGenerator(c.c)
+	for _, o := range opts {
+		o(g)
+	}
+	return &Snippet{g: g.ForResult(r.r, query, bound)}
+}
+
+// SnippetForTree generates a snippet for a result tree produced by an
+// external search engine. The tree must be over the same vocabulary as the
+// corpus (labels drive classification).
+func (c *Corpus) SnippetForTree(result *xmltree.Document, query string, bound int, opts ...SnippetOption) *Snippet {
+	g := core.NewGenerator(c.c)
+	for _, o := range opts {
+		o(g)
+	}
+	return &Snippet{g: g.ForTree(result, query, bound)}
+}
+
+// Hit pairs a search result with its snippet.
+type Hit struct {
+	Result  *Result
+	Snippet *Snippet
+}
+
+// Query runs the end-to-end pipeline: search, then snippet each result
+// within the bound. With many results, snippet generation fans out over
+// the available CPUs; output order is unaffected.
+func (c *Corpus) Query(query string, bound int, opts ...SearchOption) ([]*Hit, error) {
+	if bound < 0 {
+		return nil, fmt.Errorf("extract: negative snippet bound %d", bound)
+	}
+	results, err := c.Search(query, opts...)
+	if err != nil {
+		return nil, err
+	}
+	hits := make([]*Hit, len(results))
+	if len(results) >= 4 && runtime.GOMAXPROCS(0) > 1 {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					hits[i] = &Hit{Result: results[i], Snippet: c.Snippet(results[i], query, bound)}
+				}
+			}()
+		}
+		for i := range results {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+		return hits, nil
+	}
+	for i, r := range results {
+		hits[i] = &Hit{Result: r, Snippet: c.Snippet(r, query, bound)}
+	}
+	return hits, nil
+}
+
+// XPath evaluates an XPath-subset expression (see package extract/xpath)
+// against the corpus and returns the selected elements as results, ready
+// for snippet generation. Text nodes in the selection are skipped.
+func (c *Corpus) XPath(expr string) ([]*Result, error) {
+	e, err := xpath.Compile(expr)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for _, n := range e.SelectDoc(c.c.Doc) {
+		if !n.IsElement() {
+			continue
+		}
+		out = append(out, &Result{r: search.FromNode(n)})
+	}
+	return out, nil
+}
+
+// SaveIndex writes the analyzed corpus in eXtract's binary index format;
+// LoadIndex reopens it without re-parsing or re-analyzing the XML.
+func (c *Corpus) SaveIndex(w io.Writer) error { return persist.Save(w, c.c) }
+
+// SaveIndexFile writes the analyzed corpus to a file.
+func (c *Corpus) SaveIndexFile(path string) error { return persist.SaveFile(path, c.c) }
+
+// LoadIndex reads a corpus saved with SaveIndex.
+func LoadIndex(r io.Reader) (*Corpus, error) {
+	cc, err := persist.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{c: cc}, nil
+}
+
+// LoadIndexFile reads a corpus saved with SaveIndexFile.
+func LoadIndexFile(path string) (*Corpus, error) {
+	cc, err := persist.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{c: cc}, nil
+}
+
+// Tokenize exposes the query/index tokenizer (lowercased word tokens).
+func Tokenize(s string) []string { return index.Tokenize(s) }
+
+// HitGroup is a group of hits sharing an identical snippet.
+type HitGroup struct {
+	// Hit is the group's representative (first in result order).
+	Hit *Hit
+	// Count is the number of hits in the group.
+	Count int
+	// Hits are all members, in result order.
+	Hits []*Hit
+}
+
+// Diversify groups hits whose snippets render identically, so a result page
+// can show "N similar results" instead of repeating one snippet — the flip
+// side of the paper's distinguishability goal when results genuinely are
+// indistinguishable at the chosen bound.
+func Diversify(hits []*Hit) []*HitGroup {
+	var groups []*HitGroup
+	byKey := map[string]*HitGroup{}
+	for _, h := range hits {
+		key := h.Snippet.Inline()
+		g := byKey[key]
+		if g == nil {
+			g = &HitGroup{Hit: h}
+			byKey[key] = g
+			groups = append(groups, g)
+		}
+		g.Count++
+		g.Hits = append(g.Hits, h)
+	}
+	return groups
+}

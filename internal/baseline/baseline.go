@@ -1,0 +1,235 @@
+// Package baseline implements the comparison snippet generators used in the
+// experiments:
+//
+//   - TextWindow: the "Google Desktop" comparison from the paper's demo —
+//     a classic IR best-window snippet over the result's flattened text,
+//     ignoring all structure.
+//   - BFSPrefix: breadth-first prefix of the result tree up to the edge
+//     budget — what a generic tree truncation shows.
+//   - PathOnly: root-to-match paths for the query keywords up to the edge
+//     budget — match-path snippets without entity/key/feature awareness.
+//   - FrequencyRank: the ablation of §2.3 — feature ranking by raw
+//     occurrence count instead of dominance score.
+//
+// Tree baselines use the same size accounting as the selector: edges
+// connect element nodes, attribute values display for free.
+package baseline
+
+import (
+	"sort"
+	"strings"
+
+	"extract/internal/features"
+	"extract/internal/index"
+	"extract/xmltree"
+)
+
+// TextSnippet is a flat text snippet: the window of result text covering
+// the most distinct query keywords.
+type TextSnippet struct {
+	Text string
+	// KeywordsHit counts the distinct query keywords in the window.
+	KeywordsHit int
+	// WindowStart is the word offset of the window in the flattened text.
+	WindowStart int
+}
+
+// TextWindow flattens the result tree to text in document order (tags
+// dropped, exactly how a text engine sees XML) and returns the window of at
+// most windowWords words containing the most distinct keywords; ties break
+// toward the earliest window.
+func TextWindow(root *xmltree.Node, keywords []string, windowWords int) *TextSnippet {
+	if windowWords <= 0 {
+		return &TextSnippet{}
+	}
+	var words []string
+	if root != nil {
+		words = index.Tokenize(root.Text())
+	}
+	if len(words) == 0 {
+		return &TextSnippet{}
+	}
+	kw := make(map[string]bool, len(keywords))
+	for _, k := range keywords {
+		kw[strings.ToLower(k)] = true
+	}
+
+	bestStart, bestHit := 0, -1
+	counts := make(map[string]int)
+	distinct := 0
+	lo := 0
+	for hi := 0; hi < len(words); hi++ {
+		if kw[words[hi]] {
+			if counts[words[hi]] == 0 {
+				distinct++
+			}
+			counts[words[hi]]++
+		}
+		if hi-lo+1 > windowWords {
+			if kw[words[lo]] {
+				counts[words[lo]]--
+				if counts[words[lo]] == 0 {
+					distinct--
+				}
+			}
+			lo++
+		}
+		if distinct > bestHit {
+			bestHit, bestStart = distinct, lo
+		}
+	}
+	end := bestStart + windowWords
+	if end > len(words) {
+		end = len(words)
+	}
+	return &TextSnippet{
+		Text:        strings.Join(words[bestStart:end], " "),
+		KeywordsHit: bestHit,
+		WindowStart: bestStart,
+	}
+}
+
+// KeywordCoverage returns the fraction of the query keywords present in the
+// text snippet.
+func (s *TextSnippet) KeywordCoverage(keywords []string) float64 {
+	if len(keywords) == 0 {
+		return 1
+	}
+	toks := index.TokenSet(s.Text)
+	hit := 0
+	for _, k := range keywords {
+		if toks[strings.ToLower(k)] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(keywords))
+}
+
+// BFSPrefix returns the snippet tree formed by the first nodes of the
+// result in breadth-first order within the edge budget. Attribute text
+// values ride along free, matching the selector's accounting.
+func BFSPrefix(root *xmltree.Node, bound int) *xmltree.Node {
+	if root == nil {
+		return nil
+	}
+	keep := map[*xmltree.Node]bool{root: true}
+	edges := 0
+	queue := []*xmltree.Node{root}
+	for len(queue) > 0 && edges < bound {
+		n := queue[0]
+		queue = queue[1:]
+		for _, c := range n.Children {
+			if c.IsText() {
+				keep[c] = true
+				continue
+			}
+			if edges >= bound {
+				break
+			}
+			keep[c] = true
+			edges++
+			if c.HasSingleTextChild() {
+				keep[c.Children[0]] = true
+			}
+			queue = append(queue, c)
+		}
+	}
+	return xmltree.ProjectSet(root, keep)
+}
+
+// PathOnly returns the snippet tree formed by root-to-match paths for the
+// query keywords, added keyword by keyword (first instance each, then
+// second, ...) while the edge budget lasts.
+func PathOnly(doc *xmltree.Document, keywords []string, bound int) *xmltree.Node {
+	if doc.Root == nil {
+		return nil
+	}
+	ix := index.Build(doc)
+	keep := map[*xmltree.Node]bool{doc.Root: true}
+	edges := 0
+
+	addPath := func(n *xmltree.Node) bool {
+		// Count new element edges on the path first.
+		cost := 0
+		for m := n; m != nil && !keep[m]; m = m.Parent {
+			if m.IsElement() {
+				cost++
+			}
+		}
+		if edges+cost > bound {
+			return false
+		}
+		for m := n; m != nil && !keep[m]; m = m.Parent {
+			keep[m] = true
+			if m.IsElement() && m.HasSingleTextChild() {
+				keep[m.Children[0]] = true
+			}
+		}
+		edges += cost
+		return true
+	}
+
+	// Round-robin over keywords: the i-th instance of each keyword.
+	for round := 0; ; round++ {
+		progressed := false
+		for _, kw := range keywords {
+			ps := ix.Postings(kw)
+			if round >= len(ps) {
+				continue
+			}
+			p := ps[round]
+			target := p.Node
+			if p.Fields&index.FieldValue != 0 {
+				for _, c := range target.Children {
+					if c.IsText() && index.MatchesKeyword(c.Value, kw) {
+						if addPath(c) {
+							progressed = true
+						}
+						break
+					}
+				}
+				continue
+			}
+			if addPath(target) {
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return xmltree.ProjectSet(doc.Root, keep)
+}
+
+// FrequencyRank is the §2.3 ablation: features ranked by raw occurrence
+// count N(e,a,v) instead of dominance score. "Dominant" under this ranking
+// means the count exceeds the mean count of the feature's type — the naive
+// criterion the paper argues against.
+func FrequencyRank(stats *features.Stats) []features.Scored {
+	var out []features.Scored
+	for _, f := range stats.Features() {
+		n := stats.N(f)
+		tn, td := stats.TypeN(f.Type), stats.TypeD(f.Type)
+		if td == 0 {
+			continue
+		}
+		mean := float64(tn) / float64(td)
+		if float64(n) > mean || td == 1 {
+			out = append(out, features.Scored{Feature: f, Score: float64(n)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		fi, fj := out[i].Feature, out[j].Feature
+		if fi.Entity != fj.Entity {
+			return fi.Entity < fj.Entity
+		}
+		if fi.Attr != fj.Attr {
+			return fi.Attr < fj.Attr
+		}
+		return fi.Value < fj.Value
+	})
+	return out
+}

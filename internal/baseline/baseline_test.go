@@ -1,0 +1,163 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"extract/internal/classify"
+	"extract/internal/features"
+	"extract/internal/gen"
+	"extract/xmltree"
+)
+
+func TestTextWindowPicksBestWindow(t *testing.T) {
+	doc, err := xmltree.ParseString(`<doc>
+	  <p>filler filler filler filler</p>
+	  <p>Texas retailer of fine apparel</p>
+	  <p>more filler</p>
+	</doc>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := TextWindow(doc.Root, []string{"texas", "apparel", "retailer"}, 5)
+	if s.KeywordsHit != 3 {
+		t.Errorf("hits = %d, text = %q", s.KeywordsHit, s.Text)
+	}
+	if !strings.Contains(s.Text, "texas") || !strings.Contains(s.Text, "apparel") {
+		t.Errorf("window = %q", s.Text)
+	}
+	if got := s.KeywordCoverage([]string{"texas", "apparel", "retailer"}); got != 1 {
+		t.Errorf("coverage = %f", got)
+	}
+	if got := s.KeywordCoverage([]string{"texas", "nothing"}); got != 0.5 {
+		t.Errorf("coverage = %f", got)
+	}
+}
+
+func TestTextWindowEdges(t *testing.T) {
+	if s := TextWindow(nil, []string{"x"}, 5); s.Text != "" {
+		t.Errorf("nil root window = %q", s.Text)
+	}
+	doc, _ := xmltree.ParseString(`<a>hello world</a>`)
+	if s := TextWindow(doc.Root, []string{"x"}, 0); s.Text != "" {
+		t.Error("zero window should be empty")
+	}
+	s := TextWindow(doc.Root, nil, 10)
+	if s.Text != "hello world" {
+		t.Errorf("no-keyword window = %q", s.Text)
+	}
+	if got := s.KeywordCoverage(nil); got != 1 {
+		t.Errorf("empty keywords coverage = %f", got)
+	}
+}
+
+func TestBFSPrefix(t *testing.T) {
+	result := gen.Figure1Result()
+	for _, bound := range []int{0, 3, 6, 12} {
+		snip := BFSPrefix(result.Root, bound)
+		if snip == nil {
+			t.Fatalf("bound %d: nil snippet", bound)
+		}
+		elems := 0
+		snip.Walk(func(n *xmltree.Node) bool {
+			if n.IsElement() {
+				elems++
+			}
+			return true
+		})
+		if elems-1 > bound {
+			t.Errorf("bound %d: %d element edges", bound, elems-1)
+		}
+	}
+	// BFS prefix favors the breadth of the root: retailer's own
+	// attributes and stores, never deep clothes at small bounds.
+	snip := BFSPrefix(result.Root, 4)
+	if snip.Descendant("store", "merchandises", "clothes") != nil {
+		t.Error("BFS at bound 4 should not reach clothes")
+	}
+	if BFSPrefix(nil, 5) != nil {
+		t.Error("nil root")
+	}
+}
+
+func TestPathOnly(t *testing.T) {
+	result := gen.Figure1Result()
+	kws := []string{"texas", "apparel", "houston"}
+	snip := PathOnly(result, kws, 8)
+	if snip == nil {
+		t.Fatal("nil snippet")
+	}
+	elems := 0
+	snip.Walk(func(n *xmltree.Node) bool {
+		if n.IsElement() {
+			elems++
+		}
+		return true
+	})
+	if elems-1 > 8 {
+		t.Errorf("edges = %d", elems-1)
+	}
+	text := xmltree.RenderInline(snip)
+	for _, want := range []string{"Texas", "apparel", "Houston"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("path snippet missing %q: %s", want, text)
+		}
+	}
+	// Unlike eXtract, the path baseline has no notion of keys or
+	// dominant features: "Brook Brothers" is absent (no keyword hits it).
+	if strings.Contains(text, "Brook Brothers") {
+		t.Errorf("path snippet unexpectedly contains the key: %s", text)
+	}
+}
+
+func TestPathOnlyTightBudget(t *testing.T) {
+	result := gen.Figure1Result()
+	snip := PathOnly(result, []string{"houston"}, 1)
+	// Path to houston needs store+city = 2 edges; budget 1 only keeps
+	// the root.
+	elems := 0
+	snip.Walk(func(n *xmltree.Node) bool {
+		if n.IsElement() {
+			elems++
+		}
+		return true
+	})
+	if elems != 1 {
+		t.Errorf("elements = %d, want root only", elems)
+	}
+}
+
+// TestFrequencyRankAblation reproduces §2.3's motivating example: ranking
+// by raw counts puts casual (700) and man (600) far above Houston (6), and
+// admits children (40 > mean of fitting? no — children is below mean) —
+// the key check is that Houston drops from the top under raw frequency but
+// leads under dominance.
+func TestFrequencyRankAblation(t *testing.T) {
+	corpus := gen.Figure1Corpus()
+	cls := classify.Classify(corpus)
+	result := gen.Figure1Result()
+	stats := features.Collect(result.Root, cls)
+
+	freq := FrequencyRank(stats)
+	if len(freq) == 0 {
+		t.Fatal("no frequency-ranked features")
+	}
+	if freq[0].Feature.Value == "Houston" {
+		t.Error("raw frequency should not rank Houston first")
+	}
+	if freq[0].Feature.Value != "casual" {
+		t.Errorf("raw frequency top = %s, want casual (700)", freq[0].Feature.Value)
+	}
+	pos := map[string]int{}
+	for i, f := range freq {
+		pos[f.Feature.Value] = i
+	}
+	if hp, ok := pos["Houston"]; ok && hp < 4 {
+		t.Errorf("Houston at raw rank %d; expected to sink below the big counts", hp)
+	}
+
+	dom := stats.Dominant()
+	if dom[0].Feature.Value != "Houston" {
+		t.Errorf("dominance top = %s, want Houston", dom[0].Feature.Value)
+	}
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestE12Shape(t *testing.T) {
+	tb := E12SelectorStrategies(10, []int{3, 5})
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		// Columns: bound, rank cov, rank wcov, ratio cov, ratio wcov,
+		// exact cov, exact wcov. Exact dominates both greedies on
+		// count coverage; all values are valid fractions.
+		vals := make([]float64, 6)
+		for i := 0; i < 6; i++ {
+			v, err := strconv.ParseFloat(row[i+1], 64)
+			if err != nil || v < 0 || v > 1 {
+				t.Fatalf("bad cell %q in %v", row[i+1], row)
+			}
+			vals[i] = v
+		}
+		rankCov, ratioCov, exactCov := vals[0], vals[2], vals[4]
+		const eps = 1e-9
+		if rankCov > exactCov+eps {
+			t.Errorf("rank cov %f > exact %f", rankCov, exactCov)
+		}
+		if ratioCov > exactCov+eps {
+			t.Errorf("ratio cov %f > exact %f", ratioCov, exactCov)
+		}
+	}
+}
+
+func TestE13Shape(t *testing.T) {
+	tb := E13Persistence([]int{1000, 10_000})
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+	for _, row := range tb.Rows {
+		xmlKB, err1 := strconv.ParseFloat(row[1], 64)
+		binKB, err2 := strconv.ParseFloat(row[2], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad size cells in %v", row)
+		}
+		if binKB >= xmlKB {
+			t.Errorf("binary %f KB >= xml %f KB", binKB, xmlKB)
+		}
+	}
+	for _, n := range tb.Notes {
+		if len(n) > 5 && n[:5] == "save " || len(n) > 5 && n[:5] == "load " {
+			t.Errorf("error note: %s", n)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package bench
+
+// Quick controls the sweep sizes: true trims the largest points so the full
+// suite runs in seconds (used by tests); false runs the full sweeps
+// (cmd/benchrunner default).
+type Sizes struct {
+	Quick bool
+}
+
+func (s Sizes) resultSizes() []int {
+	if s.Quick {
+		return []int{100, 1000, 10_000}
+	}
+	return []int{100, 1000, 10_000, 100_000}
+}
+
+func (s Sizes) corpusSizes() []int {
+	if s.Quick {
+		return []int{1_000, 10_000}
+	}
+	return []int{1_000, 10_000, 100_000, 1_000_000}
+}
+
+func (s Sizes) searchSizes() []int {
+	if s.Quick {
+		return []int{1_000, 10_000}
+	}
+	return []int{1_000, 10_000, 100_000}
+}
+
+func (s Sizes) exactCases() int {
+	if s.Quick {
+		return 10
+	}
+	return 30
+}
+
+func (s Sizes) trials() int {
+	if s.Quick {
+		return 10
+	}
+	return 40
+}
+
+// All runs every experiment and returns the tables in order.
+func All(s Sizes) []*Table {
+	return []*Table{
+		E1IList(),
+		E2Snippet(nil),
+		E3Demo(),
+		E4TimeVsResultSize(s.resultSizes()),
+		E5TimeVsBound(nil),
+		E6QualityVsBound(nil),
+		E7GreedyVsExact(s.exactCases(), nil),
+		E8IndexBuild(s.corpusSizes()),
+		E9Distinguishability(0),
+		E10SLCA(s.searchSizes()),
+		E11DominanceAblation(),
+		E11PlantedRecovery(s.trials()),
+		E12SelectorStrategies(s.exactCases(), nil),
+		E13Persistence(s.searchSizes()),
+	}
+}
+
+// ByID returns the experiment table(s) with the given id (case-insensitive,
+// e.g. "e1", "E11"), or nil.
+func ByID(id string, s Sizes) []*Table {
+	switch normalize(id) {
+	case "e1":
+		return []*Table{E1IList()}
+	case "e2":
+		return []*Table{E2Snippet(nil)}
+	case "e3":
+		return []*Table{E3Demo()}
+	case "e4":
+		return []*Table{E4TimeVsResultSize(s.resultSizes())}
+	case "e5":
+		return []*Table{E5TimeVsBound(nil)}
+	case "e6":
+		return []*Table{E6QualityVsBound(nil)}
+	case "e7":
+		return []*Table{E7GreedyVsExact(s.exactCases(), nil)}
+	case "e8":
+		return []*Table{E8IndexBuild(s.corpusSizes())}
+	case "e9":
+		return []*Table{E9Distinguishability(0)}
+	case "e10":
+		return []*Table{E10SLCA(s.searchSizes())}
+	case "e11":
+		return []*Table{E11DominanceAblation(), E11PlantedRecovery(s.trials())}
+	case "e12":
+		return []*Table{E12SelectorStrategies(s.exactCases(), nil)}
+	case "e13":
+		return []*Table{E13Persistence(s.searchSizes())}
+	case "all":
+		return All(s)
+	default:
+		return nil
+	}
+}
+
+func normalize(id string) string {
+	out := make([]byte, 0, len(id))
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

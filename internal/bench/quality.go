@@ -1,0 +1,294 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"extract/internal/baseline"
+	"extract/internal/classify"
+	"extract/internal/core"
+	"extract/internal/features"
+	"extract/internal/gen"
+	"extract/internal/ilist"
+	"extract/internal/index"
+	"extract/internal/keys"
+	"extract/internal/metrics"
+	"extract/internal/search"
+	"extract/internal/selector"
+	"extract/xmltree"
+)
+
+// E6QualityVsBound compares snippet quality (IList coverage, weighted
+// coverage, keyword coverage) of eXtract against the BFS-prefix, path-only
+// and text-window baselines across size bounds, on the Figure 1 result.
+func E6QualityVsBound(bounds []int) *Table {
+	if len(bounds) == 0 {
+		bounds = []int{4, 6, 8, 12, 16, 24, 32}
+	}
+	corpus := core.BuildCorpus(gen.Figure1Corpus())
+	cls := corpus.Cls
+	result := gen.Figure1Result()
+	stats := features.Collect(result.Root, cls)
+	kws := index.Tokenize(gen.Figure1Query)
+	il := ilist.Build(result.Root, kws, cls, corpus.Keys, stats)
+
+	t := &Table{
+		ID:    "E6",
+		Title: "Snippet quality vs size bound: eXtract vs baselines (Figure 1 result)",
+		Columns: []string{"bound",
+			"eXtract cov", "eXtract wcov",
+			"BFS cov", "BFS wcov",
+			"Path cov", "Path wcov",
+			"Text kwcov"},
+	}
+	for _, b := range bounds {
+		ex := selector.Greedy(result, il, cls, stats, b)
+		bfs := baseline.BFSPrefix(result.Root, b)
+		path := baseline.PathOnly(result, kws, b)
+		// A text window of ~2.5 words per edge approximates equal
+		// screen budget.
+		text := baseline.TextWindow(result.Root, kws, b*5/2)
+
+		exC, exW := selector.CoverageOf(ex.Root, il, cls)
+		bfC, bfW := selector.CoverageOf(bfs, il, cls)
+		paC, paW := selector.CoverageOf(path, il, cls)
+		t.AddRow(b, exC, exW, bfC, bfW, paC, paW, text.KeywordCoverage(kws))
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: eXtract dominates at every bound; baselines converge only as the bound approaches the whole result",
+		"the text window covers keywords but can never witness entity names, the result key or dominant features")
+	return t
+}
+
+// E7GreedyVsExact compares the greedy selector against branch-and-bound
+// maximization on small random results, reporting the coverage ratio and
+// times (the NP-hardness/greedy-quality experiment).
+func E7GreedyVsExact(cases int, bounds []int) *Table {
+	if cases <= 0 {
+		cases = 30
+	}
+	if len(bounds) == 0 {
+		bounds = []int{3, 5, 7}
+	}
+	t := &Table{
+		ID:      "E7",
+		Title:   "Greedy vs exact instance selection (small random results)",
+		Columns: []string{"bound", "cases", "greedy=opt", "avg ratio", "min ratio", "greedy µs", "exact µs"},
+	}
+	for _, b := range bounds {
+		equal, n := 0, 0
+		sumRatio, minRatio := 0.0, 1.0
+		var gTime, eTime time.Duration
+		for seed := int64(0); seed < int64(cases); seed++ {
+			fx := randomSmallResult(seed)
+			start := time.Now()
+			g := selector.Greedy(fx.doc, fx.il, fx.cls, fx.stats, b)
+			gTime += time.Since(start)
+			start = time.Now()
+			e := selector.Exact(fx.doc, fx.il, fx.cls, fx.stats, b, selector.ExactConfig{})
+			eTime += time.Since(start)
+			if len(e.Covered) == 0 {
+				continue
+			}
+			n++
+			ratio := float64(len(g.Covered)) / float64(len(e.Covered))
+			sumRatio += ratio
+			if ratio < minRatio {
+				minRatio = ratio
+			}
+			if len(g.Covered) == len(e.Covered) {
+				equal++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		t.AddRow(b, n, fmt.Sprintf("%d/%d", equal, n),
+			fmt.Sprintf("%.3f", sumRatio/float64(n)),
+			fmt.Sprintf("%.3f", minRatio),
+			fmt.Sprintf("%.1f", float64(gTime.Microseconds())/float64(n)),
+			fmt.Sprintf("%.1f", float64(eTime.Microseconds())/float64(n)))
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: greedy matches the optimum on most instances and stays within a few percent on the rest, at orders of magnitude lower cost")
+	return t
+}
+
+type smallFx struct {
+	doc   *xmltree.Document
+	il    *ilist.IList
+	cls   *classify.Classification
+	stats *features.Stats
+}
+
+func randomSmallResult(seed int64) *smallFx {
+	r := rand.New(rand.NewSource(seed))
+	cities := []string{"Houston", "Austin", "Dallas"}
+	cats := []string{"suit", "outwear", "jeans", "skirt"}
+	fits := []string{"man", "woman"}
+	root := xmltree.Elem("retailer",
+		xmltree.Attr("name", fmt.Sprintf("R%d", seed)),
+		xmltree.Attr("product", "apparel"),
+	)
+	for i := 0; i < 2+r.Intn(3); i++ {
+		m := xmltree.Elem("merchandises")
+		for j := 0; j < 1+r.Intn(4); j++ {
+			c := xmltree.Elem("clothes", xmltree.Attr("category", cats[r.Intn(len(cats))]))
+			if r.Intn(2) == 0 {
+				xmltree.Append(c, xmltree.Attr("fitting", fits[r.Intn(len(fits))]))
+			}
+			xmltree.Append(m, c)
+		}
+		xmltree.Append(root, xmltree.Elem("store",
+			xmltree.Attr("state", "Texas"),
+			xmltree.Attr("city", cities[r.Intn(len(cities))]),
+			m,
+		))
+	}
+	corpus := xmltree.NewDocument(xmltree.Elem("retailers", root,
+		xmltree.Elem("retailer", xmltree.Attr("name", "Other"), xmltree.Attr("product", "apparel"))))
+	cls := classify.Classify(corpus)
+	km := keys.Mine(corpus, cls)
+	doc := xmltree.NewDocument(xmltree.DeepCopy(root))
+	stats := features.Collect(doc.Root, cls)
+	il := ilist.Build(doc.Root, []string{"texas", "apparel", "retailer"}, cls, km, stats)
+	return &smallFx{doc: doc, il: il, cls: cls, stats: stats}
+}
+
+// E9Distinguishability measures how well snippets separate the results of
+// one query: fraction of pairwise-distinct snippets for eXtract, BFS
+// truncation and text windows, over a stores corpus with many Texas stores.
+func E9Distinguishability(stores int) *Table {
+	if stores <= 0 {
+		stores = 24
+	}
+	doc := manyStoresCorpus(stores)
+	corpus := core.BuildCorpus(doc)
+	outs, err := core.Pipeline(corpus, "store texas", 6, search.Options{DistinctAnchors: true})
+	t := &Table{
+		ID:      "E9",
+		Title:   `Distinguishability of snippets across results (query "store texas", bound 6)`,
+		Columns: []string{"method", "results", "distinct fraction", "self-contained"},
+	}
+	if err != nil {
+		t.Notes = append(t.Notes, "pipeline error: "+err.Error())
+		return t
+	}
+	var exTrees, bfsTrees []*xmltree.Node
+	var texts []string
+	selfContained := 0
+	kws := index.Tokenize("store texas")
+	for _, o := range outs {
+		exTrees = append(exTrees, o.Snippet.Root)
+		bfsTrees = append(bfsTrees, baseline.BFSPrefix(o.Result.Root, 6))
+		// Same ~2.5 words/edge budget heuristic as E6.
+		texts = append(texts, baseline.TextWindow(o.Result.Root, kws, 15).Text)
+		if metrics.SelfContained(o.Snippet.Root, o.IList, corpus.Cls) {
+			selfContained++
+		}
+	}
+	n := len(outs)
+	t.AddRow("eXtract", n, metrics.Distinguishability(exTrees), fmt.Sprintf("%d/%d", selfContained, n))
+	t.AddRow("BFS prefix", n, metrics.Distinguishability(bfsTrees), "-")
+	t.AddRow("text window", n, metrics.DistinguishabilityTexts(texts), "-")
+	t.Notes = append(t.Notes,
+		"expected shape: eXtract snippets are all distinct (each carries its result key); truncation and text windows collapse similar stores")
+	return t
+}
+
+// manyStoresCorpus builds a flat stores corpus with n Texas stores that
+// differ only in their name — and the name sits behind a connection node
+// (contact), so prefix truncation at small bounds shows only the identical
+// state/city/inventory. eXtract's key identification still surfaces the
+// name: that is the distinguishability argument.
+func manyStoresCorpus(n int) *xmltree.Document {
+	cats := []string{"jeans", "outwear", "suit"}
+	fits := []string{"man", "woman"}
+	root := xmltree.Elem("stores")
+	for i := 0; i < n; i++ {
+		m := xmltree.Elem("merchandises")
+		for j := 0; j < 10; j++ {
+			xmltree.Append(m, xmltree.Elem("clothes",
+				xmltree.Attr("category", cats[j%len(cats)]),
+				xmltree.Attr("fitting", fits[j%len(fits)]),
+			))
+		}
+		xmltree.Append(root, xmltree.Elem("store",
+			xmltree.Attr("state", "Texas"),
+			xmltree.Attr("city", "Houston"),
+			m,
+			xmltree.Elem("contact",
+				xmltree.Attr("name", fmt.Sprintf("Store %c%d", 'A'+i%26, i)),
+				xmltree.Attr("phone", fmt.Sprintf("555-%04d", i)),
+			),
+		))
+	}
+	return xmltree.NewDocument(root)
+}
+
+// E11PlantedRecovery extends the §2.3 ablation with planted ground truth:
+// results where a small-domain feature is planted as characteristic while a
+// large-count noisy type competes; reports how often each ranking puts the
+// planted feature in its top 3.
+func E11PlantedRecovery(trials int) *Table {
+	if trials <= 0 {
+		trials = 40
+	}
+	t := &Table{
+		ID:      "E11b",
+		Title:   "Planted-feature recovery in top-3: dominance vs raw frequency",
+		Columns: []string{"trials", "dominance top3", "raw-count top3"},
+	}
+	domHits, rawHits := 0, 0
+	for seed := int64(0); seed < int64(trials); seed++ {
+		r := rand.New(rand.NewSource(seed))
+		root := xmltree.Elem("retailer", xmltree.Attr("name", fmt.Sprintf("R%d", seed)))
+		// Planted: 6 of 10 stores share one city (domain 5).
+		cities := []string{"Planted City", "B", "C", "D", "E"}
+		for i := 0; i < 10; i++ {
+			city := cities[0]
+			if i >= 6 {
+				city = cities[1+r.Intn(4)]
+			}
+			m := xmltree.Elem("merchandises")
+			// Noise: a high-volume type with a wide near-uniform
+			// domain; several of its values beat their type mean by
+			// chance and flood a raw-count top-3.
+			for j := 0; j < 60; j++ {
+				xmltree.Append(m, xmltree.Elem("clothes",
+					xmltree.Attr("category", fmt.Sprintf("cat%d", r.Intn(8))),
+				))
+			}
+			xmltree.Append(root, xmltree.Elem("store",
+				xmltree.Attr("city", city), m))
+		}
+		corpus := xmltree.NewDocument(xmltree.Elem("retailers",
+			root, xmltree.Elem("retailer", xmltree.Attr("name", "Z"))))
+		cls := classify.Classify(corpus)
+		result := xmltree.NewDocument(xmltree.DeepCopy(root))
+		stats := features.Collect(result.Root, cls)
+		if top3has(stats.Dominant(), "Planted City") {
+			domHits++
+		}
+		if top3has(baseline.FrequencyRank(stats), "Planted City") {
+			rawHits++
+		}
+	}
+	t.AddRow(trials, fmt.Sprintf("%d/%d", domHits, trials), fmt.Sprintf("%d/%d", rawHits, trials))
+	t.Notes = append(t.Notes,
+		"expected shape: dominance recovers the planted city (DS=3.0); raw counts rank the ~130-occurrence noise categories first")
+	return t
+}
+
+func top3has(fs []features.Scored, value string) bool {
+	for i, f := range fs {
+		if i >= 3 {
+			break
+		}
+		if f.Feature.Value == value {
+			return true
+		}
+	}
+	return false
+}

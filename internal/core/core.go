@@ -1,0 +1,212 @@
+// Package core wires eXtract's components into the pipeline of the paper's
+// Figure 4: Data Analyzer (parse + classify) and Index Builder prepare a
+// corpus; per query result, the Return Entity Identifier, Query Result Key
+// Identifier and Dominant Feature Identifier build the IList; the Instance
+// Selector builds the snippet within the size bound.
+//
+// The exported facade for downstream users is the root package extract;
+// cmd/ and examples/ go through that facade. This package is the assembly.
+package core
+
+import (
+	"sync"
+	"time"
+
+	"extract/internal/classify"
+	"extract/internal/dtd"
+	"extract/internal/features"
+	"extract/internal/ilist"
+	"extract/internal/index"
+	"extract/internal/keys"
+	"extract/internal/schema"
+	"extract/internal/search"
+	"extract/internal/selector"
+	"extract/xmltree"
+)
+
+// Corpus bundles the analysis artifacts of one XML database: the parsed
+// document, node classification, mined entity keys, inverted index and
+// structural summary.
+type Corpus struct {
+	Doc     *xmltree.Document
+	Index   *index.Index
+	Cls     *classify.Classification
+	Keys    *keys.Keys
+	Summary *schema.Summary
+	Guide   *schema.Guide
+	DTD     *dtd.DTD // nil when classification was inferred from data
+
+	// BuildTime records how long corpus analysis took (index, classify,
+	// key mining); reported by the E8 experiment.
+	BuildTime time.Duration
+}
+
+// Option configures BuildCorpus.
+type Option func(*buildConfig)
+
+type buildConfig struct {
+	dtd *dtd.DTD
+}
+
+// WithDTD classifies nodes using the given DTD (combined with instance
+// inference for undeclared labels).
+func WithDTD(d *dtd.DTD) Option {
+	return func(c *buildConfig) { c.dtd = d }
+}
+
+// BuildCorpus analyzes a parsed document: the Data Analyzer and Index
+// Builder stages of the paper's architecture.
+func BuildCorpus(doc *xmltree.Document, opts ...Option) *Corpus {
+	var cfg buildConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	start := time.Now()
+	var cls *classify.Classification
+	if cfg.dtd != nil {
+		cls = classify.Classify(doc, classify.WithDTD(cfg.dtd))
+	} else {
+		cls = classify.Classify(doc)
+	}
+	c := &Corpus{
+		Doc:     doc,
+		Index:   index.Build(doc),
+		Cls:     cls,
+		Keys:    keys.Mine(doc, cls),
+		Summary: schema.Infer(doc),
+		Guide:   schema.BuildGuide(doc),
+		DTD:     cfg.dtd,
+	}
+	c.BuildTime = time.Since(start)
+	return c
+}
+
+// Engine returns a search engine over the corpus, reusing its index and
+// classification.
+func (c *Corpus) Engine(opts search.Options) *search.Engine {
+	return search.NewEngine(c.Doc, c.Index, c.Cls, opts)
+}
+
+// Algorithm selects the instance-selection strategy.
+type Algorithm uint8
+
+const (
+	// AlgGreedy is the paper's practical algorithm (default): IList rank
+	// order, cheapest instance each.
+	AlgGreedy Algorithm = iota
+	// AlgExact is branch-and-bound maximization; small results only.
+	AlgExact
+	// AlgGreedyRatio picks items by importance/cost ratio instead of
+	// strict rank order (the E12 ablation).
+	AlgGreedyRatio
+)
+
+// Generator produces snippets for query results over one corpus.
+type Generator struct {
+	Corpus *Corpus
+	// Algorithm picks greedy (default) or exact selection.
+	Algorithm Algorithm
+	// Exact configures AlgExact.
+	Exact selector.ExactConfig
+}
+
+// NewGenerator returns a greedy generator for the corpus.
+func NewGenerator(c *Corpus) *Generator { return &Generator{Corpus: c} }
+
+// Generated is a snippet with the intermediate artifacts of its derivation,
+// for inspection, metrics and the demo UI.
+type Generated struct {
+	Snippet  *selector.Snippet
+	IList    *ilist.IList
+	Stats    *features.Stats
+	Keywords []string
+	Bound    int
+
+	// Elapsed is the end-to-end snippet generation time for this result
+	// (feature collection + IList + selection).
+	Elapsed time.Duration
+}
+
+// ForTree generates a snippet for a query-result tree. The keywords are the
+// tokenized query; bound is the maximum number of snippet edges.
+func (g *Generator) ForTree(result *xmltree.Document, query string, bound int) *Generated {
+	start := time.Now()
+	kws := index.Tokenize(query)
+	stats := features.Collect(result.Root, g.Corpus.Cls)
+	il := ilist.Build(result.Root, kws, g.Corpus.Cls, g.Corpus.Keys, stats)
+	var sn *selector.Snippet
+	switch g.Algorithm {
+	case AlgExact:
+		sn = selector.Exact(result, il, g.Corpus.Cls, stats, bound, g.Exact)
+	case AlgGreedyRatio:
+		sn = selector.GreedyRatio(result, il, g.Corpus.Cls, stats, bound)
+	default:
+		sn = selector.Greedy(result, il, g.Corpus.Cls, stats, bound)
+	}
+	return &Generated{
+		Snippet:  sn,
+		IList:    il,
+		Stats:    stats,
+		Keywords: kws,
+		Bound:    bound,
+		Elapsed:  time.Since(start),
+	}
+}
+
+// ForResult generates a snippet for a search result.
+func (g *Generator) ForResult(r *search.Result, query string, bound int) *Generated {
+	return g.ForTree(r.Doc, query, bound)
+}
+
+// SnippetedResult pairs a search result with its generated snippet.
+type SnippetedResult struct {
+	Result *search.Result
+	*Generated
+}
+
+// Pipeline runs the full demo flow: evaluate the keyword query, then
+// generate a snippet for every result.
+func Pipeline(c *Corpus, query string, bound int, searchOpts search.Options) ([]*SnippetedResult, error) {
+	return PipelineN(c, query, bound, searchOpts, 1)
+}
+
+// PipelineN is Pipeline with snippet generation fanned out over up to
+// workers goroutines (snippets per result are independent: the corpus
+// artifacts are read-only and every generation works on its own result
+// tree). Result order is preserved. workers < 2 runs sequentially.
+func PipelineN(c *Corpus, query string, bound int, searchOpts search.Options, workers int) ([]*SnippetedResult, error) {
+	eng := c.Engine(searchOpts)
+	results, err := eng.Search(query)
+	if err != nil {
+		return nil, err
+	}
+	gen := NewGenerator(c)
+	out := make([]*SnippetedResult, len(results))
+	if workers < 2 || len(results) < 2 {
+		for i, r := range results {
+			out[i] = &SnippetedResult{Result: r, Generated: gen.ForResult(r, query, bound)}
+		}
+		return out, nil
+	}
+	if workers > len(results) {
+		workers = len(results)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r := results[i]
+				out[i] = &SnippetedResult{Result: r, Generated: gen.ForResult(r, query, bound)}
+			}
+		}()
+	}
+	for i := range results {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out, nil
+}

@@ -1,0 +1,41 @@
+package dtd
+
+import "testing"
+
+// FuzzParseString checks the DTD parser never panics and that accepted
+// inputs yield consistent star-node queries.
+func FuzzParseString(f *testing.F) {
+	seeds := []string{
+		`<!ELEMENT a (b*)>`,
+		`<!ELEMENT a ((b | c)+, d?)>`,
+		`<!ELEMENT a (#PCDATA)>`,
+		`<!ELEMENT a (#PCDATA | b)*>`,
+		`<!ELEMENT a EMPTY><!ATTLIST a x CDATA #REQUIRED>`,
+		`<!ENTITY % p "x"> %p; <!-- c --> <?pi?>`,
+		`<!ELEMENT`, `<!ATTLIST a`, `<!BOGUS>`, ``, `garbage`,
+		`<!ELEMENT a (b`, `<!ELEMENT a (b,|)>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		stars := d.StarNodes()
+		// Every star node must come from some declared parent's model.
+		for s := range stars {
+			found := false
+			for _, name := range d.ElementNames() {
+				if d.StarChildren(name)[s] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("star node %q has no declaring parent\ninput: %q", s, src)
+			}
+		}
+	})
+}

@@ -1,0 +1,361 @@
+package dtd
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a DTD (external subset syntax) from r.
+func Parse(r io.Reader) (*DTD, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return ParseString(string(data))
+}
+
+// ParseString parses DTD text.
+func ParseString(src string) (*DTD, error) {
+	p := &parser{src: src, dtd: &DTD{
+		Elements: make(map[string]*ElementDecl),
+		Attrs:    make(map[string][]AttDef),
+	}}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	return p.dtd, nil
+}
+
+type parser struct {
+	src string
+	pos int
+	dtd *DTD
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:p.pos], "\n")
+	return fmt.Errorf("dtd: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		break
+	}
+}
+
+func (p *parser) consume(prefix string) bool {
+	if strings.HasPrefix(p.src[p.pos:], prefix) {
+		p.pos += len(prefix)
+		return true
+	}
+	return false
+}
+
+func (p *parser) skipUntil(marker string) error {
+	i := strings.Index(p.src[p.pos:], marker)
+	if i < 0 {
+		return p.errf("unterminated construct, expected %q", marker)
+	}
+	p.pos += i + len(marker)
+	return nil
+}
+
+func isNameByte(c byte) bool {
+	return c == '_' || c == '-' || c == '.' || c == ':' ||
+		unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (p *parser) name() (string, error) {
+	start := p.pos
+	for !p.eof() && isNameByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected a name, found %q", p.rest(12))
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) rest(n int) string {
+	end := p.pos + n
+	if end > len(p.src) {
+		end = len(p.src)
+	}
+	return p.src[p.pos:end]
+}
+
+func (p *parser) run() error {
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return nil
+		}
+		switch {
+		case p.consume("<!--"):
+			if err := p.skipUntil("-->"); err != nil {
+				return err
+			}
+		case p.consume("<?"):
+			if err := p.skipUntil("?>"); err != nil {
+				return err
+			}
+		case p.consume("<!ELEMENT"):
+			if err := p.elementDecl(); err != nil {
+				return err
+			}
+		case p.consume("<!ATTLIST"):
+			if err := p.attlistDecl(); err != nil {
+				return err
+			}
+		case p.consume("<!ENTITY"), p.consume("<!NOTATION"):
+			if err := p.skipUntil(">"); err != nil {
+				return err
+			}
+		case p.peek() == '%':
+			// Parameter entity reference; not expanded.
+			p.pos++
+			if err := p.skipUntil(";"); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unexpected input %q", p.rest(20))
+		}
+	}
+}
+
+func (p *parser) elementDecl() error {
+	p.skipSpace()
+	name, err := p.name()
+	if err != nil {
+		return err
+	}
+	p.skipSpace()
+	decl := &ElementDecl{Name: name}
+	switch {
+	case p.consume("EMPTY"):
+		decl.Content = ContentEmpty
+	case p.consume("ANY"):
+		decl.Content = ContentAny
+	case p.peek() == '(':
+		if err := p.contentSpec(decl); err != nil {
+			return err
+		}
+	default:
+		return p.errf("element %s: expected content model, found %q", name, p.rest(12))
+	}
+	p.skipSpace()
+	if !p.consume(">") {
+		return p.errf("element %s: expected '>', found %q", name, p.rest(12))
+	}
+	if _, dup := p.dtd.Elements[name]; dup {
+		return p.errf("element %s declared twice", name)
+	}
+	p.dtd.Elements[name] = decl
+	p.dtd.order = append(p.dtd.order, name)
+	return nil
+}
+
+// contentSpec parses either a mixed-content model or an element content
+// model, starting at '('.
+func (p *parser) contentSpec(decl *ElementDecl) error {
+	save := p.pos
+	p.pos++ // consume '('
+	p.skipSpace()
+	if p.consume("#PCDATA") {
+		p.skipSpace()
+		var mixed []string
+		for p.consume("|") {
+			p.skipSpace()
+			n, err := p.name()
+			if err != nil {
+				return err
+			}
+			mixed = append(mixed, n)
+			p.skipSpace()
+		}
+		if !p.consume(")") {
+			return p.errf("element %s: expected ')' in mixed content", decl.Name)
+		}
+		star := p.consume("*")
+		if len(mixed) > 0 {
+			if !star {
+				return p.errf("element %s: mixed content with names requires ')*'", decl.Name)
+			}
+			decl.Content = ContentMixed
+			decl.Mixed = mixed
+		} else {
+			decl.Content = ContentPCDATA
+		}
+		return nil
+	}
+	// Element content: back up and parse a particle group.
+	p.pos = save
+	model, err := p.particle(decl.Name)
+	if err != nil {
+		return err
+	}
+	decl.Content = ContentChildren
+	decl.Model = model
+	return nil
+}
+
+// particle parses a cp: a name or a parenthesized group, with an optional
+// quantifier.
+func (p *parser) particle(elem string) (*Particle, error) {
+	p.skipSpace()
+	var part *Particle
+	if p.peek() == '(' {
+		p.pos++
+		first, err := p.particle(elem)
+		if err != nil {
+			return nil, err
+		}
+		kids := []*Particle{first}
+		kind := ParticleKind(0)
+		sep := byte(0)
+		for {
+			p.skipSpace()
+			c := p.peek()
+			if c == ')' {
+				p.pos++
+				break
+			}
+			if c != ',' && c != '|' {
+				return nil, p.errf("element %s: expected ',', '|' or ')', found %q", elem, p.rest(8))
+			}
+			if sep == 0 {
+				sep = c
+				if c == ',' {
+					kind = PSeq
+				} else {
+					kind = PChoice
+				}
+			} else if sep != c {
+				return nil, p.errf("element %s: mixed ',' and '|' in one group", elem)
+			}
+			p.pos++
+			next, err := p.particle(elem)
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, next)
+		}
+		if sep == 0 {
+			kind = PSeq
+		}
+		part = &Particle{Kind: kind, Children: kids}
+	} else {
+		n, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		part = &Particle{Kind: PName, Name: n}
+	}
+	switch p.peek() {
+	case '?':
+		part.Quant = Opt
+		p.pos++
+	case '*':
+		part.Quant = Star
+		p.pos++
+	case '+':
+		part.Quant = Plus
+		p.pos++
+	}
+	return part, nil
+}
+
+func (p *parser) attlistDecl() error {
+	p.skipSpace()
+	elem, err := p.name()
+	if err != nil {
+		return err
+	}
+	for {
+		p.skipSpace()
+		if p.consume(">") {
+			return nil
+		}
+		if p.eof() {
+			return p.errf("unterminated ATTLIST for %s", elem)
+		}
+		att := AttDef{Element: elem}
+		att.Name, err = p.name()
+		if err != nil {
+			return err
+		}
+		p.skipSpace()
+		// Attribute type: keyword, or enumeration in parentheses.
+		if p.peek() == '(' {
+			start := p.pos
+			if err := p.skipUntil(")"); err != nil {
+				return err
+			}
+			att.Type = p.src[start:p.pos]
+		} else {
+			att.Type, err = p.name()
+			if err != nil {
+				return err
+			}
+			if att.Type == "NOTATION" {
+				p.skipSpace()
+				start := p.pos
+				if err := p.skipUntil(")"); err != nil {
+					return err
+				}
+				att.Type += " " + p.src[start:p.pos]
+			}
+		}
+		p.skipSpace()
+		switch {
+		case p.consume("#REQUIRED"):
+			att.Required = true
+		case p.consume("#IMPLIED"):
+			att.Implied = true
+		case p.consume("#FIXED"):
+			att.Fixed = true
+			p.skipSpace()
+			att.Default, err = p.quoted()
+			if err != nil {
+				return err
+			}
+		default:
+			att.Default, err = p.quoted()
+			if err != nil {
+				return err
+			}
+		}
+		p.dtd.Attrs[elem] = append(p.dtd.Attrs[elem], att)
+	}
+}
+
+func (p *parser) quoted() (string, error) {
+	q := p.peek()
+	if q != '"' && q != '\'' {
+		return "", p.errf("expected quoted literal, found %q", p.rest(8))
+	}
+	p.pos++
+	start := p.pos
+	i := strings.IndexByte(p.src[p.pos:], q)
+	if i < 0 {
+		return "", p.errf("unterminated literal")
+	}
+	p.pos += i + 1
+	return p.src[start : p.pos-1], nil
+}

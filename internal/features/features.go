@@ -1,0 +1,214 @@
+// Package features implements eXtract's Dominant Feature Identifier (paper
+// §2.3). A feature is a triplet (entity name e, attribute name a, attribute
+// value v); (e, a) is the feature's type. Over one query result the package
+// collects the occurrence count N(e,a,v) of every feature, the total
+// occurrences N(e,a) and domain size D(e,a) of every type, and scores
+// features by normalized frequency:
+//
+//	DS(f) = N(e,a,v) / (N(e,a) / D(e,a))
+//
+// A feature is dominant when DS(f) > 1, or trivially when its type's domain
+// has a single value (D(e,a) = 1). Dominance corrects for the two biases the
+// paper identifies in raw occurrence counts: small domains inflate
+// occurrences, and frequent feature types inflate all their values.
+package features
+
+import (
+	"fmt"
+	"sort"
+
+	"extract/internal/classify"
+	"extract/xmltree"
+)
+
+// Type identifies a feature type (e, a).
+type Type struct {
+	Entity string
+	Attr   string
+}
+
+// String renders the type as (e, a).
+func (t Type) String() string { return "(" + t.Entity + ", " + t.Attr + ")" }
+
+// Feature is a concrete (e, a, v) triplet.
+type Feature struct {
+	Type
+	Value string
+}
+
+// String renders the feature as (e, a, v).
+func (f Feature) String() string {
+	return "(" + f.Entity + ", " + f.Attr + ", " + f.Value + ")"
+}
+
+// Stats holds the feature statistics of one query result.
+type Stats struct {
+	n         map[Feature]int
+	typeN     map[Type]int
+	typeD     map[Type]int
+	instances map[Feature][]*xmltree.Node // attribute nodes, document order
+	order     []Feature                   // first-seen order, for determinism
+}
+
+// Collect walks a query-result tree and gathers its feature statistics. An
+// occurrence is an attribute node (per the classification) holding a single
+// text value whose nearest entity ancestor exists; the feature is (entity
+// label, attribute label, value).
+func Collect(root *xmltree.Node, cls *classify.Classification) *Stats {
+	s := &Stats{
+		n:         make(map[Feature]int),
+		typeN:     make(map[Type]int),
+		typeD:     make(map[Type]int),
+		instances: make(map[Feature][]*xmltree.Node),
+	}
+	if root == nil {
+		return s
+	}
+	root.Walk(func(n *xmltree.Node) bool {
+		if !cls.IsAttribute(n) || !n.HasSingleTextChild() {
+			return true
+		}
+		owner := cls.EntityOwner(n)
+		if owner == nil {
+			return true
+		}
+		f := Feature{Type: Type{Entity: owner.Label, Attr: n.Label}, Value: n.TextValue()}
+		if s.n[f] == 0 {
+			s.order = append(s.order, f)
+		}
+		s.n[f]++
+		s.instances[f] = append(s.instances[f], n)
+		return true
+	})
+	for f, c := range s.n {
+		s.typeN[f.Type] += c
+	}
+	seen := make(map[Type]map[string]bool)
+	for _, f := range s.order {
+		m := seen[f.Type]
+		if m == nil {
+			m = make(map[string]bool)
+			seen[f.Type] = m
+		}
+		m[f.Value] = true
+	}
+	for t, vals := range seen {
+		s.typeD[t] = len(vals)
+	}
+	return s
+}
+
+// N returns the occurrence count N(e,a,v) of f in the result.
+func (s *Stats) N(f Feature) int { return s.n[f] }
+
+// TypeN returns N(e,a): total value occurrences of the type.
+func (s *Stats) TypeN(t Type) int { return s.typeN[t] }
+
+// TypeD returns D(e,a): the number of distinct values of the type.
+func (s *Stats) TypeD(t Type) int { return s.typeD[t] }
+
+// Dominance returns DS(f). Features absent from the result score 0.
+func (s *Stats) Dominance(f Feature) float64 {
+	n := s.n[f]
+	if n == 0 {
+		return 0
+	}
+	tn, td := s.typeN[f.Type], s.typeD[f.Type]
+	if tn == 0 || td == 0 {
+		return 0
+	}
+	return float64(n) / (float64(tn) / float64(td))
+}
+
+// IsDominant reports whether f is dominant: DS(f) > 1, or D(e,a) == 1 (a
+// single-valued type is trivially dominant even though its score is 1).
+func (s *Stats) IsDominant(f Feature) bool {
+	if s.n[f] == 0 {
+		return false
+	}
+	if s.typeD[f.Type] == 1 {
+		return true
+	}
+	return s.Dominance(f) > 1
+}
+
+// Instances returns the attribute nodes carrying f, in document order.
+func (s *Stats) Instances(f Feature) []*xmltree.Node { return s.instances[f] }
+
+// Features returns every observed feature in first-seen order.
+func (s *Stats) Features() []Feature {
+	out := make([]Feature, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Types returns every observed feature type, sorted.
+func (s *Stats) Types() []Type {
+	out := make([]Type, 0, len(s.typeN))
+	for t := range s.typeN {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Entity != out[j].Entity {
+			return out[i].Entity < out[j].Entity
+		}
+		return out[i].Attr < out[j].Attr
+	})
+	return out
+}
+
+// Scored pairs a feature with its dominance score.
+type Scored struct {
+	Feature Feature
+	Score   float64
+}
+
+// Dominant returns all dominant features in decreasing dominance score;
+// ties break by feature (entity, attr, value) for determinism.
+func (s *Stats) Dominant() []Scored {
+	var out []Scored
+	for _, f := range s.order {
+		if s.IsDominant(f) {
+			out = append(out, Scored{Feature: f, Score: s.Dominance(f)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		fi, fj := out[i].Feature, out[j].Feature
+		if fi.Entity != fj.Entity {
+			return fi.Entity < fj.Entity
+		}
+		if fi.Attr != fj.Attr {
+			return fi.Attr < fj.Attr
+		}
+		return fi.Value < fj.Value
+	})
+	return out
+}
+
+// Report renders a per-type histogram like the right side of the paper's
+// Figure 1 ("attribute: value: number of occurrences").
+func (s *Stats) Report() string {
+	var b []byte
+	for _, t := range s.Types() {
+		b = append(b, fmt.Sprintf("%s:  N=%d D=%d\n", t, s.typeN[t], s.typeD[t])...)
+		var fs []Feature
+		for _, f := range s.order {
+			if f.Type == t {
+				fs = append(fs, f)
+			}
+		}
+		sort.Slice(fs, func(i, j int) bool {
+			if s.n[fs[i]] != s.n[fs[j]] {
+				return s.n[fs[i]] > s.n[fs[j]]
+			}
+			return fs[i].Value < fs[j].Value
+		})
+		for _, f := range fs {
+			b = append(b, fmt.Sprintf("  %s: %d  (DS=%.2f)\n", f.Value, s.n[f], s.Dominance(f))...)
+		}
+	}
+	return string(b)
+}

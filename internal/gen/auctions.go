@@ -1,0 +1,96 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"extract/xmltree"
+)
+
+// AuctionsConfig parameterizes an XMark-flavoured auctions corpus, used for
+// scale sweeps over a deeper, more heterogeneous schema than stores/movies.
+type AuctionsConfig struct {
+	People   int
+	Auctions int
+	Items    int
+
+	// BidsPerAuction defaults to 3.
+	BidsPerAuction int
+	// Skew Zipf-skews city/category values (<= 1 uniform).
+	Skew float64
+
+	Seed int64
+}
+
+func (c *AuctionsConfig) defaults() {
+	if c.People == 0 {
+		c.People = 20
+	}
+	if c.Auctions == 0 {
+		c.Auctions = 15
+	}
+	if c.Items == 0 {
+		c.Items = 25
+	}
+	if c.BidsPerAuction == 0 {
+		c.BidsPerAuction = 3
+	}
+}
+
+var (
+	auctionCities = []string{"Houston", "Lyon", "Osaka", "Quito", "Tunis",
+		"Perth", "Bergen", "Davao"}
+	itemCategories = []string{"books", "tools", "camera", "vinyl", "cycling",
+		"ceramics", "radio", "maps"}
+)
+
+// Auctions generates site(people(person*), open_auctions(auction*),
+// items(item*)) with person(name, email, city), auction(seller, price,
+// quantity, bids(bid*)), bid(bidder, amount), item(name, category,
+// location). Emails and item names are unique keys.
+func Auctions(cfg AuctionsConfig) *xmltree.Document {
+	cfg.defaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	cities := NewValuePicker(auctionCities, cfg.Skew, r)
+	cats := NewValuePicker(itemCategories, cfg.Skew, r)
+
+	people := xmltree.Elem("people")
+	personName := func(i int) string {
+		return firstNames[i%len(firstNames)] + " " + lastNames[(i/len(firstNames))%len(lastNames)]
+	}
+	for i := 0; i < cfg.People; i++ {
+		xmltree.Append(people, xmltree.Elem("person",
+			xmltree.Attr("name", personName(i)),
+			xmltree.Attr("email", fmt.Sprintf("p%d@example.net", i)),
+			xmltree.Attr("city", cities.Pick()),
+		))
+	}
+
+	auctions := xmltree.Elem("open_auctions")
+	for i := 0; i < cfg.Auctions; i++ {
+		bids := xmltree.Elem("bids")
+		for j := 0; j < cfg.BidsPerAuction; j++ {
+			xmltree.Append(bids, xmltree.Elem("bid",
+				xmltree.Attr("bidder", personName(r.Intn(cfg.People))),
+				xmltree.Attr("amount", fmt.Sprintf("%d", 10+r.Intn(990))),
+			))
+		}
+		xmltree.Append(auctions, xmltree.Elem("auction",
+			xmltree.Attr("seller", personName(r.Intn(cfg.People))),
+			xmltree.Attr("price", fmt.Sprintf("%d", 5+r.Intn(495))),
+			xmltree.Attr("quantity", fmt.Sprintf("%d", 1+r.Intn(9))),
+			bids,
+		))
+	}
+
+	items := xmltree.Elem("items")
+	for i := 0; i < cfg.Items; i++ {
+		xmltree.Append(items, xmltree.Elem("item",
+			xmltree.Attr("name", fmt.Sprintf("Item %04d", i)),
+			xmltree.Attr("category", cats.Pick()),
+			xmltree.Attr("location", cities.Pick()),
+		))
+	}
+
+	return xmltree.NewDocument(xmltree.Elem("site", people, auctions, items))
+}

@@ -1,0 +1,189 @@
+// Package gen builds the synthetic XML corpora behind every experiment:
+// an exact reconstruction of the paper's Figure 1 running example, the
+// stores demo of Figure 5, and scalable stores / movies / auctions
+// generators with controllable sizes and Zipf-skewed value distributions.
+// All generators are deterministic given their configuration.
+package gen
+
+import (
+	"fmt"
+
+	"extract/xmltree"
+)
+
+// The paper's Figure 1 publishes the value-occurrence statistics of the
+// query result for "Texas, apparel, retailer". These constants reproduce
+// them exactly; the dominance scores reported in §2.3 (Houston 3.0, outwear
+// 2.2, man 1.8, casual 1.4, suit 1.2, woman 1.1) follow from these counts.
+const (
+	// Figure1Query is the running-example query.
+	Figure1Query = "Texas apparel retailer"
+
+	// Stores: 10 total; city histogram "Houston: 6, Austin: 1, other
+	// cities (3): 3" gives domain size 5.
+	F1Stores        = 10
+	F1HoustonStores = 6
+	F1AustinStores  = 1
+
+	// Clothes: fitting histogram "Man: 600, Woman: 360, Children: 40"
+	// (N = 1000, D = 3); situation "Casual: 700, Formal: 300" (N = 1000,
+	// D = 2); category "Outwear: 220, Suit: 120, Skirt: 80, Sweaters: 70,
+	// Other categories (7): 580" (N = 1070, D = 11). Category is total on
+	// clothes, so there are 1070 clothes; fitting and situation are
+	// absent on 70 of them.
+	F1Clothes      = 1070
+	F1Man          = 600
+	F1Woman        = 360
+	F1Children     = 40
+	F1Casual       = 700
+	F1Formal       = 300
+	F1Outwear      = 220
+	F1Suit         = 120
+	F1Skirt        = 80
+	F1Sweaters     = 70
+	F1OtherCatsSum = 580
+	F1OtherCats    = 7
+)
+
+// f1OtherCities are the "other cities (3)" of the city histogram.
+var f1OtherCities = []string{"Dallas", "Laredo", "Lubbock"}
+
+// f1OtherCategories are the "other categories (7)", 580 occurrences total.
+var f1OtherCategories = []string{"jeans", "shirt", "pants", "dress", "jacket", "socks", "hat"}
+
+// f1StoreNames name the ten stores; store1 and store2 match Figure 1.
+var f1StoreNames = []string{
+	"Galleria", "West Village", "Highland", "Market Square", "Riverside",
+	"Oak Lawn", "Sunset Plaza", "North Park", "Town Center", "Bayou Mall",
+}
+
+// Figure1Result builds the query result of Figure 1: the Brook Brothers
+// retailer subtree whose feature statistics equal the published histograms.
+// The tree is returned finalized as a document rooted at the retailer.
+func Figure1Result() *xmltree.Document {
+	return xmltree.NewDocument(figure1Retailer())
+}
+
+func figure1Retailer() *xmltree.Node {
+	retailer := xmltree.Elem("retailer",
+		xmltree.Attr("name", "Brook Brothers"),
+		xmltree.Attr("product", "apparel"),
+	)
+
+	// City assignment: stores 0-5 Houston, 6 Austin, 7-9 the others.
+	city := func(i int) string {
+		switch {
+		case i < F1HoustonStores:
+			return "Houston"
+		case i < F1HoustonStores+F1AustinStores:
+			return "Austin"
+		default:
+			return f1OtherCities[i-F1HoustonStores-F1AustinStores]
+		}
+	}
+
+	// Value schedules. repeat expands a histogram into a value list; the
+	// striped interleaving below decorrelates attributes across clothes
+	// while keeping every count exact.
+	categories := repeat(
+		pair{"outwear", F1Outwear}, pair{"suit", F1Suit},
+		pair{"skirt", F1Skirt}, pair{"sweaters", F1Sweaters},
+		pair{f1OtherCategories[0], 83}, pair{f1OtherCategories[1], 83},
+		pair{f1OtherCategories[2], 83}, pair{f1OtherCategories[3], 83},
+		pair{f1OtherCategories[4], 83}, pair{f1OtherCategories[5], 83},
+		pair{f1OtherCategories[6], 82},
+	)
+	fittings := repeat(pair{"man", F1Man}, pair{"woman", F1Woman}, pair{"children", F1Children})
+	situations := repeat(pair{"casual", F1Casual}, pair{"formal", F1Formal})
+
+	if len(categories) != F1Clothes {
+		panic(fmt.Sprintf("gen: category schedule has %d entries, want %d", len(categories), F1Clothes))
+	}
+
+	stores := make([]*xmltree.Node, F1Stores)
+	merch := make([]*xmltree.Node, F1Stores)
+	for i := range stores {
+		merch[i] = xmltree.Elem("merchandises")
+		stores[i] = xmltree.Elem("store",
+			xmltree.Attr("name", f1StoreNames[i]),
+			xmltree.Attr("state", "Texas"),
+			xmltree.Attr("city", city(i)),
+			merch[i],
+		)
+		xmltree.Append(retailer, stores[i])
+	}
+
+	// Deterministic striping: clothes i goes to store i mod 10 and takes
+	// the i-th scheduled category; fitting and situation schedules use a
+	// coprime stride so value combinations mix.
+	for i := 0; i < F1Clothes; i++ {
+		c := xmltree.Elem("clothes", xmltree.Attr("category", categories[i]))
+		if i < F1Man+F1Woman+F1Children {
+			c = xmltree.Append(c, xmltree.Attr("fitting", fittings[(i*7)%len(fittings)]))
+		}
+		if i < F1Casual+F1Formal {
+			c = xmltree.Append(c, xmltree.Attr("situation", situations[(i*13)%len(situations)]))
+		}
+		xmltree.Append(merch[i%F1Stores], c)
+	}
+	return retailer
+}
+
+type pair struct {
+	value string
+	count int
+}
+
+// repeat expands histogram pairs into a flat value schedule.
+func repeat(ps ...pair) []string {
+	var out []string
+	for _, p := range ps {
+		for i := 0; i < p.count; i++ {
+			out = append(out, p.value)
+		}
+	}
+	return out
+}
+
+// Figure1Corpus builds a whole database containing the Figure 1 retailer
+// plus a second retailer outside Texas, under a retailers root. Against
+// this corpus the query "Texas apparel retailer" returns exactly the
+// Figure 1 result, and the classifier sees retailer / store / clothes as
+// *-nodes, matching the paper's entity analysis.
+func Figure1Corpus() *xmltree.Document {
+	other := xmltree.Elem("retailer",
+		xmltree.Attr("name", "Levis"),
+		xmltree.Attr("product", "apparel"),
+		xmltree.Elem("store",
+			xmltree.Attr("name", "Fresno Outlet"),
+			xmltree.Attr("state", "California"),
+			xmltree.Attr("city", "Fresno"),
+			xmltree.Elem("merchandises",
+				xmltree.Elem("clothes",
+					xmltree.Attr("category", "jeans"),
+					xmltree.Attr("fitting", "man"),
+					xmltree.Attr("situation", "casual"),
+				),
+			),
+		),
+	)
+	root := xmltree.Elem("retailers", figure1Retailer(), other)
+	return xmltree.NewDocument(root)
+}
+
+// Figure1DTD is the DTD of the Figure 1 corpus, used by tests exercising
+// the DTD-based classification path.
+const Figure1DTD = `
+<!ELEMENT retailers (retailer*)>
+<!ELEMENT retailer (name, product, store*)>
+<!ELEMENT store (name, state, city, merchandises)>
+<!ELEMENT merchandises (clothes*)>
+<!ELEMENT clothes (category, fitting?, situation?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT product (#PCDATA)>
+<!ELEMENT state (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT category (#PCDATA)>
+<!ELEMENT fitting (#PCDATA)>
+<!ELEMENT situation (#PCDATA)>
+`

@@ -1,0 +1,197 @@
+package gen
+
+import (
+	"testing"
+
+	"extract/internal/classify"
+	"extract/internal/keys"
+	"extract/xmltree"
+)
+
+func TestFigure1ResultHistograms(t *testing.T) {
+	doc := Figure1Result()
+	if doc.Root.Label != "retailer" {
+		t.Fatalf("root = %s", doc.Root.Label)
+	}
+	stores := doc.Root.ChildElements("store")
+	if len(stores) != F1Stores {
+		t.Fatalf("stores = %d", len(stores))
+	}
+	cities := map[string]int{}
+	clothes := 0
+	values := map[string]map[string]int{"fitting": {}, "situation": {}, "category": {}}
+	for _, s := range stores {
+		cities[s.ChildElement("city").TextValue()]++
+		if s.ChildElement("state").TextValue() != "Texas" {
+			t.Error("non-Texas store")
+		}
+		for _, c := range s.ChildElement("merchandises").ChildElements("clothes") {
+			clothes++
+			for _, a := range []string{"fitting", "situation", "category"} {
+				if n := c.ChildElement(a); n != nil {
+					values[a][n.TextValue()]++
+				}
+			}
+		}
+	}
+	if cities["Houston"] != F1HoustonStores || cities["Austin"] != F1AustinStores || len(cities) != 5 {
+		t.Errorf("cities = %v", cities)
+	}
+	if clothes != F1Clothes {
+		t.Errorf("clothes = %d", clothes)
+	}
+	checks := []struct {
+		attr, val string
+		want      int
+	}{
+		{"fitting", "man", F1Man}, {"fitting", "woman", F1Woman}, {"fitting", "children", F1Children},
+		{"situation", "casual", F1Casual}, {"situation", "formal", F1Formal},
+		{"category", "outwear", F1Outwear}, {"category", "suit", F1Suit},
+		{"category", "skirt", F1Skirt}, {"category", "sweaters", F1Sweaters},
+	}
+	for _, c := range checks {
+		if got := values[c.attr][c.val]; got != c.want {
+			t.Errorf("%s=%s: %d, want %d", c.attr, c.val, got, c.want)
+		}
+	}
+	if len(values["category"]) != 11 {
+		t.Errorf("category domain = %d, want 11", len(values["category"]))
+	}
+	other := 0
+	for _, v := range f1OtherCategories {
+		other += values["category"][v]
+	}
+	if other != F1OtherCatsSum {
+		t.Errorf("other categories sum = %d, want %d", other, F1OtherCatsSum)
+	}
+}
+
+func TestFigure1CorpusClassification(t *testing.T) {
+	corpus := Figure1Corpus()
+	cls := classify.Classify(corpus)
+	for _, e := range []string{"retailer", "store", "clothes"} {
+		if cls.OfLabel(e) != classify.Entity {
+			t.Errorf("%s = %v, want entity", e, cls.OfLabel(e))
+		}
+	}
+	km := keys.Mine(corpus, cls)
+	if attr, ok := km.KeyAttr("retailer"); !ok || attr != "name" {
+		t.Errorf("retailer key = %q %v", attr, ok)
+	}
+}
+
+func TestFigure1Deterministic(t *testing.T) {
+	a := xmltree.RenderInline(Figure1Result().Root)
+	b := xmltree.RenderInline(Figure1Result().Root)
+	if a != b {
+		t.Error("Figure1Result not deterministic")
+	}
+}
+
+func TestStoresConfigSizes(t *testing.T) {
+	cfg := StoresConfig{Retailers: 3, StoresPerRetailer: 4, ClothesPerStore: 5, Seed: 7}
+	doc := Stores(cfg)
+	rets := doc.Root.ChildElements("retailer")
+	if len(rets) != 3 {
+		t.Fatalf("retailers = %d", len(rets))
+	}
+	stores, clothes := 0, 0
+	for _, r := range rets {
+		ss := r.ChildElements("store")
+		stores += len(ss)
+		for _, s := range ss {
+			clothes += len(s.ChildElement("merchandises").ChildElements("clothes"))
+		}
+	}
+	if stores != 12 || clothes != 60 {
+		t.Errorf("stores=%d clothes=%d", stores, clothes)
+	}
+	// Deterministic under the same seed, different under another.
+	same := xmltree.RenderInline(Stores(cfg).Root) == xmltree.RenderInline(doc.Root)
+	if !same {
+		t.Error("same seed produced different corpora")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 8
+	if xmltree.RenderInline(Stores(cfg2).Root) == xmltree.RenderInline(doc.Root) {
+		t.Error("different seed produced identical corpora")
+	}
+}
+
+func TestStoresSkew(t *testing.T) {
+	uniform := Stores(StoresConfig{Retailers: 2, StoresPerRetailer: 5, ClothesPerStore: 200, Seed: 1})
+	skewed := Stores(StoresConfig{Retailers: 2, StoresPerRetailer: 5, ClothesPerStore: 200, Skew: 2.0, Seed: 1})
+	count := func(doc *xmltree.Document, val string) int {
+		n := 0
+		doc.Root.Walk(func(m *xmltree.Node) bool {
+			if m.IsText() && m.Value == val {
+				n++
+			}
+			return true
+		})
+		return n
+	}
+	// Under skew 2.0 the first category dominates; under uniform it
+	// holds roughly 1/10 of 2000 occurrences.
+	u, s := count(uniform, "outwear"), count(skewed, "outwear")
+	if s <= u {
+		t.Errorf("skewed outwear %d <= uniform %d", s, u)
+	}
+}
+
+func TestFigure5Corpus(t *testing.T) {
+	doc := Figure5Corpus()
+	cls := classify.Classify(doc)
+	if cls.OfLabel("store") != classify.Entity || cls.OfLabel("clothes") != classify.Entity {
+		t.Errorf("figure5 entities: store=%v clothes=%v", cls.OfLabel("store"), cls.OfLabel("clothes"))
+	}
+	km := keys.Mine(doc, cls)
+	if attr, ok := km.KeyAttr("store"); !ok || attr != "name" {
+		t.Errorf("store key = %q %v", attr, ok)
+	}
+}
+
+func TestMovies(t *testing.T) {
+	doc := Movies(MoviesConfig{Movies: 10, Seed: 3})
+	cls := classify.Classify(doc)
+	for _, e := range []string{"movie", "actor", "review"} {
+		if cls.OfLabel(e) != classify.Entity {
+			t.Errorf("%s = %v", e, cls.OfLabel(e))
+		}
+	}
+	km := keys.Mine(doc, cls)
+	if attr, ok := km.KeyAttr("movie"); !ok || attr != "title" {
+		t.Errorf("movie key = %q %v", attr, ok)
+	}
+	if got := len(doc.Root.ChildElements("movie")); got != 10 {
+		t.Errorf("movies = %d", got)
+	}
+}
+
+func TestAuctions(t *testing.T) {
+	doc := Auctions(AuctionsConfig{People: 8, Auctions: 6, Items: 9, Seed: 5})
+	cls := classify.Classify(doc)
+	for _, e := range []string{"person", "auction", "item", "bid"} {
+		if cls.OfLabel(e) != classify.Entity {
+			t.Errorf("%s = %v", e, cls.OfLabel(e))
+		}
+	}
+	km := keys.Mine(doc, cls)
+	if attr, ok := km.KeyAttr("item"); !ok || attr != "name" {
+		t.Errorf("item key = %q %v", attr, ok)
+	}
+	if attr, ok := km.KeyAttr("person"); !ok || attr != "email" {
+		t.Errorf("person key = %q %v", attr, ok)
+	}
+	s := doc.ComputeStats()
+	if s.Nodes == 0 || s.MaxDepth < 3 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestValuePicker(t *testing.T) {
+	p := NewValuePicker(nil, 0, nil)
+	if p.Pick() != "" {
+		t.Error("empty domain should pick empty string")
+	}
+}

@@ -1,0 +1,97 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"extract/xmltree"
+)
+
+// MoviesConfig parameterizes the movies generator — the other demo dataset
+// the paper mentions ("example scenarios, such as movies and stores").
+type MoviesConfig struct {
+	Movies          int
+	ActorsPerMovie  int
+	ReviewsPerMovie int
+
+	// Genres is the genre domain size (default 8).
+	Genres int
+	// Skew Zipf-skews genre/rating values (<= 1 uniform).
+	Skew float64
+
+	Seed int64
+}
+
+func (c *MoviesConfig) defaults() {
+	if c.Movies == 0 {
+		c.Movies = 20
+	}
+	if c.ActorsPerMovie == 0 {
+		c.ActorsPerMovie = 4
+	}
+	if c.ReviewsPerMovie == 0 {
+		c.ReviewsPerMovie = 3
+	}
+	if c.Genres == 0 {
+		c.Genres = 8
+	}
+}
+
+var (
+	movieGenres = []string{"drama", "comedy", "action", "thriller",
+		"romance", "horror", "western", "animation"}
+	movieDirectors = []string{"Altman", "Kubrick", "Leone", "Varda",
+		"Kurosawa", "Campion", "Scott", "Bigelow"}
+	firstNames = []string{"Ada", "Ben", "Cora", "Dev", "Eli", "Fay",
+		"Gus", "Hana", "Ivan", "June"}
+	lastNames = []string{"Stone", "Rivera", "Okafor", "Lindqvist", "Marsh",
+		"Nguyen", "Petrov", "Quinn", "Reyes", "Sato"}
+	reviewWords = []string{"gripping", "tender", "overlong", "stylish",
+		"uneven", "luminous", "brisk", "haunting"}
+)
+
+// Movies generates a movies corpus: movies(movie*), movie(title, year,
+// genre, director, cast(actor*), reviews(review*)), actor(name, role),
+// review(reviewer, rating, comment). Titles are unique, making title the
+// mined movie key.
+func Movies(cfg MoviesConfig) *xmltree.Document {
+	cfg.defaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	genres := NewValuePicker(domain(movieGenres, cfg.Genres, "genre"), cfg.Skew, r)
+	ratings := NewValuePicker([]string{"5", "4", "3", "2", "1"}, cfg.Skew, r)
+
+	root := xmltree.Elem("movies")
+	for i := 0; i < cfg.Movies; i++ {
+		cast := xmltree.Elem("cast")
+		for j := 0; j < cfg.ActorsPerMovie; j++ {
+			name := firstNames[r.Intn(len(firstNames))] + " " + lastNames[r.Intn(len(lastNames))]
+			role := "supporting"
+			if j == 0 {
+				role = "lead"
+			}
+			xmltree.Append(cast, xmltree.Elem("actor",
+				xmltree.Attr("name", name),
+				xmltree.Attr("role", role),
+			))
+		}
+		reviews := xmltree.Elem("reviews")
+		for j := 0; j < cfg.ReviewsPerMovie; j++ {
+			comment := reviewWords[r.Intn(len(reviewWords))] + " " +
+				reviewWords[r.Intn(len(reviewWords))]
+			xmltree.Append(reviews, xmltree.Elem("review",
+				xmltree.Attr("reviewer", firstNames[r.Intn(len(firstNames))]),
+				xmltree.Attr("rating", ratings.Pick()),
+				xmltree.Attr("comment", comment),
+			))
+		}
+		xmltree.Append(root, xmltree.Elem("movie",
+			xmltree.Attr("title", fmt.Sprintf("Picture %03d", i)),
+			xmltree.Attr("year", fmt.Sprintf("%d", 1960+r.Intn(60))),
+			xmltree.Attr("genre", genres.Pick()),
+			xmltree.Attr("director", movieDirectors[r.Intn(len(movieDirectors))]),
+			cast,
+			reviews,
+		))
+	}
+	return xmltree.NewDocument(root)
+}

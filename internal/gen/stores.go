@@ -1,0 +1,170 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"extract/xmltree"
+)
+
+// StoresConfig parameterizes the scalable retailer/store/clothes generator
+// (the schema of the paper's running example). All sizes are exact; value
+// distributions are Zipf-skewed with the given skew (0 = uniform) and fully
+// determined by Seed.
+type StoresConfig struct {
+	Retailers         int
+	StoresPerRetailer int
+	ClothesPerStore   int
+
+	// Cities is the city domain size (default 12); CategoryCount the
+	// category domain size (default 10).
+	Cities        int
+	CategoryCount int
+
+	// Skew is the Zipf s-parameter for city/category/fitting/situation
+	// values; values <= 1 mean uniform.
+	Skew float64
+
+	Seed int64
+}
+
+func (c *StoresConfig) defaults() {
+	if c.Retailers == 0 {
+		c.Retailers = 4
+	}
+	if c.StoresPerRetailer == 0 {
+		c.StoresPerRetailer = 5
+	}
+	if c.ClothesPerStore == 0 {
+		c.ClothesPerStore = 20
+	}
+	if c.Cities == 0 {
+		c.Cities = 12
+	}
+	if c.CategoryCount == 0 {
+		c.CategoryCount = 10
+	}
+}
+
+var (
+	storeStates   = []string{"Texas", "California", "Arizona", "Nevada", "Oregon"}
+	storeFittings = []string{"man", "woman", "children"}
+	storeMoods    = []string{"casual", "formal"}
+	baseCities    = []string{"Houston", "Austin", "Dallas", "Phoenix", "Tucson",
+		"Fresno", "Reno", "Portland", "Salem", "Laredo", "Lubbock", "Mesa"}
+	baseCategories = []string{"outwear", "suit", "skirt", "sweaters", "jeans",
+		"shirt", "pants", "dress", "jacket", "socks"}
+	retailerNames = []string{"Brook Brothers", "Levis", "ESprit", "Gap",
+		"Arrow", "Dockers", "Wrangler", "Fossil", "Hurley", "Vans"}
+)
+
+func domain(base []string, n int, prefix string) []string {
+	out := make([]string, n)
+	for i := range out {
+		if i < len(base) {
+			out[i] = base[i]
+		} else {
+			out[i] = fmt.Sprintf("%s%d", prefix, i)
+		}
+	}
+	return out
+}
+
+// Stores generates a retailers corpus. Retailer names are unique (the
+// mined retailer key); store names are unique per corpus.
+func Stores(cfg StoresConfig) *xmltree.Document {
+	cfg.defaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	cities := NewValuePicker(domain(baseCities, cfg.Cities, "city"), cfg.Skew, r)
+	cats := NewValuePicker(domain(baseCategories, cfg.CategoryCount, "cat"), cfg.Skew, r)
+	fits := NewValuePicker(storeFittings, cfg.Skew, r)
+	moods := NewValuePicker(storeMoods, cfg.Skew, r)
+
+	root := xmltree.Elem("retailers")
+	storeID := 0
+	for i := 0; i < cfg.Retailers; i++ {
+		name := fmt.Sprintf("Retailer %d", i)
+		if i < len(retailerNames) {
+			name = retailerNames[i]
+		}
+		ret := xmltree.Elem("retailer",
+			xmltree.Attr("name", name),
+			xmltree.Attr("product", "apparel"),
+		)
+		for j := 0; j < cfg.StoresPerRetailer; j++ {
+			storeID++
+			merch := xmltree.Elem("merchandises")
+			for k := 0; k < cfg.ClothesPerStore; k++ {
+				xmltree.Append(merch, xmltree.Elem("clothes",
+					xmltree.Attr("category", cats.Pick()),
+					xmltree.Attr("fitting", fits.Pick()),
+					xmltree.Attr("situation", moods.Pick()),
+				))
+			}
+			xmltree.Append(ret, xmltree.Elem("store",
+				xmltree.Attr("name", fmt.Sprintf("Store %d", storeID)),
+				xmltree.Attr("state", storeStates[r.Intn(len(storeStates))]),
+				xmltree.Attr("city", cities.Pick()),
+				merch,
+			))
+		}
+		xmltree.Append(root, ret)
+	}
+	return xmltree.NewDocument(root)
+}
+
+// Figure5Corpus reconstructs the demo scenario of the paper's Figure 5: a
+// stores database over Texas where the query "store texas" with bound 6
+// yields snippets that distinguish the Levis store (jeans, mostly for man)
+// from the ESprit store (outwear, mostly for woman).
+func Figure5Corpus() *xmltree.Document {
+	clothes := func(category, fitting, situation string) *xmltree.Node {
+		return xmltree.Elem("clothes",
+			xmltree.Attr("category", category),
+			xmltree.Attr("fitting", fitting),
+			xmltree.Attr("situation", situation),
+		)
+	}
+	levis := xmltree.Elem("store",
+		xmltree.Attr("name", "Levis"),
+		xmltree.Attr("state", "Texas"),
+		xmltree.Attr("city", "Houston"),
+		xmltree.Elem("merchandises",
+			clothes("jeans", "man", "casual"),
+			clothes("jeans", "man", "casual"),
+			clothes("jeans", "man", "casual"),
+			clothes("jeans", "woman", "casual"),
+			clothes("jeans", "man", "formal"),
+			clothes("shirt", "man", "casual"),
+		),
+	)
+	esprit := xmltree.Elem("store",
+		xmltree.Attr("name", "ESprit"),
+		xmltree.Attr("state", "Texas"),
+		xmltree.Attr("city", "Austin"),
+		xmltree.Elem("merchandises",
+			clothes("outwear", "woman", "casual"),
+			clothes("outwear", "woman", "formal"),
+			clothes("outwear", "woman", "casual"),
+			clothes("outwear", "man", "casual"),
+			clothes("skirt", "woman", "casual"),
+			clothes("outwear", "woman", "casual"),
+		),
+	)
+	nevada := xmltree.Elem("store",
+		xmltree.Attr("name", "Gap Reno"),
+		xmltree.Attr("state", "Nevada"),
+		xmltree.Attr("city", "Reno"),
+		xmltree.Elem("merchandises",
+			clothes("suit", "man", "formal"),
+			clothes("dress", "woman", "formal"),
+		),
+	)
+	return xmltree.NewDocument(xmltree.Elem("stores", levis, esprit, nevada))
+}
+
+// Figure5Query is the query shown in the demo screenshot.
+const Figure5Query = "store texas"
+
+// Figure5Bound is the snippet size bound shown in the demo screenshot.
+const Figure5Bound = 6

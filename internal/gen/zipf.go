@@ -1,0 +1,34 @@
+package gen
+
+import "math/rand"
+
+// ValuePicker draws values from a finite domain, optionally Zipf-skewed.
+// Skew 0 (or <= 1) is uniform; larger skews concentrate probability on the
+// first values of the domain — which makes them dominant features of large
+// results, the property the E11 ablation relies on.
+type ValuePicker struct {
+	domain []string
+	r      *rand.Rand
+	zipf   *rand.Zipf
+}
+
+// NewValuePicker builds a picker over domain with the given skew and
+// deterministic source.
+func NewValuePicker(domain []string, skew float64, r *rand.Rand) *ValuePicker {
+	p := &ValuePicker{domain: domain, r: r}
+	if skew > 1 && len(domain) > 1 {
+		p.zipf = rand.NewZipf(r, skew, 1, uint64(len(domain)-1))
+	}
+	return p
+}
+
+// Pick returns one value.
+func (p *ValuePicker) Pick() string {
+	if len(p.domain) == 0 {
+		return ""
+	}
+	if p.zipf != nil {
+		return p.domain[p.zipf.Uint64()]
+	}
+	return p.domain[p.r.Intn(len(p.domain))]
+}

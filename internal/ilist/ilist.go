@@ -1,0 +1,262 @@
+// Package ilist builds eXtract's Snippet Information List (paper §2): the
+// ranked list of the most significant information in a query result that
+// the snippet should try to cover. In order:
+//
+//  1. the query keywords (self-explanatory relevance),
+//  2. the names of entities involved in the result (self-containment, §2.1),
+//  3. the key of the query result — the key attribute value of the result's
+//     return entity (distinguishability, §2.2),
+//  4. the dominant features in decreasing dominance score
+//     (representativeness, §2.3).
+//
+// Duplicates are folded case-insensitively: for the paper's running example
+// the list is exactly "Texas, apparel, retailer, clothes, store, Brook
+// Brothers, Houston, outwear, man, casual, suit, woman" (Figure 3).
+package ilist
+
+import (
+	"sort"
+	"strings"
+
+	"extract/internal/classify"
+	"extract/internal/features"
+	"extract/internal/index"
+	"extract/internal/keys"
+	"extract/xmltree"
+)
+
+// Kind says which goal an IList item serves.
+type Kind uint8
+
+const (
+	// Keyword items are the query's keywords.
+	Keyword Kind = iota
+	// EntityName items are names of entities in the result.
+	EntityName
+	// ResultKey is the key value of the result's return entity.
+	ResultKey
+	// DominantFeature items are dominant feature values.
+	DominantFeature
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Keyword:
+		return "keyword"
+	case EntityName:
+		return "entity"
+	case ResultKey:
+		return "key"
+	case DominantFeature:
+		return "feature"
+	default:
+		return "invalid"
+	}
+}
+
+// Item is one entry of the IList.
+type Item struct {
+	Kind Kind
+	// Text is the information to surface: the keyword, entity label, key
+	// value or feature value.
+	Text string
+	// Feature identifies the exact (e, a, v) for ResultKey and
+	// DominantFeature items.
+	Feature features.Feature
+	// Score is the dominance score for DominantFeature items, zero
+	// otherwise (those items rank by construction order, not score).
+	Score float64
+}
+
+// IList is the ranked snippet information list of one query result.
+type IList struct {
+	Items []Item
+
+	// ReturnEntities are the labels identified as the result's return
+	// entities (search targets), most important first.
+	ReturnEntities []string
+	// KeyAttr and KeyValue describe the result key, when one was found.
+	KeyAttr  string
+	KeyValue string
+}
+
+// Build assembles the IList of one query result.
+//
+// root is the query-result tree; keywords are the tokenized query; cls and
+// km were computed on the corpus; stats was collected on this result.
+func Build(root *xmltree.Node, keywords []string, cls *classify.Classification,
+	km *keys.Keys, stats *features.Stats) *IList {
+
+	il := &IList{}
+	have := make(map[string]bool)
+	add := func(it Item) bool {
+		k := strings.ToLower(strings.TrimSpace(it.Text))
+		if k == "" || have[k] {
+			return false
+		}
+		have[k] = true
+		il.Items = append(il.Items, it)
+		return true
+	}
+
+	// 1. Query keywords.
+	for _, kw := range keywords {
+		add(Item{Kind: Keyword, Text: kw})
+	}
+
+	// 2. Entity names present in the result, alphabetically.
+	entityLabels := map[string]bool{}
+	if root != nil {
+		root.Walk(func(n *xmltree.Node) bool {
+			if cls.IsEntity(n) {
+				entityLabels[n.Label] = true
+			}
+			return true
+		})
+	}
+	var sorted []string
+	for l := range entityLabels {
+		sorted = append(sorted, l)
+	}
+	sort.Strings(sorted)
+	for _, l := range sorted {
+		add(Item{Kind: EntityName, Text: l})
+	}
+
+	// 3. Result key of the return entity.
+	il.ReturnEntities = returnEntities(root, keywords, cls)
+	for _, re := range il.ReturnEntities {
+		inst := firstInstance(root, re, cls)
+		if inst == nil {
+			continue
+		}
+		attr, value, ok := km.KeyValueOf(cls, inst)
+		if !ok || value == "" {
+			continue
+		}
+		il.KeyAttr, il.KeyValue = attr, value
+		add(Item{
+			Kind:    ResultKey,
+			Text:    value,
+			Feature: features.Feature{Type: features.Type{Entity: re, Attr: attr}, Value: value},
+		})
+		break // one key identifies the result
+	}
+
+	// 4. Dominant features by decreasing dominance score.
+	for _, d := range stats.Dominant() {
+		add(Item{Kind: DominantFeature, Text: d.Feature.Value, Feature: d.Feature, Score: d.Score})
+	}
+	return il
+}
+
+// returnEntities applies the paper's heuristics: an entity label is a
+// return entity if its name matches a keyword or one of its attribute names
+// (observed on instances in this result) matches a keyword. If none
+// qualifies, the highest entities in the result — instances without entity
+// ancestors — are the default.
+func returnEntities(root *xmltree.Node, keywords []string, cls *classify.Classification) []string {
+	if root == nil {
+		return nil
+	}
+	kwSet := make(map[string]bool, len(keywords))
+	for _, k := range keywords {
+		kwSet[strings.ToLower(k)] = true
+	}
+	tokenHit := func(s string) bool {
+		for _, t := range index.Tokenize(s) {
+			if kwSet[t] {
+				return true
+			}
+		}
+		return false
+	}
+
+	var byName, byAttr, highest []string
+	seenName := map[string]bool{}
+	seenAttr := map[string]bool{}
+	seenHigh := map[string]bool{}
+	var walk func(n *xmltree.Node, hasEntityAncestor bool)
+	walk = func(n *xmltree.Node, hasEntityAncestor bool) {
+		isEnt := cls.IsEntity(n)
+		if isEnt {
+			if !hasEntityAncestor && !seenHigh[n.Label] {
+				seenHigh[n.Label] = true
+				highest = append(highest, n.Label)
+			}
+			if !seenName[n.Label] && tokenHit(n.Label) {
+				seenName[n.Label] = true
+				byName = append(byName, n.Label)
+			}
+			if !seenAttr[n.Label] {
+				for _, c := range n.Children {
+					if cls.IsAttribute(c) && tokenHit(c.Label) {
+						seenAttr[n.Label] = true
+						byAttr = append(byAttr, n.Label)
+						break
+					}
+				}
+			}
+		}
+		for _, c := range n.Children {
+			walk(c, hasEntityAncestor || isEnt)
+		}
+	}
+	walk(root, false)
+
+	// Name matches outrank attribute-name matches; both beat the default.
+	var out []string
+	used := map[string]bool{}
+	for _, l := range byName {
+		if !used[l] {
+			used[l] = true
+			out = append(out, l)
+		}
+	}
+	for _, l := range byAttr {
+		if !used[l] {
+			used[l] = true
+			out = append(out, l)
+		}
+	}
+	if len(out) > 0 {
+		return out
+	}
+	return highest
+}
+
+// firstInstance returns the first entity instance with the given label in
+// document order.
+func firstInstance(root *xmltree.Node, label string, cls *classify.Classification) *xmltree.Node {
+	var found *xmltree.Node
+	if root == nil {
+		return nil
+	}
+	root.Walk(func(n *xmltree.Node) bool {
+		if found != nil {
+			return false
+		}
+		if n.IsElement() && n.Label == label && cls.IsEntity(n) {
+			found = n
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Texts returns the item texts in rank order.
+func (il *IList) Texts() []string {
+	out := make([]string, len(il.Items))
+	for i, it := range il.Items {
+		out[i] = it.Text
+	}
+	return out
+}
+
+// String joins the item texts with commas, like the paper's Figure 3.
+func (il *IList) String() string { return strings.Join(il.Texts(), ", ") }
+
+// Len returns the number of items.
+func (il *IList) Len() int { return len(il.Items) }

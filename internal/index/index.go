@@ -1,0 +1,147 @@
+package index
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"extract/xmltree"
+)
+
+// MatchField says where on a node a keyword matched.
+type MatchField uint8
+
+const (
+	// FieldLabel means the keyword matched the element's tag name.
+	FieldLabel MatchField = 1 << iota
+	// FieldValue means the keyword matched text directly under the element.
+	FieldValue
+)
+
+// Posting is one inverted-list entry: an element node and the fields the
+// keyword matched on it.
+type Posting struct {
+	Node   *xmltree.Node
+	Fields MatchField
+}
+
+// Index is the inverted keyword index of one document. Postings target
+// element nodes: a tag-name match posts the element itself, a text match
+// posts the text node's parent element. Lists are sorted in document order.
+type Index struct {
+	doc      *xmltree.Document
+	postings map[string][]Posting
+	maxList  int
+	total    int
+
+	vocabOnce sync.Once
+	vocab     []string
+}
+
+// Build constructs the index for a document in one pass.
+func Build(doc *xmltree.Document) *Index {
+	ix := &Index{doc: doc, postings: make(map[string][]Posting)}
+	add := func(keyword string, n *xmltree.Node, f MatchField) {
+		list := ix.postings[keyword]
+		// Nodes arrive in document order; merge repeated hits on the
+		// same node (e.g. a token occurring twice in one value).
+		if k := len(list); k > 0 && list[k-1].Node == n {
+			list[k-1].Fields |= f
+			return
+		}
+		ix.postings[keyword] = append(list, Posting{Node: n, Fields: f})
+		ix.total++
+	}
+	for _, n := range doc.Nodes() {
+		switch {
+		case n.IsElement():
+			for _, t := range Tokenize(n.Label) {
+				add(t, n, FieldLabel)
+			}
+		case n.IsText():
+			if n.Parent == nil {
+				continue
+			}
+			for _, t := range Tokenize(n.Value) {
+				add(t, n.Parent, FieldValue)
+			}
+		}
+	}
+	for _, list := range ix.postings {
+		if len(list) > ix.maxList {
+			ix.maxList = len(list)
+		}
+	}
+	return ix
+}
+
+// Document returns the indexed document.
+func (ix *Index) Document() *xmltree.Document { return ix.doc }
+
+// Postings returns the posting list for a keyword (document order). The
+// keyword is tokenized first; a multi-token argument returns nil.
+func (ix *Index) Postings(keyword string) []Posting {
+	toks := Tokenize(keyword)
+	if len(toks) != 1 {
+		return nil
+	}
+	return ix.postings[toks[0]]
+}
+
+// Nodes returns just the nodes of the posting list for keyword.
+func (ix *Index) Nodes(keyword string) []*xmltree.Node {
+	ps := ix.Postings(keyword)
+	out := make([]*xmltree.Node, len(ps))
+	for i, p := range ps {
+		out[i] = p.Node
+	}
+	return out
+}
+
+// DistinctKeywords returns the number of distinct indexed keywords.
+func (ix *Index) DistinctKeywords() int { return len(ix.postings) }
+
+// TotalPostings returns the total number of postings.
+func (ix *Index) TotalPostings() int { return ix.total }
+
+// LongestList returns the length of the longest posting list.
+func (ix *Index) LongestList() int { return ix.maxList }
+
+// Vocabulary returns all indexed keywords, sorted; intended for tools and
+// tests, not the hot path.
+func (ix *Index) Vocabulary() []string {
+	ix.vocabOnce.Do(func() {
+		ix.vocab = make([]string, 0, len(ix.postings))
+		for k := range ix.postings {
+			ix.vocab = append(ix.vocab, k)
+		}
+		sort.Strings(ix.vocab)
+	})
+	return ix.vocab
+}
+
+// CompletePrefix returns up to k indexed keywords starting with prefix
+// (lowercased), most frequent first — query autocompletion for the demo UI.
+func (ix *Index) CompletePrefix(prefix string, k int) []string {
+	if k <= 0 {
+		return nil
+	}
+	toks := Tokenize(prefix)
+	if len(toks) != 1 {
+		return nil
+	}
+	p := toks[0]
+	voc := ix.Vocabulary()
+	lo := sort.SearchStrings(voc, p)
+	var matches []string
+	for i := lo; i < len(voc) && strings.HasPrefix(voc[i], p); i++ {
+		matches = append(matches, voc[i])
+	}
+	sort.SliceStable(matches, func(i, j int) bool {
+		return len(ix.postings[matches[i]]) > len(ix.postings[matches[j]])
+	})
+	if len(matches) > k {
+		matches = matches[:k]
+	}
+	return matches
+}

@@ -1,0 +1,147 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+
+	"extract/xmltree"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Brook Brothers", []string{"brook", "brothers"}},
+		{"  Texas,  apparel;retailer ", []string{"texas", "apparel", "retailer"}},
+		{"open_auctions", []string{"open", "auctions"}},
+		{"ID42x", []string{"id42x"}},
+		{"", nil},
+		{"---", nil},
+		{"Déjà vu", []string{"déjà", "vu"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMatchesKeyword(t *testing.T) {
+	if !MatchesKeyword("Brook Brothers", "brook") {
+		t.Error("brook should match")
+	}
+	if MatchesKeyword("Brook Brothers", "bro") {
+		t.Error("substring must not match")
+	}
+}
+
+func buildDoc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	doc, err := xmltree.ParseString(`
+<retailer>
+  <name>Brook Brothers</name>
+  <store><state>Texas</state><city>Houston</city></store>
+  <store><state>Texas</state><city>Austin</city></store>
+</retailer>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestBuildLookup(t *testing.T) {
+	doc := buildDoc(t)
+	ix := Build(doc)
+
+	// Tag-name match.
+	stores := ix.Nodes("store")
+	if len(stores) != 2 || stores[0].Label != "store" {
+		t.Fatalf("store postings = %v", stores)
+	}
+	if ix.Postings("store")[0].Fields != FieldLabel {
+		t.Error("store should be a label match")
+	}
+
+	// Value match posts the parent element.
+	texas := ix.Postings("texas")
+	if len(texas) != 2 || texas[0].Node.Label != "state" {
+		t.Fatalf("texas postings = %v", texas)
+	}
+	if texas[0].Fields != FieldValue {
+		t.Error("texas should be a value match")
+	}
+
+	// Case-insensitive, multi-token values.
+	if len(ix.Nodes("brook")) != 1 || len(ix.Nodes("brothers")) != 1 {
+		t.Error("value tokens missing")
+	}
+	if got := ix.Nodes("BROOK"); len(got) != 1 {
+		t.Error("lookup must tokenize/lowercase the query")
+	}
+
+	// Absent keyword.
+	if got := ix.Nodes("nothing"); len(got) != 0 {
+		t.Errorf("nothing = %v", got)
+	}
+	// Multi-token lookup argument is rejected.
+	if got := ix.Postings("brook brothers"); got != nil {
+		t.Errorf("multi-token lookup = %v", got)
+	}
+}
+
+func TestDocumentOrderAndDedup(t *testing.T) {
+	doc, err := xmltree.ParseString(`<a><b>x x</b><c>x</c><x/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := Build(doc)
+	xs := ix.Postings("x")
+	if len(xs) != 3 {
+		t.Fatalf("x postings = %d, want 3 (b, c, x)", len(xs))
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1].Node.Ord >= xs[i].Node.Ord {
+			t.Error("postings out of document order")
+		}
+	}
+	// "x x" in one value yields one posting.
+	if xs[0].Node.Label != "b" {
+		t.Errorf("first x posting = %v", xs[0].Node)
+	}
+	// The <x/> element is a label match.
+	if xs[2].Fields != FieldLabel {
+		t.Errorf("fields = %v", xs[2].Fields)
+	}
+}
+
+func TestLabelAndValueSameNode(t *testing.T) {
+	doc, err := xmltree.ParseString(`<a><x>x</x></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := Build(doc)
+	xs := ix.Postings("x")
+	if len(xs) != 1 {
+		t.Fatalf("x postings = %d, want merged 1", len(xs))
+	}
+	if xs[0].Fields != FieldLabel|FieldValue {
+		t.Errorf("fields = %v, want label|value", xs[0].Fields)
+	}
+}
+
+func TestIndexStats(t *testing.T) {
+	ix := Build(buildDoc(t))
+	if ix.DistinctKeywords() == 0 || ix.TotalPostings() == 0 {
+		t.Error("empty stats")
+	}
+	if ix.LongestList() < 2 {
+		t.Errorf("longest = %d", ix.LongestList())
+	}
+	voc := ix.Vocabulary()
+	for i := 1; i < len(voc); i++ {
+		if voc[i-1] >= voc[i] {
+			t.Error("vocabulary not sorted")
+		}
+	}
+}

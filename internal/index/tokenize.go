@@ -1,0 +1,54 @@
+// Package index builds the keyword and structure indexes of eXtract's Index
+// Builder component (paper §3): an inverted index from keywords to the
+// element nodes whose tag names or text values contain them, plus corpus
+// statistics. The search engine substrate and the snippet generator both
+// read these indexes.
+package index
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits free text into lowercase keyword tokens. Token characters
+// are letters and digits; everything else separates tokens. Tokenization is
+// shared by index construction and query parsing so matches are symmetric.
+func Tokenize(s string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			out = append(out, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// TokenSet returns the distinct tokens of s.
+func TokenSet(s string) map[string]bool {
+	set := make(map[string]bool)
+	for _, t := range Tokenize(s) {
+		set[t] = true
+	}
+	return set
+}
+
+// MatchesKeyword reports whether any token of s equals the (already
+// lowercase) keyword.
+func MatchesKeyword(s, keyword string) bool {
+	for _, t := range Tokenize(s) {
+		if t == keyword {
+			return true
+		}
+	}
+	return false
+}

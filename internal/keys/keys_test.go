@@ -1,0 +1,175 @@
+package keys
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"extract/internal/classify"
+	"extract/xmltree"
+)
+
+func mine(t *testing.T, src string) (*Keys, *classify.Classification, *xmltree.Document) {
+	t.Helper()
+	doc, err := xmltree.ParseString(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cls := classify.Classify(doc)
+	return Mine(doc, cls), cls, doc
+}
+
+func TestMineSimpleKey(t *testing.T) {
+	k, _, _ := mine(t, `
+<retailers>
+  <retailer><name>Brook Brothers</name><product>apparel</product></retailer>
+  <retailer><name>Levis</name><product>apparel</product></retailer>
+  <retailer><name>ESprit</name><product>apparel</product></retailer>
+</retailers>`)
+	attr, ok := k.KeyAttr("retailer")
+	if !ok || attr != "name" {
+		t.Errorf("retailer key = %q (%v), want name", attr, ok)
+	}
+	// product has duplicate values, so it is not a key.
+	for _, c := range k.Candidates("retailer") {
+		if c.Attr == "product" && c.Unique {
+			t.Error("product wrongly unique")
+		}
+	}
+}
+
+func TestMinePrefersID(t *testing.T) {
+	k, _, _ := mine(t, `
+<items>
+  <item><id>1</id><name>alpha</name></item>
+  <item><id>2</id><name>beta</name></item>
+</items>`)
+	attr, ok := k.KeyAttr("item")
+	if !ok || attr != "id" {
+		t.Errorf("item key = %q, want id", attr)
+	}
+}
+
+func TestMineRejectsPartialAttr(t *testing.T) {
+	// "code" is unique but missing on one instance: not a key.
+	k, _, _ := mine(t, `
+<items>
+  <item><code>1</code><name>alpha</name></item>
+  <item><name>beta</name></item>
+  <item><code>3</code><name>gamma</name></item>
+</items>`)
+	attr, ok := k.KeyAttr("item")
+	if !ok || attr != "name" {
+		t.Errorf("item key = %q (%v), want name", attr, ok)
+	}
+}
+
+func TestMineRejectsMultiValued(t *testing.T) {
+	// Two tag children on one instance: tag is not a key even if globally
+	// distinct.
+	k, _, _ := mine(t, `
+<items>
+  <item><tag>a</tag><tag>b</tag><name>x</name></item>
+  <item><tag>c</tag><name>y</name></item>
+</items>`)
+	for _, c := range k.Candidates("item") {
+		if c.Attr == "tag" && c.Unique {
+			t.Error("multi-valued tag wrongly unique")
+		}
+	}
+}
+
+func TestMineNoKey(t *testing.T) {
+	k, _, _ := mine(t, `
+<items>
+  <item><color>red</color></item>
+  <item><color>red</color></item>
+</items>`)
+	if attr, ok := k.KeyAttr("item"); ok {
+		t.Errorf("key found where none exists: %s", attr)
+	}
+	if len(k.Entities()) != 0 {
+		t.Errorf("entities with keys = %v", k.Entities())
+	}
+}
+
+func TestKeyValueOf(t *testing.T) {
+	k, cls, doc := mine(t, `
+<retailers>
+  <retailer><name>Brook Brothers</name></retailer>
+  <retailer><name>Levis</name></retailer>
+</retailers>`)
+	r := doc.Root.ChildElement("retailer")
+	attr, val, ok := k.KeyValueOf(cls, r)
+	if !ok || attr != "name" || val != "Brook Brothers" {
+		t.Errorf("KeyValueOf = %q %q %v", attr, val, ok)
+	}
+	// Non-entity label has no key.
+	if _, _, ok := k.KeyValueOf(cls, doc.Root); ok {
+		t.Error("root should have no key")
+	}
+}
+
+func TestMineThroughConnectionNodes(t *testing.T) {
+	// The key attribute sits under a connection node (contact), not as a
+	// direct child: XSeek-style attribute ownership still finds it.
+	k, cls, doc := mine(t, `
+<stores>
+  <store><state>Texas</state><contact><name>Levis</name><phone>1</phone></contact></store>
+  <store><state>Texas</state><contact><name>ESprit</name><phone>2</phone></contact></store>
+</stores>`)
+	attr, ok := k.KeyAttr("store")
+	if !ok {
+		t.Fatal("no store key mined through connection node")
+	}
+	if attr != "name" && attr != "phone" {
+		t.Fatalf("store key = %q", attr)
+	}
+	if attr != "name" {
+		t.Errorf("store key = %q, want name preferred", attr)
+	}
+	s := doc.Root.ChildElement("store")
+	_, val, ok := k.KeyValueOf(cls, s)
+	if !ok || val != "Levis" {
+		t.Errorf("KeyValueOf = %q %v", val, ok)
+	}
+}
+
+func TestMineStopsAtNestedEntities(t *testing.T) {
+	// A nested entity's attributes must not leak into the outer entity:
+	// clothes' category is not a store attribute.
+	k, _, _ := mine(t, `
+<stores>
+  <store><name>A</name><clothes><category>x</category></clothes><clothes><category>q</category></clothes></store>
+  <store><name>B</name><clothes><category>y</category></clothes><clothes><category>z</category></clothes></store>
+</stores>`)
+	for _, c := range k.Candidates("store") {
+		if c.Attr == "category" {
+			t.Errorf("category leaked into store candidates: %+v", c)
+		}
+	}
+}
+
+func TestMineScale(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<items>")
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&b, "<item><id>i%d</id><group>g%d</group></item>", i, i%10)
+	}
+	b.WriteString("</items>")
+	k, _, _ := mine(t, b.String())
+	attr, ok := k.KeyAttr("item")
+	if !ok || attr != "id" {
+		t.Errorf("key = %q", attr)
+	}
+	cands := k.Candidates("item")
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %v", cands)
+	}
+	if cands[0].Attr != "id" || !cands[0].Unique {
+		t.Errorf("best candidate = %+v", cands[0])
+	}
+	if cands[1].Distinct != 10 || cands[1].Unique {
+		t.Errorf("group candidate = %+v", cands[1])
+	}
+}

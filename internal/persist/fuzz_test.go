@@ -1,0 +1,42 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+
+	"extract/internal/core"
+	"extract/internal/gen"
+)
+
+// FuzzLoad feeds arbitrary bytes to the binary decoder: it must reject or
+// accept without panicking, and anything it accepts must be a consistent
+// corpus (document finalized, index buildable).
+func FuzzLoad(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Save(&buf, core.BuildCorpus(gen.Figure5Corpus())); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("XTIX"))
+	f.Add(good[:len(good)/3])
+	mut := append([]byte(nil), good...)
+	for i := 8; i < len(mut); i += 31 {
+		mut[i] ^= 0x55
+	}
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if c.Doc == nil || c.Index == nil || c.Cls == nil || c.Keys == nil {
+			t.Fatal("accepted corpus with nil artifacts")
+		}
+		if c.Doc.Root != nil && c.Doc.Len() != c.Doc.Root.NodeCount() {
+			t.Fatal("inconsistent node count")
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package persist
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"extract/internal/core"
+	"extract/internal/dtd"
+	"extract/internal/gen"
+	"extract/internal/search"
+	"extract/xmltree"
+)
+
+func roundTrip(t *testing.T, c *core.Corpus) *core.Corpus {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Save(&buf, c); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return loaded
+}
+
+func TestRoundTripTree(t *testing.T) {
+	c := core.BuildCorpus(gen.Figure1Corpus())
+	loaded := roundTrip(t, c)
+	if loaded.Doc.Len() != c.Doc.Len() {
+		t.Fatalf("nodes = %d, want %d", loaded.Doc.Len(), c.Doc.Len())
+	}
+	if xmltree.RenderInline(loaded.Doc.Root) != xmltree.RenderInline(c.Doc.Root) {
+		t.Error("tree changed across round trip")
+	}
+	// Dewey assignment is rebuilt identically.
+	for i, n := range c.Doc.Nodes() {
+		if !loaded.Doc.Nodes()[i].Dewey.Equal(n.Dewey) {
+			t.Fatalf("dewey mismatch at ord %d", i)
+		}
+	}
+}
+
+func TestRoundTripAnalysis(t *testing.T) {
+	c := core.BuildCorpus(gen.Figure1Corpus())
+	loaded := roundTrip(t, c)
+	if got, want := loaded.Cls.Entities(), c.Cls.Entities(); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("entities = %v, want %v", got, want)
+	}
+	if got, want := loaded.Cls.Attributes(), c.Cls.Attributes(); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("attributes = %v, want %v", got, want)
+	}
+	attr, ok := loaded.Keys.KeyAttr("retailer")
+	if !ok || attr != "name" {
+		t.Errorf("retailer key = %q %v", attr, ok)
+	}
+	if loaded.Index.DistinctKeywords() != c.Index.DistinctKeywords() {
+		t.Errorf("keywords = %d, want %d",
+			loaded.Index.DistinctKeywords(), c.Index.DistinctKeywords())
+	}
+}
+
+// TestRoundTripPreservesDTDDecisions: classification decisions that cannot
+// be re-inferred from the instance survive persistence.
+func TestRoundTripPreservesDTDDecisions(t *testing.T) {
+	d, err := dtd.ParseString(`
+<!ELEMENT r (item*)><!ELEMENT item (name)><!ELEMENT name (#PCDATA)>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xmltree.ParseString(`<r><item><name>solo</name></item></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.BuildCorpus(doc, core.WithDTD(d))
+	if c.Cls.OfLabel("item") != 1 /* Entity */ {
+		t.Fatal("premise: item should be entity via DTD")
+	}
+	loaded := roundTrip(t, c)
+	if loaded.Cls.OfLabel("item").String() != "entity" {
+		t.Errorf("item after round trip = %v", loaded.Cls.OfLabel("item"))
+	}
+}
+
+// TestRoundTripPipeline: a loaded corpus answers queries identically.
+func TestRoundTripPipeline(t *testing.T) {
+	c := core.BuildCorpus(gen.Figure1Corpus())
+	loaded := roundTrip(t, c)
+	for _, corpus := range []*core.Corpus{c, loaded} {
+		outs, err := core.Pipeline(corpus, gen.Figure1Query, 13, search.Options{DistinctAnchors: true})
+		if err != nil || len(outs) != 1 {
+			t.Fatalf("pipeline: %v (%d results)", err, len(outs))
+		}
+		if outs[0].IList.KeyValue != "Brook Brothers" {
+			t.Errorf("key = %q", outs[0].IList.KeyValue)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corpus.xtix")
+	c := core.BuildCorpus(gen.Figure5Corpus())
+	if err := SaveFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Doc.Len() != c.Doc.Len() {
+		t.Errorf("nodes = %d", loaded.Doc.Len())
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	c := core.BuildCorpus(gen.Figure5Corpus())
+	var buf bytes.Buffer
+	if err := Save(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad magic":      append([]byte("NOPE"), good[4:]...),
+		"bad version":    append(append([]byte(nil), good[:4]...), append([]byte{99}, good[5:]...)...),
+		"truncated 10":   good[:10],
+		"truncated half": good[:len(good)/2],
+	}
+	for name, data := range cases {
+		if _, err := Load(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Flipping a byte in the tree section should not panic (errors are
+	// acceptable; silent misparse of structure is not tested here since
+	// some byte flips only change values).
+	for i := 5; i < len(good); i += 97 {
+		mut := append([]byte(nil), good...)
+		mut[i] ^= 0xff
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("panic on corruption at byte %d: %v", i, r)
+				}
+			}()
+			_, _ = Load(bytes.NewReader(mut))
+		}()
+	}
+}
+
+func TestEmptyishCorpus(t *testing.T) {
+	doc, err := xmltree.ParseString(`<only/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.BuildCorpus(doc)
+	loaded := roundTrip(t, c)
+	if loaded.Doc.Root.Label != "only" || loaded.Doc.Len() != 1 {
+		t.Errorf("loaded = %v", loaded.Doc.Root)
+	}
+}
+
+func TestBinarySmallerThanXML(t *testing.T) {
+	c := core.BuildCorpus(gen.Stores(gen.StoresConfig{Retailers: 3, StoresPerRetailer: 4, ClothesPerStore: 30, Seed: 1}))
+	var buf bytes.Buffer
+	if err := Save(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	xmlLen := len(xmltree.XMLString(c.Doc.Root))
+	if buf.Len() >= xmlLen {
+		t.Errorf("binary %d >= xml %d", buf.Len(), xmlLen)
+	}
+}

@@ -1,0 +1,92 @@
+package rank
+
+import (
+	"testing"
+
+	"extract/internal/index"
+	"extract/internal/search"
+	"extract/xmltree"
+)
+
+const corpus = `
+<library>
+  <book>
+    <title>gopher handbook</title>
+    <topic>gopher</topic>
+  </book>
+  <book>
+    <title>animal atlas</title>
+    <chapters><chapter><section><note>gopher</note></section></chapter></chapters>
+  </book>
+  <book>
+    <title>common words</title>
+    <topic>common</topic>
+  </book>
+  <book>
+    <title>more common words</title>
+    <topic>common</topic>
+  </book>
+</library>`
+
+func setup(t *testing.T) (*search.Engine, *Scorer) {
+	t.Helper()
+	doc, err := xmltree.ParseString(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := index.Build(doc)
+	eng := search.NewEngine(doc, ix, nil, search.Options{DistinctAnchors: true})
+	return eng, NewScorer(ix)
+}
+
+func TestDepthDecay(t *testing.T) {
+	eng, sc := setup(t)
+	results, err := eng.Search("gopher")
+	if err != nil || len(results) != 2 {
+		t.Fatalf("results = %d (%v)", len(results), err)
+	}
+	// Both books match "gopher"; the shallow match (direct topic) must
+	// outscore the one buried under chapters/chapter/section/note.
+	scores := sc.Sort(results, []string{"gopher"})
+	if len(scores) != 2 || scores[0] <= scores[1] {
+		t.Fatalf("scores = %v", scores)
+	}
+	title := results[0].Root.ChildElement("title").TextValue()
+	if title != "gopher handbook" {
+		t.Errorf("top result = %q", title)
+	}
+}
+
+func TestIDFPrefersRareKeyword(t *testing.T) {
+	_, sc := setup(t)
+	if sc.IDF("gopher") <= sc.IDF("common") {
+		t.Errorf("idf(gopher)=%f <= idf(common)=%f", sc.IDF("gopher"), sc.IDF("common"))
+	}
+	if sc.IDF("absent") <= sc.IDF("common") {
+		t.Error("absent keyword should have max idf")
+	}
+}
+
+func TestScoreMissingKeywordContributesZero(t *testing.T) {
+	eng, sc := setup(t)
+	results, _ := eng.Search("gopher")
+	with := sc.Score(results[0], []string{"gopher"})
+	withMissing := sc.Score(results[0], []string{"gopher", "absent"})
+	if with != withMissing {
+		t.Errorf("missing keyword changed score: %f vs %f", with, withMissing)
+	}
+}
+
+func TestSortStableOnTies(t *testing.T) {
+	eng, sc := setup(t)
+	results, _ := eng.Search("common")
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	first := results[0].Anchor.Ord
+	sc.Sort(results, []string{"common"})
+	// Equal scores: document order preserved.
+	if results[0].Anchor.Ord != first {
+		t.Error("tie order not stable")
+	}
+}

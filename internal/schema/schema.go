@@ -1,0 +1,226 @@
+// Package schema infers structural summaries from XML instances. When no
+// DTD accompanies a document, the eXtract classifier falls back to this
+// inference, per the paper: "leverages DTD or XML data structure to classify
+// XML nodes".
+//
+// Two artifacts are produced: per-label statistics (does the label repeat
+// under some parent? does it always wrap a single text value?) and a
+// dataguide — the label-path summary tree familiar from semistructured
+// database literature — used by the demo UI and by workload generation.
+package schema
+
+import (
+	"sort"
+
+	"extract/xmltree"
+)
+
+// ElementInfo aggregates the instance-level evidence about one element label.
+type ElementInfo struct {
+	Label string
+	Count int // number of element instances with this label
+
+	// Parents counts instances by parent label ("" for the root).
+	Parents map[string]int
+
+	// Repeats is true if some parent instance has two or more children
+	// with this label: the instance-based *-node signal.
+	Repeats bool
+
+	// MaxSiblings is the largest number of same-label children observed
+	// under a single parent instance.
+	MaxSiblings int
+
+	// SingleTextOnly is true if every instance has exactly one child and
+	// that child is a text node: the instance-based attribute signal.
+	SingleTextOnly bool
+
+	// LeafOnly is true if no instance has element children.
+	LeafOnly bool
+}
+
+// Summary is the inferred per-label schema of a document.
+type Summary struct {
+	Root     string
+	Elements map[string]*ElementInfo
+}
+
+// Infer walks the document once and computes its Summary. Text nodes and
+// attribute-shaped children participate exactly like parsed elements, so the
+// inference is insensitive to whether data arrived as XML attributes or as
+// child elements.
+func Infer(doc *xmltree.Document) *Summary {
+	s := &Summary{Elements: make(map[string]*ElementInfo)}
+	if doc.Root == nil {
+		return s
+	}
+	s.Root = doc.Root.Label
+
+	info := func(label string) *ElementInfo {
+		e := s.Elements[label]
+		if e == nil {
+			e = &ElementInfo{
+				Label:          label,
+				Parents:        make(map[string]int),
+				SingleTextOnly: true,
+				LeafOnly:       true,
+			}
+			s.Elements[label] = e
+		}
+		return e
+	}
+
+	for _, n := range doc.Nodes() {
+		if !n.IsElement() {
+			continue
+		}
+		e := info(n.Label)
+		e.Count++
+		parentLabel := ""
+		if n.Parent != nil {
+			parentLabel = n.Parent.Label
+		}
+		e.Parents[parentLabel]++
+
+		if !n.HasSingleTextChild() {
+			e.SingleTextOnly = false
+		}
+		// Count same-label runs among the children; detect repetition and
+		// element children in one pass.
+		counts := make(map[string]int)
+		for _, c := range n.Children {
+			if c.IsElement() {
+				counts[c.Label]++
+			}
+		}
+		if len(counts) > 0 {
+			e.LeafOnly = false
+		}
+		for label, k := range counts {
+			ce := info(label)
+			if k > ce.MaxSiblings {
+				ce.MaxSiblings = k
+			}
+			if k >= 2 {
+				ce.Repeats = true
+			}
+		}
+	}
+	return s
+}
+
+// StarNodes returns the labels inferred to be *-nodes: labels repeating
+// under at least one parent instance.
+func (s *Summary) StarNodes() map[string]bool {
+	stars := make(map[string]bool)
+	for label, e := range s.Elements {
+		if e.Repeats {
+			stars[label] = true
+		}
+	}
+	return stars
+}
+
+// AttributeLike returns the labels whose every instance wraps exactly one
+// text value.
+func (s *Summary) AttributeLike() map[string]bool {
+	attrs := make(map[string]bool)
+	for label, e := range s.Elements {
+		if e.SingleTextOnly && e.Count > 0 {
+			attrs[label] = true
+		}
+	}
+	return attrs
+}
+
+// Labels returns all element labels sorted alphabetically.
+func (s *Summary) Labels() []string {
+	out := make([]string, 0, len(s.Elements))
+	for l := range s.Elements {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Guide is a node of the dataguide: every distinct label path from the root
+// appears exactly once.
+type Guide struct {
+	Label    string
+	Count    int // instances reached by this path
+	HasText  bool
+	Children []*Guide
+
+	index map[string]*Guide
+}
+
+func (g *Guide) child(label string) *Guide {
+	if g.index == nil {
+		g.index = make(map[string]*Guide)
+	}
+	c := g.index[label]
+	if c == nil {
+		c = &Guide{Label: label}
+		g.index[label] = c
+		g.Children = append(g.Children, c)
+	}
+	return c
+}
+
+// Child returns the child guide for label, or nil.
+func (g *Guide) Child(label string) *Guide {
+	if g.index == nil {
+		return nil
+	}
+	return g.index[label]
+}
+
+// BuildGuide computes the dataguide of a document.
+func BuildGuide(doc *xmltree.Document) *Guide {
+	if doc.Root == nil {
+		return nil
+	}
+	root := &Guide{Label: doc.Root.Label}
+	var walk func(n *xmltree.Node, g *Guide)
+	walk = func(n *xmltree.Node, g *Guide) {
+		g.Count++
+		for _, c := range n.Children {
+			if c.IsText() {
+				g.HasText = true
+				continue
+			}
+			walk(c, g.child(c.Label))
+		}
+	}
+	walk(doc.Root, root)
+	sortGuide(root)
+	return root
+}
+
+func sortGuide(g *Guide) {
+	sort.Slice(g.Children, func(i, j int) bool {
+		return g.Children[i].Label < g.Children[j].Label
+	})
+	for _, c := range g.Children {
+		sortGuide(c)
+	}
+}
+
+// Paths returns every label path of the guide as slash-joined strings in
+// sorted order; used for reporting and in tests.
+func (g *Guide) Paths() []string {
+	var out []string
+	var walk func(node *Guide, prefix string)
+	walk = func(node *Guide, prefix string) {
+		p := prefix + "/" + node.Label
+		out = append(out, p)
+		for _, c := range node.Children {
+			walk(c, p)
+		}
+	}
+	if g != nil {
+		walk(g, "")
+	}
+	sort.Strings(out)
+	return out
+}

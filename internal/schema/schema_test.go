@@ -1,0 +1,138 @@
+package schema
+
+import (
+	"testing"
+
+	"extract/xmltree"
+)
+
+const sample = `
+<retailer>
+  <name>Brook Brothers</name>
+  <store>
+    <city>Houston</city>
+    <merchandises>
+      <clothes><category>suit</category></clothes>
+      <clothes><category>skirt</category></clothes>
+    </merchandises>
+  </store>
+  <store>
+    <city>Austin</city>
+    <merchandises>
+      <clothes><category>outwear</category></clothes>
+    </merchandises>
+  </store>
+</retailer>`
+
+func parse(t *testing.T, src string) *xmltree.Document {
+	t.Helper()
+	doc, err := xmltree.ParseString(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return doc
+}
+
+func TestInferStars(t *testing.T) {
+	s := Infer(parse(t, sample))
+	stars := s.StarNodes()
+	if !stars["store"] || !stars["clothes"] {
+		t.Errorf("stars = %v", stars)
+	}
+	for _, label := range []string{"retailer", "name", "city", "merchandises", "category"} {
+		if stars[label] {
+			t.Errorf("%s wrongly starred", label)
+		}
+	}
+}
+
+func TestInferAttributeLike(t *testing.T) {
+	s := Infer(parse(t, sample))
+	attrs := s.AttributeLike()
+	for _, label := range []string{"name", "city", "category"} {
+		if !attrs[label] {
+			t.Errorf("%s should be attribute-like: %+v", label, s.Elements[label])
+		}
+	}
+	for _, label := range []string{"retailer", "store", "merchandises", "clothes"} {
+		if attrs[label] {
+			t.Errorf("%s wrongly attribute-like", label)
+		}
+	}
+}
+
+func TestInferCountsAndParents(t *testing.T) {
+	s := Infer(parse(t, sample))
+	if s.Root != "retailer" {
+		t.Errorf("root = %s", s.Root)
+	}
+	store := s.Elements["store"]
+	if store.Count != 2 || store.Parents["retailer"] != 2 {
+		t.Errorf("store info = %+v", store)
+	}
+	clothes := s.Elements["clothes"]
+	if clothes.Count != 3 || clothes.MaxSiblings != 2 {
+		t.Errorf("clothes info = %+v", clothes)
+	}
+	if !s.Elements["category"].LeafOnly {
+		t.Error("category should be leaf-only")
+	}
+	if s.Elements["store"].LeafOnly {
+		t.Error("store is not leaf-only")
+	}
+}
+
+func TestInferMixedShape(t *testing.T) {
+	// A label that is sometimes single-text, sometimes structured, must
+	// not be attribute-like.
+	s := Infer(parse(t, `<r><x>plain</x><x><y>nested</y></x></r>`))
+	if s.AttributeLike()["x"] {
+		t.Error("x must not be attribute-like")
+	}
+	if !s.AttributeLike()["y"] {
+		t.Error("y should be attribute-like")
+	}
+}
+
+func TestInferEmpty(t *testing.T) {
+	s := Infer(xmltree.NewDocument(nil))
+	if len(s.Elements) != 0 || s.Root != "" {
+		t.Errorf("empty doc summary = %+v", s)
+	}
+}
+
+func TestGuide(t *testing.T) {
+	g := BuildGuide(parse(t, sample))
+	paths := g.Paths()
+	want := []string{
+		"/retailer",
+		"/retailer/name",
+		"/retailer/store",
+		"/retailer/store/city",
+		"/retailer/store/merchandises",
+		"/retailer/store/merchandises/clothes",
+		"/retailer/store/merchandises/clothes/category",
+	}
+	if len(paths) != len(want) {
+		t.Fatalf("paths = %v", paths)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("paths = %v, want %v", paths, want)
+		}
+	}
+	store := g.Child("store")
+	if store == nil || store.Count != 2 {
+		t.Errorf("store guide = %+v", store)
+	}
+	clothes := store.Child("merchandises").Child("clothes")
+	if clothes.Count != 3 {
+		t.Errorf("clothes count = %d", clothes.Count)
+	}
+	if !clothes.Child("category").HasText {
+		t.Error("category guide should have text")
+	}
+	if g.Child("nope") != nil {
+		t.Error("missing child should be nil")
+	}
+}

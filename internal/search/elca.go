@@ -1,0 +1,74 @@
+package search
+
+import (
+	"sort"
+
+	"extract/xmltree"
+)
+
+// ELCA returns the Exclusive Lowest Common Ancestors of the keyword match
+// lists: nodes that witness every keyword even after excluding the matches
+// lying under descendant nodes that themselves witness every keyword (the
+// XRank semantics). Every SLCA is an ELCA; ELCA additionally surfaces
+// ancestors with their own, exclusive evidence. The result is in document
+// order.
+//
+// The implementation is the bottom-up exclusive counting algorithm: a
+// post-order pass sums per-keyword match counts, subtracting the counts of
+// subtrees already declared ELCA.
+func ELCA(lists ...[]*xmltree.Node) []*xmltree.Node {
+	if len(lists) == 0 {
+		return nil
+	}
+	for _, l := range lists {
+		if len(l) == 0 {
+			return nil
+		}
+	}
+	k := len(lists)
+	matchOf := make(map[*xmltree.Node][]int)
+	var root *xmltree.Node
+	for i, l := range lists {
+		for _, n := range l {
+			matchOf[n] = append(matchOf[n], i)
+			if r := n.Root(); root == nil {
+				root = r
+			}
+		}
+	}
+	if root == nil {
+		return nil
+	}
+
+	var out []*xmltree.Node
+	// counts returns the number of matches per keyword in n's subtree,
+	// excluding subtrees of ELCA descendants found so far.
+	var counts func(n *xmltree.Node) []int
+	counts = func(n *xmltree.Node) []int {
+		c := make([]int, k)
+		for _, i := range matchOf[n] {
+			c[i]++
+		}
+		for _, ch := range n.Children {
+			cc := counts(ch)
+			for i := range c {
+				c[i] += cc[i]
+			}
+		}
+		all := true
+		for i := range c {
+			if c[i] == 0 {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, n)
+			return make([]int, k) // exclude this subtree's evidence
+		}
+		return c
+	}
+	counts(root)
+	sort.Slice(out, func(i, j int) bool { return out[i].Ord < out[j].Ord })
+	return out
+}

@@ -1,0 +1,130 @@
+package search
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"extract/internal/classify"
+	"extract/internal/index"
+	"extract/xmltree"
+)
+
+// Semantics selects the LCA semantics for query evaluation.
+type Semantics uint8
+
+const (
+	// SemanticsSLCA uses smallest LCAs (XSeek's and the default choice).
+	SemanticsSLCA Semantics = iota
+	// SemanticsELCA uses exclusive LCAs (XRank-style).
+	SemanticsELCA
+)
+
+// Options configure an Engine.
+type Options struct {
+	// Semantics picks SLCA (default) or ELCA evaluation.
+	Semantics Semantics
+	// Mode picks result construction (default ModeSubtree).
+	Mode ConstructionMode
+	// MaxResults bounds the number of results (0 = unlimited).
+	MaxResults int
+	// DistinctAnchors drops results whose anchor entity already anchors
+	// an earlier result (two SLCAs under one retailer produce one
+	// retailer result). Default true via NewEngine.
+	DistinctAnchors bool
+}
+
+// Engine evaluates keyword queries over one indexed document.
+type Engine struct {
+	doc  *xmltree.Document
+	ix   *index.Index
+	cls  *classify.Classification
+	opts Options
+}
+
+// ErrEmptyQuery reports a query with no usable keywords.
+var ErrEmptyQuery = errors.New("search: query has no keywords")
+
+// NewEngine builds an engine over a document. The index and classification
+// may be nil, in which case they are computed here.
+func NewEngine(doc *xmltree.Document, ix *index.Index, cls *classify.Classification, opts Options) *Engine {
+	if ix == nil {
+		ix = index.Build(doc)
+	}
+	if cls == nil {
+		cls = classify.Classify(doc)
+	}
+	return &Engine{doc: doc, ix: ix, cls: cls, opts: opts}
+}
+
+// Document returns the engine's document.
+func (e *Engine) Document() *xmltree.Document { return e.doc }
+
+// Index returns the engine's inverted index.
+func (e *Engine) Index() *index.Index { return e.ix }
+
+// Classification returns the engine's node classification.
+func (e *Engine) Classification() *classify.Classification { return e.cls }
+
+// Search evaluates a conjunctive keyword query and returns its results in
+// document order of their anchors. Double-quoted spans are phrase terms
+// that must match consecutively inside one text value.
+func (e *Engine) Search(query string) ([]*Result, error) {
+	terms := ParseQuery(query)
+	if len(terms) == 0 {
+		return nil, ErrEmptyQuery
+	}
+	keywords := make([]string, len(terms))
+	lists := make([][]*xmltree.Node, len(terms))
+	matches := make(map[string][]*xmltree.Node, len(terms))
+	for i, t := range terms {
+		keywords[i] = t.String()
+		if t.IsPhrase() {
+			lists[i] = phraseMatches(e.ix, t.Tokens)
+		} else {
+			lists[i] = e.ix.Nodes(t.Tokens[0])
+		}
+		if len(lists[i]) == 0 {
+			return nil, nil // conjunctive semantics: no results
+		}
+		matches[keywords[i]] = lists[i]
+	}
+
+	var lcas []*xmltree.Node
+	switch e.opts.Semantics {
+	case SemanticsELCA:
+		lcas = ELCA(lists...)
+	default:
+		lcas = SLCA(lists...)
+	}
+
+	var (
+		results     []*Result
+		seenAnchors = make(map[*xmltree.Node]bool)
+	)
+	for _, lca := range lcas {
+		r := buildResult(lca, keywords, matches, e.cls, e.opts.Mode)
+		if e.opts.DistinctAnchors && seenAnchors[r.Anchor] {
+			continue
+		}
+		seenAnchors[r.Anchor] = true
+		results = append(results, r)
+		if e.opts.MaxResults > 0 && len(results) >= e.opts.MaxResults {
+			break
+		}
+	}
+	sort.Slice(results, func(i, j int) bool {
+		return results[i].Anchor.Ord < results[j].Anchor.Ord
+	})
+	return results, nil
+}
+
+// Explain returns a short per-keyword report of posting list sizes, used by
+// the CLI and the demo server.
+func (e *Engine) Explain(query string) string {
+	s := ""
+	for _, kw := range index.Tokenize(query) {
+		s += fmt.Sprintf("%s: %d matches\n", kw, len(e.ix.Nodes(kw)))
+	}
+	return s
+}

@@ -1,0 +1,151 @@
+package search
+
+import (
+	"extract/internal/classify"
+	"extract/xmltree"
+)
+
+// Result is one query result: a tree rooted at (an entity ancestor of) an
+// LCA node, materialized as an independent projection of the source
+// document. Result trees are what the snippet generator consumes.
+type Result struct {
+	// Root is the root of the materialized result tree. Its nodes carry
+	// Origin pointers into the source document.
+	Root *xmltree.Node
+
+	// Doc is the result tree finalized as a document (Dewey identifiers
+	// relative to the result root).
+	Doc *xmltree.Document
+
+	// Anchor is the source-document node the result is rooted at.
+	Anchor *xmltree.Node
+
+	// LCA is the source-document SLCA/ELCA node the result derives from.
+	LCA *xmltree.Node
+
+	// Matches maps each query keyword to its matching source nodes
+	// inside the result.
+	Matches map[string][]*xmltree.Node
+}
+
+// Size returns the number of edges of the result tree.
+func (r *Result) Size() int { return r.Root.EdgeCount() }
+
+// FromNode materializes a Result rooted at an arbitrary document node: the
+// bridge for structurally selected results (e.g. XPath), which carry no
+// keyword matches but feed the snippet generator like any query result.
+func FromNode(n *xmltree.Node) *Result {
+	root := xmltree.DeepCopy(n)
+	return &Result{
+		Root:    root,
+		Doc:     xmltree.NewDocument(root),
+		Anchor:  n,
+		LCA:     n,
+		Matches: map[string][]*xmltree.Node{},
+	}
+}
+
+// ConstructionMode selects how result trees are built from an LCA node.
+type ConstructionMode uint8
+
+const (
+	// ModeSubtree materializes the full subtree of the anchor node. This
+	// mirrors the paper's setting, where whole query results (Figure 1)
+	// are handed to the snippet generator.
+	ModeSubtree ConstructionMode = iota
+	// ModeXSeek materializes the XSeek-style trimmed result: paths from
+	// the anchor to every keyword match, every matched node's full
+	// subtree, and the attribute children of the anchor entity and of
+	// every entity on a match path.
+	ModeXSeek
+)
+
+// buildResult materializes a Result for one LCA node.
+//
+// The anchor is the nearest entity ancestor-or-self of the LCA when the
+// classification knows one (XSeek's meaningful return unit — query results
+// in the paper are entity-rooted, e.g. the retailer in Figure 1), otherwise
+// the LCA itself.
+func buildResult(lca *xmltree.Node, keywords []string, matches map[string][]*xmltree.Node,
+	cls *classify.Classification, mode ConstructionMode) *Result {
+
+	anchor := lca
+	if cls != nil {
+		if e := cls.EntityOwner(lca); e != nil {
+			anchor = e
+		}
+	}
+
+	inAnchor := func(n *xmltree.Node) bool {
+		return anchor.Dewey.IsAncestorOrSelf(n.Dewey)
+	}
+	resultMatches := make(map[string][]*xmltree.Node, len(keywords))
+	for _, kw := range keywords {
+		for _, m := range matches[kw] {
+			if inAnchor(m) {
+				resultMatches[kw] = append(resultMatches[kw], m)
+			}
+		}
+	}
+
+	var root *xmltree.Node
+	switch mode {
+	case ModeSubtree:
+		root = xmltree.DeepCopy(anchor)
+	case ModeXSeek:
+		keep := make(map[*xmltree.Node]bool)
+		keep[anchor] = true
+		addSubtree := func(n *xmltree.Node) {
+			n.Walk(func(m *xmltree.Node) bool { keep[m] = true; return true })
+		}
+		addAttrs := func(n *xmltree.Node) {
+			for _, c := range n.Children {
+				if cls != nil && cls.IsAttribute(c) {
+					addSubtree(c)
+				}
+			}
+		}
+		// A matched attribute displays with its value; a matched entity
+		// or connection node displays with its attribute children only —
+		// keeping a matched entity's whole subtree would defeat the
+		// trimming whenever a keyword matches the anchor's own tag.
+		addMatch := func(m *xmltree.Node) {
+			if cls != nil && cls.IsAttribute(m) {
+				addSubtree(m)
+				return
+			}
+			keep[m] = true
+			addAttrs(m)
+			// Keep direct text (mixed content / untyped leaves).
+			for _, c := range m.Children {
+				if c.IsText() {
+					keep[c] = true
+				}
+			}
+		}
+		addAttrs(anchor)
+		for _, ms := range resultMatches {
+			for _, m := range ms {
+				addMatch(m)
+				for p := m; p != anchor && p != nil; p = p.Parent {
+					keep[p] = true
+					if cls != nil && cls.IsEntity(p) {
+						addAttrs(p)
+					}
+				}
+			}
+		}
+		root = xmltree.ProjectSet(anchor, keep)
+	}
+	if root == nil {
+		root = xmltree.DeepCopy(anchor)
+	}
+
+	return &Result{
+		Root:    root,
+		Doc:     xmltree.NewDocument(root),
+		Anchor:  anchor,
+		LCA:     lca,
+		Matches: resultMatches,
+	}
+}

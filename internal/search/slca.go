@@ -1,0 +1,190 @@
+// Package search implements the XML keyword search engine substrate that
+// feeds eXtract. The demo system runs on top of XSeek; any engine producing
+// query-result trees works ("snippet generation is orthogonal to query
+// result generation", paper §3). This package provides the standard
+// machinery: SLCA computation in the style of Xu & Papakonstantinou
+// (indexed lookup over Dewey-ordered posting lists), ELCA computation in the
+// style of XRank (bottom-up exclusive counting), and XSeek-flavoured result
+// tree construction.
+package search
+
+import (
+	"sort"
+
+	"extract/xmltree"
+)
+
+// SLCA returns the Smallest Lowest Common Ancestors of the given keyword
+// match lists: nodes whose subtree contains at least one match from every
+// list and none of whose proper descendants does. Lists must be sorted in
+// document order (index posting lists are). The result is in document order.
+//
+// The algorithm follows the indexed-lookup approach: iterate the shortest
+// list; for each of its nodes find, in every other list, the closest match
+// in document order (predecessor or successor by Ord), and fold LCAs. The
+// candidate set is then reduced by removing ancestors of other candidates.
+func SLCA(lists ...[]*xmltree.Node) []*xmltree.Node {
+	if len(lists) == 0 {
+		return nil
+	}
+	for _, l := range lists {
+		if len(l) == 0 {
+			return nil
+		}
+	}
+	if len(lists) == 1 {
+		// Even with one keyword, a match whose descendant also matches
+		// is not a smallest LCA.
+		return smallestOnly(append([]*xmltree.Node(nil), lists[0]...))
+	}
+
+	// Work on the shortest list for the outer loop.
+	shortest := 0
+	for i, l := range lists {
+		if len(l) < len(lists[shortest]) {
+			shortest = i
+		}
+	}
+
+	var candidates []*xmltree.Node
+	for _, v := range lists[shortest] {
+		c := v
+		for i, l := range lists {
+			if i == shortest {
+				continue
+			}
+			u := closest(l, c)
+			c = xmltree.LCA(c, u)
+			if c == nil {
+				break
+			}
+		}
+		if c != nil {
+			candidates = append(candidates, c)
+		}
+	}
+	return smallestOnly(candidates)
+}
+
+// closest returns the node of the document-ordered list l whose LCA with v
+// is deepest, which is always either the predecessor or the successor of v
+// in document order.
+func closest(l []*xmltree.Node, v *xmltree.Node) *xmltree.Node {
+	i := sort.Search(len(l), func(i int) bool { return l[i].Ord >= v.Ord })
+	var pred, succ *xmltree.Node
+	if i < len(l) {
+		succ = l[i]
+	}
+	if i > 0 {
+		pred = l[i-1]
+	}
+	switch {
+	case pred == nil:
+		return succ
+	case succ == nil:
+		return pred
+	}
+	lp := xmltree.LCA(v, pred)
+	ls := xmltree.LCA(v, succ)
+	if lp.Depth() >= ls.Depth() {
+		return pred
+	}
+	return succ
+}
+
+// smallestOnly sorts candidates in document order, removes duplicates, and
+// removes every candidate that is an ancestor of another candidate.
+func smallestOnly(cands []*xmltree.Node) []*xmltree.Node {
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Ord < cands[j].Ord })
+	cands = dedupe(cands)
+	// In document order, an ancestor precedes its descendants, and all
+	// descendants are contiguous before any node outside the subtree. A
+	// single backward scan with a stack finds ancestors.
+	var out []*xmltree.Node
+	for i := 0; i < len(cands); i++ {
+		isAncestor := false
+		if i+1 < len(cands) {
+			isAncestor = cands[i].Dewey.IsAncestorOf(cands[i+1].Dewey)
+		}
+		if !isAncestor {
+			out = append(out, cands[i])
+		}
+	}
+	// One pass handles chains: if a < b < c with a ancestor of c but not
+	// of b, document order still places c after b; a is only removable if
+	// it is an ancestor of its immediate successor. Repeat until stable.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i+1 < len(out); i++ {
+			if out[i].Dewey.IsAncestorOf(out[i+1].Dewey) {
+				out = append(out[:i], out[i+1:]...)
+				changed = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+func dedupe(l []*xmltree.Node) []*xmltree.Node {
+	var out []*xmltree.Node
+	for _, n := range l {
+		if len(out) == 0 || out[len(out)-1] != n {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// SLCABrute is the reference implementation used by tests: for every node,
+// check whether its subtree contains a match from every list and no child
+// subtree does.
+func SLCABrute(doc *xmltree.Document, lists ...[]*xmltree.Node) []*xmltree.Node {
+	if len(lists) == 0 {
+		return nil
+	}
+	inList := make([]map[*xmltree.Node]bool, len(lists))
+	for i, l := range lists {
+		inList[i] = make(map[*xmltree.Node]bool, len(l))
+		for _, n := range l {
+			inList[i][n] = true
+		}
+	}
+	containsAll := func(n *xmltree.Node) bool {
+		found := make([]bool, len(lists))
+		n.Walk(func(m *xmltree.Node) bool {
+			for i := range lists {
+				if inList[i][m] {
+					found[i] = true
+				}
+			}
+			return true
+		})
+		for _, f := range found {
+			if !f {
+				return false
+			}
+		}
+		return true
+	}
+	var out []*xmltree.Node
+	for _, n := range doc.Nodes() {
+		if !containsAll(n) {
+			continue
+		}
+		childHasAll := false
+		for _, c := range n.Children {
+			if containsAll(c) {
+				childHasAll = true
+				break
+			}
+		}
+		if !childHasAll {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package selector
+
+import (
+	"extract/internal/classify"
+	"extract/internal/features"
+	"extract/internal/ilist"
+	"extract/xmltree"
+)
+
+// GreedyRatio is an alternative instance selector for the E12 ablation: at
+// every step it covers the affordable item maximizing importance/cost,
+// where importance is the positional weight 1/(1+rank), instead of walking
+// the IList strictly in rank order. Rank-order greedy (the paper's choice)
+// can burn budget on an expensive high-rank item; ratio greedy trades that
+// item for several cheap lower-ranked ones. The ablation measures whether
+// that trade ever pays on this workload.
+func GreedyRatio(doc *xmltree.Document, il *ilist.IList, cls *classify.Classification,
+	stats *features.Stats, bound int) *Snippet {
+
+	f := newFinder(doc, cls, stats)
+	tr := newTracker(cls, doc.Root)
+	edges := 0
+
+	remaining := make(map[int]bool, il.Len())
+	for i := range il.Items {
+		remaining[i] = true
+	}
+	var covered []int
+	markCovered := func() {
+		for i := range il.Items {
+			if remaining[i] && tr.covers(il.Items[i]) {
+				delete(remaining, i)
+				covered = append(covered, i)
+			}
+		}
+	}
+	markCovered()
+
+	for len(remaining) > 0 {
+		bestIdx, bestCost := -1, 0
+		bestRatio := -1.0
+		var bestPath []*xmltree.Node
+		for idx := range remaining {
+			it := il.Items[idx]
+			for _, inst := range f.instancesOf(it) {
+				c, path := tr.cost(inst)
+				if edges+c > bound {
+					continue
+				}
+				var ratio float64
+				if c == 0 {
+					ratio = 1e18 // free coverage always wins
+				} else {
+					ratio = (1.0 / float64(1+idx)) / float64(c)
+				}
+				// Deterministic tie-break: better ratio, then
+				// lower rank, then cheaper.
+				if ratio > bestRatio ||
+					(ratio == bestRatio && bestIdx >= 0 && idx < bestIdx) {
+					bestRatio, bestIdx, bestCost, bestPath = ratio, idx, c, path
+				}
+			}
+		}
+		if bestIdx < 0 {
+			break // nothing affordable remains
+		}
+		tr.addAll(bestPath)
+		edges += bestCost
+		delete(remaining, bestIdx)
+		covered = append(covered, bestIdx)
+		markCovered()
+	}
+
+	var skipped []int
+	for i := range il.Items {
+		if remaining[i] {
+			skipped = append(skipped, i)
+		}
+	}
+	sortInts(covered)
+	return materialize(doc, tr, covered, skipped, edges)
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package selector
+
+import (
+	"extract/internal/classify"
+	"extract/internal/ilist"
+	"extract/xmltree"
+)
+
+// Witnesses reports, for each IList item, whether the given tree (a snippet
+// from any algorithm, or a whole result) makes it visible: the keyword
+// appears in a label or displayed value, the entity label is present, the
+// feature's attribute occurs with its value under the right entity. Metrics
+// use this to score baseline snippets with the same rules as eXtract's own.
+func Witnesses(root *xmltree.Node, il *ilist.IList, cls *classify.Classification) []bool {
+	out := make([]bool, il.Len())
+	if root == nil {
+		return out
+	}
+	tr := newTracker(cls, root)
+	root.Walk(func(n *xmltree.Node) bool { tr.add(n); return true })
+	for i, it := range il.Items {
+		out[i] = tr.covers(it)
+	}
+	return out
+}
+
+// CoverageOf returns the fraction of IList items the tree witnesses, and
+// the rank-weighted fraction (weights 1/(1+rank), normalized). An empty
+// IList scores 1 on both.
+func CoverageOf(root *xmltree.Node, il *ilist.IList, cls *classify.Classification) (frac, weighted float64) {
+	if il.Len() == 0 {
+		return 1, 1
+	}
+	w := Witnesses(root, il, cls)
+	var hit, total, whit, wtotal float64
+	for i, ok := range w {
+		weight := 1.0 / float64(1+i)
+		total++
+		wtotal += weight
+		if ok {
+			hit++
+			whit += weight
+		}
+	}
+	return hit / total, whit / wtotal
+}

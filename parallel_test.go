@@ -1,0 +1,101 @@
+package extract
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"extract/internal/core"
+	"extract/internal/gen"
+	"extract/internal/search"
+)
+
+func manyStores(t *testing.T, n int) *Corpus {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("<stores>")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `<store><name>Store %d</name><state>Texas</state>
+		<merchandises><clothes><category>cat%d</category></clothes></merchandises></store>`, i, i%5)
+	}
+	b.WriteString("</stores>")
+	c, err := LoadString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestQueryParallelMatchesSequential: the fan-out path returns the same
+// hits in the same order as sequential generation.
+func TestQueryParallelMatchesSequential(t *testing.T) {
+	c := manyStores(t, 20)
+	hits, err := c.Query("store texas", 4) // ≥4 results triggers fan-out
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 20 {
+		t.Fatalf("hits = %d", len(hits))
+	}
+	for i, h := range hits {
+		if h == nil || h.Snippet == nil {
+			t.Fatalf("hit %d missing", i)
+		}
+		wantKey := fmt.Sprintf("Store %d", i)
+		if h.Snippet.ResultKey() != wantKey {
+			t.Errorf("hit %d key = %q, want %q (order broken?)", i, h.Snippet.ResultKey(), wantKey)
+		}
+		if h.Snippet.Edges() > 4 {
+			t.Errorf("hit %d edges = %d", i, h.Snippet.Edges())
+		}
+	}
+}
+
+func TestPipelineNParity(t *testing.T) {
+	corpus := core.BuildCorpus(gen.Stores(gen.StoresConfig{Retailers: 1, StoresPerRetailer: 12, ClothesPerStore: 6, Seed: 3}))
+	seq, err := core.PipelineN(corpus, "store texas", 5, search.Options{DistinctAnchors: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := core.PipelineN(corpus, "store texas", 5, search.Options{DistinctAnchors: true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) || len(seq) == 0 {
+		t.Fatalf("lengths: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].IList.String() != par[i].IList.String() {
+			t.Errorf("result %d IList differs", i)
+		}
+		if seq[i].Snippet.Edges != par[i].Snippet.Edges {
+			t.Errorf("result %d edges differ: %d vs %d", i, seq[i].Snippet.Edges, par[i].Snippet.Edges)
+		}
+	}
+}
+
+func TestSaveLoadIndexFacade(t *testing.T) {
+	c := manyStores(t, 6)
+	var buf bytes.Buffer
+	if err := c.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err1 := c.Query("store texas", 4)
+	b, err2 := loaded.Query("store texas", 4)
+	if err1 != nil || err2 != nil || len(a) != len(b) {
+		t.Fatalf("queries differ: %v %v %d %d", err1, err2, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Snippet.Inline() != b[i].Snippet.Inline() {
+			t.Errorf("hit %d differs after index round trip", i)
+		}
+	}
+	if _, err := LoadIndex(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("junk index accepted")
+	}
+}

@@ -1,0 +1,132 @@
+// Package xmltree provides the XML document model used throughout eXtract:
+// an ordered labeled tree with Dewey identifiers, parsing from standard XML
+// syntax, serialization, rendering and tree projections.
+//
+// The model follows the paper's view of XML data: element nodes carry labels
+// (tags), text nodes carry values, and XML attributes are normalized into
+// element nodes with a single text child so that the XSeek-style node
+// classification (entity / attribute / connection) applies uniformly.
+package xmltree
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Dewey is a hierarchical node identifier. The root of a document has the
+// empty Dewey; the i-th child (0-based) of a node with identifier d has
+// identifier d.i. Dewey identifiers order nodes in document order and make
+// ancestor tests and lowest-common-ancestor computation O(depth).
+type Dewey []int
+
+// Child returns the Dewey identifier of the i-th child of d. The result does
+// not share storage with d.
+func (d Dewey) Child(i int) Dewey {
+	c := make(Dewey, len(d)+1)
+	copy(c, d)
+	c[len(d)] = i
+	return c
+}
+
+// Clone returns an independent copy of d.
+func (d Dewey) Clone() Dewey {
+	c := make(Dewey, len(d))
+	copy(c, d)
+	return c
+}
+
+// Compare orders Dewey identifiers in document order: ancestors precede
+// descendants, and siblings order by child index. It returns -1, 0 or +1.
+func (d Dewey) Compare(o Dewey) int {
+	n := len(d)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case d[i] < o[i]:
+			return -1
+		case d[i] > o[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(d) < len(o):
+		return -1
+	case len(d) > len(o):
+		return 1
+	}
+	return 0
+}
+
+// Equal reports whether d and o identify the same node.
+func (d Dewey) Equal(o Dewey) bool { return d.Compare(o) == 0 }
+
+// IsAncestorOf reports whether d is a strict ancestor of o.
+func (d Dewey) IsAncestorOf(o Dewey) bool {
+	if len(d) >= len(o) {
+		return false
+	}
+	for i := range d {
+		if d[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsAncestorOrSelf reports whether d is o or a strict ancestor of o.
+func (d Dewey) IsAncestorOrSelf(o Dewey) bool {
+	return d.Equal(o) || d.IsAncestorOf(o)
+}
+
+// LCA returns the Dewey identifier of the lowest common ancestor of d and o:
+// their longest common prefix.
+func (d Dewey) LCA(o Dewey) Dewey {
+	n := len(d)
+	if len(o) < n {
+		n = len(o)
+	}
+	i := 0
+	for i < n && d[i] == o[i] {
+		i++
+	}
+	return d[:i].Clone()
+}
+
+// Level returns the depth of the node identified by d; the root has level 0.
+func (d Dewey) Level() int { return len(d) }
+
+// String renders d as dot-separated child indices; the root renders as "/".
+func (d Dewey) String() string {
+	if len(d) == 0 {
+		return "/"
+	}
+	var b strings.Builder
+	for i, c := range d {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.Itoa(c))
+	}
+	return b.String()
+}
+
+// ParseDewey parses the textual form produced by String. It accepts "/" for
+// the root and dot-separated non-negative integers otherwise.
+func ParseDewey(s string) (Dewey, error) {
+	if s == "/" || s == "" {
+		return Dewey{}, nil
+	}
+	parts := strings.Split(s, ".")
+	d := make(Dewey, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("xmltree: invalid dewey component %q in %q", p, s)
+		}
+		d[i] = v
+	}
+	return d, nil
+}

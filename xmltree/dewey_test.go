@@ -1,0 +1,149 @@
+package xmltree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeweyChild(t *testing.T) {
+	root := Dewey{}
+	c0 := root.Child(0)
+	c01 := c0.Child(1)
+	if got := c01.String(); got != "0.1" {
+		t.Errorf("Child chain = %q, want 0.1", got)
+	}
+	// Child must not alias the parent's storage.
+	c02 := c0.Child(2)
+	if c01[1] != 1 || c02[1] != 2 {
+		t.Errorf("Child aliased storage: %v %v", c01, c02)
+	}
+}
+
+func TestDeweyCompare(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"/", "/", 0},
+		{"/", "0", -1},
+		{"0", "/", 1},
+		{"0.1", "0.1", 0},
+		{"0.1", "0.2", -1},
+		{"0.2", "0.1", 1},
+		{"0", "0.5", -1}, // ancestor precedes descendant
+		{"1", "0.5", 1},  // later sibling subtree
+		{"0.9", "1", -1}, // document order across subtrees
+		{"2.0.1", "2.1", -1},
+	}
+	for _, c := range cases {
+		a, err := ParseDewey(c.a)
+		if err != nil {
+			t.Fatalf("ParseDewey(%q): %v", c.a, err)
+		}
+		b, err := ParseDewey(c.b)
+		if err != nil {
+			t.Fatalf("ParseDewey(%q): %v", c.b, err)
+		}
+		if got := a.Compare(b); got != c.want {
+			t.Errorf("Compare(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDeweyAncestor(t *testing.T) {
+	a := Dewey{0, 1}
+	b := Dewey{0, 1, 4, 2}
+	if !a.IsAncestorOf(b) {
+		t.Errorf("%v should be ancestor of %v", a, b)
+	}
+	if b.IsAncestorOf(a) {
+		t.Errorf("%v should not be ancestor of %v", b, a)
+	}
+	if a.IsAncestorOf(a) {
+		t.Errorf("strict ancestor must exclude self")
+	}
+	if !a.IsAncestorOrSelf(a) {
+		t.Errorf("IsAncestorOrSelf must include self")
+	}
+	if !(Dewey{}).IsAncestorOf(a) {
+		t.Errorf("root is ancestor of everything")
+	}
+}
+
+func TestDeweyLCA(t *testing.T) {
+	a := Dewey{0, 1, 2}
+	b := Dewey{0, 1, 5, 3}
+	if got := a.LCA(b).String(); got != "0.1" {
+		t.Errorf("LCA = %s, want 0.1", got)
+	}
+	if got := a.LCA(a); !got.Equal(a) {
+		t.Errorf("LCA(a,a) = %v, want a", got)
+	}
+	if got := a.LCA(Dewey{9}); len(got) != 0 {
+		t.Errorf("disjoint LCA = %v, want root", got)
+	}
+}
+
+func TestParseDeweyRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"a", "1..2", "-1", "1.x", "1.-2"} {
+		if _, err := ParseDewey(s); err == nil {
+			t.Errorf("ParseDewey(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func randomDewey(r *rand.Rand) Dewey {
+	n := r.Intn(6)
+	d := make(Dewey, n)
+	for i := range d {
+		d[i] = r.Intn(5)
+	}
+	return d
+}
+
+// Property: Compare is a total order consistent with String round-trips and
+// with the ancestor relation.
+func TestDeweyProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+
+	roundTrip := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDewey(r)
+		p, err := ParseDewey(d.String())
+		return err == nil && p.Equal(d)
+	}
+	if err := quick.Check(roundTrip, cfg); err != nil {
+		t.Errorf("round trip: %v", err)
+	}
+
+	antisym := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomDewey(r), randomDewey(r)
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(antisym, cfg); err != nil {
+		t.Errorf("antisymmetry: %v", err)
+	}
+
+	ancestorOrder := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomDewey(r)
+		b := a.Child(r.Intn(4)).Child(r.Intn(4))
+		return a.IsAncestorOf(b) && a.Compare(b) < 0 && a.LCA(b).Equal(a)
+	}
+	if err := quick.Check(ancestorOrder, cfg); err != nil {
+		t.Errorf("ancestor order: %v", err)
+	}
+
+	lcaCommutes := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomDewey(r), randomDewey(r)
+		l := a.LCA(b)
+		return l.Equal(b.LCA(a)) &&
+			l.IsAncestorOrSelf(a) && l.IsAncestorOrSelf(b)
+	}
+	if err := quick.Check(lcaCommutes, cfg); err != nil {
+		t.Errorf("lca: %v", err)
+	}
+}

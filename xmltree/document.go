@@ -1,0 +1,170 @@
+package xmltree
+
+// Document is a finalized XML tree: Dewey identifiers and preorder positions
+// have been assigned to every node, and the preorder node sequence is
+// materialized for index construction.
+type Document struct {
+	Root *Node
+
+	// InternalSubset holds the DTD declarations of the document's
+	// DOCTYPE internal subset, when Parse found one ("" otherwise).
+	InternalSubset string
+
+	nodes []*Node // preorder
+}
+
+// NewDocument finalizes the tree rooted at root into a Document: it fixes
+// parent pointers, assigns Dewey identifiers (root = empty Dewey) and
+// preorder positions, and materializes the node sequence. The tree is
+// modified in place; root may be nil, producing an empty document.
+func NewDocument(root *Node) *Document {
+	d := &Document{Root: root}
+	if root == nil {
+		return d
+	}
+	root.Parent = nil
+	var assign func(n *Node, dw Dewey)
+	assign = func(n *Node, dw Dewey) {
+		n.Dewey = dw
+		n.Ord = len(d.nodes)
+		d.nodes = append(d.nodes, n)
+		for i, c := range n.Children {
+			c.Parent = n
+			assign(c, dw.Child(i))
+		}
+	}
+	assign(root, Dewey{})
+	return d
+}
+
+// Nodes returns all nodes of the document in document (preorder) order. The
+// returned slice must not be modified.
+func (d *Document) Nodes() []*Node { return d.nodes }
+
+// Len returns the number of nodes in the document.
+func (d *Document) Len() int { return len(d.nodes) }
+
+// NodeAt resolves a Dewey identifier to its node, or nil if out of range.
+func (d *Document) NodeAt(dw Dewey) *Node {
+	n := d.Root
+	if n == nil {
+		return nil
+	}
+	for _, i := range dw {
+		if i < 0 || i >= len(n.Children) {
+			return nil
+		}
+		n = n.Children[i]
+	}
+	return n
+}
+
+// ByOrd resolves a preorder position to its node, or nil if out of range.
+func (d *Document) ByOrd(ord int) *Node {
+	if ord < 0 || ord >= len(d.nodes) {
+		return nil
+	}
+	return d.nodes[ord]
+}
+
+// Stats summarizes a document's shape; used by experiment reports.
+type Stats struct {
+	Nodes     int
+	Elements  int
+	Texts     int
+	Attrs     int // elements synthesized from XML attributes
+	MaxDepth  int
+	Labels    int // distinct element labels
+	TextBytes int
+}
+
+// ComputeStats walks the document once and returns its Stats.
+func (d *Document) ComputeStats() Stats {
+	var s Stats
+	labels := make(map[string]bool)
+	for _, n := range d.nodes {
+		s.Nodes++
+		if dep := len(n.Dewey); dep > s.MaxDepth {
+			s.MaxDepth = dep
+		}
+		switch n.Kind {
+		case KindElement:
+			s.Elements++
+			labels[n.Label] = true
+			if n.FromAttr {
+				s.Attrs++
+			}
+		case KindText:
+			s.Texts++
+			s.TextBytes += len(n.Value)
+		}
+	}
+	s.Labels = len(labels)
+	return s
+}
+
+// Project builds a new tree containing copies of exactly the nodes of root's
+// subtree for which keep returns true, preserving document order and
+// ancestor relationships. A kept node whose ancestors are not all kept is
+// attached to its nearest kept ancestor. Copies carry Origin pointers to
+// their source nodes. It returns nil if no node is kept.
+//
+// Projections build query-result trees from match sets and snippet trees
+// from selected instance sets.
+func Project(root *Node, keep func(*Node) bool) *Node {
+	var build func(n *Node, parentCopy *Node) *Node
+	build = func(n *Node, parentCopy *Node) *Node {
+		var copy *Node
+		attach := parentCopy
+		if keep(n) {
+			copy = &Node{
+				Kind:     n.Kind,
+				Label:    n.Label,
+				Value:    n.Value,
+				FromAttr: n.FromAttr,
+				Origin:   n,
+			}
+			if parentCopy != nil {
+				copy.Parent = parentCopy
+				parentCopy.Children = append(parentCopy.Children, copy)
+			}
+			attach = copy
+		}
+		for _, c := range n.Children {
+			r := build(c, attach)
+			if copy == nil && r != nil {
+				// A kept descendant with no kept ancestor yet
+				// becomes a candidate root. Only the first one
+				// survives as the projection root; the caller's
+				// keep sets are ancestor-closed in practice.
+				copy = r
+				attach = parentCopy
+			}
+		}
+		return copy
+	}
+	return build(root, nil)
+}
+
+// ProjectSet is Project with an explicit node set. The set is closed over
+// ancestors up to root before projecting, guaranteeing a single connected
+// projection rooted at root (if the set is non-empty).
+func ProjectSet(root *Node, set map[*Node]bool) *Node {
+	if len(set) == 0 {
+		return nil
+	}
+	closed := make(map[*Node]bool, len(set)*2)
+	for n := range set {
+		for m := n; m != nil; m = m.Parent {
+			if closed[m] {
+				break
+			}
+			closed[m] = true
+			if m == root {
+				break
+			}
+		}
+	}
+	closed[root] = true
+	return Project(root, func(n *Node) bool { return closed[n] })
+}

@@ -1,0 +1,270 @@
+package xmltree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildSample() *Document {
+	root := Elem("retailer",
+		Attr("name", "Brook Brothers"),
+		Attr("product", "apparel"),
+		Elem("store",
+			Attr("state", "Texas"),
+			Attr("city", "Houston"),
+			Elem("merchandises",
+				Elem("clothes", Attr("category", "suit"), Attr("fitting", "man")),
+				Elem("clothes", Attr("category", "outwear"), Attr("fitting", "woman")),
+			),
+		),
+	)
+	return NewDocument(root)
+}
+
+func TestNodeHelpers(t *testing.T) {
+	doc := buildSample()
+	root := doc.Root
+	if root.Depth() != 0 {
+		t.Errorf("root depth = %d", root.Depth())
+	}
+	store := root.ChildElement("store")
+	m := store.ChildElement("merchandises")
+	if m.Depth() != 2 {
+		t.Errorf("merchandises depth = %d", m.Depth())
+	}
+	if got := len(root.ChildElements("store")); got != 1 {
+		t.Errorf("stores = %d", got)
+	}
+	suit := root.Descendant("store", "merchandises", "clothes", "category")
+	if suit == nil || suit.TextValue() != "suit" {
+		t.Errorf("Descendant navigation = %v", suit)
+	}
+	if got := root.NodeCount(); got != 21 {
+		t.Errorf("NodeCount = %d, want 21", got)
+	}
+	if got := root.EdgeCount(); got != 20 {
+		t.Errorf("EdgeCount = %d, want 20", got)
+	}
+	if got := m.Root(); got != root {
+		t.Errorf("Root() = %v", got)
+	}
+	txt := root.Text()
+	if txt == "" || !contains(txt, "Houston") || !contains(txt, "suit") {
+		t.Errorf("Text() = %q", txt)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestLCANode(t *testing.T) {
+	doc := buildSample()
+	store := doc.Root.ChildElement("store")
+	clothes := store.ChildElement("merchandises").Children
+	got := LCA(clothes[0], clothes[1])
+	if got == nil || got.Label != "merchandises" {
+		t.Errorf("LCA = %v", got)
+	}
+	if LCA(doc.Root, clothes[0]) != doc.Root {
+		t.Errorf("LCA with root must be root")
+	}
+	if LCA(clothes[0], clothes[0]) != clothes[0] {
+		t.Errorf("LCA self")
+	}
+	// LCA agrees with Dewey LCA.
+	dl := clothes[0].Dewey.LCA(clothes[1].Dewey)
+	if doc.NodeAt(dl) != got {
+		t.Errorf("Dewey LCA disagrees with pointer LCA")
+	}
+}
+
+func TestPathTo(t *testing.T) {
+	doc := buildSample()
+	store := doc.Root.ChildElement("store")
+	cat := doc.Root.Descendant("store", "merchandises", "clothes", "category")
+	path := cat.PathTo(store)
+	if len(path) != 3 {
+		t.Fatalf("path len = %d, want 3", len(path))
+	}
+	if path[0].Label != "merchandises" || path[2] != cat {
+		t.Errorf("path = %v", path)
+	}
+	if got := cat.PathTo(cat); len(got) != 0 {
+		t.Errorf("PathTo self = %v", got)
+	}
+	other := Elem("other")
+	if got := cat.PathTo(other); got != nil {
+		t.Errorf("PathTo non-ancestor = %v", got)
+	}
+}
+
+func TestProjectSet(t *testing.T) {
+	doc := buildSample()
+	store := doc.Root.ChildElement("store")
+	city := store.ChildElement("city")
+	cat := doc.Root.Descendant("store", "merchandises", "clothes", "category")
+
+	proj := ProjectSet(doc.Root, map[*Node]bool{city: true, cat: true})
+	if proj == nil || proj.Label != "retailer" {
+		t.Fatalf("projection root = %v", proj)
+	}
+	// The projection contains the ancestor closure only.
+	pd := NewDocument(proj)
+	var labels []string
+	for _, n := range pd.Nodes() {
+		if n.IsElement() {
+			labels = append(labels, n.Label)
+		}
+	}
+	want := []string{"retailer", "store", "city", "merchandises", "clothes", "category"}
+	if len(labels) != len(want) {
+		t.Fatalf("projected labels = %v, want %v", labels, want)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("projected labels = %v, want %v", labels, want)
+		}
+	}
+	// Origin pointers chain back to the source tree.
+	if pd.Root.Origin != doc.Root {
+		t.Error("origin of projected root not set")
+	}
+	// Text children of kept attribute-shaped nodes are not kept unless
+	// selected; city projects as a bare element here.
+	cityCopy := pd.Root.Descendant("store", "city")
+	if cityCopy == nil {
+		t.Fatal("city lost in projection")
+	}
+	if len(cityCopy.Children) != 0 {
+		t.Errorf("city copy has children %v; text was not selected", cityCopy.Children)
+	}
+}
+
+func TestProjectSetWithText(t *testing.T) {
+	doc := buildSample()
+	store := doc.Root.ChildElement("store")
+	city := store.ChildElement("city")
+	set := map[*Node]bool{city: true, city.Children[0]: true}
+	proj := ProjectSet(doc.Root, set)
+	pd := NewDocument(proj)
+	cityCopy := pd.Root.Descendant("store", "city")
+	if cityCopy.TextValue() != "Houston" {
+		t.Errorf("city text lost: %v", RenderInline(proj))
+	}
+}
+
+func TestProjectEmpty(t *testing.T) {
+	doc := buildSample()
+	if got := ProjectSet(doc.Root, nil); got != nil {
+		t.Errorf("empty projection = %v", got)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	doc := buildSample()
+	s := doc.ComputeStats()
+	if s.Nodes != 21 || s.Elements != 13 || s.Texts != 8 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.MaxDepth != 5 {
+		t.Errorf("max depth = %d", s.MaxDepth)
+	}
+	if s.Labels != 10 {
+		t.Errorf("labels = %d", s.Labels)
+	}
+}
+
+// randomTree builds a random tree with n element nodes for property tests.
+func randomTree(r *rand.Rand, n int) *Document {
+	labels := []string{"a", "b", "c", "d", "e"}
+	nodes := []*Node{Elem(labels[r.Intn(len(labels))])}
+	for len(nodes) < n {
+		parent := nodes[r.Intn(len(nodes))]
+		var child *Node
+		if r.Intn(4) == 0 {
+			child = Attr(labels[r.Intn(len(labels))], "v")
+		} else {
+			child = Elem(labels[r.Intn(len(labels))])
+		}
+		Append(parent, child)
+		nodes = append(nodes, child)
+	}
+	return NewDocument(nodes[0])
+}
+
+// Property: in any document, pointer LCA and Dewey LCA agree, and document
+// order by Ord equals document order by Dewey.
+func TestDocumentProperties(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := randomTree(r, 2+r.Intn(40))
+		ns := doc.Nodes()
+		a := ns[r.Intn(len(ns))]
+		b := ns[r.Intn(len(ns))]
+		l := LCA(a, b)
+		if doc.NodeAt(a.Dewey.LCA(b.Dewey)) != l {
+			return false
+		}
+		if (a.Ord < b.Ord) != (a.Dewey.Compare(b.Dewey) < 0) && a != b {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ProjectSet yields a connected subtree whose node origins are
+// exactly the ancestor closure of the selected set.
+func TestProjectProperties(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := randomTree(r, 2+r.Intn(40))
+		ns := doc.Nodes()
+		set := map[*Node]bool{}
+		for i := 0; i < 1+r.Intn(5); i++ {
+			set[ns[r.Intn(len(ns))]] = true
+		}
+		proj := ProjectSet(doc.Root, set)
+		if proj == nil {
+			return false
+		}
+		// Compute expected closure.
+		closure := map[*Node]bool{doc.Root: true}
+		for n := range set {
+			for m := n; m != nil; m = m.Parent {
+				closure[m] = true
+			}
+		}
+		seen := 0
+		ok := true
+		proj.Walk(func(c *Node) bool {
+			seen++
+			if c.Origin == nil || !closure[c.Origin] {
+				ok = false
+			}
+			// Connectivity: every non-root copy has a parent.
+			if c != proj && c.Parent == nil {
+				ok = false
+			}
+			return true
+		})
+		return ok && seen == len(closure)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

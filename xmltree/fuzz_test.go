@@ -1,0 +1,73 @@
+package xmltree
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that whatever Parse accepts, WriteXML emits in a form
+// Parse accepts again with the same structure — and that rejection never
+// panics. Runs its seed corpus under plain `go test`; `go test -fuzz`
+// explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<a/>`,
+		`<a><b>x</b><b>y</b></a>`,
+		`<a k="v"><c/></a>`,
+		`<a>text <b/> tail</a>`,
+		`<a xmlns:n="u"><n:b/></a>`,
+		`<!DOCTYPE a [<!ELEMENT a (b*)>]><a><b/></a>`,
+		`<a><![CDATA[raw <stuff>]]></a>`,
+		`<a>&amp;&lt;&gt;</a>`,
+		`<a`, `</a>`, `<a><b></a></b>`, ``, `plain`,
+		"<a>\xff\xfe</a>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := ParseString(src, WithMaxNodes(10_000))
+		if err != nil {
+			return
+		}
+		out := XMLString(doc.Root)
+		doc2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\ninput: %q\nserialized: %q", err, src, out)
+		}
+		// Element structure is preserved (text may merge/trim).
+		if a, b := countKind(doc.Root, KindElement), countKind(doc2.Root, KindElement); a != b {
+			t.Fatalf("element count %d -> %d\ninput: %q", a, b, src)
+		}
+	})
+}
+
+func countKind(n *Node, k Kind) int {
+	c := 0
+	n.Walk(func(m *Node) bool {
+		if m.Kind == k {
+			c++
+		}
+		return true
+	})
+	return c
+}
+
+// FuzzParseDewey checks ParseDewey/String round trips and that Compare
+// never panics on arbitrary parsed values.
+func FuzzParseDewey(f *testing.F) {
+	for _, s := range []string{"/", "0", "1.2.3", "9.9.9.9", "x", "-1", "1..2", ""} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDewey(s)
+		if err != nil {
+			return
+		}
+		rt, err := ParseDewey(d.String())
+		if err != nil || !rt.Equal(d) {
+			t.Fatalf("round trip: %q -> %v -> %v (%v)", s, d, rt, err)
+		}
+		_ = d.Compare(Dewey{1, 2})
+		_ = d.IsAncestorOf(Dewey{0})
+	})
+}

@@ -1,0 +1,92 @@
+package xmltree
+
+import (
+	"html"
+	"strings"
+	"unicode"
+)
+
+// RenderHTML renders n's subtree as a nested HTML list with the given
+// keywords highlighted (<mark>), for the web demo: element labels as
+// <span class="tag">, attribute values inline, text quoted. Keywords are
+// matched on whole lowercase tokens, like the query tokenizer. The output
+// is fully escaped.
+func RenderHTML(n *Node, keywords []string) string {
+	kw := make(map[string]bool, len(keywords))
+	for _, k := range keywords {
+		kw[strings.ToLower(k)] = true
+	}
+	var b strings.Builder
+	b.WriteString(`<ul class="xmltree">`)
+	renderHTMLNode(&b, n, kw)
+	b.WriteString(`</ul>`)
+	return b.String()
+}
+
+func renderHTMLNode(b *strings.Builder, n *Node, kw map[string]bool) {
+	b.WriteString("<li>")
+	switch {
+	case n.IsText():
+		b.WriteString(`"`)
+		b.WriteString(highlight(n.Value, kw))
+		b.WriteString(`"`)
+	case n.HasSingleTextChild():
+		b.WriteString(`<span class="tag">`)
+		b.WriteString(highlight(n.Label, kw))
+		b.WriteString(`</span>: "`)
+		b.WriteString(highlight(n.Children[0].Value, kw))
+		b.WriteString(`"`)
+	default:
+		b.WriteString(`<span class="tag">`)
+		b.WriteString(highlight(n.Label, kw))
+		b.WriteString(`</span>`)
+		if len(n.Children) > 0 {
+			b.WriteString("<ul>")
+			for _, c := range n.Children {
+				renderHTMLNode(b, c, kw)
+			}
+			b.WriteString("</ul>")
+		}
+	}
+	b.WriteString("</li>")
+}
+
+// highlight escapes s and wraps keyword tokens in <mark>. Token boundaries
+// follow the index tokenizer: letters and digits form tokens.
+func highlight(s string, kw map[string]bool) string {
+	if len(kw) == 0 {
+		return html.EscapeString(s)
+	}
+	var b strings.Builder
+	var tok strings.Builder
+	flush := func() {
+		if tok.Len() == 0 {
+			return
+		}
+		t := tok.String()
+		if kw[strings.ToLower(t)] {
+			b.WriteString("<mark>")
+			b.WriteString(html.EscapeString(t))
+			b.WriteString("</mark>")
+		} else {
+			b.WriteString(html.EscapeString(t))
+		}
+		tok.Reset()
+	}
+	for _, r := range s {
+		if isTokenRune(r) {
+			tok.WriteRune(r)
+		} else {
+			flush()
+			b.WriteString(html.EscapeString(string(r)))
+		}
+	}
+	flush()
+	return b.String()
+}
+
+// isTokenRune mirrors the index tokenizer's token alphabet (letters and
+// digits) so highlighting agrees with matching.
+func isTokenRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,68 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderHTMLBasic(t *testing.T) {
+	doc, err := ParseString(`<store><name>Levis</name><merchandises><clothes><category>jeans</category></clothes></merchandises></store>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderHTML(doc.Root, []string{"jeans", "store"})
+	for _, want := range []string{
+		`<mark>store</mark>`,
+		`<mark>jeans</mark>`,
+		`<span class="tag">name</span>: "Levis"`,
+		`<ul class="xmltree">`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "<mark>Levis</mark>") {
+		t.Error("non-keyword highlighted")
+	}
+}
+
+func TestRenderHTMLEscapes(t *testing.T) {
+	doc, err := ParseString(`<a><b>x &lt;script&gt; y</b></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderHTML(doc.Root, []string{"script"})
+	if strings.Contains(out, "<script>") {
+		t.Errorf("unescaped markup: %s", out)
+	}
+	if !strings.Contains(out, "&lt;<mark>script</mark>&gt;") {
+		t.Errorf("escaped highlight wrong: %s", out)
+	}
+}
+
+func TestRenderHTMLCaseInsensitive(t *testing.T) {
+	doc, _ := ParseString(`<a><city>Houston</city></a>`)
+	out := RenderHTML(doc.Root, []string{"houston"})
+	if !strings.Contains(out, "<mark>Houston</mark>") {
+		t.Errorf("case-insensitive highlight failed: %s", out)
+	}
+}
+
+func TestRenderHTMLWholeTokenOnly(t *testing.T) {
+	doc, _ := ParseString(`<a><v>texan texas</v></a>`)
+	out := RenderHTML(doc.Root, []string{"texas"})
+	if strings.Contains(out, "<mark>texan</mark>") {
+		t.Error("substring token highlighted")
+	}
+	if !strings.Contains(out, "<mark>texas</mark>") {
+		t.Error("exact token not highlighted")
+	}
+}
+
+func TestRenderHTMLNoKeywords(t *testing.T) {
+	doc, _ := ParseString(`<a><b>x</b></a>`)
+	out := RenderHTML(doc.Root, nil)
+	if strings.Contains(out, "<mark>") {
+		t.Error("highlight without keywords")
+	}
+}

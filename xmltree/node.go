@@ -1,0 +1,234 @@
+package xmltree
+
+import (
+	"strings"
+)
+
+// Kind discriminates the two node kinds of the model.
+type Kind uint8
+
+const (
+	// KindElement is an element node carrying a Label (tag name).
+	KindElement Kind = iota
+	// KindText is a text node carrying a Value.
+	KindText
+)
+
+// String returns a short name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindElement:
+		return "element"
+	case KindText:
+		return "text"
+	default:
+		return "invalid"
+	}
+}
+
+// Node is a node of an XML tree. Element nodes have a Label and children;
+// text nodes have a Value and no children. XML attributes are normalized
+// during parsing into element nodes with FromAttr set and a single text
+// child, matching the paper's uniform treatment of attributes.
+type Node struct {
+	Kind  Kind
+	Label string // tag name for elements; empty for text nodes
+	Value string // text content for text nodes; empty for elements
+
+	// FromAttr marks element nodes synthesized from XML attributes.
+	FromAttr bool
+
+	Parent   *Node
+	Children []*Node
+
+	// Dewey is the node identifier within its document; assigned by
+	// NewDocument and by Parse.
+	Dewey Dewey
+
+	// Ord is the preorder position of the node within its document.
+	Ord int
+
+	// Origin, when non-nil, points at the node this one was projected
+	// from (see Project). Query-result trees and snippet trees keep
+	// Origin chains back to the source document.
+	Origin *Node
+}
+
+// IsElement reports whether n is an element node.
+func (n *Node) IsElement() bool { return n.Kind == KindElement }
+
+// IsText reports whether n is a text node.
+func (n *Node) IsText() bool { return n.Kind == KindText }
+
+// Root returns the root of the tree containing n.
+func (n *Node) Root() *Node {
+	for n.Parent != nil {
+		n = n.Parent
+	}
+	return n
+}
+
+// Depth returns the number of edges from n to its tree root.
+func (n *Node) Depth() int {
+	d := 0
+	for p := n.Parent; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// HasSingleTextChild reports whether n is an element whose only child is a
+// text node — the structural shape of an attribute in the paper's model.
+func (n *Node) HasSingleTextChild() bool {
+	return n.IsElement() && len(n.Children) == 1 && n.Children[0].IsText()
+}
+
+// TextValue returns the value of n's single text child, or the empty string
+// if n does not have exactly one text child.
+func (n *Node) TextValue() string {
+	if n.HasSingleTextChild() {
+		return n.Children[0].Value
+	}
+	return ""
+}
+
+// Text returns the concatenation of all text values in n's subtree in
+// document order, separated by single spaces.
+func (n *Node) Text() string {
+	var parts []string
+	n.Walk(func(m *Node) bool {
+		if m.IsText() && m.Value != "" {
+			parts = append(parts, m.Value)
+		}
+		return true
+	})
+	return strings.Join(parts, " ")
+}
+
+// Walk visits n and its descendants in document order. If fn returns false
+// for a node, that node's descendants are skipped.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if n == nil {
+		return
+	}
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// NodeCount returns the number of nodes in n's subtree, including n.
+func (n *Node) NodeCount() int {
+	count := 0
+	n.Walk(func(*Node) bool { count++; return true })
+	return count
+}
+
+// EdgeCount returns the number of edges in n's subtree. Snippet size bounds
+// in the paper are expressed in edges.
+func (n *Node) EdgeCount() int {
+	c := n.NodeCount()
+	if c == 0 {
+		return 0
+	}
+	return c - 1
+}
+
+// ChildElement returns the first child element labeled label, or nil.
+func (n *Node) ChildElement(label string) *Node {
+	for _, c := range n.Children {
+		if c.IsElement() && c.Label == label {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildElements returns all child elements labeled label.
+func (n *Node) ChildElements(label string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.IsElement() && c.Label == label {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Descendant returns the first element in n's subtree (in document order)
+// whose label path from n matches the given labels, or nil. For example,
+// Descendant("store", "city") finds the first city under the first store
+// that has one.
+func (n *Node) Descendant(labels ...string) *Node {
+	cur := n
+	for _, l := range labels {
+		next := cur.ChildElement(l)
+		if next == nil {
+			return nil
+		}
+		cur = next
+	}
+	return cur
+}
+
+// AncestorOrSelfIn returns the nearest ancestor-or-self of n contained in
+// set, or nil if none is.
+func (n *Node) AncestorOrSelfIn(set map[*Node]bool) *Node {
+	for m := n; m != nil; m = m.Parent {
+		if set[m] {
+			return m
+		}
+	}
+	return nil
+}
+
+// PathTo returns the nodes strictly between ancestor and n, plus n itself,
+// ordered from just below ancestor down to n. It returns nil if ancestor is
+// not an ancestor of n. PathTo(n, n) returns an empty path.
+func (n *Node) PathTo(ancestor *Node) []*Node {
+	var rev []*Node
+	for m := n; m != ancestor; m = m.Parent {
+		if m == nil {
+			return nil
+		}
+		rev = append(rev, m)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// String renders a short description of the node for debugging.
+func (n *Node) String() string {
+	if n == nil {
+		return "<nil>"
+	}
+	if n.IsText() {
+		return "#text(" + n.Value + ")"
+	}
+	return "<" + n.Label + ">@" + n.Dewey.String()
+}
+
+// LCA returns the lowest common ancestor of a and b within their shared
+// tree, or nil if they are in different trees.
+func LCA(a, b *Node) *Node {
+	da, db := a.Depth(), b.Depth()
+	for da > db {
+		a = a.Parent
+		da--
+	}
+	for db > da {
+		b = b.Parent
+		db--
+	}
+	for a != b {
+		if a == nil || b == nil {
+			return nil
+		}
+		a, b = a.Parent, b.Parent
+	}
+	return a
+}

@@ -1,0 +1,187 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+const storeXML = `
+<retailer>
+  <name>Brook Brothers</name>
+  <product>apparel</product>
+  <store id="s1">
+    <state>Texas</state>
+    <city>Houston</city>
+    <merchandises>
+      <clothes><category>suit</category><fitting>man</fitting></clothes>
+    </merchandises>
+  </store>
+</retailer>`
+
+func TestParseBasic(t *testing.T) {
+	doc, err := ParseString(storeXML)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if doc.Root.Label != "retailer" {
+		t.Fatalf("root = %q, want retailer", doc.Root.Label)
+	}
+	name := doc.Root.ChildElement("name")
+	if name == nil || name.TextValue() != "Brook Brothers" {
+		t.Fatalf("name = %v", name)
+	}
+	store := doc.Root.ChildElement("store")
+	if store == nil {
+		t.Fatal("no store element")
+	}
+	// The id attribute is normalized to an attribute-shaped child.
+	id := store.ChildElement("id")
+	if id == nil || !id.FromAttr || id.TextValue() != "s1" {
+		t.Fatalf("id attr = %v", id)
+	}
+	city := store.ChildElement("city")
+	if city == nil || city.TextValue() != "Houston" {
+		t.Fatalf("city = %v", city)
+	}
+}
+
+func TestParseAttributesDisabled(t *testing.T) {
+	doc, err := ParseString(`<a x="1"><b/></a>`, WithAttributes(false))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if doc.Root.ChildElement("x") != nil {
+		t.Error("attribute kept despite WithAttributes(false)")
+	}
+	if doc.Root.ChildElement("b") == nil {
+		t.Error("element child lost")
+	}
+}
+
+func TestParseDeweyAssignment(t *testing.T) {
+	doc, err := ParseString(`<a><b><c/></b><d/></a>`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := doc.Root.Dewey.String(); got != "/" {
+		t.Errorf("root dewey = %s", got)
+	}
+	b := doc.Root.Children[0]
+	c := b.Children[0]
+	d := doc.Root.Children[1]
+	if b.Dewey.String() != "0" || c.Dewey.String() != "0.0" || d.Dewey.String() != "1" {
+		t.Errorf("deweys = %s %s %s", b.Dewey, c.Dewey, d.Dewey)
+	}
+	// Preorder Ord matches Dewey document order.
+	nodes := doc.Nodes()
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1].Dewey.Compare(nodes[i].Dewey) >= 0 {
+			t.Errorf("preorder violates dewey order at %d", i)
+		}
+		if nodes[i].Ord != i {
+			t.Errorf("ord mismatch at %d: %d", i, nodes[i].Ord)
+		}
+	}
+	// NodeAt inverts Dewey assignment.
+	for _, n := range nodes {
+		if doc.NodeAt(n.Dewey) != n {
+			t.Errorf("NodeAt(%s) did not return the node", n.Dewey)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,               // empty
+		`<a>`,            // unclosed
+		`<a></b>`,        // mismatched
+		`<a/><b/>`,       // two roots
+		`text only`,      // no element
+		`<a><b></a></b>`, // crossed
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestParseMaxNodes(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<root>")
+	for i := 0; i < 100; i++ {
+		b.WriteString("<item>v</item>")
+	}
+	b.WriteString("</root>")
+	if _, err := ParseString(b.String(), WithMaxNodes(50)); err == nil {
+		t.Error("expected ErrTooLarge")
+	}
+	if _, err := ParseString(b.String(), WithMaxNodes(10000)); err != nil {
+		t.Errorf("unexpected error under generous limit: %v", err)
+	}
+}
+
+func TestParseWhitespaceAndEntities(t *testing.T) {
+	doc, err := ParseString("<a>\n  <b>x &amp; y</b>\n</a>")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(doc.Root.Children) != 1 {
+		t.Fatalf("whitespace text kept: %d children", len(doc.Root.Children))
+	}
+	if got := doc.Root.Children[0].TextValue(); got != "x & y" {
+		t.Errorf("entity text = %q", got)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	doc, err := ParseString(storeXML)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	out := XMLString(doc.Root)
+	doc2, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if !structurallyEqual(doc.Root, doc2.Root) {
+		t.Errorf("round trip changed the tree:\n%s\nvs\n%s",
+			RenderASCII(doc.Root), RenderASCII(doc2.Root))
+	}
+}
+
+// structurallyEqual ignores FromAttr (serialization may legally flip the
+// attribute-vs-element representation for attribute-shaped nodes) but
+// requires identical labels, kinds, values and child order.
+func structurallyEqual(a, b *Node) bool {
+	if a.Kind != b.Kind || a.Label != b.Label || a.Value != b.Value {
+		return false
+	}
+	if len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !structurallyEqual(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRenderASCII(t *testing.T) {
+	doc, _ := ParseString(`<a><b>x</b><c><d>y</d></c></a>`)
+	got := RenderASCII(doc.Root)
+	want := "a\n├─ b:\"x\"\n└─ c\n   └─ d:\"y\"\n"
+	if got != want {
+		t.Errorf("RenderASCII:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestRenderInline(t *testing.T) {
+	doc, _ := ParseString(`<a><b>x</b><c><d>y</d></c></a>`)
+	got := RenderInline(doc.Root)
+	want := `a(b:"x", c(d:"y"))`
+	if got != want {
+		t.Errorf("RenderInline = %q, want %q", got, want)
+	}
+}

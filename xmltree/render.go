@@ -1,0 +1,86 @@
+package xmltree
+
+import (
+	"strings"
+)
+
+// RenderASCII draws n's subtree as an ASCII art tree, one node per line,
+// matching the figures in the paper: element labels plain, text values
+// quoted, attribute-shaped nodes folded as name: "value".
+func RenderASCII(n *Node) string {
+	var b strings.Builder
+	renderASCII(&b, n, "", true, true)
+	return b.String()
+}
+
+func renderASCII(b *strings.Builder, n *Node, prefix string, isLast, isRoot bool) {
+	if !isRoot {
+		b.WriteString(prefix)
+		if isLast {
+			b.WriteString("└─ ")
+		} else {
+			b.WriteString("├─ ")
+		}
+	}
+	b.WriteString(nodeLabel(n))
+	b.WriteString("\n")
+
+	kids := renderKids(n)
+	childPrefix := prefix
+	if !isRoot {
+		if isLast {
+			childPrefix += "   "
+		} else {
+			childPrefix += "│  "
+		}
+	}
+	for i, c := range kids {
+		renderASCII(b, c, childPrefix, i == len(kids)-1, false)
+	}
+}
+
+// RenderInline renders n's subtree on one line in functional notation:
+// retailer(name:"Brook Brothers", store(city:"Houston", ...)). Snippet
+// comparisons in tests and the distinguishability metric use this canonical
+// form.
+func RenderInline(n *Node) string {
+	var b strings.Builder
+	renderInline(&b, n)
+	return b.String()
+}
+
+func renderInline(b *strings.Builder, n *Node) {
+	b.WriteString(nodeLabel(n))
+	kids := renderKids(n)
+	if len(kids) == 0 {
+		return
+	}
+	b.WriteString("(")
+	for i, c := range kids {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		renderInline(b, c)
+	}
+	b.WriteString(")")
+}
+
+// nodeLabel folds attribute-shaped nodes to name:"value" and quotes text.
+func nodeLabel(n *Node) string {
+	if n.IsText() {
+		return `"` + n.Value + `"`
+	}
+	if n.HasSingleTextChild() {
+		return n.Label + `:"` + n.Children[0].Value + `"`
+	}
+	return n.Label
+}
+
+// renderKids hides the text child of attribute-shaped nodes (it is folded
+// into the parent's label).
+func renderKids(n *Node) []*Node {
+	if n.HasSingleTextChild() {
+		return nil
+	}
+	return n.Children
+}

@@ -1,0 +1,99 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"io"
+	"strings"
+)
+
+// WriteXML serializes n's subtree as indented XML. Attribute-shaped element
+// children marked FromAttr are emitted as real XML attributes of their
+// parent; everything else round-trips structurally through Parse.
+func WriteXML(w io.Writer, n *Node) error {
+	sw := &stickyWriter{w: w}
+	writeNode(sw, n, 0)
+	return sw.err
+}
+
+// XMLString returns the serialized form of n's subtree.
+func XMLString(n *Node) string {
+	var b strings.Builder
+	// Writes to strings.Builder cannot fail.
+	_ = WriteXML(&b, n)
+	return b.String()
+}
+
+type stickyWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (s *stickyWriter) WriteString(str string) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = io.WriteString(s.w, str)
+}
+
+func writeNode(w *stickyWriter, n *Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if n.IsText() {
+		w.WriteString(indent)
+		w.WriteString(escapeText(n.Value))
+		w.WriteString("\n")
+		return
+	}
+
+	var attrs []*Node
+	var kids []*Node
+	for _, c := range n.Children {
+		if c.FromAttr && c.HasSingleTextChild() {
+			attrs = append(attrs, c)
+		} else {
+			kids = append(kids, c)
+		}
+	}
+
+	w.WriteString(indent)
+	w.WriteString("<")
+	w.WriteString(n.Label)
+	for _, a := range attrs {
+		w.WriteString(" ")
+		w.WriteString(a.Label)
+		w.WriteString(`="`)
+		w.WriteString(escapeAttr(a.TextValue()))
+		w.WriteString(`"`)
+	}
+	if len(kids) == 0 {
+		w.WriteString("/>\n")
+		return
+	}
+	// Inline a single text child for compactness.
+	if len(kids) == 1 && kids[0].IsText() {
+		w.WriteString(">")
+		w.WriteString(escapeText(kids[0].Value))
+		w.WriteString("</")
+		w.WriteString(n.Label)
+		w.WriteString(">\n")
+		return
+	}
+	w.WriteString(">\n")
+	for _, c := range kids {
+		writeNode(w, c, depth+1)
+	}
+	w.WriteString(indent)
+	w.WriteString("</")
+	w.WriteString(n.Label)
+	w.WriteString(">\n")
+}
+
+func escapeText(s string) string {
+	var b strings.Builder
+	// xml.EscapeText writes to a Writer and never fails on a Builder.
+	_ = xml.EscapeText(&b, []byte(s))
+	return b.String()
+}
+
+func escapeAttr(s string) string {
+	return escapeText(s)
+}

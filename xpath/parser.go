@@ -1,0 +1,257 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) rest() string {
+	if p.pos >= len(p.src) {
+		return ""
+	}
+	r := p.src[p.pos:]
+	if len(r) > 20 {
+		r = r[:20]
+	}
+	return r
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) consume(s string) bool {
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *parser) peekByte() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func isNameByte(c byte) bool {
+	return c == '_' || c == '-' ||
+		unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (p *parser) name() (string, error) {
+	start := p.pos
+	for !p.eof() && isNameByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("xpath: expected name at %q", p.rest())
+	}
+	return p.src[start:p.pos], nil
+}
+
+// parsePath parses a full path expression.
+func (p *parser) parsePath() (*Expr, error) {
+	e := &Expr{}
+	p.skipSpace()
+	if p.consume("//") {
+		// leading // : descendant-or-self from the root
+		e.absolute = true
+		st, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		st.axis = axisDescendantOrSelf
+		e.steps = append(e.steps, st)
+	} else if p.consume("/") {
+		e.absolute = true
+		if p.eof() {
+			// "/" alone selects the root: model as self step.
+			e.steps = append(e.steps, step{axis: axisChild, test: nodeTest{kind: testAny}})
+			return e, nil
+		}
+		st, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		e.steps = append(e.steps, st)
+	} else {
+		st, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		e.steps = append(e.steps, st)
+	}
+	for {
+		if p.consume("//") {
+			st, err := p.parseStep()
+			if err != nil {
+				return nil, err
+			}
+			st.axis = axisDescendantOrSelf
+			e.steps = append(e.steps, st)
+			continue
+		}
+		if p.consume("/") {
+			st, err := p.parseStep()
+			if err != nil {
+				return nil, err
+			}
+			e.steps = append(e.steps, st)
+			continue
+		}
+		return e, nil
+	}
+}
+
+// parseStep parses one location step with its predicates.
+func (p *parser) parseStep() (step, error) {
+	st := step{axis: axisChild}
+	p.skipSpace()
+	switch {
+	case p.consume(".."):
+		st.axis = axisParent
+		st.test = nodeTest{kind: testParent}
+	case p.consume("."):
+		st.axis = axisSelf
+		st.test = nodeTest{kind: testSelf}
+	case p.consume("*"):
+		st.test = nodeTest{kind: testAny}
+	case p.consume("@"):
+		n, err := p.name()
+		if err != nil {
+			return st, err
+		}
+		st.test = nodeTest{kind: testAttr, name: n}
+	case p.consume("text()"):
+		st.test = nodeTest{kind: testText}
+	default:
+		n, err := p.name()
+		if err != nil {
+			return st, err
+		}
+		if p.consume("()") {
+			return st, fmt.Errorf("xpath: unsupported function %s()", n)
+		}
+		st.test = nodeTest{kind: testName, name: n}
+	}
+	for {
+		p.skipSpace()
+		if !p.consume("[") {
+			return st, nil
+		}
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return st, err
+		}
+		p.skipSpace()
+		if !p.consume("]") {
+			return st, fmt.Errorf("xpath: expected ']' at %q", p.rest())
+		}
+		st.pred = append(st.pred, pred)
+	}
+}
+
+func (p *parser) parsePredicate() (predicate, error) {
+	p.skipSpace()
+	// Positional: integer literal.
+	if c := p.peekByte(); c >= '0' && c <= '9' {
+		start := p.pos
+		for !p.eof() && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		n, err := strconv.Atoi(p.src[start:p.pos])
+		if err != nil || n < 1 {
+			return predicate{}, fmt.Errorf("xpath: bad position %q", p.src[start:p.pos])
+		}
+		return predicate{kind: predPosition, position: n}, nil
+	}
+	// count(path) CMP number
+	if p.consume("count(") {
+		inner, err := p.parsePath()
+		if err != nil {
+			return predicate{}, err
+		}
+		p.skipSpace()
+		if !p.consume(")") {
+			return predicate{}, fmt.Errorf("xpath: expected ')' at %q", p.rest())
+		}
+		op, err := p.parseOp()
+		if err != nil {
+			return predicate{}, err
+		}
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return predicate{}, err
+		}
+		return predicate{kind: predCount, path: inner, op: op, literal: lit}, nil
+	}
+	// path [CMP literal]
+	inner, err := p.parsePath()
+	if err != nil {
+		return predicate{}, err
+	}
+	p.skipSpace()
+	if c := p.peekByte(); c == '=' || c == '!' || c == '<' || c == '>' {
+		op, err := p.parseOp()
+		if err != nil {
+			return predicate{}, err
+		}
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return predicate{}, err
+		}
+		return predicate{kind: predCompare, path: inner, op: op, literal: lit}, nil
+	}
+	return predicate{kind: predExists, path: inner}, nil
+}
+
+func (p *parser) parseOp() (string, error) {
+	p.skipSpace()
+	for _, op := range []string{"!=", "<=", ">=", "=", "<", ">"} {
+		if p.consume(op) {
+			return op, nil
+		}
+	}
+	return "", fmt.Errorf("xpath: expected comparison at %q", p.rest())
+}
+
+func (p *parser) parseLiteral() (string, error) {
+	p.skipSpace()
+	if q := p.peekByte(); q == '\'' || q == '"' {
+		p.pos++
+		i := strings.IndexByte(p.src[p.pos:], q)
+		if i < 0 {
+			return "", fmt.Errorf("xpath: unterminated string")
+		}
+		s := p.src[p.pos : p.pos+i]
+		p.pos += i + 1
+		return s, nil
+	}
+	// Bare number.
+	start := p.pos
+	for !p.eof() {
+		c := p.src[p.pos]
+		if c == '.' || c == '-' || (c >= '0' && c <= '9') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("xpath: expected literal at %q", p.rest())
+	}
+	return p.src[start:p.pos], nil
+}

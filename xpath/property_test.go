@@ -1,0 +1,70 @@
+package xpath
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"extract/xmltree"
+)
+
+// Property: on random trees, `//label` selects exactly the elements a
+// direct walk finds, in document order.
+func TestDescendantMatchesWalk(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		labels := []string{"a", "b", "c"}
+		nodes := []*xmltree.Node{xmltree.Elem("root")}
+		for len(nodes) < 3+r.Intn(40) {
+			parent := nodes[r.Intn(len(nodes))]
+			child := xmltree.Elem(labels[r.Intn(len(labels))])
+			xmltree.Append(parent, child)
+			nodes = append(nodes, child)
+		}
+		doc := xmltree.NewDocument(nodes[0])
+		target := labels[r.Intn(len(labels))]
+
+		got := MustCompile("//" + target).SelectDoc(doc)
+		var want []*xmltree.Node
+		doc.Root.Walk(func(n *xmltree.Node) bool {
+			if n.IsElement() && n.Label == target {
+				want = append(want, n)
+			}
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzCompile: the parser must reject or accept without panicking, and
+// accepted expressions must evaluate without panicking.
+func FuzzCompile(f *testing.F) {
+	for _, s := range []string{
+		`//a`, `/a/b[c='1']/@d`, `a[1]`, `a[count(b)>2]`, `.//..`,
+		`a[b][c]`, `*`, `text()`, `[`, `a[`, `//`, `a='x'`, `a[b!='y']`,
+	} {
+		f.Add(s)
+	}
+	doc, err := xmltree.ParseString(`<r><a x="1"><b>t</b></a><a x="2"/></r>`)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Compile(src)
+		if err != nil {
+			return
+		}
+		_ = e.SelectDoc(doc)
+	})
+}

@@ -1,0 +1,316 @@
+// Package xpath evaluates a practical XPath subset over xmltree documents.
+// It complements keyword search: where the search engine finds results by
+// keywords, XPath selects them structurally — and either way the selected
+// subtrees feed the snippet generator (Corpus.SnippetForTree).
+//
+// Supported grammar:
+//
+//	path      = ["/"] step { ("/" | "//") step }
+//	step      = nodetest { predicate }
+//	nodetest  = NAME | "@" NAME | "*" | "text()" | "."  | ".."
+//	predicate = "[" expr "]"
+//	expr      = NUMBER                     positional, 1-based
+//	          | path CMP literal           value comparison
+//	          | "count(" path ")" CMP NUM  cardinality comparison
+//	          | path                       existence
+//	CMP       = "=" | "!=" | "<" | "<=" | ">" | ">="
+//	literal   = 'single' | "double" quoted string, or a number
+//
+// "//" means descendant-or-self. "@name" selects attribute-shaped children
+// (XML attributes are normalized into child elements by the parser, so
+// @name and name match the same nodes; @ additionally requires the
+// attribute shape). Comparisons are numeric when both sides parse as
+// numbers, string otherwise. The value of an element is the concatenation
+// of its subtree text, as in XPath.
+package xpath
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"extract/xmltree"
+)
+
+// Expr is a compiled XPath expression.
+type Expr struct {
+	absolute bool
+	steps    []step
+	src      string
+}
+
+type axis uint8
+
+const (
+	axisChild axis = iota
+	axisDescendantOrSelf
+	axisSelf
+	axisParent
+)
+
+type step struct {
+	axis axis
+	test nodeTest
+	pred []predicate
+}
+
+type testKind uint8
+
+const (
+	testName testKind = iota
+	testAttr
+	testAny
+	testText
+	testSelf
+	testParent
+)
+
+type nodeTest struct {
+	kind testKind
+	name string
+}
+
+type predKind uint8
+
+const (
+	predPosition predKind = iota
+	predExists
+	predCompare
+	predCount
+)
+
+type predicate struct {
+	kind     predKind
+	position int
+	path     *Expr
+	op       string
+	literal  string
+	number   float64
+	isNumber bool
+}
+
+// String returns the source text the expression was compiled from.
+func (e *Expr) String() string { return e.src }
+
+// MustCompile is Compile, panicking on error; for tests and constants.
+func MustCompile(s string) *Expr {
+	e, err := Compile(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Compile parses an XPath expression.
+func Compile(s string) (*Expr, error) {
+	p := &parser{src: s, pos: 0}
+	e, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, fmt.Errorf("xpath: trailing input %q in %q", p.rest(), s)
+	}
+	e.src = s
+	return e, nil
+}
+
+// Select evaluates the expression with ctx as the context node. Absolute
+// paths start from ctx's tree root. The result is in document order without
+// duplicates.
+func (e *Expr) Select(ctx *xmltree.Node) []*xmltree.Node {
+	if ctx == nil {
+		return nil
+	}
+	start := ctx
+	if e.absolute {
+		root := ctx.Root()
+		// An absolute path's first step tests the root element itself
+		// (the document node is implicit).
+		return e.evalFrom([]*xmltree.Node{root}, true)
+	}
+	return e.evalFrom([]*xmltree.Node{start}, false)
+}
+
+// SelectDoc evaluates the expression against a document.
+func (e *Expr) SelectDoc(doc *xmltree.Document) []*xmltree.Node {
+	if doc == nil || doc.Root == nil {
+		return nil
+	}
+	return e.evalFrom([]*xmltree.Node{doc.Root}, e.absolute)
+}
+
+// evalFrom runs the steps over the node set. rootTest says the first step
+// matches the context nodes themselves rather than their children (the
+// absolute-path document-node convention).
+func (e *Expr) evalFrom(ctx []*xmltree.Node, rootTest bool) []*xmltree.Node {
+	cur := ctx
+	for i, st := range e.steps {
+		var next []*xmltree.Node
+		for _, n := range cur {
+			next = append(next, st.candidates(n, rootTest && i == 0)...)
+		}
+		next = uniqueInDocOrder(next)
+		next = st.filter(next)
+		cur = next
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// candidates yields the nodes the step's axis+test reaches from n.
+func (st step) candidates(n *xmltree.Node, selfAsChild bool) []*xmltree.Node {
+	var pool []*xmltree.Node
+	switch st.axis {
+	case axisSelf:
+		pool = []*xmltree.Node{n}
+	case axisParent:
+		if n.Parent != nil {
+			pool = []*xmltree.Node{n.Parent}
+		}
+	case axisChild:
+		if selfAsChild {
+			pool = []*xmltree.Node{n}
+		} else {
+			pool = n.Children
+		}
+	case axisDescendantOrSelf:
+		n.Walk(func(m *xmltree.Node) bool {
+			pool = append(pool, m)
+			return true
+		})
+	}
+	var out []*xmltree.Node
+	for _, c := range pool {
+		if st.test.matches(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (t nodeTest) matches(n *xmltree.Node) bool {
+	switch t.kind {
+	case testAny:
+		return n.IsElement()
+	case testName:
+		return n.IsElement() && n.Label == t.name
+	case testAttr:
+		return n.IsElement() && n.Label == t.name && n.HasSingleTextChild()
+	case testText:
+		return n.IsText()
+	case testSelf, testParent:
+		return true
+	default:
+		return false
+	}
+}
+
+// filter applies the step's predicates; positional predicates see the
+// node's 1-based position among its step siblings (per parent group, as in
+// XPath's child axis semantics).
+func (st step) filter(nodes []*xmltree.Node) []*xmltree.Node {
+	cur := nodes
+	for _, p := range st.pred {
+		var kept []*xmltree.Node
+		// Positions count within sibling groups sharing a parent.
+		pos := make(map[*xmltree.Node]int)
+		counters := make(map[*xmltree.Node]int)
+		for _, n := range cur {
+			counters[n.Parent]++
+			pos[n] = counters[n.Parent]
+		}
+		for _, n := range cur {
+			if p.holds(n, pos[n]) {
+				kept = append(kept, n)
+			}
+		}
+		cur = kept
+	}
+	return cur
+}
+
+func (p predicate) holds(n *xmltree.Node, position int) bool {
+	switch p.kind {
+	case predPosition:
+		return position == p.position
+	case predExists:
+		return len(p.path.Select(n)) > 0
+	case predCount:
+		return compare(fmt.Sprint(len(p.path.Select(n))), p.op, p.literal)
+	case predCompare:
+		for _, m := range p.path.Select(n) {
+			if compare(nodeValue(m), p.op, p.literal) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+func nodeValue(n *xmltree.Node) string {
+	if n.IsText() {
+		return n.Value
+	}
+	return n.Text()
+}
+
+// compare applies an XPath comparison: numeric when both sides parse as
+// numbers, string otherwise (only = and != are defined for strings; other
+// operators compare lexically, which is documented behavior here).
+func compare(left, op, right string) bool {
+	lf, lerr := strconv.ParseFloat(strings.TrimSpace(left), 64)
+	rf, rerr := strconv.ParseFloat(strings.TrimSpace(right), 64)
+	if lerr == nil && rerr == nil {
+		switch op {
+		case "=":
+			return lf == rf
+		case "!=":
+			return lf != rf
+		case "<":
+			return lf < rf
+		case "<=":
+			return lf <= rf
+		case ">":
+			return lf > rf
+		case ">=":
+			return lf >= rf
+		}
+		return false
+	}
+	switch op {
+	case "=":
+		return left == right
+	case "!=":
+		return left != right
+	case "<":
+		return left < right
+	case "<=":
+		return left <= right
+	case ">":
+		return left > right
+	case ">=":
+		return left >= right
+	}
+	return false
+}
+
+func uniqueInDocOrder(nodes []*xmltree.Node) []*xmltree.Node {
+	if len(nodes) < 2 {
+		return nodes
+	}
+	sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].Ord < nodes[j].Ord })
+	out := nodes[:1]
+	for _, n := range nodes[1:] {
+		if n != out[len(out)-1] {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+
+	"extract/xmltree"
+)
+
+const sample = `
+<retailers>
+  <retailer>
+    <name>Brook Brothers</name>
+    <store region="south">
+      <city>Houston</city>
+      <merchandises>
+        <clothes><category>suit</category><price>120</price></clothes>
+        <clothes><category>outwear</category><price>80</price></clothes>
+      </merchandises>
+    </store>
+    <store region="north">
+      <city>Austin</city>
+      <merchandises>
+        <clothes><category>skirt</category><price>45</price></clothes>
+      </merchandises>
+    </store>
+  </retailer>
+  <retailer>
+    <name>Levis</name>
+    <store region="west">
+      <city>Fresno</city>
+      <merchandises>
+        <clothes><category>jeans</category><price>60</price></clothes>
+      </merchandises>
+    </store>
+  </retailer>
+</retailers>`
+
+func doc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func labels(ns []*xmltree.Node) string {
+	var out []string
+	for _, n := range ns {
+		if n.IsText() {
+			out = append(out, `"`+n.Value+`"`)
+		} else {
+			out = append(out, n.Label)
+		}
+	}
+	return strings.Join(out, ",")
+}
+
+func texts(ns []*xmltree.Node) string {
+	var out []string
+	for _, n := range ns {
+		out = append(out, n.Text())
+	}
+	return strings.Join(out, ",")
+}
+
+func sel(t *testing.T, expr string) []*xmltree.Node {
+	t.Helper()
+	e, err := Compile(expr)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", expr, err)
+	}
+	return e.SelectDoc(doc(t))
+}
+
+func TestAbsolutePaths(t *testing.T) {
+	if got := labels(sel(t, `/retailers`)); got != "retailers" {
+		t.Errorf("/retailers = %s", got)
+	}
+	if got := len(sel(t, `/retailers/retailer`)); got != 2 {
+		t.Errorf("retailers = %d", got)
+	}
+	if got := len(sel(t, `/retailers/retailer/store`)); got != 3 {
+		t.Errorf("stores = %d", got)
+	}
+	if got := len(sel(t, `/wrong/retailer`)); got != 0 {
+		t.Errorf("wrong root = %d", got)
+	}
+}
+
+func TestDescendantAxis(t *testing.T) {
+	if got := len(sel(t, `//clothes`)); got != 4 {
+		t.Errorf("//clothes = %d", got)
+	}
+	if got := len(sel(t, `//store//category`)); got != 4 {
+		t.Errorf("//store//category = %d", got)
+	}
+	if got := texts(sel(t, `//retailer/name`)); got != "Brook Brothers,Levis" {
+		t.Errorf("names = %s", got)
+	}
+}
+
+func TestWildcardAndText(t *testing.T) {
+	if got := len(sel(t, `/retailers/*`)); got != 2 {
+		t.Errorf("/* = %d", got)
+	}
+	if got := labels(sel(t, `//city/text()`)); got != `"Houston","Austin","Fresno"` {
+		t.Errorf("city texts = %s", got)
+	}
+}
+
+func TestAttributeStep(t *testing.T) {
+	// XML attributes are attribute-shaped children; @region selects them.
+	if got := len(sel(t, `//store/@region`)); got != 3 {
+		t.Errorf("@region = %d", got)
+	}
+	if got := texts(sel(t, `//store[@region='south']/city`)); got != "Houston" {
+		t.Errorf("south city = %s", got)
+	}
+	// @ requires attribute shape: @merchandises matches nothing.
+	if got := len(sel(t, `//store/@merchandises`)); got != 0 {
+		t.Errorf("@merchandises = %d", got)
+	}
+}
+
+func TestPositionalPredicate(t *testing.T) {
+	// Positions count within each parent's group: clothes[1] is the
+	// first clothes of each merchandises.
+	if got := texts(sel(t, `//merchandises/clothes[1]/category`)); got != "suit,skirt,jeans" {
+		t.Errorf("clothes[1] = %s", got)
+	}
+	if got := texts(sel(t, `//merchandises/clothes[2]/category`)); got != "outwear" {
+		t.Errorf("clothes[2] = %s", got)
+	}
+}
+
+func TestComparisonPredicates(t *testing.T) {
+	if got := texts(sel(t, `//clothes[category='suit']/price`)); got != "120" {
+		t.Errorf("suit price = %s", got)
+	}
+	// Numeric comparison.
+	if got := texts(sel(t, `//clothes[price<100]/category`)); got != "outwear,skirt,jeans" {
+		t.Errorf("cheap = %s", got)
+	}
+	if got := texts(sel(t, `//clothes[price>=80][price<=100]/category`)); got != "outwear" {
+		t.Errorf("mid = %s", got)
+	}
+	if got := texts(sel(t, `//retailer[store/city='Fresno']/name`)); got != "Levis" {
+		t.Errorf("fresno retailer = %s", got)
+	}
+	if got := len(sel(t, `//clothes[category!='suit']`)); got != 3 {
+		t.Errorf("non-suit = %d", got)
+	}
+}
+
+func TestExistenceAndCount(t *testing.T) {
+	if got := texts(sel(t, `//retailer[store]/name`)); got != "Brook Brothers,Levis" {
+		t.Errorf("with stores = %s", got)
+	}
+	if got := texts(sel(t, `//retailer[count(store)=2]/name`)); got != "Brook Brothers" {
+		t.Errorf("two stores = %s", got)
+	}
+	if got := texts(sel(t, `//store[count(merchandises/clothes)>1]/city`)); got != "Houston" {
+		t.Errorf("big store = %s", got)
+	}
+}
+
+func TestSelfAndParent(t *testing.T) {
+	e := MustCompile(`../city`)
+	d := doc(t)
+	merch := d.Root.Descendant("retailer", "store", "merchandises")
+	got := e.Select(merch)
+	if texts(got) != "Houston" {
+		t.Errorf("../city = %s", texts(got))
+	}
+	self := MustCompile(`.`)
+	if res := self.Select(merch); len(res) != 1 || res[0] != merch {
+		t.Errorf(". = %v", res)
+	}
+}
+
+func TestRelativeVsAbsolute(t *testing.T) {
+	d := doc(t)
+	store := d.Root.Descendant("retailer", "store")
+	rel := MustCompile(`city`).Select(store)
+	if texts(rel) != "Houston" {
+		t.Errorf("relative = %s", texts(rel))
+	}
+	abs := MustCompile(`//city`).Select(store)
+	if len(abs) != 3 {
+		t.Errorf("absolute from context = %d", len(abs))
+	}
+}
+
+func TestDocumentOrderAndDedup(t *testing.T) {
+	// Overlapping steps must not duplicate nodes.
+	got := sel(t, `//retailer//clothes`)
+	if len(got) != 4 {
+		t.Fatalf("got %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Ord >= got[i].Ord {
+			t.Error("not in document order")
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	for _, bad := range []string{
+		``, `//`, `a[`, `a[]`, `a[1x]`, `a[@]`, `a[b=]`, `a[b='x]`,
+		`a]`, `a[count(b]`, `a[0]`, `foo()`, `a b`,
+	} {
+		if _, err := Compile(bad); err == nil {
+			t.Errorf("Compile(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	MustCompile(`[[`)
+}
+
+func TestSelectNil(t *testing.T) {
+	e := MustCompile(`//a`)
+	if got := e.Select(nil); got != nil {
+		t.Errorf("nil ctx = %v", got)
+	}
+	if got := e.SelectDoc(nil); got != nil {
+		t.Errorf("nil doc = %v", got)
+	}
+}

@@ -1,0 +1,3 @@
+module extract
+
+go 1.24

@@ -203,6 +203,32 @@ func BenchmarkE9Distinguishability(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryEndToEnd times the full facade pipeline — keyword search
+// (packed SLCA), result construction, and one snippet per result — across
+// corpus sizes, the headline number the flat-array hot path serves.
+func BenchmarkQueryEndToEnd(b *testing.B) {
+	for _, size := range []int{1_000, 10_000, 100_000} {
+		per := size / 140
+		if per < 1 {
+			per = 1
+		}
+		doc := gen.Stores(gen.StoresConfig{Retailers: 4, StoresPerRetailer: 5, ClothesPerStore: per, Seed: 3})
+		corpus := FromDocument(doc, nil)
+		b.Run(fmt.Sprintf("nodes=%d", doc.Len()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				hits, err := corpus.Query("texas apparel retailer", 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(hits) == 0 {
+					b.Fatal("no hits")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE10SLCA times SLCA and ELCA evaluation on a ~100k-node corpus.
 func BenchmarkE10SLCA(b *testing.B) {
 	doc := gen.Stores(gen.StoresConfig{Retailers: 4, StoresPerRetailer: 5, ClothesPerStore: 700, Seed: 3})

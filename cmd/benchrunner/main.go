@@ -1,11 +1,13 @@
 // Command benchrunner regenerates the experiment tables of EXPERIMENTS.md:
-// one table per experiment E1–E11 of DESIGN.md §5.
+// one table per experiment E1–E11 of DESIGN.md §5. It also maintains the
+// perf-regression trajectory of the search→snippet hot path.
 //
 // Usage:
 //
-//	benchrunner              # run every experiment (full sweeps)
-//	benchrunner -quick       # trimmed sweeps, seconds instead of minutes
-//	benchrunner -exp e6      # a single experiment
+//	benchrunner                          # run every experiment (full sweeps)
+//	benchrunner -quick                   # trimmed sweeps, seconds instead of minutes
+//	benchrunner -exp e6                  # a single experiment
+//	benchrunner -search BENCH_search.json  # write the hot-path before/after JSON
 package main
 
 import (
@@ -18,12 +20,24 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (e1..e11, all)")
-		quick = flag.Bool("quick", false, "trim sweep sizes for a fast run")
+		exp    = flag.String("exp", "all", "experiment id (e1..e11, all)")
+		quick  = flag.Bool("quick", false, "trim sweep sizes for a fast run")
+		search = flag.String("search", "", "write the search→snippet hot-path perf JSON to this path and exit")
 	)
 	flag.Parse()
 
-	tables := bench.ByID(*exp, bench.Sizes{Quick: *quick})
+	sizes := bench.Sizes{Quick: *quick}
+	if *search != "" {
+		report, err := bench.WriteSearchPerf(*search, sizes.SearchPerfSizes())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(report.Render())
+		return
+	}
+
+	tables := bench.ByID(*exp, sizes)
 	if tables == nil {
 		fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q (use e1..e11 or all)\n", *exp)
 		os.Exit(2)

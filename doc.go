@@ -24,4 +24,32 @@
 // construction) is built in, but snippets can also be generated for result
 // trees produced elsewhere via Corpus.SnippetForTree — snippet generation
 // is orthogonal to the search engine, as in the paper.
+//
+// # Hot-path architecture
+//
+// The search→snippet path works on flat integer arrays rather than
+// pointers and string keys:
+//
+//   - xmltree assigns every node a preorder interval (Start, End int32) at
+//     finalize time, so ancestor/descendant tests are two integer compares
+//     (Node.Contains); Dewey identifiers remain for LCA depths and
+//     rendering.
+//   - internal/index stores each posting list as parallel slices
+//     (Ords/Nodes/Fields), keeping document-order positions in one
+//     contiguous int32 array for binary searches and merge scans.
+//   - internal/search computes SLCA by a depth-folding merge over the
+//     packed lists with a linear stack filter, and ELCA by exclusive
+//     counting over the match virtual tree with pooled scratch.
+//   - internal/classify interns element labels to dense ids;
+//     internal/features collects statistics in one walk into id-indexed
+//     slices keyed by packed integers, with collectors reused across
+//     results (core.Generator pools them).
+//
+// # Perf trajectory
+//
+// `go run ./cmd/benchrunner -search BENCH_search.json` regenerates the
+// hot-path before/after trajectory (the retained *Baseline implementations
+// are the "before" side); BenchmarkQueryEndToEnd tracks the full pipeline.
+// Future performance PRs should re-run the suite and compare against the
+// committed BENCH_search.json.
 package extract

@@ -379,7 +379,9 @@ type Hit struct {
 
 // Query runs the end-to-end pipeline: search, then snippet each result
 // within the bound. With many results, snippet generation fans out over
-// the available CPUs; output order is unaffected.
+// the available CPUs — never spawning more workers than results — sharing
+// one generator so collector buffers and the tokenized query are reused;
+// output order is unaffected.
 func (c *Corpus) Query(query string, bound int, opts ...SearchOption) ([]*Hit, error) {
 	if bound < 0 {
 		return nil, fmt.Errorf("extract: negative snippet bound %d", bound)
@@ -388,16 +390,25 @@ func (c *Corpus) Query(query string, bound int, opts ...SearchOption) ([]*Hit, e
 	if err != nil {
 		return nil, err
 	}
+	g := core.NewGenerator(c.c)
+	kws := index.Tokenize(query)
+	snippet := func(r *Result) *Snippet {
+		return &Snippet{g: g.ForResultTokens(r.r, kws, bound)}
+	}
 	hits := make([]*Hit, len(results))
-	if len(results) >= 4 && runtime.GOMAXPROCS(0) > 1 {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(results) {
+		workers = len(results)
+	}
+	if len(results) >= 4 && workers > 1 {
 		var wg sync.WaitGroup
 		idx := make(chan int)
-		for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					hits[i] = &Hit{Result: results[i], Snippet: c.Snippet(results[i], query, bound)}
+					hits[i] = &Hit{Result: results[i], Snippet: snippet(results[i])}
 				}
 			}()
 		}
@@ -409,7 +420,7 @@ func (c *Corpus) Query(query string, bound int, opts ...SearchOption) ([]*Hit, e
 		return hits, nil
 	}
 	for i, r := range results {
-		hits[i] = &Hit{Result: r, Snippet: c.Snippet(r, query, bound)}
+		hits[i] = &Hit{Result: r, Snippet: snippet(r)}
 	}
 	return hits, nil
 }

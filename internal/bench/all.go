@@ -28,6 +28,10 @@ func (s Sizes) searchSizes() []int {
 	return []int{1_000, 10_000, 100_000}
 }
 
+// SearchPerfSizes are the corpus sizes of the hot-path perf trajectory
+// (cmd/benchrunner -search).
+func (s Sizes) SearchPerfSizes() []int { return s.searchSizes() }
+
 func (s Sizes) exactCases() int {
 	if s.Quick {
 		return 10

@@ -101,17 +101,35 @@ const (
 	AlgGreedyRatio
 )
 
-// Generator produces snippets for query results over one corpus.
+// Generator produces snippets for query results over one corpus. It keeps
+// a pool of feature collectors whose interning tables and scratch buffers
+// are reused across results, so snippeting a result list re-tokenizes and
+// re-interns nothing that an earlier result already saw. A Generator is
+// safe for concurrent use by multiple goroutines (the snippet fan-out
+// shares one).
 type Generator struct {
 	Corpus *Corpus
 	// Algorithm picks greedy (default) or exact selection.
 	Algorithm Algorithm
 	// Exact configures AlgExact.
 	Exact selector.ExactConfig
+
+	collectors sync.Pool
 }
 
 // NewGenerator returns a greedy generator for the corpus.
 func NewGenerator(c *Corpus) *Generator { return &Generator{Corpus: c} }
+
+// collector borrows a feature collector for the corpus; putCollector
+// returns it for reuse.
+func (g *Generator) collector() *features.Collector {
+	if c, ok := g.collectors.Get().(*features.Collector); ok {
+		return c
+	}
+	return features.NewCollector(g.Corpus.Cls)
+}
+
+func (g *Generator) putCollector(c *features.Collector) { g.collectors.Put(c) }
 
 // Generated is a snippet with the intermediate artifacts of its derivation,
 // for inspection, metrics and the demo UI.
@@ -130,9 +148,16 @@ type Generated struct {
 // ForTree generates a snippet for a query-result tree. The keywords are the
 // tokenized query; bound is the maximum number of snippet edges.
 func (g *Generator) ForTree(result *xmltree.Document, query string, bound int) *Generated {
+	return g.ForTreeTokens(result, index.Tokenize(query), bound)
+}
+
+// ForTreeTokens is ForTree with the query already tokenized, so a fan-out
+// over many results of one query tokenizes it once.
+func (g *Generator) ForTreeTokens(result *xmltree.Document, kws []string, bound int) *Generated {
 	start := time.Now()
-	kws := index.Tokenize(query)
-	stats := features.Collect(result.Root, g.Corpus.Cls)
+	col := g.collector()
+	stats := col.Collect(result.Root)
+	g.putCollector(col)
 	il := ilist.Build(result.Root, kws, g.Corpus.Cls, g.Corpus.Keys, stats)
 	var sn *selector.Snippet
 	switch g.Algorithm {
@@ -158,6 +183,12 @@ func (g *Generator) ForResult(r *search.Result, query string, bound int) *Genera
 	return g.ForTree(r.Doc, query, bound)
 }
 
+// ForResultTokens generates a snippet for a search result with the query
+// already tokenized.
+func (g *Generator) ForResultTokens(r *search.Result, kws []string, bound int) *Generated {
+	return g.ForTreeTokens(r.Doc, kws, bound)
+}
+
 // SnippetedResult pairs a search result with its generated snippet.
 type SnippetedResult struct {
 	Result *search.Result
@@ -181,10 +212,11 @@ func PipelineN(c *Corpus, query string, bound int, searchOpts search.Options, wo
 		return nil, err
 	}
 	gen := NewGenerator(c)
+	kws := index.Tokenize(query)
 	out := make([]*SnippetedResult, len(results))
 	if workers < 2 || len(results) < 2 {
 		for i, r := range results {
-			out[i] = &SnippetedResult{Result: r, Generated: gen.ForResult(r, query, bound)}
+			out[i] = &SnippetedResult{Result: r, Generated: gen.ForResultTokens(r, kws, bound)}
 		}
 		return out, nil
 	}
@@ -199,7 +231,7 @@ func PipelineN(c *Corpus, query string, bound int, searchOpts search.Options, wo
 			defer wg.Done()
 			for i := range next {
 				r := results[i]
-				out[i] = &SnippetedResult{Result: r, Generated: gen.ForResult(r, query, bound)}
+				out[i] = &SnippetedResult{Result: r, Generated: gen.ForResultTokens(r, kws, bound)}
 			}
 		}()
 	}

@@ -84,7 +84,9 @@ type IList struct {
 // Build assembles the IList of one query result.
 //
 // root is the query-result tree; keywords are the tokenized query; cls and
-// km were computed on the corpus; stats was collected on this result.
+// km were computed on the corpus; stats MUST have been collected on this
+// result — entity names and first entity instances are read from it
+// instead of re-walking the tree.
 func Build(root *xmltree.Node, keywords []string, cls *classify.Classification,
 	km *keys.Keys, stats *features.Stats) *IList {
 
@@ -105,20 +107,9 @@ func Build(root *xmltree.Node, keywords []string, cls *classify.Classification,
 		add(Item{Kind: Keyword, Text: kw})
 	}
 
-	// 2. Entity names present in the result, alphabetically.
-	entityLabels := map[string]bool{}
-	if root != nil {
-		root.Walk(func(n *xmltree.Node) bool {
-			if cls.IsEntity(n) {
-				entityLabels[n.Label] = true
-			}
-			return true
-		})
-	}
-	var sorted []string
-	for l := range entityLabels {
-		sorted = append(sorted, l)
-	}
+	// 2. Entity names present in the result, alphabetically. The feature
+	// collector recorded the labels on its walk, so no re-walk is needed.
+	sorted := append([]string(nil), stats.EntityLabels()...)
 	sort.Strings(sorted)
 	for _, l := range sorted {
 		add(Item{Kind: EntityName, Text: l})
@@ -127,7 +118,7 @@ func Build(root *xmltree.Node, keywords []string, cls *classify.Classification,
 	// 3. Result key of the return entity.
 	il.ReturnEntities = returnEntities(root, keywords, cls)
 	for _, re := range il.ReturnEntities {
-		inst := firstInstance(root, re, cls)
+		inst := stats.FirstEntity(re)
 		if inst == nil {
 			continue
 		}
@@ -164,13 +155,23 @@ func returnEntities(root *xmltree.Node, keywords []string, cls *classify.Classif
 	for _, k := range keywords {
 		kwSet[strings.ToLower(k)] = true
 	}
+	// tokenHit is evaluated on labels, whose distinct count is tiny next to
+	// the instance count: memoize per label so a 100k-node result tokenizes
+	// each label once, not once per instance.
+	hitCache := make(map[string]bool)
 	tokenHit := func(s string) bool {
+		if hit, ok := hitCache[s]; ok {
+			return hit
+		}
+		hit := false
 		for _, t := range index.Tokenize(s) {
 			if kwSet[t] {
-				return true
+				hit = true
+				break
 			}
 		}
-		return false
+		hitCache[s] = hit
+		return hit
 	}
 
 	var byName, byAttr, highest []string
@@ -224,26 +225,6 @@ func returnEntities(root *xmltree.Node, keywords []string, cls *classify.Classif
 		return out
 	}
 	return highest
-}
-
-// firstInstance returns the first entity instance with the given label in
-// document order.
-func firstInstance(root *xmltree.Node, label string, cls *classify.Classification) *xmltree.Node {
-	var found *xmltree.Node
-	if root == nil {
-		return nil
-	}
-	root.Walk(func(n *xmltree.Node) bool {
-		if found != nil {
-			return false
-		}
-		if n.IsElement() && n.Label == label && cls.IsEntity(n) {
-			found = n
-			return false
-		}
-		return true
-	})
-	return found
 }
 
 // Texts returns the item texts in rank order.

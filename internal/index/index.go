@@ -25,12 +25,46 @@ type Posting struct {
 	Fields MatchField
 }
 
+// PostingList is a packed posting list: parallel slices holding, per entry,
+// the posted node's preorder position, the node itself and the matched
+// fields. The struct-of-slices layout keeps the document-order positions in
+// one contiguous int32 array so binary searches and merge scans in query
+// evaluation touch only integers, never dereferencing nodes per probe.
+// Entries are sorted by Ord (document order).
+type PostingList struct {
+	Ords   []int32
+	Nodes  []*xmltree.Node
+	Fields []MatchField
+}
+
+// Len returns the number of postings in the list.
+func (pl *PostingList) Len() int {
+	if pl == nil {
+		return 0
+	}
+	return len(pl.Ords)
+}
+
+// PackNodes builds a PostingList over an ord-sorted node slice (no field
+// information). Query evaluation uses it for ad-hoc match lists, e.g.
+// phrase matches.
+func PackNodes(nodes []*xmltree.Node) *PostingList {
+	pl := &PostingList{
+		Ords:  make([]int32, len(nodes)),
+		Nodes: nodes,
+	}
+	for i, n := range nodes {
+		pl.Ords[i] = int32(n.Ord)
+	}
+	return pl
+}
+
 // Index is the inverted keyword index of one document. Postings target
 // element nodes: a tag-name match posts the element itself, a text match
 // posts the text node's parent element. Lists are sorted in document order.
 type Index struct {
 	doc      *xmltree.Document
-	postings map[string][]Posting
+	postings map[string]*PostingList
 	maxList  int
 	total    int
 
@@ -40,16 +74,22 @@ type Index struct {
 
 // Build constructs the index for a document in one pass.
 func Build(doc *xmltree.Document) *Index {
-	ix := &Index{doc: doc, postings: make(map[string][]Posting)}
+	ix := &Index{doc: doc, postings: make(map[string]*PostingList)}
 	add := func(keyword string, n *xmltree.Node, f MatchField) {
 		list := ix.postings[keyword]
+		if list == nil {
+			list = &PostingList{}
+			ix.postings[keyword] = list
+		}
 		// Nodes arrive in document order; merge repeated hits on the
 		// same node (e.g. a token occurring twice in one value).
-		if k := len(list); k > 0 && list[k-1].Node == n {
-			list[k-1].Fields |= f
+		if k := len(list.Nodes); k > 0 && list.Nodes[k-1] == n {
+			list.Fields[k-1] |= f
 			return
 		}
-		ix.postings[keyword] = append(list, Posting{Node: n, Fields: f})
+		list.Ords = append(list.Ords, int32(n.Ord))
+		list.Nodes = append(list.Nodes, n)
+		list.Fields = append(list.Fields, f)
 		ix.total++
 	}
 	for _, n := range doc.Nodes() {
@@ -68,8 +108,8 @@ func Build(doc *xmltree.Document) *Index {
 		}
 	}
 	for _, list := range ix.postings {
-		if len(list) > ix.maxList {
-			ix.maxList = len(list)
+		if list.Len() > ix.maxList {
+			ix.maxList = list.Len()
 		}
 	}
 	return ix
@@ -78,9 +118,11 @@ func Build(doc *xmltree.Document) *Index {
 // Document returns the indexed document.
 func (ix *Index) Document() *xmltree.Document { return ix.doc }
 
-// Postings returns the posting list for a keyword (document order). The
-// keyword is tokenized first; a multi-token argument returns nil.
-func (ix *Index) Postings(keyword string) []Posting {
+// List returns the packed posting list for a keyword (document order), or
+// nil if the keyword is unindexed. The keyword is tokenized first; a
+// multi-token argument returns nil. The returned list is shared and must
+// not be modified.
+func (ix *Index) List(keyword string) *PostingList {
 	toks := Tokenize(keyword)
 	if len(toks) != 1 {
 		return nil
@@ -88,14 +130,33 @@ func (ix *Index) Postings(keyword string) []Posting {
 	return ix.postings[toks[0]]
 }
 
-// Nodes returns just the nodes of the posting list for keyword.
-func (ix *Index) Nodes(keyword string) []*xmltree.Node {
-	ps := ix.Postings(keyword)
-	out := make([]*xmltree.Node, len(ps))
-	for i, p := range ps {
-		out[i] = p.Node
+// Postings returns the posting list for a keyword (document order) as a
+// materialized view over the packed list. The keyword is tokenized first;
+// a multi-token argument returns nil.
+func (ix *Index) Postings(keyword string) []Posting {
+	pl := ix.List(keyword)
+	if pl == nil {
+		return nil
+	}
+	out := make([]Posting, pl.Len())
+	for i := range pl.Nodes {
+		out[i] = Posting{Node: pl.Nodes[i], Fields: pl.Fields[i]}
 	}
 	return out
+}
+
+// Count returns the posting-list length for a keyword without materializing
+// the list.
+func (ix *Index) Count(keyword string) int { return ix.List(keyword).Len() }
+
+// Nodes returns just the nodes of the posting list for keyword. The slice
+// is shared with the index and must not be modified.
+func (ix *Index) Nodes(keyword string) []*xmltree.Node {
+	pl := ix.List(keyword)
+	if pl == nil {
+		return nil
+	}
+	return pl.Nodes
 }
 
 // DistinctKeywords returns the number of distinct indexed keywords.
@@ -138,7 +199,7 @@ func (ix *Index) CompletePrefix(prefix string, k int) []string {
 		matches = append(matches, voc[i])
 	}
 	sort.SliceStable(matches, func(i, j int) bool {
-		return len(ix.postings[matches[i]]) > len(ix.postings[matches[j]])
+		return ix.postings[matches[i]].Len() > ix.postings[matches[j]].Len()
 	})
 	if len(matches) > k {
 		matches = matches[:k]

@@ -1,8 +1,12 @@
 package index
 
 import (
+	"fmt"
+	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
+	"unicode"
 
 	"extract/xmltree"
 )
@@ -142,6 +146,61 @@ func TestIndexStats(t *testing.T) {
 	for i := 1; i < len(voc); i++ {
 		if voc[i-1] >= voc[i] {
 			t.Error("vocabulary not sorted")
+		}
+	}
+}
+
+// tokenizeReference is the pre-fast-path implementation, kept in tests as
+// the semantic yardstick for the optimized Tokenize.
+func tokenizeReference(s string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			out = append(out, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+func TestTokenizeMatchesReference(t *testing.T) {
+	cases := []string{
+		"", " ", "hello", "Hello World", "a-b_c d9", "Brook Brothers",
+		"çirçé ÉLAN", "x€y", "日本語 text", "MiXeD-caseTOKEN stream",
+		"trailing ", " leading", "a", "A", "1234", "\xff\xfe bad utf8 \xff",
+		"ascii然后unicode", "ÀÈÌ òùç", "tab\tsep\nnewline",
+	}
+	for _, s := range cases {
+		got, want := Tokenize(s), tokenizeReference(s)
+		if len(got) != len(want) {
+			t.Fatalf("Tokenize(%q) = %v, want %v", s, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Tokenize(%q) = %v, want %v", s, got, want)
+			}
+		}
+	}
+	// And on random byte strings, including invalid UTF-8.
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		b := make([]byte, r.Intn(24))
+		for i := range b {
+			b[i] = byte(r.Intn(256))
+		}
+		s := string(b)
+		got, want := Tokenize(s), tokenizeReference(s)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("Tokenize(%q) = %v, want %v", s, got, want)
 		}
 	}
 }

@@ -8,29 +8,88 @@ package index
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Tokenize splits free text into lowercase keyword tokens. Token characters
 // are letters and digits; everything else separates tokens. Tokenization is
 // shared by index construction and query parsing so matches are symmetric.
+//
+// ASCII text takes an allocation-light fast path: already-lowercase tokens
+// are returned as substrings of s, and only tokens containing uppercase
+// letters or non-ASCII runes are rebuilt. Callers that only inspect tokens
+// should prefer EachToken, which does not build the slice.
 func Tokenize(s string) []string {
 	var out []string
-	var b strings.Builder
-	flush := func() {
-		if b.Len() > 0 {
-			out = append(out, b.String())
-			b.Reset()
-		}
-	}
-	for _, r := range s {
-		if unicode.IsLetter(r) || unicode.IsDigit(r) {
-			b.WriteRune(unicode.ToLower(r))
-		} else {
-			flush()
-		}
-	}
-	flush()
+	EachToken(s, func(t string) bool {
+		out = append(out, t)
+		return true
+	})
 	return out
+}
+
+func isAlnumASCII(c byte) bool {
+	return 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9'
+}
+
+// EachToken calls fn for every token of s in order, stopping early if fn
+// returns false. Tokenization is identical to Tokenize, but lowercase ASCII
+// tokens are passed as substrings without materializing a token slice, so
+// scanning large text corpora for a small keyword set does not allocate.
+func EachToken(s string, fn func(string) bool) {
+	n := len(s)
+	for i := 0; i < n; {
+		c := s[i]
+		if c < utf8.RuneSelf && !isAlnumASCII(c) {
+			i++ // ASCII separator
+			continue
+		}
+		start := i
+		lower, ascii := true, true
+		for i < n {
+			c = s[i]
+			if c >= utf8.RuneSelf {
+				ascii = false
+				break
+			}
+			if !isAlnumASCII(c) {
+				break
+			}
+			if 'A' <= c && c <= 'Z' {
+				lower = false
+			}
+			i++
+		}
+		if ascii {
+			tok := s[start:i]
+			if !lower {
+				tok = strings.ToLower(tok)
+			}
+			if !fn(tok) {
+				return
+			}
+			continue
+		}
+		var b strings.Builder
+		j := start
+		for j < n {
+			r, size := utf8.DecodeRuneInString(s[j:])
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+				break
+			}
+			b.WriteRune(unicode.ToLower(r))
+			j += size
+		}
+		if b.Len() > 0 {
+			if !fn(b.String()) {
+				return
+			}
+		} else {
+			_, size := utf8.DecodeRuneInString(s[j:])
+			j += size
+		}
+		i = j
+	}
 }
 
 // TokenSet returns the distinct tokens of s.

@@ -75,27 +75,27 @@ func (e *Engine) Search(query string) ([]*Result, error) {
 		return nil, ErrEmptyQuery
 	}
 	keywords := make([]string, len(terms))
-	lists := make([][]*xmltree.Node, len(terms))
+	lists := make([]*index.PostingList, len(terms))
 	matches := make(map[string][]*xmltree.Node, len(terms))
 	for i, t := range terms {
 		keywords[i] = t.String()
 		if t.IsPhrase() {
-			lists[i] = phraseMatches(e.ix, t.Tokens)
+			lists[i] = index.PackNodes(phraseMatches(e.ix, t.Tokens))
 		} else {
-			lists[i] = e.ix.Nodes(t.Tokens[0])
+			lists[i] = e.ix.List(t.Tokens[0])
 		}
-		if len(lists[i]) == 0 {
+		if lists[i].Len() == 0 {
 			return nil, nil // conjunctive semantics: no results
 		}
-		matches[keywords[i]] = lists[i]
+		matches[keywords[i]] = lists[i].Nodes
 	}
 
 	var lcas []*xmltree.Node
 	switch e.opts.Semantics {
 	case SemanticsELCA:
-		lcas = ELCA(lists...)
+		lcas = ELCAPacked(lists...)
 	default:
-		lcas = SLCA(lists...)
+		lcas = SLCAPacked(lists...)
 	}
 
 	var (

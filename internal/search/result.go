@@ -76,8 +76,10 @@ func buildResult(lca *xmltree.Node, keywords []string, matches map[string][]*xml
 		}
 	}
 
+	// Matches and anchor live in the source document, which is finalized,
+	// so subtree membership is two integer compares on preorder intervals.
 	inAnchor := func(n *xmltree.Node) bool {
-		return anchor.Dewey.IsAncestorOrSelf(n.Dewey)
+		return anchor.ContainsOrSelf(n)
 	}
 	resultMatches := make(map[string][]*xmltree.Node, len(keywords))
 	for _, kw := range keywords {

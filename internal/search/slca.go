@@ -3,27 +3,234 @@
 // query-result trees works ("snippet generation is orthogonal to query
 // result generation", paper §3). This package provides the standard
 // machinery: SLCA computation in the style of Xu & Papakonstantinou
-// (indexed lookup over Dewey-ordered posting lists), ELCA computation in the
-// style of XRank (bottom-up exclusive counting), and XSeek-flavoured result
-// tree construction.
+// (indexed lookup and scan-eager merge over packed, ord-sorted posting
+// lists), ELCA computation in the style of XRank (bottom-up exclusive
+// counting over the match virtual tree), and XSeek-flavoured result tree
+// construction.
+//
+// The hot paths work on flat integer arrays: posting lists carry their
+// document-order positions in contiguous int32 slices (index.PostingList),
+// ancestor and containment tests use the preorder intervals assigned by
+// xmltree.NewDocument, and LCA depths come from Dewey lengths instead of
+// parent-pointer walks. All evaluation entry points require their input
+// nodes to belong to one finalized document.
 package search
 
 import (
 	"sort"
 
+	"extract/internal/index"
 	"extract/xmltree"
 )
 
 // SLCA returns the Smallest Lowest Common Ancestors of the given keyword
 // match lists: nodes whose subtree contains at least one match from every
 // list and none of whose proper descendants does. Lists must be sorted in
-// document order (index posting lists are). The result is in document order.
+// document order and drawn from one finalized document (index posting
+// lists are). The result is in document order.
+func SLCA(lists ...[]*xmltree.Node) []*xmltree.Node {
+	packed := make([]*index.PostingList, len(lists))
+	for i, l := range lists {
+		packed[i] = index.PackNodes(l)
+	}
+	return SLCAPacked(packed...)
+}
+
+// SLCAPacked is SLCA over packed posting lists, the form the engine holds.
 //
 // The algorithm follows the indexed-lookup approach: iterate the shortest
 // list; for each of its nodes find, in every other list, the closest match
-// in document order (predecessor or successor by Ord), and fold LCAs. The
-// candidate set is then reduced by removing ancestors of other candidates.
-func SLCA(lists ...[]*xmltree.Node) []*xmltree.Node {
+// in document order (predecessor or successor by Ord), and fold LCAs. When
+// the shortest list is a large fraction of the total, per-node binary
+// searches are replaced by monotone cursors, turning the candidate pass
+// into a linear merge over the ord arrays. The candidate set is then
+// reduced to the smallest elements by a single linear stack pass over the
+// preorder intervals.
+func SLCAPacked(lists ...*index.PostingList) []*xmltree.Node {
+	if len(lists) == 0 {
+		return nil
+	}
+	for _, l := range lists {
+		if l.Len() == 0 {
+			return nil
+		}
+	}
+	if len(lists) == 1 {
+		// Even with one keyword, a match whose descendant also matches
+		// is not a smallest LCA.
+		return smallestOnly(append([]*xmltree.Node(nil), lists[0].Nodes...))
+	}
+
+	// Work on the shortest list for the outer loop.
+	shortest, total := 0, 0
+	for i, l := range lists {
+		total += l.Len()
+		if l.Len() < lists[shortest].Len() {
+			shortest = i
+		}
+	}
+	s := lists[shortest]
+
+	// Binary searches win when the shortest list is far smaller than the
+	// rest; otherwise a linear merge with monotone cursors touches each
+	// ord once and stays in cache.
+	scan := s.Len()*ilog2(total) >= total-s.Len()
+	cursors := make([]int, len(lists))
+
+	// For each node v of the shortest list, the folded LCA over all lists
+	// is an ancestor of v, fully determined by its depth: the closest
+	// match of a list (pred or succ by ord) pins that list's contribution
+	// to the deeper of the two Dewey common-prefix lengths with v, and the
+	// fold takes the minimum across lists. One parent climb at the end
+	// materializes the candidate; consecutive duplicates collapse early.
+	candidates := make([]*xmltree.Node, 0, s.Len())
+	for si, v := range s.Nodes {
+		vOrd := s.Ords[si]
+		minDepth := len(v.Dewey)
+		for li, l := range lists {
+			if li == shortest {
+				continue
+			}
+			var i int
+			if scan {
+				cur := cursors[li]
+				for cur < len(l.Ords) && l.Ords[cur] < vOrd {
+					cur++
+				}
+				cursors[li], i = cur, cur
+			} else {
+				i = sort.Search(len(l.Ords), func(j int) bool { return l.Ords[j] >= vOrd })
+			}
+			var lev int
+			switch {
+			case i <= 0:
+				lev = commonLevel(v.Dewey, l.Nodes[0].Dewey, minDepth)
+			case i >= len(l.Nodes):
+				lev = commonLevel(v.Dewey, l.Nodes[i-1].Dewey, minDepth)
+			default:
+				lev = commonLevel(v.Dewey, l.Nodes[i-1].Dewey, minDepth)
+				if ls := commonLevel(v.Dewey, l.Nodes[i].Dewey, minDepth); ls > lev {
+					lev = ls
+				}
+			}
+			if lev < minDepth {
+				minDepth = lev
+				if minDepth == 0 {
+					break // already at the root
+				}
+			}
+		}
+		c := v
+		for d := len(v.Dewey); d > minDepth; d-- {
+			c = c.Parent
+		}
+		if k := len(candidates); k > 0 && candidates[k-1] == c {
+			continue
+		}
+		candidates = append(candidates, c)
+	}
+	return smallestOnly(candidates)
+}
+
+// commonLevel returns the length of the longest common prefix of two Dewey
+// identifiers — the depth of the nodes' LCA — capped at max (prefixes at
+// least as long as max are equivalent for the caller).
+func commonLevel(a, b xmltree.Dewey, max int) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if max < n {
+		n = max
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// fastLCA returns the lowest common ancestor of two nodes of one finalized
+// document: preorder intervals settle containment in two compares, Dewey
+// lengths replace the parent-walk depth computation. Returns nil if the
+// nodes turn out to lie in different trees.
+func fastLCA(a, b *xmltree.Node) *xmltree.Node {
+	if a == nil || b == nil {
+		return nil
+	}
+	if a.ContainsOrSelf(b) {
+		return a
+	}
+	if b.Contains(a) {
+		return b
+	}
+	da, db := len(a.Dewey), len(b.Dewey)
+	for da > db {
+		a = a.Parent
+		da--
+	}
+	for db > da {
+		b = b.Parent
+		db--
+	}
+	for a != b {
+		if a == nil || b == nil {
+			return nil
+		}
+		a, b = a.Parent, b.Parent
+	}
+	return a
+}
+
+// ilog2 returns floor(log2(n)) for n >= 1 (0 otherwise).
+func ilog2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// smallestOnly sorts candidates in document order, removes duplicates, and
+// removes every candidate that is an ancestor of another candidate, in one
+// linear stack pass over the preorder intervals: in document order an
+// ancestor immediately precedes its descendants' contiguous block, so the
+// stack top is popped whenever its interval contains the incoming node.
+// Candidates must belong to one finalized document. The input slice is
+// reordered and reused for the output.
+func smallestOnly(cands []*xmltree.Node) []*xmltree.Node {
+	if len(cands) == 0 {
+		return nil
+	}
+	sorted := true
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Start < cands[i-1].Start {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		sort.Slice(cands, func(i, j int) bool { return cands[i].Start < cands[j].Start })
+	}
+	out := cands[:0]
+	for _, c := range cands {
+		if len(out) > 0 && out[len(out)-1] == c {
+			continue // duplicate (Start is unique within a document)
+		}
+		for len(out) > 0 && out[len(out)-1].End >= c.Start {
+			out = out[:len(out)-1] // stack top is an ancestor of c
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// SLCABaseline is the pre-flattening implementation (pointer-chasing binary
+// search, parent-walk LCAs and the repeat-until-stable ancestor filter).
+// It is retained as the "before" side of the perf-regression harness
+// (cmd/benchrunner -search) and as an extra cross-check in property tests.
+func SLCABaseline(lists ...[]*xmltree.Node) []*xmltree.Node {
 	if len(lists) == 0 {
 		return nil
 	}
@@ -33,19 +240,14 @@ func SLCA(lists ...[]*xmltree.Node) []*xmltree.Node {
 		}
 	}
 	if len(lists) == 1 {
-		// Even with one keyword, a match whose descendant also matches
-		// is not a smallest LCA.
-		return smallestOnly(append([]*xmltree.Node(nil), lists[0]...))
+		return smallestOnlyBaseline(append([]*xmltree.Node(nil), lists[0]...))
 	}
-
-	// Work on the shortest list for the outer loop.
 	shortest := 0
 	for i, l := range lists {
 		if len(l) < len(lists[shortest]) {
 			shortest = i
 		}
 	}
-
 	var candidates []*xmltree.Node
 	for _, v := range lists[shortest] {
 		c := v
@@ -53,7 +255,7 @@ func SLCA(lists ...[]*xmltree.Node) []*xmltree.Node {
 			if i == shortest {
 				continue
 			}
-			u := closest(l, c)
+			u := closestBaseline(l, c)
 			c = xmltree.LCA(c, u)
 			if c == nil {
 				break
@@ -63,13 +265,10 @@ func SLCA(lists ...[]*xmltree.Node) []*xmltree.Node {
 			candidates = append(candidates, c)
 		}
 	}
-	return smallestOnly(candidates)
+	return smallestOnlyBaseline(candidates)
 }
 
-// closest returns the node of the document-ordered list l whose LCA with v
-// is deepest, which is always either the predecessor or the successor of v
-// in document order.
-func closest(l []*xmltree.Node, v *xmltree.Node) *xmltree.Node {
+func closestBaseline(l []*xmltree.Node, v *xmltree.Node) *xmltree.Node {
 	i := sort.Search(len(l), func(i int) bool { return l[i].Ord >= v.Ord })
 	var pred, succ *xmltree.Node
 	if i < len(l) {
@@ -92,17 +291,12 @@ func closest(l []*xmltree.Node, v *xmltree.Node) *xmltree.Node {
 	return succ
 }
 
-// smallestOnly sorts candidates in document order, removes duplicates, and
-// removes every candidate that is an ancestor of another candidate.
-func smallestOnly(cands []*xmltree.Node) []*xmltree.Node {
+func smallestOnlyBaseline(cands []*xmltree.Node) []*xmltree.Node {
 	if len(cands) == 0 {
 		return nil
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].Ord < cands[j].Ord })
 	cands = dedupe(cands)
-	// In document order, an ancestor precedes its descendants, and all
-	// descendants are contiguous before any node outside the subtree. A
-	// single backward scan with a stack finds ancestors.
 	var out []*xmltree.Node
 	for i := 0; i < len(cands); i++ {
 		isAncestor := false
@@ -113,9 +307,6 @@ func smallestOnly(cands []*xmltree.Node) []*xmltree.Node {
 			out = append(out, cands[i])
 		}
 	}
-	// One pass handles chains: if a < b < c with a ancestor of c but not
-	// of b, document order still places c after b; a is only removable if
-	// it is an ancestor of its immediate successor. Repeat until stable.
 	for changed := true; changed; {
 		changed = false
 		for i := 0; i+1 < len(out); i++ {

@@ -17,7 +17,7 @@ import (
 func GreedyRatio(doc *xmltree.Document, il *ilist.IList, cls *classify.Classification,
 	stats *features.Stats, bound int) *Snippet {
 
-	f := newFinder(doc, cls, stats)
+	f := newFinder(doc, cls, stats, il)
 	tr := newTracker(cls, doc.Root)
 	edges := 0
 
@@ -43,7 +43,7 @@ func GreedyRatio(doc *xmltree.Document, il *ilist.IList, cls *classify.Classific
 		for idx := range remaining {
 			it := il.Items[idx]
 			for _, inst := range f.instancesOf(it) {
-				c, path := tr.cost(inst)
+				c, path := tr.cost(inst, nil, -1)
 				if edges+c > bound {
 					continue
 				}

@@ -57,10 +57,20 @@ func (s *Snippet) CoveredItems(il *ilist.IList) []ilist.Item {
 	return out
 }
 
-// instance is one way to witness an IList item: a small set of result-tree
-// nodes (an element, possibly with the text value that must display).
+// instance is one way to witness an IList item: an element node a, plus
+// optionally the text child b whose value must display. The two-pointer
+// value form keeps instance lists free of per-entry allocations.
 type instance struct {
-	nodes []*xmltree.Node
+	a, b *xmltree.Node
+}
+
+// deepest returns the instance's deepest node; its ancestor chain covers
+// the whole instance.
+func (in instance) deepest() *xmltree.Node {
+	if in.b != nil {
+		return in.b
+	}
+	return in.a
 }
 
 // tracker maintains the growing snippet tree and the evidence it exposes:
@@ -159,23 +169,25 @@ func (tr *tracker) covers(it ilist.Item) bool {
 }
 
 // cost returns the number of new element edges needed to attach the
-// instance to the tree, and the path nodes to add. Free (text) nodes do not
-// count. Paths follow parent pointers to the nearest tree node; instances
-// are within the result tree rooted at the tracked root, so a tree ancestor
-// always exists.
-func (tr *tracker) cost(inst instance) (int, []*xmltree.Node) {
-	var path []*xmltree.Node
+// instance to the tree, and the path nodes to add (appended to buf, which
+// may be reused across calls). Free (text) nodes do not count. An
+// instance's nodes form a single ancestor chain ending at its deepest
+// node, so one climb from that node to the nearest tree node covers the
+// whole instance; instances are within the result tree rooted at the
+// tracked root, so a tree ancestor always exists.
+//
+// limit prunes the climb: once cost exceeds it the instance cannot win,
+// and the (partial) path is meaningless. Pass a negative limit for no
+// pruning.
+func (tr *tracker) cost(inst instance, buf []*xmltree.Node, limit int) (int, []*xmltree.Node) {
+	path := buf[:0]
 	cost := 0
-	seen := map[*xmltree.Node]bool{}
-	for _, n := range inst.nodes {
-		for m := n; m != nil && !tr.inT[m]; m = m.Parent {
-			if seen[m] {
-				break
-			}
-			seen[m] = true
-			path = append(path, m)
-			if m.IsElement() {
-				cost++
+	for m := inst.deepest(); m != nil && !tr.inT[m]; m = m.Parent {
+		path = append(path, m)
+		if m.IsElement() {
+			cost++
+			if limit >= 0 && cost > limit {
+				return cost, path
 			}
 		}
 	}
@@ -189,62 +201,103 @@ func (tr *tracker) addAll(path []*xmltree.Node) {
 	}
 }
 
-// finder enumerates item instances over one result tree.
+// finder enumerates item instances over one result tree. Instead of
+// building a full inverted index of the result per snippet, it walks the
+// tree once, collecting instances only for the keywords and entity labels
+// the IList actually asks for; feature instances come straight from the
+// feature statistics.
 type finder struct {
-	doc     *xmltree.Document
-	ix      *index.Index
-	stats   *features.Stats
-	cls     *classify.Classification
-	byLabel map[string][]*xmltree.Node
+	stats    *features.Stats
+	keywords map[string][]instance // Keyword items, document order
+	entities map[string][]instance // EntityName items, document order
 }
 
-func newFinder(doc *xmltree.Document, cls *classify.Classification, stats *features.Stats) *finder {
+func newFinder(doc *xmltree.Document, cls *classify.Classification, stats *features.Stats,
+	il *ilist.IList) *finder {
+
 	f := &finder{
-		doc:     doc,
-		ix:      index.Build(doc),
-		stats:   stats,
-		cls:     cls,
-		byLabel: make(map[string][]*xmltree.Node),
+		stats:    stats,
+		keywords: make(map[string][]instance),
+		entities: make(map[string][]instance),
 	}
-	for _, n := range doc.Nodes() {
-		if n.IsElement() {
-			f.byLabel[n.Label] = append(f.byLabel[n.Label], n)
+	for _, it := range il.Items {
+		switch it.Kind {
+		case ilist.Keyword:
+			f.keywords[it.Text] = nil
+		case ilist.EntityName:
+			f.entities[it.Text] = nil
 		}
 	}
+	if len(f.keywords) == 0 && len(f.entities) == 0 {
+		return f
+	}
+	labelToks := make(map[string][]string) // per-label tokens, few labels
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		if !n.IsElement() {
+			return true
+		}
+		if insts, ok := f.entities[n.Label]; ok && cls.IsEntity(n) {
+			f.entities[n.Label] = append(insts, instance{a: n})
+		}
+		if len(f.keywords) > 0 {
+			toks, ok := labelToks[n.Label]
+			if !ok {
+				toks = index.Tokenize(n.Label)
+				labelToks[n.Label] = toks
+			}
+			// Label instance first, then value instances in child order —
+			// the document order a posting scan produced.
+			for _, t := range toks {
+				insts, want := f.keywords[t]
+				if !want {
+					continue
+				}
+				// A token repeated inside one label witnesses once.
+				if k := len(insts); k > 0 && insts[k-1].b == nil && insts[k-1].a == n {
+					continue
+				}
+				f.keywords[t] = append(insts, instance{a: n})
+			}
+			for _, c := range n.Children {
+				if !c.IsText() {
+					continue
+				}
+				index.EachToken(c.Value, func(t string) bool {
+					insts, want := f.keywords[t]
+					if !want {
+						return true
+					}
+					// A token repeated inside one value witnesses once.
+					if k := len(insts); k > 0 && insts[k-1].b == c {
+						return true
+					}
+					f.keywords[t] = append(insts, instance{a: n, b: c})
+					return true
+				})
+			}
+		}
+		return true
+	})
 	return f
 }
 
 // instancesOf lists the ways to witness an item, in document order.
 func (f *finder) instancesOf(it ilist.Item) []instance {
-	var out []instance
 	switch it.Kind {
 	case ilist.Keyword:
-		for _, p := range f.ix.Postings(it.Text) {
-			if p.Fields&index.FieldLabel != 0 {
-				out = append(out, instance{nodes: []*xmltree.Node{p.Node}})
-			}
-			if p.Fields&index.FieldValue != 0 {
-				for _, c := range p.Node.Children {
-					if c.IsText() && index.MatchesKeyword(c.Value, it.Text) {
-						out = append(out, instance{nodes: []*xmltree.Node{p.Node, c}})
-					}
-				}
-			}
-		}
+		return f.keywords[it.Text]
 	case ilist.EntityName:
-		for _, n := range f.byLabel[it.Text] {
-			if f.cls.IsEntity(n) {
-				out = append(out, instance{nodes: []*xmltree.Node{n}})
-			}
-		}
+		return f.entities[it.Text]
 	case ilist.ResultKey, ilist.DominantFeature:
+		var out []instance
 		for _, n := range f.stats.Instances(it.Feature) {
 			if n.HasSingleTextChild() {
-				out = append(out, instance{nodes: []*xmltree.Node{n, n.Children[0]}})
+				out = append(out, instance{a: n, b: n.Children[0]})
 			}
 		}
+		return out
 	}
-	return out
+	return nil
 }
 
 // Greedy builds a snippet for the result within the edge bound.
@@ -254,22 +307,27 @@ func (f *finder) instancesOf(it ilist.Item) []instance {
 func Greedy(doc *xmltree.Document, il *ilist.IList, cls *classify.Classification,
 	stats *features.Stats, bound int) *Snippet {
 
-	f := newFinder(doc, cls, stats)
+	f := newFinder(doc, cls, stats, il)
 	tr := newTracker(cls, doc.Root)
 	edges := 0
 
 	var covered, skipped []int
+	var cur, bestPath []*xmltree.Node // reused across candidate evaluations
 	for idx, it := range il.Items {
 		if tr.covers(it) {
 			covered = append(covered, idx)
 			continue
 		}
 		bestCost := -1
-		var bestPath []*xmltree.Node
+		bestPath = bestPath[:0]
 		for _, inst := range f.instancesOf(it) {
-			c, path := tr.cost(inst)
+			var c int
+			// Prune climbs at bestCost-1: anything costlier cannot win
+			// (ties keep the earliest instance, as before).
+			c, cur = tr.cost(inst, cur, bestCost-1)
 			if bestCost < 0 || c < bestCost {
-				bestCost, bestPath = c, path
+				bestCost = c
+				bestPath, cur = cur, bestPath
 			}
 			if c == 0 {
 				break // cannot do better
@@ -321,7 +379,7 @@ func Exact(doc *xmltree.Document, il *ilist.IList, cls *classify.Classification,
 	if cfg.MaxExpansions <= 0 {
 		cfg.MaxExpansions = 2_000_000
 	}
-	f := newFinder(doc, cls, stats)
+	f := newFinder(doc, cls, stats, il)
 
 	type best struct {
 		count   int
@@ -378,7 +436,7 @@ func Exact(doc *xmltree.Document, il *ilist.IList, cls *classify.Classification,
 		}
 		// Branch: each affordable instance.
 		for _, inst := range insts {
-			c, path := tr.cost(inst)
+			c, path := tr.cost(inst, nil, -1)
 			if edges+c > bound {
 				continue
 			}

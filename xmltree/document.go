@@ -14,9 +14,10 @@ type Document struct {
 }
 
 // NewDocument finalizes the tree rooted at root into a Document: it fixes
-// parent pointers, assigns Dewey identifiers (root = empty Dewey) and
-// preorder positions, and materializes the node sequence. The tree is
-// modified in place; root may be nil, producing an empty document.
+// parent pointers, assigns Dewey identifiers (root = empty Dewey), preorder
+// positions and preorder intervals (Start/End), and materializes the node
+// sequence. The tree is modified in place; root may be nil, producing an
+// empty document.
 func NewDocument(root *Node) *Document {
 	d := &Document{Root: root}
 	if root == nil {
@@ -27,11 +28,13 @@ func NewDocument(root *Node) *Document {
 	assign = func(n *Node, dw Dewey) {
 		n.Dewey = dw
 		n.Ord = len(d.nodes)
+		n.Start = int32(n.Ord)
 		d.nodes = append(d.nodes, n)
 		for i, c := range n.Children {
 			c.Parent = n
 			assign(c, dw.Child(i))
 		}
+		n.End = int32(len(d.nodes) - 1)
 	}
 	assign(root, Dewey{})
 	return d

@@ -1,0 +1,59 @@
+package xmltree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the preorder-interval ancestor tests agree with the Dewey-based
+// ones on every node pair of random documents.
+func TestIntervalMatchesDewey(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := randomTree(r, 2+r.Intn(40))
+		all := doc.Nodes()
+		for _, a := range all {
+			for _, b := range all {
+				if a.Contains(b) != a.Dewey.IsAncestorOf(b.Dewey) {
+					t.Logf("Contains mismatch: %v vs %v", a.Dewey, b.Dewey)
+					return false
+				}
+				if a.ContainsOrSelf(b) != a.Dewey.IsAncestorOrSelf(b.Dewey) {
+					t.Logf("ContainsOrSelf mismatch: %v vs %v", a.Dewey, b.Dewey)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The interval invariants: Start equals Ord, End covers exactly the subtree,
+// and siblings' intervals are disjoint.
+func TestIntervalInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		doc := randomTree(r, 2+r.Intn(60))
+		for _, n := range doc.Nodes() {
+			if int(n.Start) != n.Ord {
+				t.Fatalf("Start = %d, Ord = %d", n.Start, n.Ord)
+			}
+			want := n.Ord + n.NodeCount() - 1
+			if int(n.End) != want {
+				t.Fatalf("End = %d, want %d (subtree of %d nodes at ord %d)",
+					n.End, want, n.NodeCount(), n.Ord)
+			}
+		}
+		// Re-finalizing after a structural edit refreshes the intervals.
+		doc2 := NewDocument(doc.Root)
+		for i, n := range doc2.Nodes() {
+			if int(n.Start) != i {
+				t.Fatalf("refinalized Start = %d at position %d", n.Start, i)
+			}
+		}
+	}
+}

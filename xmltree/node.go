@@ -48,6 +48,15 @@ type Node struct {
 	// Ord is the preorder position of the node within its document.
 	Ord int
 
+	// Start and End are the node's preorder interval within its document,
+	// assigned by NewDocument: Start is the node's own preorder position
+	// (== Ord) and End is the largest preorder position in its subtree.
+	// They make ancestor/descendant tests and subtree containment two
+	// integer compares (see Contains) on the search→snippet hot path;
+	// Dewey remains the identifier for LCA depth and rendering. Valid only
+	// on finalized documents (int32 bounds document size at ~2G nodes).
+	Start, End int32
+
 	// Origin, when non-nil, points at the node this one was projected
 	// from (see Project). Query-result trees and snippet trees keep
 	// Origin chains back to the source document.
@@ -171,6 +180,20 @@ func (n *Node) Descendant(labels ...string) *Node {
 		cur = next
 	}
 	return cur
+}
+
+// Contains reports whether m lies strictly inside n's subtree, using the
+// preorder intervals assigned by NewDocument. Both nodes must belong to the
+// same finalized document; results are unspecified otherwise.
+func (n *Node) Contains(m *Node) bool {
+	return n.Start < m.Start && m.Start <= n.End
+}
+
+// ContainsOrSelf reports whether m is n or lies inside n's subtree, using
+// the preorder intervals assigned by NewDocument. Both nodes must belong to
+// the same finalized document.
+func (n *Node) ContainsOrSelf(m *Node) bool {
+	return n.Start <= m.Start && m.Start <= n.End
 }
 
 // AncestorOrSelfIn returns the nearest ancestor-or-self of n contained in

@@ -1,13 +1,18 @@
 // Command benchrunner regenerates the experiment tables of EXPERIMENTS.md:
 // one table per experiment E1–E11 of DESIGN.md §5. It also maintains the
-// perf-regression trajectory of the search→snippet hot path.
+// perf-regression trajectories of the search→snippet hot path and the
+// persist load path, both recorded in BENCH_search.json.
 //
 // Usage:
 //
-//	benchrunner                          # run every experiment (full sweeps)
-//	benchrunner -quick                   # trimmed sweeps, seconds instead of minutes
-//	benchrunner -exp e6                  # a single experiment
-//	benchrunner -search BENCH_search.json  # write the hot-path before/after JSON
+//	benchrunner                            # run every experiment (full sweeps)
+//	benchrunner -quick                     # trimmed sweeps, seconds instead of minutes
+//	benchrunner -exp e6                    # a single experiment
+//	benchrunner -search BENCH_search.json  # update the hot-path perf points
+//	benchrunner -persist BENCH_search.json # update the persist-load perf points
+//	benchrunner -search new.json -persist new.json -baseline BENCH_search.json
+//	                                       # CI gate: exit 1 if QueryEndToEnd or
+//	                                       # packed load regressed >20% vs baseline
 package main
 
 import (
@@ -20,13 +25,17 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (e1..e11, all)")
-		quick  = flag.Bool("quick", false, "trim sweep sizes for a fast run")
-		search = flag.String("search", "", "write the search→snippet hot-path perf JSON to this path and exit")
+		exp        = flag.String("exp", "all", "experiment id (e1..e11, all)")
+		quick      = flag.Bool("quick", false, "trim sweep sizes for a fast run")
+		search     = flag.String("search", "", "update the search→snippet hot-path perf points in this JSON file")
+		persist    = flag.String("persist", "", "update the persist-load perf points in this JSON file")
+		baseline   = flag.String("baseline", "", "compare the updated JSON against this baseline report and fail on regression")
+		maxRegress = flag.Float64("maxregress", 1.20, "regression tolerance for -baseline (1.20 = 20% slower fails)")
 	)
 	flag.Parse()
 
 	sizes := bench.Sizes{Quick: *quick}
+	perfMode := *search != "" || *persist != ""
 	if *search != "" {
 		report, err := bench.WriteSearchPerf(*search, sizes.SearchPerfSizes())
 		if err != nil {
@@ -34,6 +43,44 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(report.Render())
+	}
+	if *persist != "" {
+		points, err := bench.UpdatePersistPerf(*persist, sizes.SearchPerfSizes())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.RenderPersist(points))
+	}
+	if *baseline != "" {
+		current := *search
+		if current == "" {
+			current = *persist
+		}
+		if current == "" {
+			fmt.Fprintln(os.Stderr, "benchrunner: -baseline requires -search and/or -persist")
+			os.Exit(2)
+		}
+		base, err := bench.ReadReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		cur, err := bench.ReadReport(current)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		if msgs := bench.CompareReports(base, cur, *maxRegress); len(msgs) > 0 {
+			for _, m := range msgs {
+				fmt.Fprintf(os.Stderr, "benchrunner: REGRESSION: %s\n", m)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchrunner: no regression vs %s (tolerance %.0f%%)\n",
+			*baseline, (*maxRegress-1)*100)
+	}
+	if perfMode {
 		return
 	}
 

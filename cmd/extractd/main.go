@@ -8,6 +8,9 @@
 //
 //	extractd                                  # built-in demo datasets
 //	extractd -addr :8080 -data name=file.xml  # add a dataset from disk
+//	extractd -shards 8 -data name=big.xml     # serve sharded corpora:
+//	                                          # per-shard packed indexes,
+//	                                          # parallel query fan-out
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"extract"
 	"extract/internal/baseline"
 	"extract/internal/gen"
+	"extract/xmltree"
 )
 
 type dataset struct {
@@ -38,7 +42,8 @@ type server struct {
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
+		addr   = flag.String("addr", ":8080", "listen address")
+		shards = flag.Int("shards", 1, "partition each dataset into up to N index shards")
 	)
 	var dataFlags multiFlag
 	flag.Var(&dataFlags, "data", "dataset as name=file.xml (repeatable)")
@@ -46,19 +51,28 @@ func main() {
 
 	s := &server{datasets: make(map[string]*dataset)}
 
+	build := func(doc *xmltree.Document) *extract.Corpus {
+		if *shards > 1 {
+			return extract.FromDocumentSharded(doc, nil, *shards)
+		}
+		return extract.FromDocument(doc, nil)
+	}
 	// Built-in demo datasets: the paper's two scenarios plus movies.
-	s.add("stores (Figure 5)", extract.FromDocument(gen.Figure5Corpus(), nil))
-	s.add("retailers (Figure 1)", extract.FromDocument(gen.Figure1Corpus(), nil))
-	s.add("movies", extract.FromDocument(gen.Movies(gen.MoviesConfig{Movies: 30, Seed: 7}), nil))
+	s.add("stores (Figure 5)", build(gen.Figure5Corpus()))
+	s.add("retailers (Figure 1)", build(gen.Figure1Corpus()))
+	s.add("movies", build(gen.Movies(gen.MoviesConfig{Movies: 30, Seed: 7})))
 
 	for _, df := range dataFlags {
 		name, path, ok := strings.Cut(df, "=")
 		if !ok {
 			log.Fatalf("extractd: bad -data %q, want name=file.xml", df)
 		}
-		c, err := extract.LoadFile(path)
+		c, err := extract.LoadFile(path, extract.WithShards(*shards))
 		if err != nil {
 			log.Fatalf("extractd: load %s: %v", path, err)
+		}
+		if n := c.Shards(); n > 1 {
+			log.Printf("extractd: %s: %d shards", name, n)
 		}
 		s.add(name, c)
 	}

@@ -45,11 +45,44 @@
 //     slices keyed by packed integers, with collectors reused across
 //     results (core.Generator pools them).
 //
-// # Perf trajectory
+// # Sharded corpora
+//
+// Load with WithShards(n) (or FromDocumentSharded) to partition a corpus by
+// its top-level entities into contiguous, size-balanced shards, each owning
+// its own packed inverted index while classification, mined keys, summary
+// and dataguide stay global (internal/shard). Queries fan out per shard in
+// parallel; the per-shard SLCA/ELCA sets merge root-aware — any non-root
+// LCA is shard-local, and the root's own candidacy is decided from the
+// per-shard posting lists — through a bounded top-k merge into global
+// document order. Queries whose results genuinely cross shards (the root as
+// an LCA, root-anchored results) evaluate on a lazily reconstructed
+// whole-document corpus, so sharded results and snippets are always
+// byte-identical to unsharded ones (pinned by equivalence property tests).
+//
+// # Persisted indexes
+//
+// Corpus.SaveIndex / LoadIndex persist an analyzed corpus in a versioned
+// binary format (internal/persist). Version 2, the packed format, is
+// slab-oriented: a string table plus length-prefixed little-endian int32
+// slabs for the preorder tree arrays and the packed posting lists, with the
+// DTD, DOCTYPE internal subset, classification, keys, structural summary
+// and dataguide all serialized — round trips are lossless. The reader
+// memory-maps (or bulk-reads) the file and reconstructs nodes, intervals,
+// Dewey arena and postings without re-tokenizing anything, decoding the
+// tree and posting sections concurrently; loading a 100k-node corpus is an
+// order of magnitude faster than the legacy rebuild path (the "persist"
+// section of BENCH_search.json). Sharded corpora persist as one packed
+// image per shard behind a thin frame (magic "XTSH") and reload in
+// parallel.
+//
+// # Perf trajectory and CI gate
 //
 // `go run ./cmd/benchrunner -search BENCH_search.json` regenerates the
 // hot-path before/after trajectory (the retained *Baseline implementations
-// are the "before" side); BenchmarkQueryEndToEnd tracks the full pipeline.
-// Future performance PRs should re-run the suite and compare against the
-// committed BENCH_search.json.
+// are the "before" side); `-persist` does the same for the persist-load
+// trajectory, and `-baseline` compares a fresh run against the committed
+// file, failing on >20% regression of QueryEndToEnd or of the packed
+// load's advantage (machine-normalized ratios; see bench.CompareReports).
+// CI runs vet/build/test, the race detector, fuzz smokes for the persist
+// decoder and XML parser, and the bench-regression gate on every PR.
 package extract

@@ -14,14 +14,29 @@ import (
 	"extract/internal/persist"
 	"extract/internal/rank"
 	"extract/internal/search"
+	"extract/internal/shard"
 	"extract/xmltree"
 	"extract/xpath"
 )
 
 // Corpus is an analyzed XML database: parsed tree, node classification
 // (entity / attribute / connection), mined entity keys and keyword index.
+// A corpus loaded with WithShards partitions the document into shards with
+// independent packed indexes; queries fan out across them and merge (see
+// internal/shard), while the API is identical.
 type Corpus struct {
-	c *core.Corpus
+	c  *core.Corpus  // unsharded corpus; nil when sharded
+	sh *shard.Corpus // sharded corpus; nil when unsharded
+}
+
+// analysis returns the corpus carrying the classification and keys that
+// snippet generation needs: the corpus itself, or the shared analysis view
+// of a sharded corpus.
+func (c *Corpus) analysis() *core.Corpus {
+	if c.sh != nil {
+		return c.sh.Analysis()
+	}
+	return c.c
 }
 
 // Option configures corpus loading.
@@ -30,6 +45,7 @@ type Option func(*loadConfig) error
 type loadConfig struct {
 	dtd      *dtd.DTD
 	maxNodes int
+	shards   int
 }
 
 // WithDTD supplies DTD text governing entity classification; without it the
@@ -69,6 +85,21 @@ func WithMaxNodes(n int) Option {
 	}
 }
 
+// WithShards partitions the corpus into up to n shards (by top-level
+// entities, contiguously and size-balanced), each with its own packed
+// inverted index. Queries evaluate per shard in parallel and merge through
+// a bounded top-k merge; results and snippets are identical to the unsharded
+// corpus. n < 2 loads unsharded.
+func WithShards(n int) Option {
+	return func(c *loadConfig) error {
+		if n < 0 {
+			return fmt.Errorf("extract: negative shard count %d", n)
+		}
+		c.shards = n
+		return nil
+	}
+}
+
 // Load parses and analyzes an XML database from r.
 func Load(r io.Reader, opts ...Option) (*Corpus, error) {
 	var cfg loadConfig
@@ -93,6 +124,9 @@ func Load(r io.Reader, opts ...Option) (*Corpus, error) {
 			return nil, fmt.Errorf("extract: internal DTD subset: %w", err)
 		}
 		cfg.dtd = d
+	}
+	if cfg.shards > 1 {
+		return FromDocumentSharded(doc, cfg.dtd, cfg.shards), nil
 	}
 	return FromDocument(doc, cfg.dtd), nil
 }
@@ -137,12 +171,19 @@ func LoadFiles(paths []string, opts ...Option) (*Corpus, error) {
 		}
 		xmltree.Append(root, doc.Root)
 	}
+	if cfg.shards > 1 {
+		return FromDocumentSharded(xmltree.NewDocument(root), cfg.dtd, cfg.shards), nil
+	}
 	return FromDocument(xmltree.NewDocument(root), cfg.dtd), nil
 }
 
 // Suggest returns up to k indexed keywords starting with prefix, most
-// frequent first — query autocompletion.
+// frequent first — query autocompletion. On a sharded corpus the per-shard
+// completions merge, re-ranked by corpus-wide frequency.
 func (c *Corpus) Suggest(prefix string, k int) []string {
+	if c.sh != nil {
+		return c.sh.CompletePrefix(prefix, k)
+	}
 	return c.c.Index.CompletePrefix(prefix, k)
 }
 
@@ -155,9 +196,40 @@ func FromDocument(doc *xmltree.Document, d *dtd.DTD) *Corpus {
 	return &Corpus{c: core.BuildCorpus(doc, copts...)}
 }
 
+// FromDocumentSharded analyzes an already-parsed document and partitions it
+// into up to n shards. d may be nil; like FromDocument, any DOCTYPE
+// internal subset is ignored here (Load resolves it before choosing a
+// constructor), so sharded and unsharded corpora built from the same
+// document always classify identically. The document's nodes are moved
+// into the shards; doc is invalid afterwards.
+func FromDocumentSharded(doc *xmltree.Document, d *dtd.DTD, n int) *Corpus {
+	var sopts []shard.Option
+	if d != nil {
+		sopts = append(sopts, shard.WithDTD(d))
+	}
+	return &Corpus{sh: shard.Build(doc, n, sopts...)}
+}
+
 // Internal exposes the underlying analyzed corpus for the experiment
-// harness and tools; library users should not need it.
-func (c *Corpus) Internal() *core.Corpus { return c.c }
+// harness and tools; library users should not need it. For a sharded
+// corpus it returns the reconstructed whole-document fallback corpus.
+func (c *Corpus) Internal() *core.Corpus {
+	if c.sh != nil {
+		return c.sh.Fallback()
+	}
+	return c.c
+}
+
+// InternalShards exposes the sharded corpus, or nil when unsharded.
+func (c *Corpus) InternalShards() *shard.Corpus { return c.sh }
+
+// Shards returns the number of index shards (1 for an unsharded corpus).
+func (c *Corpus) Shards() int {
+	if c.sh != nil {
+		return c.sh.NumShards()
+	}
+	return 1
+}
 
 // Stats summarizes the corpus.
 type Stats struct {
@@ -170,8 +242,27 @@ type Stats struct {
 	Connections      []string
 }
 
-// Stats returns corpus summary statistics.
+// Stats returns corpus summary statistics. On a sharded corpus they
+// aggregate across shards (shard-root copies deduplicated).
 func (c *Corpus) Stats() Stats {
+	if c.sh != nil {
+		maxDepth := 0
+		for _, s := range c.sh.Shards() {
+			if ds := s.Doc.ComputeStats(); ds.MaxDepth > maxDepth {
+				maxDepth = ds.MaxDepth
+			}
+		}
+		cls := c.sh.Classification()
+		return Stats{
+			Nodes:            c.sh.TotalNodes(),
+			Elements:         c.sh.TotalElements(),
+			MaxDepth:         maxDepth,
+			DistinctKeywords: c.sh.DistinctKeywords(),
+			Entities:         cls.Entities(),
+			Attributes:       cls.Attributes(),
+			Connections:      cls.Connections(),
+		}
+	}
 	ds := c.c.Doc.ComputeStats()
 	return Stats{
 		Nodes:            ds.Nodes,
@@ -186,6 +277,9 @@ func (c *Corpus) Stats() Stats {
 
 // EntityKey returns the mined key attribute of an entity label.
 func (c *Corpus) EntityKey(entity string) (attr string, ok bool) {
+	if c.sh != nil {
+		return c.sh.Keys().KeyAttr(entity)
+	}
 	return c.c.Keys.KeyAttr(entity)
 }
 
@@ -252,13 +346,26 @@ func (c *Corpus) Search(query string, opts ...SearchOption) ([]*Result, error) {
 	for _, f := range opts {
 		f(&cfg)
 	}
-	rs, err := c.c.Engine(cfg.opts).Search(query)
+	var (
+		rs  []*search.Result
+		err error
+	)
+	if c.sh != nil {
+		rs, err = c.sh.Search(query, cfg.opts)
+	} else {
+		rs, err = c.c.Engine(cfg.opts).Search(query)
+	}
 	if err != nil {
 		return nil, err
 	}
 	var scores []float64
 	if cfg.ranked {
-		scorer := rank.NewScorer(c.c.Index)
+		var scorer *rank.Scorer
+		if c.sh != nil {
+			scorer = rank.NewScorerFunc(c.sh.Count, c.sh.TotalElements())
+		} else {
+			scorer = rank.NewScorer(c.c.Index)
+		}
 		terms := search.ParseQuery(query)
 		keys := make([]string, len(terms))
 		for i, t := range terms {
@@ -353,7 +460,7 @@ func (s *Snippet) Internal() *core.Generated { return s.g }
 
 // Snippet generates a snippet for one search result.
 func (c *Corpus) Snippet(r *Result, query string, bound int, opts ...SnippetOption) *Snippet {
-	g := core.NewGenerator(c.c)
+	g := core.NewGenerator(c.analysis())
 	for _, o := range opts {
 		o(g)
 	}
@@ -364,7 +471,7 @@ func (c *Corpus) Snippet(r *Result, query string, bound int, opts ...SnippetOpti
 // external search engine. The tree must be over the same vocabulary as the
 // corpus (labels drive classification).
 func (c *Corpus) SnippetForTree(result *xmltree.Document, query string, bound int, opts ...SnippetOption) *Snippet {
-	g := core.NewGenerator(c.c)
+	g := core.NewGenerator(c.analysis())
 	for _, o := range opts {
 		o(g)
 	}
@@ -390,7 +497,7 @@ func (c *Corpus) Query(query string, bound int, opts ...SearchOption) ([]*Hit, e
 	if err != nil {
 		return nil, err
 	}
-	g := core.NewGenerator(c.c)
+	g := core.NewGenerator(c.analysis())
 	kws := index.Tokenize(query)
 	snippet := func(r *Result) *Snippet {
 		return &Snippet{g: g.ForResultTokens(r.r, kws, bound)}
@@ -433,8 +540,14 @@ func (c *Corpus) XPath(expr string) ([]*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	xdoc := c.c
+	if c.sh != nil {
+		// XPath needs the whole document; evaluate on the reconstructed
+		// fallback corpus.
+		xdoc = c.sh.Fallback()
+	}
 	var out []*Result
-	for _, n := range e.SelectDoc(c.c.Doc) {
+	for _, n := range e.SelectDoc(xdoc.Doc) {
 		if !n.IsElement() {
 			continue
 		}
@@ -443,16 +556,39 @@ func (c *Corpus) XPath(expr string) ([]*Result, error) {
 	return out, nil
 }
 
-// SaveIndex writes the analyzed corpus in eXtract's binary index format;
-// LoadIndex reopens it without re-parsing or re-analyzing the XML.
-func (c *Corpus) SaveIndex(w io.Writer) error { return persist.Save(w, c.c) }
+// SaveIndex writes the analyzed corpus in eXtract's binary index format
+// (packed slabs; one image per shard for a sharded corpus); LoadIndex
+// reopens it without re-parsing, re-tokenizing or re-analyzing the XML.
+func (c *Corpus) SaveIndex(w io.Writer) error {
+	if c.sh != nil {
+		return shard.Save(w, c.sh)
+	}
+	return persist.Save(w, c.c)
+}
 
 // SaveIndexFile writes the analyzed corpus to a file.
-func (c *Corpus) SaveIndexFile(path string) error { return persist.SaveFile(path, c.c) }
+func (c *Corpus) SaveIndexFile(path string) error {
+	if c.sh != nil {
+		return shard.SaveFile(path, c.sh)
+	}
+	return persist.SaveFile(path, c.c)
+}
 
-// LoadIndex reads a corpus saved with SaveIndex.
+// LoadIndex reads a corpus saved with SaveIndex, dispatching on the magic
+// between the sharded and single-corpus formats.
 func LoadIndex(r io.Reader) (*Corpus, error) {
-	cc, err := persist.Load(r)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if shard.IsShardedImage(data) {
+		sc, err := shard.LoadBytes(data)
+		if err != nil {
+			return nil, err
+		}
+		return &Corpus{sh: sc}, nil
+	}
+	cc, err := persist.LoadBytes(data)
 	if err != nil {
 		return nil, err
 	}
@@ -461,6 +597,20 @@ func LoadIndex(r io.Reader) (*Corpus, error) {
 
 // LoadIndexFile reads a corpus saved with SaveIndexFile.
 func LoadIndexFile(path string) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var head [4]byte
+	n, _ := io.ReadFull(f, head[:])
+	f.Close()
+	if shard.IsShardedImage(head[:n]) {
+		sc, err := shard.LoadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return &Corpus{sh: sc}, nil
+	}
 	cc, err := persist.LoadFile(path)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(queryNs, slcaNs int64, speedup float64) *SearchPerfReport {
+	return &SearchPerfReport{
+		Points:  []SearchPerfPoint{{Nodes: 100_000, QueryNs: queryNs, SLCABeforeNs: slcaNs}},
+		Persist: []PersistPerfPoint{{Nodes: 100_000, LoadSpeedup: speedup}},
+	}
+}
+
+func TestCompareReportsPasses(t *testing.T) {
+	base := report(10_000_000, 5_000_000, 12)
+	// Same ratios on a machine half as fast: no regression.
+	cur := report(20_000_000, 10_000_000, 11)
+	if msgs := CompareReports(base, cur, 1.2); len(msgs) != 0 {
+		t.Fatalf("unexpected regressions: %v", msgs)
+	}
+}
+
+func TestCompareReportsCatchesQueryRegression(t *testing.T) {
+	base := report(10_000_000, 5_000_000, 12)
+	// Query got 2x slower relative to the frozen SLCA yardstick.
+	cur := report(20_000_000, 5_000_000, 12)
+	msgs := CompareReports(base, cur, 1.2)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "QueryEndToEnd") {
+		t.Fatalf("msgs = %v", msgs)
+	}
+}
+
+func TestCompareReportsCatchesPersistRegression(t *testing.T) {
+	base := report(10_000_000, 5_000_000, 12)
+	// Packed load lost its advantage entirely.
+	cur := report(10_000_000, 5_000_000, 1.5)
+	msgs := CompareReports(base, cur, 1.2)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "persist") {
+		t.Fatalf("msgs = %v", msgs)
+	}
+	// Runner-noise headroom: a dip from 12x to 6x still passes (the
+	// demanded floor is capped at 6x/tol).
+	cur = report(10_000_000, 5_000_000, 6)
+	if msgs := CompareReports(base, cur, 1.2); len(msgs) != 0 {
+		t.Fatalf("noise dip flagged: %v", msgs)
+	}
+	// Small-ratio points (fixed-cost-dominated sizes) are not gated.
+	smallBase := report(10_000_000, 5_000_000, 2.9)
+	smallCur := report(10_000_000, 5_000_000, 1.8)
+	if msgs := CompareReports(smallBase, smallCur, 1.2); len(msgs) != 0 {
+		t.Fatalf("sub-threshold ratio flagged: %v", msgs)
+	}
+}
+
+func TestCompareReportsIgnoresUnknownSizes(t *testing.T) {
+	base := report(10_000_000, 5_000_000, 12)
+	cur := &SearchPerfReport{
+		Points:  []SearchPerfPoint{{Nodes: 999, QueryNs: 1, SLCABeforeNs: 1}},
+		Persist: []PersistPerfPoint{{Nodes: 999, LoadSpeedup: 0.1}},
+	}
+	if msgs := CompareReports(base, cur, 1.2); len(msgs) != 0 {
+		t.Fatalf("msgs = %v", msgs)
+	}
+}

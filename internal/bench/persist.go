@@ -1,0 +1,258 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"extract/internal/core"
+	"extract/internal/persist"
+)
+
+// PersistPerfPoint is one row of the persist-load trajectory: loading a
+// corpus from the legacy format (which re-tokenizes the inverted index and
+// re-infers the summary and dataguide on every load) versus the packed
+// format (which restores the posting arrays and interning tables from int32
+// slabs) at one corpus size.
+type PersistPerfPoint struct {
+	Nodes int `json:"nodes"`
+
+	LegacyBytes int `json:"legacy_bytes"`
+	PackedBytes int `json:"packed_bytes"`
+
+	SaveNs int64 `json:"save_packed_ns"`
+
+	LoadRebuildNs int64   `json:"load_rebuild_ns"`
+	LoadPackedNs  int64   `json:"load_packed_ns"`
+	LoadSpeedup   float64 `json:"load_speedup"`
+}
+
+// timeItCold measures fn as a cold one-shot: a forced GC before every run
+// so each measurement starts from a settled heap — the corpus-load-at-
+//-server-start scenario the persist trajectory tracks. Scheduler noise on a
+// shared machine is strictly additive and arrives in bursts, so it keeps
+// sampling (at least minReps, up to maxReps) until the running minimum has
+// not improved for `patience` consecutive runs: the minimum is the estimate
+// closest to the true cost, and the adaptive window rides out contention
+// bursts that a fixed small rep count can sit entirely inside.
+func timeItCold(minReps int, fn func()) int64 {
+	const (
+		patience = 20
+		maxReps  = 150
+	)
+	fn() // warm the code paths and the page cache, not the heap
+	best := int64(0)
+	sinceImproved := 0
+	for i := 0; i < maxReps && (i < minReps || sinceImproved < patience); i++ {
+		runtime.GC()
+		start := time.Now()
+		fn()
+		d := time.Since(start).Nanoseconds()
+		if best == 0 || d < best {
+			best = d
+			sinceImproved = 0
+		} else {
+			sinceImproved++
+		}
+	}
+	return best
+}
+
+// PersistPerf measures cold corpus-load time for the rebuild (legacy v1)
+// path against the packed (v2) path at the given corpus sizes, through
+// LoadFile — the path a server takes when it opens its on-disk indexes.
+func PersistPerf(sizes []int) ([]PersistPerfPoint, error) {
+	if len(sizes) == 0 {
+		sizes = []int{1_000, 10_000, 100_000}
+	}
+	dir, err := os.MkdirTemp("", "extract-persist-bench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	var points []PersistPerfPoint
+	for i, size := range sizes {
+		doc := storesCorpusOfSize(size, 1)
+		c := core.BuildCorpus(doc)
+
+		legacyPath := filepath.Join(dir, fmt.Sprintf("legacy-%d.xtix", i))
+		packedPath := filepath.Join(dir, fmt.Sprintf("packed-%d.xtix", i))
+		var legacy bytes.Buffer
+		if err := persist.SaveLegacy(&legacy, c); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(legacyPath, legacy.Bytes(), 0o644); err != nil {
+			return nil, err
+		}
+		if err := persist.SaveFile(packedPath, c); err != nil {
+			return nil, err
+		}
+		fi, err := os.Stat(packedPath)
+		if err != nil {
+			return nil, err
+		}
+		p := PersistPerfPoint{
+			Nodes:       c.Doc.Len(),
+			LegacyBytes: legacy.Len(),
+			PackedBytes: int(fi.Size()),
+		}
+		p.SaveNs = timeItCold(5, func() {
+			var buf bytes.Buffer
+			if err := persist.Save(&buf, c); err != nil {
+				panic(err)
+			}
+		})
+		// The built corpus c stays referenced above as deliberate heap
+		// ballast: it keeps the GC pacer's target above the load's
+		// transient allocations, as a long-lived server's heap would.
+		reps := 30
+		p.LoadRebuildNs = timeItCold(reps, func() {
+			if _, err := persist.LoadFile(legacyPath); err != nil {
+				panic(err)
+			}
+		})
+		p.LoadPackedNs = timeItCold(reps, func() {
+			if _, err := persist.LoadFile(packedPath); err != nil {
+				panic(err)
+			}
+		})
+		p.LoadSpeedup = speedup(p.LoadRebuildNs, p.LoadPackedNs)
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// UpdatePersistPerf runs the persist suite and merges the points into the
+// report JSON at path, preserving any search points already recorded there.
+func UpdatePersistPerf(path string, sizes []int) ([]PersistPerfPoint, error) {
+	points, err := PersistPerf(sizes)
+	if err != nil {
+		return nil, err
+	}
+	report, err := ReadReport(path)
+	if err != nil {
+		return nil, err
+	}
+	report.Persist = points
+	return points, WriteReport(path, report)
+}
+
+// ReadReport loads a BENCH_search.json report; a missing file yields an
+// empty report so either suite can be recorded first.
+func ReadReport(path string) (*SearchPerfReport, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &SearchPerfReport{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var r SearchPerfReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// WriteReport writes the report JSON to path.
+func WriteReport(path string, r *SearchPerfReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RenderPersist prints a human summary of the persist points.
+func RenderPersist(points []PersistPerfPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## persist load: rebuild (v1) vs packed (v2)\n\n")
+	fmt.Fprintf(&b, "| nodes | v1 bytes | v2 bytes | save v2 (ms) | load rebuild/packed (ms) | x |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|\n")
+	ms := func(ns int64) string { return fmt.Sprintf("%.3f", float64(ns)/1e6) }
+	for _, p := range points {
+		fmt.Fprintf(&b, "| %d | %d | %d | %s | %s / %s | %.1f |\n",
+			p.Nodes, p.LegacyBytes, p.PackedBytes, ms(p.SaveNs),
+			ms(p.LoadRebuildNs), ms(p.LoadPackedNs), p.LoadSpeedup)
+	}
+	return b.String()
+}
+
+// CompareReports checks current against baseline and returns one message
+// per regression — a QueryEndToEnd or persist packed-load result at a
+// matching corpus size more than tol times worse than the committed
+// baseline (tol 1.2 = 20% worse fails). Sizes absent from the baseline are
+// ignored.
+//
+// Raw nanoseconds are not comparable across machines (the committed
+// baseline and a CI runner differ in clock speed and load), so both gates
+// compare machine-normalized ratios: QueryEndToEnd is taken relative to the
+// same run's SLCABaseline time (frozen pre-rewrite code, a stable yardstick
+// for the machine it ran on), and the persist gate uses the packed load's
+// speedup over the legacy rebuild load measured in the same run.
+func CompareReports(baseline, current *SearchPerfReport, tol float64) []string {
+	var msgs []string
+
+	queryRatio := func(p SearchPerfPoint) float64 {
+		if p.SLCABeforeNs <= 0 || p.QueryNs <= 0 {
+			return 0
+		}
+		return float64(p.QueryNs) / float64(p.SLCABeforeNs)
+	}
+	baseQuery := map[int]float64{}
+	for _, p := range baseline.Points {
+		baseQuery[p.Nodes] = queryRatio(p)
+	}
+	for _, p := range current.Points {
+		base, ok := baseQuery[p.Nodes]
+		cur := queryRatio(p)
+		if !ok || base <= 0 || cur <= 0 {
+			continue
+		}
+		if cur > base*tol {
+			msgs = append(msgs, fmt.Sprintf(
+				"QueryEndToEnd at %d nodes regressed: %.2fx -> %.2fx the baseline-SLCA yardstick (limit %.0f%%)",
+				p.Nodes, base, cur, (tol-1)*100))
+		}
+	}
+
+	basePersist := map[int]float64{}
+	for _, p := range baseline.Persist {
+		basePersist[p.Nodes] = p.LoadSpeedup
+	}
+	for _, p := range current.Persist {
+		base, ok := basePersist[p.Nodes]
+		if !ok || base <= 0 || p.LoadSpeedup <= 0 {
+			continue
+		}
+		// Points whose baseline advantage is small are sub-millisecond
+		// loads dominated by fixed costs (allocator, GC, syscalls): the
+		// ratio there is measurement noise, not signal. The packed
+		// format's advantage — and the gate — lives at scale.
+		if base < 4 {
+			continue
+		}
+		// The committed speedup is recorded on quiet hardware; contended
+		// CI runners depress the ratio even with min-of-N cold sampling.
+		// Capping the demanded baseline at 6x (so the default-tolerance
+		// floor is 5x) gives the gate headroom for that while still
+		// failing loudly if the packed load's order-of-magnitude
+		// advantage actually erodes toward the rebuild path.
+		demanded := base
+		if demanded > 6 {
+			demanded = 6
+		}
+		if p.LoadSpeedup < demanded/tol {
+			msgs = append(msgs, fmt.Sprintf(
+				"persist packed load at %d nodes regressed: %.1fx -> %.1fx over the rebuild path (limit %.1fx)",
+				p.Nodes, base, p.LoadSpeedup, demanded/tol))
+		}
+	}
+	return msgs
+}

@@ -53,6 +53,10 @@ type SearchPerfReport struct {
 	GoVersion string            `json:"go_version"`
 	Note      string            `json:"note"`
 	Points    []SearchPerfPoint `json:"points"`
+
+	// Persist is the persist-load trajectory (benchrunner -persist); kept
+	// in the same file so the CI bench gate reads one committed baseline.
+	Persist []PersistPerfPoint `json:"persist,omitempty"`
 }
 
 // timeIt returns fn's duration in nanoseconds: the minimum of three batch
@@ -193,9 +197,13 @@ func searchPerfQueries(doc *xmltree.Document, ix *index.Index) [][]string {
 	return out
 }
 
-// WriteSearchPerf runs the suite and writes BENCH_search.json-style output.
+// WriteSearchPerf runs the suite and writes BENCH_search.json-style output,
+// preserving any persist points already recorded in the file.
 func WriteSearchPerf(path string, sizes []int) (*SearchPerfReport, error) {
 	r := SearchPerf(sizes)
+	if prev, err := ReadReport(path); err == nil {
+		r.Persist = prev.Persist
+	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return nil, err

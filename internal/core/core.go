@@ -45,13 +45,51 @@ type Corpus struct {
 type Option func(*buildConfig)
 
 type buildConfig struct {
-	dtd *dtd.DTD
+	dtd    *dtd.DTD
+	shared *Analysis
 }
 
 // WithDTD classifies nodes using the given DTD (combined with instance
 // inference for undeclared labels).
 func WithDTD(d *dtd.DTD) Option {
 	return func(c *buildConfig) { c.dtd = d }
+}
+
+// Analysis bundles the corpus-level artifacts that are independent of how
+// the document is physically partitioned: classification, mined keys,
+// structural summary and dataguide. A sharded corpus computes one Analysis
+// globally and builds every shard against it.
+type Analysis struct {
+	Cls     *classify.Classification
+	Keys    *keys.Keys
+	Summary *schema.Summary
+	Guide   *schema.Guide
+	DTD     *dtd.DTD // nil when classification was inferred from data
+}
+
+// WithSharedAnalysis builds the corpus against analysis computed elsewhere
+// (the global artifacts of a sharded corpus): only the inverted index is
+// derived from the document itself.
+func WithSharedAnalysis(a *Analysis) Option {
+	return func(c *buildConfig) { c.shared = a }
+}
+
+// Analyze runs the corpus-level analysis of a document: the Data Analyzer
+// stage without the index build. d may be nil.
+func Analyze(doc *xmltree.Document, d *dtd.DTD) *Analysis {
+	var cls *classify.Classification
+	if d != nil {
+		cls = classify.Classify(doc, classify.WithDTD(d))
+	} else {
+		cls = classify.Classify(doc)
+	}
+	return &Analysis{
+		Cls:     cls,
+		Keys:    keys.Mine(doc, cls),
+		Summary: schema.Infer(doc),
+		Guide:   schema.BuildGuide(doc),
+		DTD:     d,
+	}
 }
 
 // BuildCorpus analyzes a parsed document: the Data Analyzer and Index
@@ -62,20 +100,18 @@ func BuildCorpus(doc *xmltree.Document, opts ...Option) *Corpus {
 		o(&cfg)
 	}
 	start := time.Now()
-	var cls *classify.Classification
-	if cfg.dtd != nil {
-		cls = classify.Classify(doc, classify.WithDTD(cfg.dtd))
-	} else {
-		cls = classify.Classify(doc)
+	a := cfg.shared
+	if a == nil {
+		a = Analyze(doc, cfg.dtd)
 	}
 	c := &Corpus{
 		Doc:     doc,
 		Index:   index.Build(doc),
-		Cls:     cls,
-		Keys:    keys.Mine(doc, cls),
-		Summary: schema.Infer(doc),
-		Guide:   schema.BuildGuide(doc),
-		DTD:     cfg.dtd,
+		Cls:     a.Cls,
+		Keys:    a.Keys,
+		Summary: a.Summary,
+		Guide:   a.Guide,
+		DTD:     a.DTD,
 	}
 	c.BuildTime = time.Since(start)
 	return c

@@ -1,0 +1,90 @@
+package dtd
+
+import (
+	"strings"
+)
+
+// writeQuoted renders an attribute default as a quoted literal, picking the
+// quote character the value does not contain (the parser accepts either). A
+// value containing both quote kinds cannot be written as a DTD literal at
+// all; the embedded double quotes are dropped so the rendering always
+// re-parses — persisted indexes must stay loadable.
+func writeQuoted(b *strings.Builder, v string) {
+	q := byte('"')
+	if strings.ContainsRune(v, '"') {
+		if strings.ContainsRune(v, '\'') {
+			v = strings.ReplaceAll(v, `"`, "")
+		} else {
+			q = '\''
+		}
+	}
+	b.WriteByte(q)
+	b.WriteString(v)
+	b.WriteByte(q)
+}
+
+// String renders the DTD back into declaration syntax that ParseString
+// accepts, in declaration order. The rendering is canonical rather than a
+// copy of the original source (whitespace and skipped declarations such as
+// ENTITY are not preserved), but parsing it yields an equivalent DTD:
+// persist relies on this to carry DTDs across save/load.
+func (d *DTD) String() string {
+	var b strings.Builder
+	for _, name := range d.order {
+		decl := d.Elements[name]
+		if decl == nil {
+			continue
+		}
+		b.WriteString("<!ELEMENT ")
+		b.WriteString(name)
+		b.WriteString(" ")
+		switch decl.Content {
+		case ContentEmpty:
+			b.WriteString("EMPTY")
+		case ContentAny:
+			b.WriteString("ANY")
+		case ContentPCDATA:
+			b.WriteString("(#PCDATA)")
+		case ContentMixed:
+			b.WriteString("(#PCDATA")
+			for _, m := range decl.Mixed {
+				b.WriteString("|")
+				b.WriteString(m)
+			}
+			b.WriteString(")*")
+		case ContentChildren:
+			if decl.Model != nil {
+				b.WriteString(decl.Model.String())
+			} else {
+				b.WriteString("ANY")
+			}
+		}
+		b.WriteString(">\n")
+		for _, att := range d.Attrs[name] {
+			b.WriteString("<!ATTLIST ")
+			b.WriteString(name)
+			b.WriteString(" ")
+			b.WriteString(att.Name)
+			b.WriteString(" ")
+			if att.Type != "" {
+				b.WriteString(att.Type)
+			} else {
+				b.WriteString("CDATA")
+			}
+			switch {
+			case att.Required:
+				b.WriteString(" #REQUIRED")
+			case att.Implied:
+				b.WriteString(" #IMPLIED")
+			case att.Fixed:
+				b.WriteString(" #FIXED ")
+				writeQuoted(&b, att.Default)
+			default:
+				b.WriteString(" ")
+				writeQuoted(&b, att.Default)
+			}
+			b.WriteString(">\n")
+		}
+	}
+	return b.String()
+}

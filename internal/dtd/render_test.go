@@ -1,0 +1,84 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRenderRoundTrip: String() output re-parses into an equivalent DTD —
+// the property persist relies on to carry DTDs inside index files.
+func TestRenderRoundTrip(t *testing.T) {
+	src := `
+<!ELEMENT store (name, (shirt | skirt)*, note?, branch+)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT shirt EMPTY>
+<!ELEMENT skirt ANY>
+<!ELEMENT note (#PCDATA|em|strong)*>
+<!ELEMENT em (#PCDATA)>
+<!ELEMENT strong (#PCDATA)>
+<!ELEMENT branch (name)>
+<!ATTLIST store id ID #REQUIRED>
+<!ATTLIST store city CDATA #IMPLIED>
+<!ATTLIST branch kind (main|outlet) "main">
+<!ATTLIST branch tag CDATA #FIXED "x">
+`
+	d, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := d.String()
+	d2, err := ParseString(rendered)
+	if err != nil {
+		t.Fatalf("rendered DTD does not re-parse: %v\n%s", err, rendered)
+	}
+	if got, want := strings.Join(d2.ElementNames(), ","), strings.Join(d.ElementNames(), ","); got != want {
+		t.Errorf("element names = %q, want %q", got, want)
+	}
+	if got, want := strings.Join(d2.SortedStarNodes(), ","), strings.Join(d.SortedStarNodes(), ","); got != want {
+		t.Errorf("star nodes = %q, want %q", got, want)
+	}
+	for _, name := range d.ElementNames() {
+		if d2.PCDATAOnly(name) != d.PCDATAOnly(name) {
+			t.Errorf("%s: PCDATAOnly mismatch", name)
+		}
+		if len(d2.Attrs[name]) != len(d.Attrs[name]) {
+			t.Errorf("%s: %d attrs, want %d", name, len(d2.Attrs[name]), len(d.Attrs[name]))
+		}
+	}
+	// Rendering is a fixed point after one round.
+	if d2.String() != rendered {
+		t.Error("render is not idempotent")
+	}
+}
+
+// TestRenderQuotedDefaults: defaults containing quote characters must still
+// render into parseable declarations (persist depends on String() output
+// always re-parsing).
+func TestRenderQuotedDefaults(t *testing.T) {
+	src := `<!ELEMENT r EMPTY>
+<!ATTLIST r a CDATA 'say "hi"'>
+<!ATTLIST r b CDATA "it's">
+<!ATTLIST r c CDATA "plain">
+`
+	d, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := d.String()
+	d2, err := ParseString(rendered)
+	if err != nil {
+		t.Fatalf("rendered DTD does not re-parse: %v\n%s", err, rendered)
+	}
+	want := map[string]string{"a": `say "hi"`, "b": "it's", "c": "plain"}
+	for _, att := range d2.Attrs["r"] {
+		if att.Default != want[att.Name] {
+			t.Errorf("attr %s default = %q, want %q", att.Name, att.Default, want[att.Name])
+		}
+	}
+	// A default with both quote kinds cannot be a DTD literal; the render
+	// drops the double quotes but must stay parseable.
+	d.Attrs["r"] = append(d.Attrs["r"], AttDef{Element: "r", Name: "d", Type: "CDATA", Default: `a"b'c`})
+	if _, err := ParseString(d.String()); err != nil {
+		t.Fatalf("both-quotes default renders unparseable: %v\n%s", err, d.String())
+	}
+}

@@ -115,6 +115,28 @@ func Build(doc *xmltree.Document) *Index {
 	return ix
 }
 
+// FromParts reconstructs an Index from already-built posting lists, the
+// loader-side counterpart of Build: the packed persist format stores the
+// posting arrays directly, so reopening a corpus restores them here instead
+// of re-tokenizing every label and text value. Lists must be sorted by Ord
+// with Nodes aligned to Ords; the maps and slices are adopted, not copied.
+func FromParts(doc *xmltree.Document, postings map[string]*PostingList) *Index {
+	total, maxList := 0, 0
+	for _, list := range postings {
+		total += list.Len()
+		if list.Len() > maxList {
+			maxList = list.Len()
+		}
+	}
+	return FromPartsSized(doc, postings, total, maxList)
+}
+
+// FromPartsSized is FromParts for loaders that already counted the postings
+// while decoding, skipping the accounting pass.
+func FromPartsSized(doc *xmltree.Document, postings map[string]*PostingList, total, maxList int) *Index {
+	return &Index{doc: doc, postings: postings, total: total, maxList: maxList}
+}
+
 // Document returns the indexed document.
 func (ix *Index) Document() *xmltree.Document { return ix.doc }
 

@@ -8,12 +8,14 @@ import (
 	"extract/internal/gen"
 )
 
-// FuzzLoad feeds arbitrary bytes to the binary decoder: it must reject or
-// accept without panicking, and anything it accepts must be a consistent
-// corpus (document finalized, index buildable).
+// FuzzLoad feeds arbitrary bytes to the binary decoders (both the packed
+// and the legacy format dispatch through Load): they must reject or accept
+// without panicking, and anything accepted must be a consistent corpus
+// (document finalized, index present).
 func FuzzLoad(f *testing.F) {
+	c := core.BuildCorpus(gen.Figure5Corpus())
 	var buf bytes.Buffer
-	if err := Save(&buf, core.BuildCorpus(gen.Figure5Corpus())); err != nil {
+	if err := Save(&buf, c); err != nil {
 		f.Fatal(err)
 	}
 	good := buf.Bytes()
@@ -26,6 +28,13 @@ func FuzzLoad(f *testing.F) {
 		mut[i] ^= 0x55
 	}
 	f.Add(mut)
+
+	var legacy bytes.Buffer
+	if err := SaveLegacy(&legacy, c); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(legacy.Bytes())
+	f.Add(legacy.Bytes()[:legacy.Len()/2])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c, err := Load(bytes.NewReader(data))

@@ -1,0 +1,88 @@
+package persist
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"extract/internal/core"
+	"extract/internal/gen"
+	"extract/internal/search"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden persist files")
+
+func goldenCorpus() *core.Corpus {
+	return core.BuildCorpus(gen.Figure1Corpus())
+}
+
+// TestGoldenFiles pins the on-disk formats: the committed files must keep
+// loading byte-identically in every future revision, and Save must keep
+// producing exactly the committed bytes (the format is versioned — an
+// intentional change bumps the version byte, adds a new golden file and
+// regenerates with -update).
+func TestGoldenFiles(t *testing.T) {
+	c := goldenCorpus()
+	packedPath := filepath.Join("testdata", "figure1.packed.golden")
+	legacyPath := filepath.Join("testdata", "figure1.legacy.golden")
+
+	var packed, legacy bytes.Buffer
+	if err := Save(&packed, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveLegacy(&legacy, c); err != nil {
+		t.Fatal(err)
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(packedPath, packed.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(legacyPath, legacy.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	wantPacked, err := os.ReadFile(packedPath)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	wantLegacy, err := os.ReadFile(legacyPath)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if !bytes.Equal(packed.Bytes(), wantPacked) {
+		t.Errorf("packed Save output drifted from golden (%d vs %d bytes); "+
+			"format changes must bump the version", packed.Len(), len(wantPacked))
+	}
+	if !bytes.Equal(legacy.Bytes(), wantLegacy) {
+		t.Errorf("legacy Save output drifted from golden (%d vs %d bytes)", legacy.Len(), len(wantLegacy))
+	}
+
+	// Both golden images must load into a corpus that answers the paper's
+	// Figure 1 query correctly.
+	for name, data := range map[string][]byte{"packed": wantPacked, "legacy": wantLegacy} {
+		loaded, err := Load(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s golden: %v", name, err)
+		}
+		if loaded.Doc.Len() != c.Doc.Len() {
+			t.Fatalf("%s golden: %d nodes, want %d", name, loaded.Doc.Len(), c.Doc.Len())
+		}
+		if a, ok := loaded.Keys.KeyAttr("retailer"); !ok || a != "name" {
+			t.Fatalf("%s golden: retailer key = %q %v", name, a, ok)
+		}
+		outs, err := core.Pipeline(loaded, gen.Figure1Query, 13, search.Options{DistinctAnchors: true})
+		if err != nil || len(outs) != 1 {
+			t.Fatalf("%s golden: pipeline %v (%d results)", name, err, len(outs))
+		}
+		if outs[0].IList.KeyValue != "Brook Brothers" {
+			t.Fatalf("%s golden: key = %q", name, outs[0].IList.KeyValue)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package persist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"extract/internal/core"
+	"extract/internal/dtd"
+	"extract/xmltree"
+)
+
+const losslessDTD = `
+<!ELEMENT r (item*, note?)>
+<!ELEMENT item (name)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT note (#PCDATA)>
+<!ELEMENT ghost (item*)>
+<!ATTLIST item id ID #REQUIRED>
+`
+
+// TestRoundTripLosslessDTD: the packed format persists the DTD itself and
+// the DOCTYPE internal subset, so a round-tripped corpus classifies,
+// re-saves and re-serializes exactly like the original — including labels
+// the DTD declares but the instance never uses (the legacy format dropped
+// all of this).
+func TestRoundTripLosslessDTD(t *testing.T) {
+	d, err := dtd.ParseString(losslessDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := xmltree.ParseString(`<r><item id="1"><name>solo</name></item></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.InternalSubset = losslessDTD
+	c := core.BuildCorpus(doc, core.WithDTD(d))
+
+	loaded := roundTrip(t, c)
+	if loaded.DTD == nil {
+		t.Fatal("DTD dropped on round trip")
+	}
+	if got, want := strings.Join(loaded.DTD.SortedStarNodes(), ","), strings.Join(d.SortedStarNodes(), ","); got != want {
+		t.Errorf("star nodes = %q, want %q", got, want)
+	}
+	if loaded.Doc.InternalSubset != losslessDTD {
+		t.Errorf("internal subset dropped: %q", loaded.Doc.InternalSubset)
+	}
+	// "ghost" is declared but never instantiated; its classification must
+	// survive (it classifies from the DTD's content model).
+	if got, want := loaded.Cls.OfLabel("ghost"), c.Cls.OfLabel("ghost"); got != want {
+		t.Errorf("ghost category = %v, want %v", got, want)
+	}
+	wantCats := c.Cls.Categories()
+	gotCats := loaded.Cls.Categories()
+	if len(gotCats) != len(wantCats) {
+		t.Fatalf("categories = %d labels, want %d", len(gotCats), len(wantCats))
+	}
+	for l, want := range wantCats {
+		if gotCats[l] != want {
+			t.Errorf("category[%q] = %v, want %v", l, gotCats[l], want)
+		}
+	}
+
+	// Double round trip is byte-stable: save(load(save(c))) == save(c).
+	var first, second bytes.Buffer
+	if err := Save(&first, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(&second, loaded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("round trip is not byte-stable")
+	}
+}
+
+// TestRoundTripSummaryAndGuide: the packed format persists the structural
+// summary and dataguide instead of re-inferring them, exactly.
+func TestRoundTripSummaryAndGuide(t *testing.T) {
+	doc, err := xmltree.ParseString(
+		`<lib><b><t>x</t><t>y</t></b><b><t>z</t><extra/></b></lib>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.BuildCorpus(doc)
+	loaded := roundTrip(t, c)
+
+	if got, want := strings.Join(loaded.Guide.Paths(), "|"), strings.Join(c.Guide.Paths(), "|"); got != want {
+		t.Errorf("guide paths = %q, want %q", got, want)
+	}
+	if loaded.Summary.Root != c.Summary.Root {
+		t.Errorf("summary root = %q, want %q", loaded.Summary.Root, c.Summary.Root)
+	}
+	for l, want := range c.Summary.Elements {
+		got := loaded.Summary.Elements[l]
+		if got == nil {
+			t.Fatalf("summary element %q missing", l)
+		}
+		if got.Count != want.Count || got.Repeats != want.Repeats ||
+			got.SingleTextOnly != want.SingleTextOnly || got.LeafOnly != want.LeafOnly ||
+			got.MaxSiblings != want.MaxSiblings || len(got.Parents) != len(want.Parents) {
+			t.Errorf("summary[%q] = %+v, want %+v", l, got, want)
+		}
+		for p, n := range want.Parents {
+			if got.Parents[p] != n {
+				t.Errorf("summary[%q].Parents[%q] = %d, want %d", l, p, got.Parents[p], n)
+			}
+		}
+	}
+}
+
+// TestRoundTripPostingsExact: the restored index serves identical posting
+// lists without rebuilding.
+func TestRoundTripPostingsExact(t *testing.T) {
+	doc, err := xmltree.ParseString(
+		`<s><a>red shirt</a><b kind="red">blue</b><red/></s>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.BuildCorpus(doc)
+	loaded := roundTrip(t, c)
+	if got, want := loaded.Index.TotalPostings(), c.Index.TotalPostings(); got != want {
+		t.Fatalf("total postings = %d, want %d", got, want)
+	}
+	if got, want := loaded.Index.LongestList(), c.Index.LongestList(); got != want {
+		t.Fatalf("longest list = %d, want %d", got, want)
+	}
+	for _, kw := range c.Index.Vocabulary() {
+		want := c.Index.List(kw)
+		got := loaded.Index.List(kw)
+		if got.Len() != want.Len() {
+			t.Fatalf("%q: %d postings, want %d", kw, got.Len(), want.Len())
+		}
+		for i := range want.Ords {
+			if got.Ords[i] != want.Ords[i] || got.Fields[i] != want.Fields[i] {
+				t.Fatalf("%q posting %d = (%d,%v), want (%d,%v)",
+					kw, i, got.Ords[i], got.Fields[i], want.Ords[i], want.Fields[i])
+			}
+			if got.Nodes[i].Ord != int(got.Ords[i]) {
+				t.Fatalf("%q posting %d: node/ord mismatch", kw, i)
+			}
+		}
+	}
+}
+
+// TestLegacyFormatStillLoads: files written in the version 1 format keep
+// loading (with the index rebuilt, as before).
+func TestLegacyFormatStillLoads(t *testing.T) {
+	doc, err := xmltree.ParseString(`<r><a>x</a><a>y</a></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.BuildCorpus(doc)
+	var buf bytes.Buffer
+	if err := SaveLegacy(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Doc.Len() != c.Doc.Len() {
+		t.Fatalf("nodes = %d, want %d", loaded.Doc.Len(), c.Doc.Len())
+	}
+	if loaded.Index.Count("x") != 1 {
+		t.Fatal("legacy index not rebuilt")
+	}
+	if loaded.DTD != nil || loaded.Doc.InternalSubset != "" {
+		t.Fatal("legacy format cannot carry a DTD")
+	}
+}

@@ -1,0 +1,28 @@
+//go:build linux
+
+package persist
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps the file read-only, returning the mapping and an
+// unmap function. It returns ok=false when mapping is not possible (empty
+// file, exotic filesystem), in which case the caller falls back to a bulk
+// read. The packed decoder copies everything it retains out of the image,
+// so the mapping is always unmapped before LoadFile returns.
+func mapFile(f *os.File) (data []byte, unmap func(), ok bool) {
+	fi, err := f.Stat()
+	if err != nil || fi.Size() <= 0 || int64(int(fi.Size())) != fi.Size() {
+		return nil, nil, false
+	}
+	// MAP_POPULATE prefaults the pages: the decoder streams the whole
+	// image exactly once, so eager read-ahead beats demand faulting.
+	m, err := syscall.Mmap(int(f.Fd()), 0, int(fi.Size()), syscall.PROT_READ,
+		syscall.MAP_PRIVATE|syscall.MAP_POPULATE)
+	if err != nil {
+		return nil, nil, false
+	}
+	return m, func() { _ = syscall.Munmap(m) }, true
+}

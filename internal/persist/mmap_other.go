@@ -1,0 +1,10 @@
+//go:build !linux
+
+package persist
+
+import "os"
+
+// mapFile is the non-linux stub: always fall back to a bulk read.
+func mapFile(*os.File) (data []byte, unmap func(), ok bool) {
+	return nil, nil, false
+}

@@ -1,0 +1,804 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"extract/internal/classify"
+	"extract/internal/core"
+	"extract/internal/dtd"
+	"extract/internal/index"
+	"extract/internal/keys"
+	"extract/internal/schema"
+	"extract/xmltree"
+)
+
+// Packed (version 2) layout. All integers are little-endian; "slab" means a
+// length-known contiguous array decoded in one pass. Every section except
+// the trailing summary has a size computable from its leading counts, so
+// the reader slices all slabs up front and decodes the two big ones — tree
+// and postings — concurrently.
+//
+//	magic "XTIX" | version u8 = 2
+//	meta:     u32 subsetLen, bytes  (DOCTYPE internal subset)
+//	          u32 dtdLen, bytes     (DTD rendered to declaration syntax)
+//	          u32 n                 (node count, early so the reader can
+//	                                 allocate the node slab while the
+//	                                 string table decodes)
+//	strings:  u32 count | u32 blobLen | i32[count] lengths | blob
+//	tree:     u8[n] tags | i32[n] labelIDs | i32[n] valueIDs
+//	          | i32[n] childCounts        (preorder)
+//	postings: u32 K | i32[K] keywordIDs | i32[K] listLens
+//	          | u32 P | i32[P] ords | u8[P] fields
+//	class:    u32 C | i32[C] labelIDs | u8[C] categories
+//	keys:     u32 KC | i32[KC] entityIDs | i32[KC] attrIDs
+//	guide:    u32 G | i32[G] labelIDs | i32[G] counts
+//	          | i32[G] childCounts | u8[G] hasText   (preorder)
+//	summary:  i32 rootID | u32 EC | per element (label-sorted):
+//	          i32 labelID, i32 count, i32 maxSiblings, u8 flags,
+//	          u32 parents, (i32 parentID, i32 count)*
+const (
+	tagText     = 1
+	tagFromAttr = 2
+
+	sumRepeats    = 1
+	sumSingleText = 2
+	sumLeafOnly   = 4
+
+	maxCount = 1 << 28 // sanity bound on any persisted count
+)
+
+// interner assigns dense string ids in first-seen order.
+type interner struct {
+	ids   map[string]int32
+	table []string
+}
+
+func newInterner() *interner {
+	in := &interner{ids: make(map[string]int32)}
+	in.id("") // "" is always id 0: element values, text labels
+	return in
+}
+
+func (in *interner) id(s string) int32 {
+	if id, ok := in.ids[s]; ok {
+		return id
+	}
+	id := int32(len(in.table))
+	in.ids[s] = id
+	in.table = append(in.table, s)
+	return id
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendI32(b []byte, v int32) []byte {
+	return binary.LittleEndian.AppendUint32(b, uint32(v))
+}
+
+// savePacked writes the version 2 format.
+func savePacked(w io.Writer, c *core.Corpus) error {
+	bw := bufio.NewWriter(w)
+	in := newInterner()
+
+	nodes := c.Doc.Nodes()
+	n := len(nodes)
+
+	// Pre-intern in deterministic order: node labels/values in preorder,
+	// then every sorted auxiliary set.
+	for _, nd := range nodes {
+		in.id(nd.Label)
+		in.id(nd.Value)
+	}
+	vocab := c.Index.Vocabulary()
+	for _, kw := range vocab {
+		in.id(kw)
+	}
+	cats := c.Cls.Categories()
+	catLabels := make([]string, 0, len(cats))
+	for l := range cats {
+		catLabels = append(catLabels, l)
+	}
+	sort.Strings(catLabels)
+	for _, l := range catLabels {
+		in.id(l)
+	}
+	keyed := c.Keys.Entities()
+	for _, e := range keyed {
+		in.id(e)
+		if a, ok := c.Keys.KeyAttr(e); ok {
+			in.id(a)
+		}
+	}
+	flatGuide := c.Guide.Flatten()
+	for _, l := range flatGuide.Labels {
+		in.id(l)
+	}
+	var sumLabels []string
+	if c.Summary != nil {
+		in.id(c.Summary.Root)
+		sumLabels = c.Summary.Labels()
+		for _, l := range sumLabels {
+			in.id(l)
+			e := c.Summary.Elements[l]
+			parents := make([]string, 0, len(e.Parents))
+			for p := range e.Parents {
+				parents = append(parents, p)
+			}
+			sort.Strings(parents)
+			for _, p := range parents {
+				in.id(p)
+			}
+		}
+	}
+
+	buf := make([]byte, 0, 1<<16)
+	buf = append(buf, magic...)
+	buf = append(buf, versionPacked)
+
+	// Meta.
+	subset := c.Doc.InternalSubset
+	buf = appendU32(buf, uint32(len(subset)))
+	buf = append(buf, subset...)
+	dtdText := ""
+	if c.DTD != nil {
+		dtdText = c.DTD.String()
+	}
+	buf = appendU32(buf, uint32(len(dtdText)))
+	buf = append(buf, dtdText...)
+	buf = appendU32(buf, uint32(n))
+
+	// Strings.
+	blobLen := 0
+	for _, s := range in.table {
+		blobLen += len(s)
+	}
+	buf = appendU32(buf, uint32(len(in.table)))
+	buf = appendU32(buf, uint32(blobLen))
+	for _, s := range in.table {
+		buf = appendI32(buf, int32(len(s)))
+	}
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	for _, s := range in.table {
+		if _, err := bw.WriteString(s); err != nil {
+			return err
+		}
+	}
+
+	// Tree slabs.
+	buf = buf[:0]
+	for _, nd := range nodes {
+		var tag byte
+		if nd.IsText() {
+			tag |= tagText
+		}
+		if nd.FromAttr {
+			tag |= tagFromAttr
+		}
+		buf = append(buf, tag)
+	}
+	for _, nd := range nodes {
+		buf = appendI32(buf, in.ids[nd.Label])
+	}
+	for _, nd := range nodes {
+		buf = appendI32(buf, in.ids[nd.Value])
+	}
+	for _, nd := range nodes {
+		buf = appendI32(buf, int32(len(nd.Children)))
+	}
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+
+	// Postings.
+	total := 0
+	for _, kw := range vocab {
+		total += c.Index.List(kw).Len()
+	}
+	buf = appendU32(buf[:0], uint32(len(vocab)))
+	for _, kw := range vocab {
+		buf = appendI32(buf, in.ids[kw])
+	}
+	for _, kw := range vocab {
+		buf = appendI32(buf, int32(c.Index.List(kw).Len()))
+	}
+	buf = appendU32(buf, uint32(total))
+	for _, kw := range vocab {
+		for _, o := range c.Index.List(kw).Ords {
+			buf = appendI32(buf, o)
+		}
+	}
+	for _, kw := range vocab {
+		for _, f := range c.Index.List(kw).Fields {
+			buf = append(buf, byte(f))
+		}
+	}
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+
+	// Classification.
+	buf = appendU32(buf[:0], uint32(len(catLabels)))
+	for _, l := range catLabels {
+		buf = appendI32(buf, in.ids[l])
+	}
+	for _, l := range catLabels {
+		buf = append(buf, byte(cats[l]))
+	}
+
+	// Keys.
+	buf = appendU32(buf, uint32(len(keyed)))
+	for _, e := range keyed {
+		buf = appendI32(buf, in.ids[e])
+	}
+	for _, e := range keyed {
+		a, _ := c.Keys.KeyAttr(e)
+		buf = appendI32(buf, in.ids[a])
+	}
+
+	// Guide.
+	buf = appendU32(buf, uint32(len(flatGuide.Labels)))
+	for _, l := range flatGuide.Labels {
+		buf = appendI32(buf, in.ids[l])
+	}
+	for _, v := range flatGuide.Counts {
+		buf = appendI32(buf, v)
+	}
+	for _, v := range flatGuide.ChildCounts {
+		buf = appendI32(buf, v)
+	}
+	for _, h := range flatGuide.HasText {
+		if h {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+
+	// Summary (trailing: the only section without a slab-computable size).
+	if c.Summary != nil {
+		buf = appendI32(buf, in.ids[c.Summary.Root])
+		buf = appendU32(buf, uint32(len(sumLabels)))
+		for _, l := range sumLabels {
+			e := c.Summary.Elements[l]
+			buf = appendI32(buf, in.ids[l])
+			buf = appendI32(buf, int32(e.Count))
+			buf = appendI32(buf, int32(e.MaxSiblings))
+			var flags byte
+			if e.Repeats {
+				flags |= sumRepeats
+			}
+			if e.SingleTextOnly {
+				flags |= sumSingleText
+			}
+			if e.LeafOnly {
+				flags |= sumLeafOnly
+			}
+			buf = append(buf, flags)
+			parents := make([]string, 0, len(e.Parents))
+			for p := range e.Parents {
+				parents = append(parents, p)
+			}
+			sort.Strings(parents)
+			buf = appendU32(buf, uint32(len(parents)))
+			for _, p := range parents {
+				buf = appendI32(buf, in.ids[p])
+				buf = appendI32(buf, int32(e.Parents[p]))
+			}
+		}
+	} else {
+		buf = appendI32(buf, 0)
+		buf = appendU32(buf, 0)
+	}
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// cursor decodes the packed byte image with bounds checking; the first
+// error sticks and subsequent reads return zeros.
+type cursor struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (c *cursor) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("%w: %s", ErrBadFormat, fmt.Sprintf(format, args...))
+	}
+}
+
+func (c *cursor) bytes(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(c.data)-c.off {
+		c.fail("truncated at offset %d (need %d bytes)", c.off, n)
+		return nil
+	}
+	b := c.data[c.off : c.off+n]
+	c.off += n
+	return b
+}
+
+func (c *cursor) u32() uint32 {
+	b := c.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// count reads a u32 and bounds it; counts also may never exceed the bytes
+// remaining, which caps allocations on corrupt input.
+func (c *cursor) count(what string) int {
+	v := c.u32()
+	if c.err != nil {
+		return 0
+	}
+	if v > maxCount || int(v) > len(c.data)-c.off {
+		c.fail("absurd %s count %d", what, v)
+		return 0
+	}
+	return int(v)
+}
+
+func (c *cursor) i32slab(n int) []int32 {
+	b := c.bytes(4 * n)
+	if b == nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// stringTable resolves interned ids; ok degrades to a sticky error flag so
+// slab decoders can validate after their loops.
+type stringTable struct {
+	table []string
+}
+
+func (t *stringTable) str(id int32) (string, bool) {
+	if id < 0 || int(id) >= len(t.table) {
+		return "", false
+	}
+	return t.table[id], true
+}
+
+// loadPacked decodes a version 2 image (including the magic+version head).
+// The tree and posting sections — the two large ones — decode concurrently:
+// posting lists reference nodes by address into the node slab, which is
+// allocated before either decoder runs.
+func loadPacked(data []byte) (*core.Corpus, error) {
+	c := &cursor{data: data, off: len(magic) + 1}
+
+	// Meta.
+	subset := string(c.bytes(c.count("subset")))
+	dtdText := string(c.bytes(c.count("dtd")))
+	n := c.count("node")
+	if c.err != nil {
+		return nil, c.err
+	}
+	// A node costs 13 bytes of tree slabs (1 tag + 3 int32 columns); a
+	// count the remaining bytes cannot back would otherwise provoke a
+	// ~100x-amplified slab allocation from a small crafted file.
+	if n > (len(c.data)-c.off)/13 {
+		return nil, fmt.Errorf("%w: node count %d exceeds file size", ErrBadFormat, n)
+	}
+
+	// The node slab is the largest allocation of the load; start zeroing
+	// it on another core while the string table decodes.
+	slabCh := make(chan []xmltree.Node, 1)
+	go func() { slabCh <- make([]xmltree.Node, n) }()
+
+	// Strings: one blob conversion; table entries share its backing.
+	strCount := c.count("string")
+	blobLen := c.count("string blob")
+	lengths := c.i32slab(strCount)
+	blob := string(c.bytes(blobLen))
+	if c.err != nil {
+		return nil, c.err
+	}
+	table := &stringTable{table: make([]string, strCount)}
+	off := 0
+	for i, l := range lengths {
+		if l < 0 || off+int(l) > len(blob) {
+			return nil, fmt.Errorf("%w: string %d out of blob", ErrBadFormat, i)
+		}
+		table.table[i] = blob[off : off+int(l)]
+		off += int(l)
+	}
+	if off != len(blob) {
+		return nil, fmt.Errorf("%w: string blob not fully consumed", ErrBadFormat)
+	}
+
+	// Slice every fixed-size section up front.
+	tags := c.bytes(n)
+	labelSlab := c.bytes(4 * n)
+	valueSlab := c.bytes(4 * n)
+	ccSlab := c.bytes(4 * n)
+
+	k := c.count("keyword")
+	kwIDs := c.i32slab(k)
+	listLens := c.i32slab(k)
+	total := c.count("posting")
+	ordSlab := c.bytes(4 * total)
+	fieldSlab := c.bytes(total)
+
+	nCats := c.count("label")
+	catIDs := c.i32slab(nCats)
+	catBytes := c.bytes(nCats)
+
+	nKeys := c.count("key")
+	entIDs := c.i32slab(nKeys)
+	attrIDs := c.i32slab(nKeys)
+
+	g := c.count("guide node")
+	guideLabelIDs := c.i32slab(g)
+	guideCounts := c.i32slab(g)
+	guideChildCounts := c.i32slab(g)
+	guideHasText := c.bytes(g)
+	if c.err != nil {
+		return nil, c.err
+	}
+
+	// Summary (variable-length, small): decode sequentially now.
+	sum, err := decodeSummary(c, table)
+	if err != nil {
+		return nil, err
+	}
+	if c.off != len(c.data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFormat, len(c.data)-c.off)
+	}
+
+	// Small tables on this goroutine.
+	cats := make(map[string]classify.Category, nCats)
+	var auxErr error
+	for i := 0; i < nCats; i++ {
+		l, ok := table.str(catIDs[i])
+		if !ok || catBytes[i] > byte(classify.Value) {
+			auxErr = fmt.Errorf("%w: classification entry %d", ErrBadFormat, i)
+			break
+		}
+		cats[l] = classify.Category(catBytes[i])
+	}
+	km := make(map[string]string, nKeys)
+	for i := 0; i < nKeys && auxErr == nil; i++ {
+		e, ok1 := table.str(entIDs[i])
+		a, ok2 := table.str(attrIDs[i])
+		if !ok1 || !ok2 {
+			auxErr = fmt.Errorf("%w: key entry %d", ErrBadFormat, i)
+			break
+		}
+		km[e] = a
+	}
+	flat := &schema.FlatGuide{
+		Labels:      make([]string, g),
+		Counts:      guideCounts,
+		ChildCounts: guideChildCounts,
+		HasText:     make([]bool, g),
+	}
+	for i := 0; i < g && auxErr == nil; i++ {
+		l, ok := table.str(guideLabelIDs[i])
+		if !ok {
+			auxErr = fmt.Errorf("%w: guide label %d", ErrBadFormat, i)
+			break
+		}
+		flat.Labels[i] = l
+		flat.HasText[i] = guideHasText[i] != 0
+	}
+	var guide *schema.Guide
+	if auxErr == nil {
+		guide, err = schema.GuideFromFlat(flat)
+		if err != nil {
+			auxErr = fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+	}
+	var d *dtd.DTD
+	if auxErr == nil && dtdText != "" {
+		d, err = dtd.ParseString(dtdText)
+		if err != nil {
+			auxErr = fmt.Errorf("%w: embedded dtd: %v", ErrBadFormat, err)
+		}
+	}
+
+	// Decode the posting ords while the node slab may still be zeroing.
+	ords := make([]int32, total)
+	for i := range ords {
+		ords[i] = int32(binary.LittleEndian.Uint32(ordSlab[4*i:]))
+	}
+
+	// Decode the large sections concurrently. Structure (parents,
+	// children, intervals, Dewey) and content (labels, values, kinds)
+	// write disjoint node fields; the posting decoder needs only node
+	// addresses and the tag slab, never node contents. None of them waits
+	// on another.
+	nodeSlab := <-slabCh
+	var (
+		wg       sync.WaitGroup
+		docNodes []*xmltree.Node
+		postings map[string]*index.PostingList
+		maxList  int
+		errs     [4]error
+	)
+	spawn := func(i int, fn func() error) {
+		if n < 8192 {
+			// Small corpus: goroutine hand-off costs more than it saves.
+			errs[i] = fn()
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = fn()
+		}()
+	}
+	spawn(0, func() (err error) {
+		docNodes, err = decodeStructure(nodeSlab, ccSlab)
+		return err
+	})
+	half := n / 2
+	spawn(1, func() error {
+		return decodeContent(nodeSlab, tags, labelSlab, valueSlab, ccSlab, table, 0, half)
+	})
+	spawn(2, func() error {
+		return decodeContent(nodeSlab, tags, labelSlab, valueSlab, ccSlab, table, half, n)
+	})
+	spawn(3, func() (err error) {
+		postings, maxList, err = decodePostings(nodeSlab, tags, kwIDs, listLens, ords, fieldSlab, table)
+		return err
+	})
+
+	wg.Wait()
+	if auxErr != nil {
+		return nil, auxErr
+	}
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	doc := xmltree.AdoptFinalized(docNodes)
+	doc.InternalSubset = subset
+	return &core.Corpus{
+		Doc:     doc,
+		Index:   index.FromPartsSized(doc, postings, total, maxList),
+		Cls:     classify.FromCategories(cats, sum),
+		Keys:    keys.FromMap(km),
+		Summary: sum,
+		Guide:   guide,
+		DTD:     d,
+	}, nil
+}
+
+// decodeStructure reconstructs the tree shape into the caller's slab,
+// assigning every finalization field — preorder position, interval, parent,
+// children, Dewey (from one exact-sized arena) — in a single pass, so no
+// NewDocument re-walk is needed afterwards. It writes only structural node
+// fields; decodeContent fills labels and kinds concurrently.
+func decodeStructure(nodeSlab []xmltree.Node, ccSlab []byte) ([]*xmltree.Node, error) {
+	n := len(nodeSlab)
+	if n == 0 {
+		return nil, nil
+	}
+	// Pre-pass: derive the total Dewey length (sum of node depths) from
+	// the child counts, so one exact arena allocation serves every
+	// identifier. Allocation-free: only a depth stack.
+	deweyInts := 0
+	depthStack := make([]int32, 0, 32)
+	for i := 0; i < n; i++ {
+		deweyInts += len(depthStack)
+		if len(depthStack) > 0 {
+			depthStack[len(depthStack)-1]--
+		} else if i > 0 {
+			return nil, fmt.Errorf("%w: node %d outside the root subtree", ErrBadFormat, i)
+		}
+		if cc := int32(binary.LittleEndian.Uint32(ccSlab[4*i:])); cc > 0 && int(cc) < n {
+			depthStack = append(depthStack, cc)
+		}
+		for len(depthStack) > 0 && depthStack[len(depthStack)-1] == 0 {
+			depthStack = depthStack[:len(depthStack)-1]
+		}
+	}
+
+	docNodes := make([]*xmltree.Node, n)
+	childBacking := make([]*xmltree.Node, 0, n-1)
+	arena := make([]int, 0, deweyInts)
+	type frame struct {
+		node      *xmltree.Node
+		remaining int32
+	}
+	stack := make([]frame, 0, 32)
+	for i := 0; i < n; i++ {
+		nd := &nodeSlab[i]
+		docNodes[i] = nd
+		nd.Ord = i
+		nd.Start = int32(i)
+		cc := int32(binary.LittleEndian.Uint32(ccSlab[4*i:]))
+		if cc < 0 || int(cc) >= n {
+			return nil, fmt.Errorf("%w: node %d: child count %d", ErrBadFormat, i, cc)
+		}
+		if len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			parent := top.node
+			if len(arena)+len(parent.Dewey)+1 > cap(arena) {
+				return nil, fmt.Errorf("%w: dewey arena overflow", ErrBadFormat)
+			}
+			start := len(arena)
+			arena = append(arena, parent.Dewey...)
+			arena = append(arena, len(parent.Children))
+			nd.Dewey = xmltree.Dewey(arena[start:len(arena):len(arena)])
+			nd.Parent = parent
+			parent.Children = append(parent.Children, nd)
+			top.remaining--
+		} else {
+			nd.Dewey = xmltree.Dewey{}
+		}
+		if cc > 0 {
+			// Reserve this node's children region in the shared backing
+			// array; appends fill it without reallocating.
+			start := len(childBacking)
+			if start+int(cc) > cap(childBacking) {
+				return nil, fmt.Errorf("%w: child counts exceed node count", ErrBadFormat)
+			}
+			childBacking = childBacking[:start+int(cc)]
+			nd.Children = childBacking[start:start:start+int(cc)]
+			stack = append(stack, frame{node: nd, remaining: cc})
+		} else {
+			nd.End = int32(i)
+		}
+		for len(stack) > 0 && stack[len(stack)-1].remaining == 0 {
+			stack[len(stack)-1].node.End = int32(i)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("%w: tree truncated: %d open nodes", ErrBadFormat, len(stack))
+	}
+	if len(childBacking) != n-1 {
+		return nil, fmt.Errorf("%w: %d children for %d nodes", ErrBadFormat, len(childBacking), n)
+	}
+	return docNodes, nil
+}
+
+// decodeContent fills labels, values and kinds for nodes[lo:hi]. Per-node
+// it touches only the fields decodeStructure leaves alone, so the two can
+// run concurrently, and ranges can shard across goroutines.
+func decodeContent(nodeSlab []xmltree.Node, tags, labelSlab, valueSlab, ccSlab []byte, table *stringTable, lo, hi int) error {
+	for i := lo; i < hi; i++ {
+		nd := &nodeSlab[i]
+		if tags[i]&^(tagText|tagFromAttr) != 0 {
+			return fmt.Errorf("%w: node %d: unknown tag bits", ErrBadFormat, i)
+		}
+		if tags[i]&tagText != 0 {
+			if binary.LittleEndian.Uint32(ccSlab[4*i:]) != 0 {
+				return fmt.Errorf("%w: node %d: text node with children", ErrBadFormat, i)
+			}
+			nd.Kind = xmltree.KindText
+		}
+		nd.FromAttr = tags[i]&tagFromAttr != 0
+		var ok1, ok2 bool
+		nd.Label, ok1 = table.str(int32(binary.LittleEndian.Uint32(labelSlab[4*i:])))
+		nd.Value, ok2 = table.str(int32(binary.LittleEndian.Uint32(valueSlab[4*i:])))
+		if !ok1 || !ok2 {
+			return fmt.Errorf("%w: node %d: string id out of range", ErrBadFormat, i)
+		}
+	}
+	return nil
+}
+
+// decodePostings rebuilds the packed posting lists. It references nodes by
+// address only (&nodeSlab[ord]) and checks element-ness against the tag
+// slab, so it never reads node fields and can run concurrently with
+// decodeTree filling them in.
+func decodePostings(nodeSlab []xmltree.Node, tags []byte, kwIDs, listLens []int32, ords []int32, fieldSlab []byte, table *stringTable) (map[string]*index.PostingList, int, error) {
+	n := len(nodeSlab)
+	k := len(kwIDs)
+	total := len(fieldSlab)
+	postings := make(map[string]*index.PostingList, k)
+	lists := make([]index.PostingList, k)
+	nodeBacking := make([]*xmltree.Node, total)
+	fieldBacking := make([]index.MatchField, total)
+	pos, maxList := 0, 0
+	for i := 0; i < k; i++ {
+		kw, ok := table.str(kwIDs[i])
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: keyword id %d", ErrBadFormat, kwIDs[i])
+		}
+		ln := int(listLens[i])
+		if ln < 0 || pos+ln > total {
+			return nil, 0, fmt.Errorf("%w: posting list %d overruns slab", ErrBadFormat, i)
+		}
+		if ln > maxList {
+			maxList = ln
+		}
+		pl := &lists[i]
+		pl.Ords = ords[pos : pos+ln]
+		pl.Nodes = nodeBacking[pos : pos+ln]
+		pl.Fields = fieldBacking[pos : pos+ln]
+		prev := int32(-1)
+		for j, ord := range pl.Ords {
+			if ord <= prev || int(ord) >= n {
+				return nil, 0, fmt.Errorf("%w: posting %q: ord %d out of order or range", ErrBadFormat, kw, ord)
+			}
+			if tags[ord]&tagText != 0 {
+				return nil, 0, fmt.Errorf("%w: posting %q targets a text node", ErrBadFormat, kw)
+			}
+			prev = ord
+			pl.Nodes[j] = &nodeSlab[ord]
+			pl.Fields[j] = index.MatchField(fieldSlab[pos+j])
+		}
+		if _, dup := postings[kw]; dup || kw == "" {
+			return nil, 0, fmt.Errorf("%w: duplicate or empty keyword", ErrBadFormat)
+		}
+		postings[kw] = pl
+		pos += ln
+	}
+	if pos != total {
+		return nil, 0, fmt.Errorf("%w: posting slab not fully consumed", ErrBadFormat)
+	}
+	return postings, maxList, nil
+}
+
+// decodeSummary reads the trailing summary section.
+func decodeSummary(c *cursor, table *stringTable) (*schema.Summary, error) {
+	rootID := int32(c.u32())
+	nSum := c.count("summary element")
+	sum := &schema.Summary{Elements: make(map[string]*schema.ElementInfo, nSum)}
+	if c.err == nil {
+		root, ok := table.str(rootID)
+		if !ok {
+			return nil, fmt.Errorf("%w: summary root id", ErrBadFormat)
+		}
+		sum.Root = root
+	}
+	for i := 0; i < nSum && c.err == nil; i++ {
+		labelID := int32(c.u32())
+		count := int32(c.u32())
+		maxSib := int32(c.u32())
+		flagsB := c.bytes(1)
+		nPar := c.count("summary parent")
+		label, ok := table.str(labelID)
+		if !ok {
+			return nil, fmt.Errorf("%w: summary label id", ErrBadFormat)
+		}
+		e := &schema.ElementInfo{
+			Label:       label,
+			Count:       int(count),
+			MaxSiblings: int(maxSib),
+			Parents:     make(map[string]int, nPar),
+		}
+		if len(flagsB) == 1 {
+			e.Repeats = flagsB[0]&sumRepeats != 0
+			e.SingleTextOnly = flagsB[0]&sumSingleText != 0
+			e.LeafOnly = flagsB[0]&sumLeafOnly != 0
+		}
+		for j := 0; j < nPar && c.err == nil; j++ {
+			p, ok := table.str(int32(c.u32()))
+			if !ok {
+				return nil, fmt.Errorf("%w: summary parent id", ErrBadFormat)
+			}
+			e.Parents[p] = int(int32(c.u32()))
+		}
+		if c.err == nil {
+			sum.Elements[e.Label] = e
+		}
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	return sum, nil
+}

@@ -23,9 +23,11 @@ import (
 	"extract/internal/search"
 )
 
-// Scorer ranks results against the corpus statistics of one index.
+// Scorer ranks results against the document-frequency statistics of one
+// corpus: a single index, or any df source (a sharded corpus sums posting
+// counts across shards).
 type Scorer struct {
-	ix *index.Index
+	df func(keyword string) int
 	// Decay is the per-edge depth decay in (0, 1]; NewScorer sets 0.8.
 	Decay float64
 
@@ -34,16 +36,20 @@ type Scorer struct {
 
 // NewScorer builds a scorer over the corpus index.
 func NewScorer(ix *index.Index) *Scorer {
-	s := &Scorer{ix: ix, Decay: 0.8}
 	st := ix.Document().ComputeStats()
-	s.totalElements = st.Elements
-	return s
+	return NewScorerFunc(ix.Count, st.Elements)
+}
+
+// NewScorerFunc builds a scorer from an explicit document-frequency
+// function and element count — how a sharded corpus supplies global
+// statistics without materializing a merged index.
+func NewScorerFunc(df func(keyword string) int, totalElements int) *Scorer {
+	return &Scorer{df: df, Decay: 0.8, totalElements: totalElements}
 }
 
 // IDF returns the inverse document frequency weight of a keyword.
 func (s *Scorer) IDF(keyword string) float64 {
-	df := len(s.ix.Postings(keyword))
-	return math.Log(1 + float64(s.totalElements)/float64(1+df))
+	return math.Log(1 + float64(s.totalElements)/float64(1+s.df(keyword)))
 }
 
 // Score computes the relevance of one result for the tokenized query.

@@ -1,0 +1,64 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"extract/xmltree"
+)
+
+func TestGuideFlattenRoundTrip(t *testing.T) {
+	doc, err := xmltree.ParseString(
+		`<lib><b><t>x</t><t>y</t><a><z/></a></b><b><t>q</t></b><misc/></lib>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildGuide(doc)
+	f := g.Flatten()
+	g2, err := GuideFromFlat(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.Join(g2.Paths(), "|"), strings.Join(g.Paths(), "|"); got != want {
+		t.Fatalf("paths = %q, want %q", got, want)
+	}
+	var check func(a, b *Guide)
+	check = func(a, b *Guide) {
+		if a.Label != b.Label || a.Count != b.Count || a.HasText != b.HasText || len(a.Children) != len(b.Children) {
+			t.Fatalf("guide node %q differs: %+v vs %+v", a.Label, a, b)
+		}
+		for i := range a.Children {
+			if b.Child(a.Children[i].Label) != b.Children[i] {
+				t.Fatalf("child index not rebuilt for %q", a.Children[i].Label)
+			}
+			check(a.Children[i], b.Children[i])
+		}
+	}
+	check(g, g2)
+}
+
+func TestGuideFlattenNil(t *testing.T) {
+	var g *Guide
+	f := g.Flatten()
+	if len(f.Labels) != 0 {
+		t.Fatalf("nil guide flattened to %d nodes", len(f.Labels))
+	}
+	g2, err := GuideFromFlat(f)
+	if err != nil || g2 != nil {
+		t.Fatalf("round trip of nil guide = %v, %v", g2, err)
+	}
+}
+
+func TestGuideFromFlatRejectsMalformed(t *testing.T) {
+	cases := map[string]*FlatGuide{
+		"mismatched lengths": {Labels: []string{"a"}, Counts: []int32{1}, ChildCounts: []int32{0, 0}, HasText: []bool{false}},
+		"negative children":  {Labels: []string{"a"}, Counts: []int32{1}, ChildCounts: []int32{-1}, HasText: []bool{false}},
+		"multiple roots":     {Labels: []string{"a", "b"}, Counts: []int32{1, 1}, ChildCounts: []int32{0, 0}, HasText: []bool{false, false}},
+		"unclosed tree":      {Labels: []string{"a", "b"}, Counts: []int32{1, 1}, ChildCounts: []int32{2, 0}, HasText: []bool{false, false}},
+	}
+	for name, f := range cases {
+		if _, err := GuideFromFlat(f); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -10,10 +10,14 @@
 package schema
 
 import (
+	"errors"
 	"sort"
 
 	"extract/xmltree"
 )
+
+// errMismatched reports flattened guide arrays that do not describe a tree.
+var errMismatched = errors.New("schema: inconsistent flattened guide")
 
 // ElementInfo aggregates the instance-level evidence about one element label.
 type ElementInfo struct {
@@ -204,6 +208,91 @@ func sortGuide(g *Guide) {
 	for _, c := range g.Children {
 		sortGuide(c)
 	}
+}
+
+// FlatGuide is a Guide flattened into preorder parallel arrays, the form
+// the packed persist format stores.
+type FlatGuide struct {
+	Labels      []string
+	Counts      []int32
+	ChildCounts []int32
+	HasText     []bool
+}
+
+// Flatten returns the guide in preorder as parallel arrays. A nil guide
+// flattens to zero-length arrays.
+func (g *Guide) Flatten() *FlatGuide {
+	f := &FlatGuide{}
+	var walk func(n *Guide)
+	walk = func(n *Guide) {
+		f.Labels = append(f.Labels, n.Label)
+		f.Counts = append(f.Counts, int32(n.Count))
+		f.ChildCounts = append(f.ChildCounts, int32(len(n.Children)))
+		f.HasText = append(f.HasText, n.HasText)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	if g != nil {
+		walk(g)
+	}
+	return f
+}
+
+// GuideFromFlat rebuilds a Guide from its flattened form (the inverse of
+// Flatten). It returns nil for empty input and an error when the arrays are
+// inconsistent (mismatched lengths or child counts that do not describe a
+// single preorder tree).
+func GuideFromFlat(f *FlatGuide) (*Guide, error) {
+	n := len(f.Labels)
+	if len(f.Counts) != n || len(f.ChildCounts) != n || len(f.HasText) != n {
+		return nil, errMismatched
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	nodes := make([]Guide, n)
+	type frame struct {
+		g         *Guide
+		remaining int32
+	}
+	var stack []frame
+	for i := 0; i < n; i++ {
+		g := &nodes[i]
+		g.Label = f.Labels[i]
+		g.Count = int(f.Counts[i])
+		g.HasText = f.HasText[i]
+		if f.ChildCounts[i] < 0 {
+			return nil, errMismatched
+		}
+		if len(stack) == 0 {
+			if i > 0 {
+				return nil, errMismatched
+			}
+		} else {
+			top := &stack[len(stack)-1]
+			p := top.g
+			if p.index == nil {
+				p.index = make(map[string]*Guide)
+			}
+			if p.index[g.Label] != nil {
+				return nil, errMismatched // guide children are distinct by label
+			}
+			p.index[g.Label] = g
+			p.Children = append(p.Children, g)
+			top.remaining--
+		}
+		if f.ChildCounts[i] > 0 {
+			stack = append(stack, frame{g: g, remaining: f.ChildCounts[i]})
+		}
+		for len(stack) > 0 && stack[len(stack)-1].remaining == 0 {
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(stack) != 0 {
+		return nil, errMismatched
+	}
+	return &nodes[0], nil
 }
 
 // Paths returns every label path of the guide as slash-joined strings in

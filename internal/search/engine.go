@@ -66,44 +66,85 @@ func (e *Engine) Index() *index.Index { return e.ix }
 // Classification returns the engine's node classification.
 func (e *Engine) Classification() *classify.Classification { return e.cls }
 
-// Search evaluates a conjunctive keyword query and returns its results in
-// document order of their anchors. Double-quoted spans are phrase terms
-// that must match consecutively inside one text value.
-func (e *Engine) Search(query string) ([]*Result, error) {
+// Evaluation is the intermediate state of one query over one document:
+// the parsed keywords, their posting lists, and the LCA set under the
+// engine's semantics. Sharded corpora evaluate per shard and merge
+// evaluations, so the pieces Search glues together are exposed here.
+type Evaluation struct {
+	// Keywords are the canonical query terms (phrases joined by spaces).
+	Keywords []string
+	// Lists holds the packed posting list per keyword. A keyword with no
+	// matches in this document has an empty (possibly nil) list.
+	Lists []*index.PostingList
+	// Matches maps each keyword to its matching nodes (Lists' node views).
+	Matches map[string][]*xmltree.Node
+	// LCAs is the SLCA/ELCA set in document order; nil when some keyword
+	// has no match here (conjunctive semantics).
+	LCAs []*xmltree.Node
+}
+
+// Complete reports whether every keyword matched at least once, i.e. the
+// LCA computation ran.
+func (ev *Evaluation) Complete() bool {
+	for _, l := range ev.Lists {
+		if l.Len() == 0 {
+			return false
+		}
+	}
+	return len(ev.Lists) > 0
+}
+
+// Evaluate parses the query and computes posting lists and the LCA set
+// without materializing result trees. Unlike Search it returns a non-nil
+// evaluation even when some keyword has no match, so callers merging
+// several documents (shards) can still see the per-keyword match counts.
+func (e *Engine) Evaluate(query string) (*Evaluation, error) {
 	terms := ParseQuery(query)
 	if len(terms) == 0 {
 		return nil, ErrEmptyQuery
 	}
-	keywords := make([]string, len(terms))
-	lists := make([]*index.PostingList, len(terms))
-	matches := make(map[string][]*xmltree.Node, len(terms))
-	for i, t := range terms {
-		keywords[i] = t.String()
-		if t.IsPhrase() {
-			lists[i] = index.PackNodes(phraseMatches(e.ix, t.Tokens))
-		} else {
-			lists[i] = e.ix.List(t.Tokens[0])
-		}
-		if lists[i].Len() == 0 {
-			return nil, nil // conjunctive semantics: no results
-		}
-		matches[keywords[i]] = lists[i].Nodes
+	ev := &Evaluation{
+		Keywords: make([]string, len(terms)),
+		Lists:    make([]*index.PostingList, len(terms)),
+		Matches:  make(map[string][]*xmltree.Node, len(terms)),
 	}
-
-	var lcas []*xmltree.Node
+	complete := true
+	for i, t := range terms {
+		ev.Keywords[i] = t.String()
+		if t.IsPhrase() {
+			ev.Lists[i] = index.PackNodes(phraseMatches(e.ix, t.Tokens))
+		} else {
+			ev.Lists[i] = e.ix.List(t.Tokens[0])
+		}
+		if ev.Lists[i].Len() == 0 {
+			complete = false
+			continue
+		}
+		ev.Matches[ev.Keywords[i]] = ev.Lists[i].Nodes
+	}
+	if !complete {
+		return ev, nil // conjunctive semantics: no LCAs
+	}
 	switch e.opts.Semantics {
 	case SemanticsELCA:
-		lcas = ELCAPacked(lists...)
+		ev.LCAs = ELCAPacked(ev.Lists...)
 	default:
-		lcas = SLCAPacked(lists...)
+		ev.LCAs = SLCAPacked(ev.Lists...)
 	}
+	return ev, nil
+}
 
+// Results materializes result trees for the given LCA subset of an
+// evaluation, applying the engine's DistinctAnchors and MaxResults options,
+// and returns them sorted by anchor document order. Search passes the full
+// LCA set; a shard merge passes the subset that survived merging.
+func (e *Engine) Results(ev *Evaluation, lcas []*xmltree.Node) []*Result {
 	var (
 		results     []*Result
 		seenAnchors = make(map[*xmltree.Node]bool)
 	)
 	for _, lca := range lcas {
-		r := buildResult(lca, keywords, matches, e.cls, e.opts.Mode)
+		r := buildResult(lca, ev.Keywords, ev.Matches, e.cls, e.opts.Mode)
 		if e.opts.DistinctAnchors && seenAnchors[r.Anchor] {
 			continue
 		}
@@ -116,7 +157,21 @@ func (e *Engine) Search(query string) ([]*Result, error) {
 	sort.Slice(results, func(i, j int) bool {
 		return results[i].Anchor.Ord < results[j].Anchor.Ord
 	})
-	return results, nil
+	return results
+}
+
+// Search evaluates a conjunctive keyword query and returns its results in
+// document order of their anchors. Double-quoted spans are phrase terms
+// that must match consecutively inside one text value.
+func (e *Engine) Search(query string) ([]*Result, error) {
+	ev, err := e.Evaluate(query)
+	if err != nil {
+		return nil, err
+	}
+	if ev.LCAs == nil {
+		return nil, nil
+	}
+	return e.Results(ev, ev.LCAs), nil
 }
 
 // Explain returns a short per-keyword report of posting list sizes, used by

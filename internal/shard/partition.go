@@ -1,0 +1,90 @@
+// Package shard partitions an analyzed XML corpus into independently
+// indexed shards and evaluates keyword queries across them: per-shard
+// SLCA/ELCA evaluation fans out in parallel, and the per-shard result
+// streams merge through a bounded top-k merge. Classification, key mining
+// and the structural summary are computed once, globally, before
+// partitioning, so every shard anchors and classifies results exactly like
+// the unsharded engine — sharded query results are identical to unsharded
+// ones (pinned by the equivalence property tests).
+//
+// Shard boundaries follow the document's own top-level structure: the
+// children of the root (the top-level entities of the database) are split
+// into contiguous, size-balanced blocks, each reparented under a copy of
+// the root and finalized as its own document. Contiguity makes the pair
+// (shard index, local preorder position) a global document-order key, which
+// is what lets the merge be a streaming k-way merge instead of a re-sort.
+//
+// Results that can only be expressed across shard boundaries — the root
+// itself qualifying as an LCA, or a result anchored at the root — fall back
+// to a lazily reconstructed whole-document corpus, so correctness never
+// depends on a query being shard-local.
+package shard
+
+import (
+	"extract/xmltree"
+)
+
+// Partition splits doc into at most n shard documents by distributing the
+// root's children into contiguous blocks of balanced subtree size. Each
+// block is reparented under a fresh copy of the root element (same label,
+// same DOCTYPE internal subset) and finalized. The input document's nodes
+// are MOVED, not copied: doc and its node sequence are invalid afterwards.
+//
+// Fewer than n shards are returned when the root has fewer children; a
+// document with no root or a single child partitions into one shard.
+func Partition(doc *xmltree.Document, n int) []*xmltree.Document {
+	root := doc.Root
+	if root == nil || n <= 1 || len(root.Children) < 2 {
+		return []*xmltree.Document{doc}
+	}
+	if n > len(root.Children) {
+		n = len(root.Children)
+	}
+
+	// Contiguous blocks balanced by subtree node count. The greedy cut
+	// closes a block once it reaches the ideal share of the remaining
+	// weight, while always leaving enough children for the remaining
+	// blocks.
+	children := root.Children
+	weights := make([]int, len(children))
+	totalWeight := 0
+	for i, c := range children {
+		weights[i] = int(c.End-c.Start) + 1
+		totalWeight += weights[i]
+	}
+
+	var docs []*xmltree.Document
+	start := 0
+	remaining := totalWeight
+	for b := 0; b < n && start < len(children); b++ {
+		blocksLeft := n - b
+		target := (remaining + blocksLeft - 1) / blocksLeft
+		end := start
+		acc := 0
+		for end < len(children) {
+			// Never leave fewer children than blocks still to fill.
+			if len(children)-end-1 < blocksLeft-1 && acc > 0 {
+				break
+			}
+			acc += weights[end]
+			end++
+			if acc >= target && len(children)-end >= blocksLeft-1 {
+				break
+			}
+		}
+		shardRoot := &xmltree.Node{
+			Kind:     xmltree.KindElement,
+			Label:    root.Label,
+			FromAttr: root.FromAttr,
+		}
+		for _, c := range children[start:end] {
+			xmltree.Append(shardRoot, c)
+		}
+		d := xmltree.NewDocument(shardRoot)
+		d.InternalSubset = doc.InternalSubset
+		docs = append(docs, d)
+		remaining -= acc
+		start = end
+	}
+	return docs
+}

@@ -1,0 +1,252 @@
+package shard
+
+import (
+	"sync"
+
+	"extract/internal/index"
+	"extract/internal/search"
+	"extract/xmltree"
+)
+
+// Search evaluates a conjunctive keyword query across every shard in
+// parallel and merges the per-shard results into global document order
+// through a bounded top-k merge. The result set is identical to evaluating
+// the same query on the unsharded document (see the equivalence property
+// tests); opts carry the same semantics, construction-mode, distinct-anchor
+// and max-results options the unsharded engine takes.
+//
+// Merging is root-aware. Any non-root SLCA/ELCA lies entirely inside one
+// shard, so the union of per-shard LCA sets (minus shard roots) is exactly
+// the global non-root LCA set. The root itself can only qualify through
+// cross-shard evidence, which the merge decides from the per-shard posting
+// lists:
+//
+//   - SLCA: the root is the (sole) answer iff no shard produced a non-root
+//     SLCA and every keyword matches somewhere in the corpus.
+//   - ELCA: the root qualifies iff every keyword has a witness match
+//     outside the subtrees of the root's ELCA descendants (see rootIsELCA).
+//
+// Root-involving queries — the root qualifying, or a result anchored at a
+// root entity — evaluate on the lazily reconstructed whole-document corpus
+// instead, which is exact by construction.
+func (sc *Corpus) Search(query string, opts search.Options) ([]*search.Result, error) {
+	if len(sc.shards) == 0 {
+		return nil, search.ErrEmptyQuery
+	}
+	if len(sc.shards) == 1 {
+		return search.NewEngine(sc.shards[0].Doc, sc.shards[0].Index, sc.cls, opts).Search(query)
+	}
+
+	type shardOut struct {
+		eval *search.Evaluation
+		// nonRootLCAs is the local LCA set minus the shard root — under
+		// contiguous partitioning, exactly this shard's slice of the
+		// global non-root LCA set.
+		nonRootLCAs []*xmltree.Node
+		results     []*search.Result
+		// rootAnchored reports a result anchored at the shard root.
+		rootAnchored bool
+		err          error
+	}
+	outs := make([]shardOut, len(sc.shards))
+	var wg sync.WaitGroup
+	for i, s := range sc.shards {
+		wg.Add(1)
+		go func(i int, eng *search.Engine, root *xmltree.Node) {
+			defer wg.Done()
+			o := &outs[i]
+			o.eval, o.err = eng.Evaluate(query)
+			if o.err != nil || o.eval.LCAs == nil {
+				return
+			}
+			for _, lca := range o.eval.LCAs {
+				if lca != root {
+					o.nonRootLCAs = append(o.nonRootLCAs, lca)
+				}
+			}
+			o.results = eng.Results(o.eval, o.nonRootLCAs)
+			for _, r := range o.results {
+				if r.Anchor == root {
+					o.rootAnchored = true
+					break
+				}
+			}
+		}(i, s.Engine(opts), s.Doc.Root)
+	}
+	wg.Wait()
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+	}
+
+	anyLCAs := false
+	rootAnchored := false
+	for i := range outs {
+		if len(outs[i].nonRootLCAs) > 0 {
+			anyLCAs = true
+		}
+		if outs[i].rootAnchored {
+			rootAnchored = true
+		}
+	}
+
+	// Decide whether the global root belongs in the LCA set.
+	evals := make([]*search.Evaluation, len(outs))
+	nonRoot := make([][]*xmltree.Node, len(outs))
+	for i := range outs {
+		evals[i] = outs[i].eval
+		nonRoot[i] = outs[i].nonRootLCAs
+	}
+	rootQualifies := false
+	switch opts.Semantics {
+	case search.SemanticsELCA:
+		rootQualifies = rootIsELCA(evals, nonRoot)
+	default:
+		// SLCA: the root is smallest iff no proper descendant covers all
+		// keywords — equivalently, no shard produced a non-root SLCA —
+		// and the corpus as a whole covers them. This includes keywords
+		// spread across shards with no local co-occurrence at all (every
+		// local evaluation empty).
+		rootQualifies = !anyLCAs && allKeywordsMatch(evals)
+	}
+
+	if rootQualifies || rootAnchored {
+		// Cross-shard result: evaluate exactly on the whole document.
+		fb := sc.Fallback()
+		return search.NewEngine(fb.Doc, fb.Index, sc.cls, opts).Search(query)
+	}
+
+	byShard := make([][]*search.Result, len(outs))
+	for i := range outs {
+		byShard[i] = outs[i].results
+	}
+	return mergeResults(byShard, opts.MaxResults), nil
+}
+
+// allKeywordsMatch reports whether every query keyword has at least one
+// match in some shard (conjunctive semantics at corpus scope).
+func allKeywordsMatch(evals []*search.Evaluation) bool {
+	if len(evals) == 0 || evals[0] == nil {
+		return false
+	}
+	k := len(evals[0].Lists)
+	if k == 0 {
+		return false
+	}
+	for j := 0; j < k; j++ {
+		found := false
+		for _, ev := range evals {
+			if ev != nil && j < len(ev.Lists) && ev.Lists[j].Len() > 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// rootIsELCA decides whether the original document root is an exclusive
+// LCA under this engine's ELCA semantics (see search.ELCABaseline): the
+// root qualifies iff every keyword still has a witness match after
+// excluding the subtrees of the root's ELCA descendants. The non-root
+// ELCAs are exactly the per-shard local ELCA sets, so the exclusion zones
+// are their outermost preorder intervals, per shard; a witness in any
+// shard serves (including the shard root itself at ord 0, which carries
+// the global root's tag and direct-text matches).
+func rootIsELCA(evals []*search.Evaluation, nonRootLCAs [][]*xmltree.Node) bool {
+	if len(evals) == 0 || evals[0] == nil {
+		return false
+	}
+	k := len(evals[0].Lists)
+	if k == 0 {
+		return false
+	}
+	free := make([]bool, k)
+	for i, ev := range evals {
+		if ev == nil {
+			continue
+		}
+		blocked := outermostIntervals(nonRootLCAs[i])
+		for j := 0; j < k && j < len(ev.Lists); j++ {
+			if !free[j] && hasFreeOrd(ev.Lists[j], blocked) {
+				free[j] = true
+			}
+		}
+	}
+	for _, f := range free {
+		if !f {
+			return false
+		}
+	}
+	return true
+}
+
+// outermostIntervals collapses a document-ordered node list to the preorder
+// intervals of its outermost members (nested nodes are absorbed by their
+// containing ancestor).
+func outermostIntervals(nodes []*xmltree.Node) [][2]int32 {
+	var out [][2]int32
+	lastEnd := int32(-1)
+	for _, n := range nodes {
+		if n.Start > lastEnd {
+			out = append(out, [2]int32{n.Start, n.End})
+			lastEnd = n.End
+		}
+	}
+	return out
+}
+
+// hasFreeOrd reports whether the list has an entry outside every blocked
+// interval (both sides sorted; one linear merge scan). The shard root
+// itself (ord 0) is never inside a child interval, so a match on the root's
+// own tag or direct text is always a free witness.
+func hasFreeOrd(l *index.PostingList, blocked [][2]int32) bool {
+	if l.Len() == 0 {
+		return false
+	}
+	bi := 0
+	for _, o := range l.Ords {
+		for bi < len(blocked) && blocked[bi][1] < o {
+			bi++
+		}
+		if bi >= len(blocked) || o < blocked[bi][0] {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeResults merges the per-shard result lists (each sorted by anchor
+// document order) into global order, keeping at most maxResults results
+// (0 = all). The global sort key is (shard index, local anchor ord), and
+// contiguous partitioning makes that key shard-major — a k-way merge heap
+// over the stream heads would only ever drain the streams one after
+// another — so the bounded top-k merge is a concatenation with a cutoff.
+// A future non-contiguous partitioner must replace this with a real k-way
+// merge on a global position key.
+func mergeResults(byShard [][]*search.Result, maxResults int) []*search.Result {
+	total := 0
+	for _, rs := range byShard {
+		total += len(rs)
+	}
+	if total == 0 {
+		return nil
+	}
+	if maxResults > 0 && total > maxResults {
+		total = maxResults
+	}
+	out := make([]*search.Result, 0, total)
+	for _, rs := range byShard {
+		for _, r := range rs {
+			if len(out) == total {
+				return out
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+package shard
+
+import (
+	"sync"
+
+	"extract/internal/classify"
+	"extract/internal/core"
+	"extract/internal/dtd"
+	"extract/internal/index"
+	"extract/internal/keys"
+	"extract/internal/schema"
+	"extract/xmltree"
+)
+
+// Corpus is a sharded analyzed corpus: every shard owns its own document
+// fragment and packed inverted index, while classification, mined keys,
+// structural summary and dataguide are global — computed on the whole
+// document before partitioning — so per-shard evaluation makes exactly the
+// decisions the unsharded engine would.
+type Corpus struct {
+	shards []*core.Corpus
+
+	cls     *classify.Classification
+	keys    *keys.Keys
+	summary *schema.Summary
+	guide   *schema.Guide
+	dtd     *dtd.DTD
+	subset  string
+
+	rootLabel    string
+	rootFromAttr bool
+
+	statsOnce     sync.Once
+	totalNodes    int
+	totalElements int
+
+	fallbackOnce sync.Once
+	fallback     *core.Corpus
+}
+
+// Option configures Build.
+type Option func(*buildConfig)
+
+type buildConfig struct {
+	dtd *dtd.DTD
+}
+
+// WithDTD classifies nodes using the given DTD, exactly as core.WithDTD
+// does for an unsharded corpus.
+func WithDTD(d *dtd.DTD) Option {
+	return func(c *buildConfig) { c.dtd = d }
+}
+
+// Build analyzes doc globally — classification, key mining, summary and
+// dataguide over the whole document — then partitions it into at most n
+// shards, each with its own packed inverted index. The document's nodes are
+// moved into the shards: doc is invalid afterwards.
+func Build(doc *xmltree.Document, n int, opts ...Option) *Corpus {
+	var cfg buildConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	a := core.Analyze(doc, cfg.dtd)
+	sc := &Corpus{
+		cls:     a.Cls,
+		keys:    a.Keys,
+		summary: a.Summary,
+		guide:   a.Guide,
+		dtd:     a.DTD,
+		subset:  doc.InternalSubset,
+	}
+	if doc.Root != nil {
+		sc.rootLabel = doc.Root.Label
+		sc.rootFromAttr = doc.Root.FromAttr
+	}
+	for _, part := range Partition(doc, n) {
+		sc.shards = append(sc.shards, core.BuildCorpus(part, core.WithSharedAnalysis(a)))
+	}
+	return sc
+}
+
+// fromParts assembles a Corpus from already-loaded shard corpora (the
+// persisted-file path). Shared analysis artifacts are taken from the first
+// shard and deduplicated across all of them.
+func fromParts(shards []*core.Corpus) *Corpus {
+	sc := &Corpus{shards: shards}
+	if len(shards) == 0 {
+		return sc
+	}
+	first := shards[0]
+	sc.cls, sc.keys, sc.summary, sc.guide, sc.dtd = first.Cls, first.Keys, first.Summary, first.Guide, first.DTD
+	sc.subset = first.Doc.InternalSubset
+	if first.Doc.Root != nil {
+		sc.rootLabel = first.Doc.Root.Label
+		sc.rootFromAttr = first.Doc.Root.FromAttr
+	}
+	for _, s := range shards[1:] {
+		s.Cls, s.Keys, s.Summary, s.Guide, s.DTD = sc.cls, sc.keys, sc.summary, sc.guide, sc.dtd
+	}
+	return sc
+}
+
+// NumShards returns the number of shards.
+func (sc *Corpus) NumShards() int { return len(sc.shards) }
+
+// Shards exposes the per-shard corpora (shared analysis artifacts, private
+// documents and indexes). The slice must not be modified.
+func (sc *Corpus) Shards() []*core.Corpus { return sc.shards }
+
+// Classification returns the global node classification.
+func (sc *Corpus) Classification() *classify.Classification { return sc.cls }
+
+// Keys returns the globally mined entity keys.
+func (sc *Corpus) Keys() *keys.Keys { return sc.keys }
+
+// DTD returns the DTD the corpus was classified with (nil if inferred).
+func (sc *Corpus) DTD() *dtd.DTD { return sc.dtd }
+
+// Analysis returns a document-less core.Corpus carrying only the shared
+// analysis artifacts. Snippet generation needs classification and keys, not
+// a document, so one generator over this corpus serves results from every
+// shard.
+func (sc *Corpus) Analysis() *core.Corpus {
+	return &core.Corpus{
+		Cls:     sc.cls,
+		Keys:    sc.keys,
+		Summary: sc.summary,
+		Guide:   sc.guide,
+		DTD:     sc.dtd,
+	}
+}
+
+// computeStats fills the lazily aggregated corpus-wide counters.
+func (sc *Corpus) computeStats() {
+	sc.statsOnce.Do(func() {
+		for i, s := range sc.shards {
+			st := s.Doc.ComputeStats()
+			sc.totalNodes += st.Nodes
+			sc.totalElements += st.Elements
+			if i > 0 {
+				// Every shard root after the first is a copy of the
+				// same original root element.
+				sc.totalNodes--
+				sc.totalElements--
+			}
+		}
+	})
+}
+
+// TotalNodes returns the node count of the original document.
+func (sc *Corpus) TotalNodes() int {
+	sc.computeStats()
+	return sc.totalNodes
+}
+
+// TotalElements returns the element count of the original document — the
+// corpus statistic IDF ranking normalizes by.
+func (sc *Corpus) TotalElements() int {
+	sc.computeStats()
+	return sc.totalElements
+}
+
+// Count returns the corpus-wide posting count of a keyword — the document
+// frequency a ranker needs. Every shard root is a copy of the same original
+// root element, so postings on shard roots (the root's own tag, or text
+// directly under it) collapse to a single posting, exactly matching the
+// unsharded index. Root postings sit at local ord 0, making the correction
+// a head check per shard.
+func (sc *Corpus) Count(keyword string) int {
+	total, rootShards := 0, 0
+	for _, s := range sc.shards {
+		l := s.Index.List(keyword)
+		total += l.Len()
+		if l.Len() > 0 && l.Ords[0] == 0 {
+			rootShards++
+		}
+	}
+	if rootShards > 0 {
+		total -= rootShards - 1
+	}
+	return total
+}
+
+// DistinctKeywords returns the size of the union of the shard vocabularies.
+func (sc *Corpus) DistinctKeywords() int {
+	if len(sc.shards) == 1 {
+		return sc.shards[0].Index.DistinctKeywords()
+	}
+	seen := make(map[string]bool)
+	for _, s := range sc.shards {
+		for _, kw := range s.Index.Vocabulary() {
+			seen[kw] = true
+		}
+	}
+	return len(seen)
+}
+
+// CompletePrefix merges per-shard prefix completions, re-ranking the union
+// by corpus-wide posting count. A keyword missing from every shard's local
+// top-k cannot be suggested; in exchange no shard's vocabulary is scanned
+// beyond its own completion index.
+func (sc *Corpus) CompletePrefix(prefix string, k int) []string {
+	if len(sc.shards) == 1 {
+		return sc.shards[0].Index.CompletePrefix(prefix, k)
+	}
+	counts := make(map[string]int)
+	var order []string
+	for _, s := range sc.shards {
+		for _, kw := range s.Index.CompletePrefix(prefix, k) {
+			if _, seen := counts[kw]; !seen {
+				order = append(order, kw)
+				counts[kw] = sc.Count(kw)
+			}
+		}
+	}
+	sortByCountDesc(order, counts)
+	if len(order) > k {
+		order = order[:k]
+	}
+	return order
+}
+
+// Fallback reconstructs (once, lazily) the whole document as a single
+// unsharded corpus sharing the global analysis artifacts. Queries whose
+// results cross shard boundaries — the root as an LCA, root-anchored
+// results — and whole-document consumers like XPath evaluate against it.
+func (sc *Corpus) Fallback() *core.Corpus {
+	sc.fallbackOnce.Do(func() {
+		if len(sc.shards) == 1 {
+			sc.fallback = sc.shards[0]
+			return
+		}
+		root := &xmltree.Node{
+			Kind:     xmltree.KindElement,
+			Label:    sc.rootLabel,
+			FromAttr: sc.rootFromAttr,
+		}
+		for _, s := range sc.shards {
+			if s.Doc.Root == nil {
+				continue
+			}
+			for _, c := range s.Doc.Root.Children {
+				xmltree.Append(root, xmltree.DeepCopy(c))
+			}
+		}
+		doc := xmltree.NewDocument(root)
+		doc.InternalSubset = sc.subset
+		sc.fallback = &core.Corpus{
+			Doc:     doc,
+			Index:   index.Build(doc),
+			Cls:     sc.cls,
+			Keys:    sc.keys,
+			Summary: sc.summary,
+			Guide:   sc.guide,
+			DTD:     sc.dtd,
+		}
+	})
+	return sc.fallback
+}
+
+func sortByCountDesc(kws []string, counts map[string]int) {
+	// Stable by (count desc, keyword asc) for deterministic suggestions.
+	for i := 1; i < len(kws); i++ {
+		for j := i; j > 0; j-- {
+			a, b := kws[j-1], kws[j]
+			if counts[b] > counts[a] || (counts[b] == counts[a] && b < a) {
+				kws[j-1], kws[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package extract
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"extract/internal/gen"
+	"extract/xmltree"
+)
+
+func shardedPair(t *testing.T) (unsharded, sharded *Corpus) {
+	t.Helper()
+	unsharded = FromDocument(gen.Figure5Corpus(), nil)
+	sharded = FromDocumentSharded(gen.Figure5Corpus(), nil, 4)
+	if sharded.Shards() < 2 {
+		t.Fatalf("shards = %d", sharded.Shards())
+	}
+	if unsharded.Shards() != 1 {
+		t.Fatalf("unsharded Shards() = %d", unsharded.Shards())
+	}
+	return unsharded, sharded
+}
+
+// TestShardedQueryMatchesUnsharded: the full facade pipeline — search,
+// snippet fan-out, ranking — produces identical output on a sharded corpus.
+func TestShardedQueryMatchesUnsharded(t *testing.T) {
+	unsharded, sharded := shardedPair(t)
+	for _, query := range []string{"austin store", "casual shirt", "nosuchword"} {
+		for _, opts := range [][]SearchOption{
+			nil,
+			{WithELCA()},
+			{WithTrimmedResults()},
+			{WithRanking()},
+			{WithMaxResults(2)},
+		} {
+			want, err1 := unsharded.Query(query, 10, opts...)
+			got, err2 := sharded.Query(query, 10, opts...)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("%q: errors differ: %v vs %v", query, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if len(want) != len(got) {
+				t.Fatalf("%q: %d hits, want %d", query, len(got), len(want))
+			}
+			for i := range want {
+				if a, b := want[i].Result.XML(), got[i].Result.XML(); a != b {
+					t.Fatalf("%q hit %d result differs:\n%s\n%s", query, i, a, b)
+				}
+				if a, b := want[i].Snippet.Inline(), got[i].Snippet.Inline(); a != b {
+					t.Fatalf("%q hit %d snippet differs:\n%s\n%s", query, i, a, b)
+				}
+				if a, b := want[i].Result.Score(), got[i].Result.Score(); a != b {
+					t.Fatalf("%q hit %d score %v, want %v", query, i, b, a)
+				}
+			}
+		}
+	}
+}
+
+func TestShardedStatsSuggestKeys(t *testing.T) {
+	unsharded, sharded := shardedPair(t)
+	us, ss := unsharded.Stats(), sharded.Stats()
+	if ss.Nodes != us.Nodes || ss.Elements != us.Elements || ss.MaxDepth != us.MaxDepth ||
+		ss.DistinctKeywords != us.DistinctKeywords {
+		t.Errorf("stats = %+v, want %+v", ss, us)
+	}
+	if got, want := join(ss.Entities), join(us.Entities); got != want {
+		t.Errorf("entities = %q, want %q", got, want)
+	}
+	if got, want := join(sharded.Suggest("s", 5)), join(unsharded.Suggest("s", 5)); got != want {
+		t.Errorf("suggest = %q, want %q", got, want)
+	}
+	a1, ok1 := unsharded.EntityKey("store")
+	a2, ok2 := sharded.EntityKey("store")
+	if a1 != a2 || ok1 != ok2 {
+		t.Errorf("entity key = %q,%v, want %q,%v", a2, ok2, a1, ok1)
+	}
+}
+
+func TestShardedXPath(t *testing.T) {
+	unsharded, sharded := shardedPair(t)
+	want, err := unsharded.XPath("//store/city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sharded.XPath("//store/city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 || len(want) != len(got) {
+		t.Fatalf("xpath: %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].XML() != got[i].XML() {
+			t.Fatalf("xpath result %d differs", i)
+		}
+	}
+}
+
+// TestShardedIndexRoundTrip: a sharded corpus persists into the sharded
+// container format and reopens as a sharded corpus.
+func TestShardedIndexRoundTrip(t *testing.T) {
+	_, sharded := shardedPair(t)
+	var buf bytes.Buffer
+	if err := sharded.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Shards() != sharded.Shards() {
+		t.Fatalf("shards = %d, want %d", loaded.Shards(), sharded.Shards())
+	}
+	path := filepath.Join(t.TempDir(), "sharded.xtix")
+	if err := sharded.SaveIndexFile(path); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := LoadIndexFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*Corpus{loaded, fromFile} {
+		hits, err := c.Query("austin store", 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sharded.Query("austin store", 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hits) != len(want) || len(hits) == 0 {
+			t.Fatalf("hits = %d, want %d (nonzero)", len(hits), len(want))
+		}
+		for i := range hits {
+			if hits[i].Snippet.Inline() != want[i].Snippet.Inline() {
+				t.Fatalf("hit %d snippet differs after round trip", i)
+			}
+		}
+	}
+}
+
+// TestLoadWithShardsOption: the loader option wires sharding end to end.
+func TestLoadWithShardsOption(t *testing.T) {
+	xml := xmltree.XMLString(gen.Figure5Corpus().Root)
+	c, err := LoadString(xml, WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards() != 3 {
+		t.Fatalf("shards = %d", c.Shards())
+	}
+	hits, err := c.Query("austin store", 10)
+	if err != nil || len(hits) == 0 {
+		t.Fatalf("query: %v (%d hits)", err, len(hits))
+	}
+	if _, err := LoadString(xml, WithShards(-1)); err == nil {
+		t.Error("negative shard count accepted")
+	}
+}
+
+func join(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ","
+		}
+		out += s
+	}
+	return out
+}

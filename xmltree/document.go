@@ -24,6 +24,22 @@ func NewDocument(root *Node) *Document {
 		return d
 	}
 	root.Parent = nil
+	// Pass 1: size the node sequence and a shared Dewey arena. One exact
+	// allocation then serves every identifier — finalization runs per
+	// result materialization on the search hot path, and per-node Dewey
+	// allocations dominated its profile.
+	count, deweyInts := 0, 0
+	var measure func(n *Node, depth int)
+	measure = func(n *Node, depth int) {
+		count++
+		deweyInts += depth
+		for _, c := range n.Children {
+			measure(c, depth+1)
+		}
+	}
+	measure(root, 0)
+	d.nodes = make([]*Node, 0, count)
+	arena := make([]int, 0, deweyInts)
 	var assign func(n *Node, dw Dewey)
 	assign = func(n *Node, dw Dewey) {
 		n.Dewey = dw
@@ -32,11 +48,32 @@ func NewDocument(root *Node) *Document {
 		d.nodes = append(d.nodes, n)
 		for i, c := range n.Children {
 			c.Parent = n
-			assign(c, dw.Child(i))
+			// The arena never reallocates (capacity is exact), so the
+			// full-capacity slice stays valid and writes cannot bleed
+			// into a sibling's identifier.
+			start := len(arena)
+			arena = append(arena, dw...)
+			arena = append(arena, i)
+			assign(c, Dewey(arena[start:len(arena):len(arena)]))
 		}
 		n.End = int32(len(d.nodes) - 1)
 	}
 	assign(root, Dewey{})
+	return d
+}
+
+// AdoptFinalized builds a Document around a node sequence whose
+// finalization fields (Parent, Children, Dewey, Ord, Start, End) the caller
+// has already assigned consistently, with nodes in preorder and nodes[0] the
+// root. It performs no validation and exists for loaders — the packed
+// persist format stores the preorder layout directly, so reconstructing it
+// assigns identifiers in the same pass and a second NewDocument walk would
+// only repeat that work.
+func AdoptFinalized(nodes []*Node) *Document {
+	d := &Document{nodes: nodes}
+	if len(nodes) > 0 {
+		d.Root = nodes[0]
+	}
 	return d
 }
 

@@ -10,9 +10,14 @@
 //	benchrunner -exp e6                    # a single experiment
 //	benchrunner -search BENCH_search.json  # update the hot-path perf points
 //	benchrunner -persist BENCH_search.json # update the persist-load perf points
+//	benchrunner -serve BENCH_search.json   # update the serving-layer QPS points
+//	                                       # (zipf workload, cold vs warm cache)
 //	benchrunner -search new.json -persist new.json -baseline BENCH_search.json
 //	                                       # CI gate: exit 1 if QueryEndToEnd or
 //	                                       # packed load regressed >20% vs baseline
+//	benchrunner -serve new.json -baseline BENCH_search.json
+//	                                       # CI gate: exit 1 if the warm/cold QPS
+//	                                       # ratio fell below the gated floor
 package main
 
 import (
@@ -29,13 +34,14 @@ func main() {
 		quick      = flag.Bool("quick", false, "trim sweep sizes for a fast run")
 		search     = flag.String("search", "", "update the search→snippet hot-path perf points in this JSON file")
 		persist    = flag.String("persist", "", "update the persist-load perf points in this JSON file")
+		serve      = flag.String("serve", "", "update the serving-layer concurrent-QPS perf points in this JSON file")
 		baseline   = flag.String("baseline", "", "compare the updated JSON against this baseline report and fail on regression")
 		maxRegress = flag.Float64("maxregress", 1.20, "regression tolerance for -baseline (1.20 = 20% slower fails)")
 	)
 	flag.Parse()
 
 	sizes := bench.Sizes{Quick: *quick}
-	perfMode := *search != "" || *persist != ""
+	perfMode := *search != "" || *persist != "" || *serve != ""
 	if *search != "" {
 		report, err := bench.WriteSearchPerf(*search, sizes.SearchPerfSizes())
 		if err != nil {
@@ -52,13 +58,24 @@ func main() {
 		}
 		fmt.Print(bench.RenderPersist(points))
 	}
+	if *serve != "" {
+		points, err := bench.UpdateServePerf(*serve, sizes.SearchPerfSizes())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.RenderServe(points))
+	}
 	if *baseline != "" {
 		current := *search
 		if current == "" {
 			current = *persist
 		}
 		if current == "" {
-			fmt.Fprintln(os.Stderr, "benchrunner: -baseline requires -search and/or -persist")
+			current = *serve
+		}
+		if current == "" {
+			fmt.Fprintln(os.Stderr, "benchrunner: -baseline requires -search, -persist and/or -serve")
 			os.Exit(2)
 		}
 		base, err := bench.ReadReport(*baseline)

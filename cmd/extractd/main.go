@@ -11,9 +11,23 @@
 //	extractd -shards 8 -data name=big.xml     # serve sharded corpora:
 //	                                          # per-shard packed indexes,
 //	                                          # parallel query fan-out
+//	extractd -shards 8 -workers 4 -cachemb 128 -data name=big.xml
+//	                                          # serving-layer tuning: a
+//	                                          # 4-worker evaluation pool and
+//	                                          # a 128 MiB query cache
+//
+// Sharded datasets are served through the query-serving layer
+// (internal/serve): per-shard evaluation runs on a fixed worker pool
+// (-workers, default GOMAXPROCS) and repeated queries are answered from a
+// sharded LRU cache (-cachemb, default 64 MiB; 0 disables). GET /stats
+// returns the per-dataset cache counters as JSON:
+//
+//	curl localhost:8080/stats
+//	{"movies":{"shards":8,"cache":{"hits":42,"misses":7,...}}}
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"html/template"
@@ -42,8 +56,10 @@ type server struct {
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		shards = flag.Int("shards", 1, "partition each dataset into up to N index shards")
+		addr    = flag.String("addr", ":8080", "listen address")
+		shards  = flag.Int("shards", 1, "partition each dataset into up to N index shards")
+		workers = flag.Int("workers", 0, "serving-layer worker pool size for sharded datasets (0 = GOMAXPROCS)")
+		cacheMB = flag.Int64("cachemb", -1, "query-cache budget per sharded dataset in MiB (0 disables, -1 = default)")
 	)
 	var dataFlags multiFlag
 	flag.Var(&dataFlags, "data", "dataset as name=file.xml (repeatable)")
@@ -51,9 +67,15 @@ func main() {
 
 	s := &server{datasets: make(map[string]*dataset)}
 
+	cacheBytes := *cacheMB
+	if cacheBytes > 0 {
+		cacheBytes <<= 20
+	}
 	build := func(doc *xmltree.Document) *extract.Corpus {
 		if *shards > 1 {
-			return extract.FromDocumentSharded(doc, nil, *shards)
+			c := extract.FromDocumentSharded(doc, nil, *shards)
+			c.ConfigureServing(*workers, cacheBytes)
+			return c
 		}
 		return extract.FromDocument(doc, nil)
 	}
@@ -67,7 +89,11 @@ func main() {
 		if !ok {
 			log.Fatalf("extractd: bad -data %q, want name=file.xml", df)
 		}
-		c, err := extract.LoadFile(path, extract.WithShards(*shards))
+		lopts := []extract.Option{extract.WithShards(*shards), extract.WithWorkers(*workers)}
+		if cacheBytes >= 0 {
+			lopts = append(lopts, extract.WithQueryCache(cacheBytes))
+		}
+		c, err := extract.LoadFile(path, lopts...)
 		if err != nil {
 			log.Fatalf("extractd: load %s: %v", path, err)
 		}
@@ -81,6 +107,7 @@ func main() {
 	s.tmpl = template.Must(template.New("page").Parse(pageHTML))
 	http.HandleFunc("/", s.handleSearch)
 	http.HandleFunc("/view", s.handleView)
+	http.HandleFunc("/stats", s.handleStats)
 
 	log.Printf("extractd: demo on http://localhost%s/ with datasets: %s",
 		*addr, strings.Join(s.names, "; "))
@@ -179,6 +206,29 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.tmpl.Execute(w, data); err != nil {
 		log.Printf("extractd: render: %v", err)
+	}
+}
+
+// datasetStats is one dataset's row of the /stats endpoint.
+type datasetStats struct {
+	Shards int                 `json:"shards"`
+	Cache  *extract.CacheStats `json:"cache,omitempty"` // nil when unsharded (no serving layer)
+}
+
+// handleStats reports per-dataset serving-layer counters as JSON — the
+// operational view of the query cache (hit rate, occupancy, evictions).
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	out := make(map[string]datasetStats, len(s.datasets))
+	for name, ds := range s.datasets {
+		row := datasetStats{Shards: ds.Corpus.Shards()}
+		if st, ok := ds.Corpus.QueryCacheStats(); ok {
+			row.Cache = &st
+		}
+		out[name] = row
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		log.Printf("extractd: stats: %v", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"html/template"
 	"net/http"
 	"net/http/httptest"
@@ -94,5 +95,43 @@ func TestSuggestionsInForm(t *testing.T) {
 	s.handleSearch(rr, httptest.NewRequest("GET", "/?dataset=stores+%28Figure+5%29&q=jea", nil))
 	if !strings.Contains(rr.Body.String(), `value="jeans"`) {
 		t.Error("datalist suggestion for 'jea' missing")
+	}
+}
+
+func TestHandleStats(t *testing.T) {
+	s := testServer(t)
+	sharded := extract.FromDocumentSharded(gen.Movies(gen.MoviesConfig{Movies: 10, Seed: 7}), nil, 3)
+	s.add("movies-sharded", sharded)
+	if _, err := sharded.Query("movie", 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sharded.Query("movie", 6); err != nil { // second hit must be served from cache
+		t.Fatal(err)
+	}
+
+	rr := httptest.NewRecorder()
+	s.handleStats(rr, httptest.NewRequest("GET", "/stats", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	var out map[string]struct {
+		Shards int `json:"shards"`
+		Cache  *struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatalf("stats not JSON: %v\n%s", err, rr.Body.String())
+	}
+	if row, ok := out["stores (Figure 5)"]; !ok || row.Cache != nil {
+		t.Errorf("unsharded dataset should report no cache: %+v ok=%v", row, ok)
+	}
+	row, ok := out["movies-sharded"]
+	if !ok || row.Shards != 3 || row.Cache == nil {
+		t.Fatalf("sharded dataset stats wrong: %+v ok=%v", row, ok)
+	}
+	if row.Cache.Hits < 1 || row.Cache.Misses < 1 {
+		t.Errorf("cache counters not moving: %+v", *row.Cache)
 	}
 }

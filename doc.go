@@ -59,6 +59,40 @@
 // whole-document corpus, so sharded results and snippets are always
 // byte-identical to unsharded ones (pinned by equivalence property tests).
 //
+// # Query-serving layer
+//
+// Sharded queries run through internal/serve, the layer that makes the
+// online snippet-generation path hold up under sustained, repetitive
+// traffic:
+//
+//   - A fixed-size worker pool (WithWorkers, default GOMAXPROCS) executes
+//     all per-shard evaluation and snippet generation, bounding corpus-wide
+//     concurrency no matter how many queries are in flight — the
+//     goroutine-per-shard-per-query fan-out is gone. When every worker is
+//     busy, submitters run their own tasks inline, so the pool can never
+//     deadlock.
+//   - Per-shard search engines are built once per option combination and
+//     reused across queries.
+//   - A sharded, size-bounded LRU query cache (WithQueryCache, 0 disables)
+//     replays repeated queries — Corpus.Search result lists, and
+//     Corpus.Query result+snippet pairs per bound — without recomputation.
+//     Keys are tuples of interned keyword ids (index.Interner), carried in
+//     a canonical sorted-tuple encoding whose order-free prefix picks the
+//     cache shard; ranking is layered above the cache on a private copy, so
+//     ranked and unranked queries share an entry. A singleflight guard
+//     coalesces concurrent identical queries onto one computation.
+//     Invalidation is explicit: swapping or mutating the corpus behind the
+//     serving layer clears the cache atomically (serve.Server.Swap), and
+//     in-flight results computed against a swapped-out corpus are returned
+//     to their callers but never cached.
+//
+// Cached responses are byte-identical to uncached evaluation (pinned by
+// property tests); `benchrunner -serve` measures the payoff as concurrent
+// QPS over a Zipf-distributed workload, cold versus warm (the "serve"
+// section of BENCH_search.json — warm throughput is well over 5x cold at
+// every recorded size). Corpus.QueryCacheStats exposes the hit/miss/
+// occupancy counters; extractd serves them at /stats.
+//
 // # Persisted indexes
 //
 // Corpus.SaveIndex / LoadIndex persist an analyzed corpus in a versioned
@@ -80,9 +114,13 @@
 // `go run ./cmd/benchrunner -search BENCH_search.json` regenerates the
 // hot-path before/after trajectory (the retained *Baseline implementations
 // are the "before" side); `-persist` does the same for the persist-load
-// trajectory, and `-baseline` compares a fresh run against the committed
-// file, failing on >20% regression of QueryEndToEnd or of the packed
-// load's advantage (machine-normalized ratios; see bench.CompareReports).
-// CI runs vet/build/test, the race detector, fuzz smokes for the persist
-// decoder and XML parser, and the bench-regression gate on every PR.
+// trajectory, `-serve` for the serving-layer cold/warm QPS trajectory, and
+// `-baseline` compares a fresh run against the committed file, failing on
+// >20% regression of QueryEndToEnd, of the packed load's advantage, or of
+// the warm/cold throughput ratio (machine-normalized ratios; see
+// bench.CompareReports). CI runs lint (vet + staticcheck) before
+// build/test, the race detector, fuzz smokes for the persist decoder, XML
+// parser and query-cache key codec, the bench-regression gate and the
+// serve-throughput gate on every PR, with Go module and build caches
+// shared across jobs.
 package extract

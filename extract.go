@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 
@@ -14,6 +15,7 @@ import (
 	"extract/internal/persist"
 	"extract/internal/rank"
 	"extract/internal/search"
+	"extract/internal/serve"
 	"extract/internal/shard"
 	"extract/xmltree"
 	"extract/xpath"
@@ -23,10 +25,94 @@ import (
 // (entity / attribute / connection), mined entity keys and keyword index.
 // A corpus loaded with WithShards partitions the document into shards with
 // independent packed indexes; queries fan out across them and merge (see
-// internal/shard), while the API is identical.
+// internal/shard), while the API is identical. Sharded queries run through
+// a serving layer (internal/serve): a fixed worker pool bounds per-shard
+// evaluation concurrency, per-shard engines are reused across queries, and
+// repeated queries are answered from a size-bounded LRU cache keyed on
+// interned keyword ids — tune it with WithWorkers and WithQueryCache.
 type Corpus struct {
 	c  *core.Corpus  // unsharded corpus; nil when sharded
 	sh *shard.Corpus // sharded corpus; nil when unsharded
+
+	// Serving-layer configuration, fixed before the first query.
+	srvWorkers int
+	srvCache   int64 // cache budget in bytes; -1 = serve.DefaultCacheBytes
+
+	srvOnce sync.Once
+	srv     *serve.Server
+}
+
+// server returns the lazily started serving layer of a sharded corpus.
+func (c *Corpus) server() *serve.Server {
+	c.srvOnce.Do(func() {
+		var opts []serve.Option
+		if c.srvWorkers > 0 {
+			opts = append(opts, serve.WithWorkers(c.srvWorkers))
+		}
+		if c.srvCache >= 0 {
+			opts = append(opts, serve.WithCacheBytes(c.srvCache))
+		}
+		c.srv = serve.New(c.sh, opts...)
+	})
+	return c.srv
+}
+
+// newSharded wraps a sharded corpus with default serving configuration.
+func newSharded(sh *shard.Corpus) *Corpus {
+	return &Corpus{sh: sh, srvCache: -1}
+}
+
+// ConfigureServing sets the serving-layer parameters — worker-pool size
+// (0 = GOMAXPROCS) and query-cache budget in bytes (0 disables caching,
+// negative restores the default budget) — for corpora built with the
+// FromDocument* constructors, which take no load options. It must be
+// called before the first query and is a no-op on unsharded corpora.
+func (c *Corpus) ConfigureServing(workers int, cacheBytes int64) {
+	c.srvWorkers = workers
+	c.srvCache = cacheBytes
+}
+
+// Close releases the serving layer's worker pool. Only long-lived servers
+// need it; a dropped Corpus cleans up on garbage collection, and queries
+// after Close still work (evaluation runs on the calling goroutine).
+func (c *Corpus) Close() {
+	if c.sh != nil {
+		// Going through server() makes Close safe against a concurrent
+		// first query: the sync.Once orders the pool's creation before
+		// its stop (worst case it builds a pool only to stop it).
+		c.server().Close()
+	}
+}
+
+// CacheStats is a point-in-time snapshot of the query cache: hit/miss
+// counters, queries coalesced onto an in-flight identical computation, and
+// current occupancy against the configured budget.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+	Entries   int64 `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Capacity  int64 `json:"capacity"`
+}
+
+// QueryCacheStats reports the query-cache counters of a sharded corpus's
+// serving layer; ok is false for unsharded corpora, which have no cache.
+func (c *Corpus) QueryCacheStats() (stats CacheStats, ok bool) {
+	if c.sh == nil {
+		return CacheStats{}, false
+	}
+	st := c.server().Stats()
+	return CacheStats{
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Coalesced: st.Coalesced,
+		Evictions: st.Evictions,
+		Entries:   st.Entries,
+		Bytes:     st.Bytes,
+		Capacity:  st.Capacity,
+	}, true
 }
 
 // analysis returns the corpus carrying the classification and keys that
@@ -46,6 +132,8 @@ type loadConfig struct {
 	dtd      *dtd.DTD
 	maxNodes int
 	shards   int
+	workers  int
+	cache    int64 // -1 = default
 }
 
 // WithDTD supplies DTD text governing entity classification; without it the
@@ -100,9 +188,40 @@ func WithShards(n int) Option {
 	}
 }
 
+// WithWorkers sets the serving layer's worker-pool size for a sharded
+// corpus (default GOMAXPROCS): the fixed number of goroutines that all
+// per-shard query evaluation runs on, no matter how many queries are in
+// flight. No effect on unsharded corpora.
+func WithWorkers(n int) Option {
+	return func(c *loadConfig) error {
+		if n < 0 {
+			return fmt.Errorf("extract: negative worker count %d", n)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// WithQueryCache sets the query-cache budget in bytes for a sharded
+// corpus. Repeated queries (same keywords, options and snippet bound) are
+// answered from a sharded LRU cache keyed on interned keyword ids instead
+// of being recomputed; 0 disables caching. The default is a modest budget
+// (see internal/serve.DefaultCacheBytes). No effect on unsharded corpora.
+func WithQueryCache(bytes int64) Option {
+	return func(c *loadConfig) error {
+		if bytes < 0 {
+			return fmt.Errorf("extract: negative query-cache budget %d", bytes)
+		}
+		c.cache = bytes
+		return nil
+	}
+}
+
+func newLoadConfig() loadConfig { return loadConfig{cache: -1} }
+
 // Load parses and analyzes an XML database from r.
 func Load(r io.Reader, opts ...Option) (*Corpus, error) {
-	var cfg loadConfig
+	cfg := newLoadConfig()
 	for _, o := range opts {
 		if err := o(&cfg); err != nil {
 			return nil, err
@@ -126,7 +245,9 @@ func Load(r io.Reader, opts ...Option) (*Corpus, error) {
 		cfg.dtd = d
 	}
 	if cfg.shards > 1 {
-		return FromDocumentSharded(doc, cfg.dtd, cfg.shards), nil
+		c := FromDocumentSharded(doc, cfg.dtd, cfg.shards)
+		c.ConfigureServing(cfg.workers, cfg.cache)
+		return c, nil
 	}
 	return FromDocument(doc, cfg.dtd), nil
 }
@@ -153,7 +274,7 @@ func LoadFiles(paths []string, opts ...Option) (*Corpus, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("extract: no files")
 	}
-	var cfg loadConfig
+	cfg := newLoadConfig()
 	for _, o := range opts {
 		if err := o(&cfg); err != nil {
 			return nil, err
@@ -172,7 +293,9 @@ func LoadFiles(paths []string, opts ...Option) (*Corpus, error) {
 		xmltree.Append(root, doc.Root)
 	}
 	if cfg.shards > 1 {
-		return FromDocumentSharded(xmltree.NewDocument(root), cfg.dtd, cfg.shards), nil
+		c := FromDocumentSharded(xmltree.NewDocument(root), cfg.dtd, cfg.shards)
+		c.ConfigureServing(cfg.workers, cfg.cache)
+		return c, nil
 	}
 	return FromDocument(xmltree.NewDocument(root), cfg.dtd), nil
 }
@@ -207,7 +330,7 @@ func FromDocumentSharded(doc *xmltree.Document, d *dtd.DTD, n int) *Corpus {
 	if d != nil {
 		sopts = append(sopts, shard.WithDTD(d))
 	}
-	return &Corpus{sh: shard.Build(doc, n, sopts...)}
+	return newSharded(shard.Build(doc, n, sopts...))
 }
 
 // Internal exposes the underlying analyzed corpus for the experiment
@@ -351,7 +474,10 @@ func (c *Corpus) Search(query string, opts ...SearchOption) ([]*Result, error) {
 		err error
 	)
 	if c.sh != nil {
-		rs, err = c.sh.Search(query, cfg.opts)
+		// The serving layer answers repeated queries from its cache; the
+		// returned slice is fresh (safe for the in-place ranking sort
+		// below), the results it holds are shared and read-only.
+		rs, err = c.server().Search(query, cfg.opts)
 	} else {
 		rs, err = c.c.Engine(cfg.opts).Search(query)
 	}
@@ -360,18 +486,7 @@ func (c *Corpus) Search(query string, opts ...SearchOption) ([]*Result, error) {
 	}
 	var scores []float64
 	if cfg.ranked {
-		var scorer *rank.Scorer
-		if c.sh != nil {
-			scorer = rank.NewScorerFunc(c.sh.Count, c.sh.TotalElements())
-		} else {
-			scorer = rank.NewScorer(c.c.Index)
-		}
-		terms := search.ParseQuery(query)
-		keys := make([]string, len(terms))
-		for i, t := range terms {
-			keys[i] = t.String()
-		}
-		scores = scorer.Sort(rs, keys)
+		scores = c.scorer().Sort(rs, queryTermKeys(query))
 	}
 	out := make([]*Result, len(rs))
 	for i, r := range rs {
@@ -381,6 +496,25 @@ func (c *Corpus) Search(query string, opts ...SearchOption) ([]*Result, error) {
 		}
 	}
 	return out, nil
+}
+
+// scorer builds the relevance scorer over the corpus's global document
+// frequencies.
+func (c *Corpus) scorer() *rank.Scorer {
+	if c.sh != nil {
+		return rank.NewScorerFunc(c.sh.Count, c.sh.TotalElements())
+	}
+	return rank.NewScorer(c.c.Index)
+}
+
+// queryTermKeys returns the canonical term strings ranking scores against.
+func queryTermKeys(query string) []string {
+	terms := search.ParseQuery(query)
+	keys := make([]string, len(terms))
+	for i, t := range terms {
+		keys[i] = t.String()
+	}
+	return keys
 }
 
 // SnippetOption configures snippet generation.
@@ -493,6 +627,9 @@ func (c *Corpus) Query(query string, bound int, opts ...SearchOption) ([]*Hit, e
 	if bound < 0 {
 		return nil, fmt.Errorf("extract: negative snippet bound %d", bound)
 	}
+	if c.sh != nil {
+		return c.queryServed(query, bound, opts...)
+	}
 	results, err := c.Search(query, opts...)
 	if err != nil {
 		return nil, err
@@ -528,6 +665,41 @@ func (c *Corpus) Query(query string, bound int, opts ...SearchOption) ([]*Hit, e
 	}
 	for i, r := range results {
 		hits[i] = &Hit{Result: r, Snippet: snippet(r)}
+	}
+	return hits, nil
+}
+
+// queryServed is Query on a sharded corpus: the serving layer computes —
+// or replays from its cache — the result list and the snippets in one
+// entry, with per-shard evaluation and snippet generation both scheduled
+// on its worker pool. Cached entries hold hits in document order; ranking
+// reorders a private copy, so a ranked and an unranked query share one
+// cache entry.
+func (c *Corpus) queryServed(query string, bound int, opts ...SearchOption) ([]*Hit, error) {
+	cfg := searchConfig{opts: search.Options{DistinctAnchors: true}}
+	for _, f := range opts {
+		f(&cfg)
+	}
+	rs, gens, err := c.server().Query(query, cfg.opts, bound)
+	if err != nil {
+		return nil, err
+	}
+	hits := make([]*Hit, len(rs))
+	for i, r := range rs {
+		hits[i] = &Hit{
+			Result:  &Result{r: r},
+			Snippet: &Snippet{g: gens[i]},
+		}
+	}
+	if cfg.ranked {
+		scorer := c.scorer()
+		keys := queryTermKeys(query)
+		for _, h := range hits {
+			h.Result.score = scorer.Score(h.Result.r, keys)
+		}
+		sort.SliceStable(hits, func(i, j int) bool {
+			return hits[i].Result.score > hits[j].Result.score
+		})
 	}
 	return hits, nil
 }
@@ -586,7 +758,7 @@ func LoadIndex(r io.Reader) (*Corpus, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Corpus{sh: sc}, nil
+		return newSharded(sc), nil
 	}
 	cc, err := persist.LoadBytes(data)
 	if err != nil {
@@ -609,7 +781,7 @@ func LoadIndexFile(path string) (*Corpus, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Corpus{sh: sc}, nil
+		return newSharded(sc), nil
 	}
 	cc, err := persist.LoadFile(path)
 	if err != nil {

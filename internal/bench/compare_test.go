@@ -63,3 +63,35 @@ func TestCompareReportsIgnoresUnknownSizes(t *testing.T) {
 		t.Fatalf("msgs = %v", msgs)
 	}
 }
+
+func serveReport(warmSpeedup float64) *SearchPerfReport {
+	return &SearchPerfReport{
+		Serve: []ServePerfPoint{{Nodes: 100_000, WarmSpeedup: warmSpeedup}},
+	}
+}
+
+func TestCompareReportsServeGate(t *testing.T) {
+	base := serveReport(400) // quiet-hardware warm/cold ratio
+	// A healthy CI run: far below the committed ratio but above the
+	// capped floor (6x / 1.2 = 5x).
+	if msgs := CompareReports(base, serveReport(8), 1.2); len(msgs) != 0 {
+		t.Fatalf("noise dip flagged: %v", msgs)
+	}
+	if msgs := CompareReports(base, serveReport(5.01), 1.2); len(msgs) != 0 {
+		t.Fatalf("floor grazed but passed ratio flagged: %v", msgs)
+	}
+	// The cache stopped paying: below the floor fails.
+	msgs := CompareReports(base, serveReport(3), 1.2)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "serve warm QPS") {
+		t.Fatalf("msgs = %v", msgs)
+	}
+	// Small committed ratios are noise, not gated.
+	if msgs := CompareReports(serveReport(3), serveReport(1), 1.2); len(msgs) != 0 {
+		t.Fatalf("sub-threshold serve ratio flagged: %v", msgs)
+	}
+	// Sizes absent from the baseline are ignored.
+	cur := &SearchPerfReport{Serve: []ServePerfPoint{{Nodes: 999, WarmSpeedup: 0.5}}}
+	if msgs := CompareReports(base, cur, 1.2); len(msgs) != 0 {
+		t.Fatalf("unknown size flagged: %v", msgs)
+	}
+}

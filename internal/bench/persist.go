@@ -185,17 +185,19 @@ func RenderPersist(points []PersistPerfPoint) string {
 }
 
 // CompareReports checks current against baseline and returns one message
-// per regression — a QueryEndToEnd or persist packed-load result at a
-// matching corpus size more than tol times worse than the committed
-// baseline (tol 1.2 = 20% worse fails). Sizes absent from the baseline are
-// ignored.
+// per regression — a QueryEndToEnd, persist packed-load or serving-layer
+// throughput result at a matching corpus size more than tol times worse
+// than the committed baseline (tol 1.2 = 20% worse fails). Sizes absent
+// from the baseline are ignored.
 //
 // Raw nanoseconds are not comparable across machines (the committed
-// baseline and a CI runner differ in clock speed and load), so both gates
-// compare machine-normalized ratios: QueryEndToEnd is taken relative to the
-// same run's SLCABaseline time (frozen pre-rewrite code, a stable yardstick
-// for the machine it ran on), and the persist gate uses the packed load's
-// speedup over the legacy rebuild load measured in the same run.
+// baseline and a CI runner differ in clock speed and load), so every gate
+// compares machine-normalized ratios: QueryEndToEnd is taken relative to
+// the same run's SLCABaseline time (frozen pre-rewrite code, a stable
+// yardstick for the machine it ran on), the persist gate uses the packed
+// load's speedup over the legacy rebuild load measured in the same run,
+// and the serve gate uses the warm (cached) over cold (uncached) QPS ratio
+// of one back-to-back run.
 func CompareReports(baseline, current *SearchPerfReport, tol float64) []string {
 	var msgs []string
 
@@ -252,6 +254,36 @@ func CompareReports(baseline, current *SearchPerfReport, tol float64) []string {
 			msgs = append(msgs, fmt.Sprintf(
 				"persist packed load at %d nodes regressed: %.1fx -> %.1fx over the rebuild path (limit %.1fx)",
 				p.Nodes, base, p.LoadSpeedup, demanded/tol))
+		}
+	}
+
+	baseServe := map[int]float64{}
+	for _, p := range baseline.Serve {
+		baseServe[p.Nodes] = p.WarmSpeedup
+	}
+	for _, p := range current.Serve {
+		base, ok := baseServe[p.Nodes]
+		if !ok || base <= 0 || p.WarmSpeedup <= 0 {
+			continue
+		}
+		// Same scheme as the persist gate: small-corpus points where cold
+		// evaluation is already sub-millisecond measure fixed costs, not
+		// the cache; and the committed warm/cold ratio from quiet hardware
+		// overstates what a contended CI runner can reproduce, so the
+		// demanded baseline is capped (floor 5x at default tolerance — the
+		// serving layer's headline guarantee) while still failing loudly
+		// if cached queries stop being an order cheaper than evaluation.
+		if base < 4 {
+			continue
+		}
+		demanded := base
+		if demanded > 6 {
+			demanded = 6
+		}
+		if p.WarmSpeedup < demanded/tol {
+			msgs = append(msgs, fmt.Sprintf(
+				"serve warm QPS at %d nodes regressed: %.1fx -> %.1fx over cold evaluation (limit %.1fx)",
+				p.Nodes, base, p.WarmSpeedup, demanded/tol))
 		}
 	}
 	return msgs

@@ -57,6 +57,11 @@ type SearchPerfReport struct {
 	// Persist is the persist-load trajectory (benchrunner -persist); kept
 	// in the same file so the CI bench gate reads one committed baseline.
 	Persist []PersistPerfPoint `json:"persist,omitempty"`
+
+	// Serve is the serving-layer throughput trajectory (benchrunner
+	// -serve): concurrent QPS against sharded corpora, cold vs warm query
+	// cache.
+	Serve []ServePerfPoint `json:"serve,omitempty"`
 }
 
 // timeIt returns fn's duration in nanoseconds: the minimum of three batch
@@ -198,11 +203,12 @@ func searchPerfQueries(doc *xmltree.Document, ix *index.Index) [][]string {
 }
 
 // WriteSearchPerf runs the suite and writes BENCH_search.json-style output,
-// preserving any persist points already recorded in the file.
+// preserving any persist and serve points already recorded in the file.
 func WriteSearchPerf(path string, sizes []int) (*SearchPerfReport, error) {
 	r := SearchPerf(sizes)
 	if prev, err := ReadReport(path); err == nil {
 		r.Persist = prev.Persist
+		r.Serve = prev.Serve
 	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {

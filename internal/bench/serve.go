@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"extract/internal/search"
+	"extract/internal/serve"
+	"extract/internal/shard"
+	"extract/internal/workload"
+)
+
+// ServePerfPoint is one row of the serving-layer throughput trajectory: a
+// Zipf-distributed workload of repeated keyword queries replayed against
+// the serving layer by concurrent clients, once with the query cache
+// disabled (cold — every query pays full evaluation) and once warm. The
+// warm/cold QPS ratio is the cache's benefit on repeated-query traffic,
+// and — both phases running back to back on the same machine — it is the
+// machine-normalized quantity the CI gate compares, exactly like the
+// persist gate's load-speedup ratio.
+type ServePerfPoint struct {
+	Nodes           int `json:"nodes"`
+	Shards          int `json:"shards"`
+	Workers         int `json:"workers"`
+	Clients         int `json:"clients"`
+	DistinctQueries int `json:"distinct_queries"`
+	Ops             int `json:"ops"`
+
+	ColdQPS     float64 `json:"cold_qps"`
+	WarmQPS     float64 `json:"warm_qps"`
+	WarmSpeedup float64 `json:"warm_speedup"`
+	HitRate     float64 `json:"warm_hit_rate"`
+}
+
+// servePerfShards is the shard count of the serve trajectory corpus.
+const servePerfShards = 4
+
+// ServePerf measures concurrent query throughput over sharded corpora at
+// the given sizes (default 1k/10k/100k nodes).
+func ServePerf(sizes []int) ([]ServePerfPoint, error) {
+	if len(sizes) == 0 {
+		sizes = []int{1_000, 10_000, 100_000}
+	}
+	var points []ServePerfPoint
+	for _, size := range sizes {
+		p, err := servePerfPoint(size)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+func servePerfPoint(size int) (ServePerfPoint, error) {
+	doc := storesCorpusOfSize(size, 3)
+	nodes := doc.Len()
+	qdoc := storesCorpusOfSize(size, 3) // shard.Build consumes its document
+	qs := workload.Generate(qdoc, workload.Config{Queries: 40, Keywords: 2, Seed: 17})
+	if len(qs) == 0 {
+		return ServePerfPoint{}, fmt.Errorf("bench: no serve workload at %d nodes", size)
+	}
+	sc := shard.Build(doc, servePerfShards)
+	workers := runtime.GOMAXPROCS(0)
+	clients := workers
+	if clients > 8 {
+		clients = 8
+	}
+
+	// One fixed Zipf-skewed op sequence, replayed identically by both
+	// phases: ~80% of draws hit the head few queries, the tail keeps the
+	// cache's working set honest.
+	ops := 24 * len(qs)
+	stream := workload.NewStream(qs, 1.3, 7).Take(ops)
+	opts := search.Options{DistinctAnchors: true, MaxResults: 25}
+
+	run := func(srv *serve.Server) (qps float64, err error) {
+		var next atomic.Int64
+		var firstErr atomic.Pointer[error]
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(stream) {
+						return
+					}
+					if _, _, qerr := srv.Query(stream[i].Text(), opts, 10); qerr != nil {
+						firstErr.CompareAndSwap(nil, &qerr)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if e := firstErr.Load(); e != nil {
+			return 0, *e
+		}
+		return float64(len(stream)) / elapsed.Seconds(), nil
+	}
+
+	// Cold: cache disabled, so every op pays per-shard evaluation and
+	// snippet generation (singleflight still coalesces true ties, as it
+	// would in production).
+	coldSrv := serve.New(sc, serve.WithWorkers(workers), serve.WithCacheBytes(0))
+	cold, err := run(coldSrv)
+	coldSrv.Close()
+	if err != nil {
+		return ServePerfPoint{}, err
+	}
+
+	// Warm: cache on, working set pre-touched once, then the same ops.
+	warmSrv := serve.New(sc, serve.WithWorkers(workers))
+	defer warmSrv.Close()
+	for _, q := range qs {
+		if _, _, err := warmSrv.Query(q.Text(), opts, 10); err != nil {
+			return ServePerfPoint{}, err
+		}
+	}
+	pre := warmSrv.Stats()
+	warm, err := run(warmSrv)
+	if err != nil {
+		return ServePerfPoint{}, err
+	}
+	post := warmSrv.Stats()
+
+	p := ServePerfPoint{
+		Nodes:           nodes,
+		Shards:          sc.NumShards(),
+		Workers:         workers,
+		Clients:         clients,
+		DistinctQueries: len(qs),
+		Ops:             ops,
+		ColdQPS:         cold,
+		WarmQPS:         warm,
+		HitRate:         float64(post.Hits-pre.Hits) / float64(ops),
+	}
+	if cold > 0 {
+		p.WarmSpeedup = warm / cold
+	}
+	return p, nil
+}
+
+// UpdateServePerf runs the serve suite and merges the points into the
+// report JSON at path, preserving the other recorded trajectories.
+func UpdateServePerf(path string, sizes []int) ([]ServePerfPoint, error) {
+	points, err := ServePerf(sizes)
+	if err != nil {
+		return nil, err
+	}
+	report, err := ReadReport(path)
+	if err != nil {
+		return nil, err
+	}
+	report.Serve = points
+	return points, WriteReport(path, report)
+}
+
+// RenderServe prints a human summary of the serve points.
+func RenderServe(points []ServePerfPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## serving layer: concurrent QPS, cold vs warm cache\n\n")
+	fmt.Fprintf(&b, "| nodes | shards | clients | distinct | ops | cold qps | warm qps | x | hit rate |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|---|\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "| %d | %d | %d | %d | %d | %.0f | %.0f | %.1f | %.2f |\n",
+			p.Nodes, p.Shards, p.Clients, p.DistinctQueries, p.Ops,
+			p.ColdQPS, p.WarmQPS, p.WarmSpeedup, p.HitRate)
+	}
+	return b.String()
+}

@@ -203,12 +203,12 @@ func (ix *Index) Vocabulary() []string {
 	return ix.vocab
 }
 
-// CompletePrefix returns up to k indexed keywords starting with prefix
-// (lowercased), most frequent first — query autocompletion for the demo UI.
-func (ix *Index) CompletePrefix(prefix string, k int) []string {
-	if k <= 0 {
-		return nil
-	}
+// PrefixKeywords returns every indexed keyword starting with prefix
+// (lowercased), in lexicographic order. The slice aliases the sorted
+// vocabulary and must not be modified. A sharded corpus merges these full
+// per-shard tails before ranking suggestions globally, so a keyword can
+// never be lost to a local top-k cutoff.
+func (ix *Index) PrefixKeywords(prefix string) []string {
 	toks := Tokenize(prefix)
 	if len(toks) != 1 {
 		return nil
@@ -216,10 +216,21 @@ func (ix *Index) CompletePrefix(prefix string, k int) []string {
 	p := toks[0]
 	voc := ix.Vocabulary()
 	lo := sort.SearchStrings(voc, p)
-	var matches []string
-	for i := lo; i < len(voc) && strings.HasPrefix(voc[i], p); i++ {
-		matches = append(matches, voc[i])
+	hi := lo
+	for hi < len(voc) && strings.HasPrefix(voc[hi], p) {
+		hi++
 	}
+	return voc[lo:hi]
+}
+
+// CompletePrefix returns up to k indexed keywords starting with prefix
+// (lowercased), most frequent first — query autocompletion for the demo UI.
+func (ix *Index) CompletePrefix(prefix string, k int) []string {
+	if k <= 0 {
+		return nil
+	}
+	tail := ix.PrefixKeywords(prefix)
+	matches := append([]string(nil), tail...)
 	sort.SliceStable(matches, func(i, j int) bool {
 		return ix.postings[matches[i]].Len() > ix.postings[matches[j]].Len()
 	})

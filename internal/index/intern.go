@@ -1,0 +1,100 @@
+package index
+
+import "sync"
+
+// DefaultInternerCap bounds an Interner built with NewInterner: roughly a
+// quarter-million distinct terms, a few tens of megabytes worst case —
+// far beyond any real corpus vocabulary plus query tail, small enough
+// that an adversarial stream of unique terms cannot grow a server's heap
+// without bound.
+const DefaultInternerCap = 256 << 10
+
+// Interner assigns dense uint32 ids to keyword strings, first come first
+// served. It is the id authority behind the query cache: cache keys are
+// built from interned term ids instead of the term strings themselves, so
+// key construction for a repeated query is a handful of map reads and no
+// string copies. Ids are never reused or reordered; a sharded corpus keeps
+// one Interner spanning every shard's vocabulary (terms are interned
+// lazily as queries arrive, so the union vocabulary is never
+// materialized). Once the cap is reached no new term is admitted — lookups
+// of known terms keep working, and callers treat an unadmitted term as
+// "not cacheable" rather than an error.
+//
+// An Interner is safe for concurrent use.
+type Interner struct {
+	mu  sync.RWMutex
+	ids map[string]uint32
+	cap int
+}
+
+// NewInterner returns an empty interner bounded at DefaultInternerCap
+// distinct terms.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]uint32), cap: DefaultInternerCap}
+}
+
+// NewInternerCap returns an empty interner bounded at cap distinct terms
+// (cap < 1 is forced to 1).
+func NewInternerCap(cap int) *Interner {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Interner{ids: make(map[string]uint32), cap: cap}
+}
+
+// ID returns the id of term, assigning the next free id on first sight;
+// ok is false when the term is unknown and the interner is full.
+func (in *Interner) ID(term string) (id uint32, ok bool) {
+	in.mu.RLock()
+	id, ok = in.ids[term]
+	in.mu.RUnlock()
+	if ok {
+		return id, true
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok = in.ids[term]; ok {
+		return id, true
+	}
+	if len(in.ids) >= in.cap {
+		return 0, false
+	}
+	id = uint32(len(in.ids))
+	in.ids[term] = id
+	return id, true
+}
+
+// IDs interns every term, filling out (len(out) must equal len(terms));
+// ok is false if any term could not be admitted. One lock round trip when
+// all terms are already known.
+func (in *Interner) IDs(terms []string, out []uint32) bool {
+	in.mu.RLock()
+	known := true
+	for i, t := range terms {
+		id, ok := in.ids[t]
+		if !ok {
+			known = false
+			break
+		}
+		out[i] = id
+	}
+	in.mu.RUnlock()
+	if known {
+		return true
+	}
+	for i, t := range terms {
+		id, ok := in.ID(t)
+		if !ok {
+			return false
+		}
+		out[i] = id
+	}
+	return true
+}
+
+// Len returns the number of interned terms.
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.ids)
+}

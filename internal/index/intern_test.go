@@ -1,0 +1,84 @@
+package index
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternerAssignsDenseStableIDs(t *testing.T) {
+	in := NewInterner()
+	a, ok := in.ID("alpha")
+	if !ok || a != 0 {
+		t.Fatalf("first id = %d ok=%v", a, ok)
+	}
+	b, _ := in.ID("beta")
+	if b != 1 {
+		t.Fatalf("second id = %d", b)
+	}
+	if again, _ := in.ID("alpha"); again != a {
+		t.Fatalf("re-intern moved id: %d vs %d", again, a)
+	}
+	out := make([]uint32, 3)
+	if !in.IDs([]string{"beta", "gamma", "alpha"}, out) {
+		t.Fatal("IDs refused under cap")
+	}
+	if out[0] != 1 || out[2] != 0 || out[1] != 2 {
+		t.Fatalf("IDs = %v", out)
+	}
+	if in.Len() != 3 {
+		t.Fatalf("Len = %d", in.Len())
+	}
+}
+
+func TestInternerCapRefusesNewTerms(t *testing.T) {
+	in := NewInternerCap(2)
+	in.ID("a")
+	in.ID("b")
+	if _, ok := in.ID("c"); ok {
+		t.Fatal("full interner admitted a new term")
+	}
+	if id, ok := in.ID("a"); !ok || id != 0 {
+		t.Fatalf("known term lookup broke at cap: %d %v", id, ok)
+	}
+	out := make([]uint32, 2)
+	if in.IDs([]string{"a", "zzz"}, out) {
+		t.Fatal("IDs admitted a term past the cap")
+	}
+	if !in.IDs([]string{"a", "b"}, out) {
+		t.Fatal("IDs refused known terms at cap")
+	}
+}
+
+func TestInternerConcurrent(t *testing.T) {
+	in := NewInterner()
+	const goroutines, terms = 8, 200
+	var wg sync.WaitGroup
+	ids := make([][]uint32, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]uint32, terms)
+			for i := 0; i < terms; i++ {
+				id, ok := in.ID(fmt.Sprintf("term-%d", i))
+				if !ok {
+					t.Errorf("refused under cap")
+					return
+				}
+				ids[g][i] = id
+			}
+		}(g)
+	}
+	wg.Wait()
+	if in.Len() != terms {
+		t.Fatalf("Len = %d, want %d", in.Len(), terms)
+	}
+	for g := 1; g < goroutines; g++ {
+		for i := range ids[g] {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("goroutines disagree on term-%d: %d vs %d", i, ids[g][i], ids[0][i])
+			}
+		}
+	}
+}

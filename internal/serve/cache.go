@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// numCacheShards is the lock-striping factor of the query cache. Shard
+// choice hashes only the canonical (order-free) key prefix, so all
+// permutations of one keyword set live behind one lock and one LRU chain.
+const numCacheShards = 16
+
+// cacheEntry is one cached response. Entries are immutable once inserted;
+// readers share them and must treat every field as read-only.
+type cacheEntry struct {
+	val  *Cached
+	cost int64
+
+	key        string
+	prev, next *cacheEntry // LRU chain, most recent at head
+}
+
+// flight is one in-progress computation joined by concurrent identical
+// queries (singleflight). The leader closes done; followers read val/err.
+type flight struct {
+	done  chan struct{}
+	val   *Cached
+	err   error
+	epoch uint64
+}
+
+// cacheShard is one lock-striped slice of the cache: an LRU-ordered entry
+// map plus the in-flight table for its keys.
+type cacheShard struct {
+	mu       sync.Mutex
+	entries  map[string]*cacheEntry
+	inflight map[string]*flight
+	head     *cacheEntry // most recently used
+	tail     *cacheEntry // least recently used
+	bytes    int64
+	maxBytes int64
+}
+
+// Cache is a sharded, size-bounded LRU map from encoded query keys to
+// cached responses. A zero budget disables it (every lookup misses, no
+// entry is kept); singleflight coalescing is handled by the Server so it
+// works with the cache disabled too.
+type Cache struct {
+	shards [numCacheShards]cacheShard
+	seed   maphash.Seed
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+}
+
+// NewCache builds a cache with a total budget of maxBytes across all
+// shards (costs are the entries' estimated heap footprints).
+func NewCache(maxBytes int64) *Cache {
+	c := &Cache{seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*cacheEntry)
+		c.shards[i].inflight = make(map[string]*flight)
+		c.shards[i].maxBytes = maxBytes / numCacheShards
+	}
+	return c
+}
+
+func (c *Cache) enabled() bool { return c.shards[0].maxBytes > 0 }
+
+// shardFor picks the shard by hashing the canonical key prefix.
+func (c *Cache) shardFor(key string, sortedPrefixLen int) *cacheShard {
+	h := maphash.String(c.seed, key[:sortedPrefixLen])
+	return &c.shards[h%numCacheShards]
+}
+
+// do returns the cached response for key or computes it, coalescing
+// concurrent identical queries onto one computation (singleflight — it
+// applies even when the cache budget is zero). epoch is the server's
+// invalidation epoch read when the query began; stillCurrent re-checks it
+// after computing, so a response computed against a corpus that was swapped
+// out mid-flight is returned to its waiters but never cached.
+func (c *Cache) do(key string, sortedPrefixLen int, epoch uint64,
+	stillCurrent func(uint64) bool, compute func() (*Cached, error)) (*Cached, error) {
+
+	s := c.shardFor(key, sortedPrefixLen)
+	s.mu.Lock()
+	if c.enabled() {
+		if e, ok := s.entries[key]; ok {
+			s.moveToFront(e)
+			s.mu.Unlock()
+			c.hits.Add(1)
+			return e.val, nil
+		}
+	}
+	if f, ok := s.inflight[key]; ok {
+		if f.epoch == epoch {
+			s.mu.Unlock()
+			c.coalesced.Add(1)
+			<-f.done
+			return f.val, f.err
+		}
+		// The flight predates an invalidation: its result will be of the
+		// swapped-out corpus, good enough only for callers who asked
+		// before the swap. Compute privately at our own epoch instead —
+		// the stale leader still owns the inflight slot, so this round of
+		// post-swap callers is not coalesced (put keeps the first entry).
+		s.mu.Unlock()
+		c.misses.Add(1)
+		val, err := compute()
+		if err == nil {
+			c.put(key, sortedPrefixLen, val, epoch, stillCurrent)
+		}
+		return val, err
+	}
+	f := &flight{done: make(chan struct{}), epoch: epoch}
+	s.inflight[key] = f
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	f.val, f.err = compute()
+	close(f.done)
+
+	s.mu.Lock()
+	if s.inflight[key] == f {
+		delete(s.inflight, key)
+	}
+	s.mu.Unlock()
+	if f.err == nil {
+		c.put(key, sortedPrefixLen, f.val, f.epoch, stillCurrent)
+	}
+	return f.val, f.err
+}
+
+// put inserts a computed response, evicting least-recently-used entries
+// until the shard fits its budget. Entries larger than the whole shard
+// budget are not kept.
+//
+// stillCurrent(epoch) is re-checked under the shard lock, which makes the
+// insert atomic with swap invalidation: Swap bumps the epoch before
+// clearing, so either put still sees its epoch — in which case any clear
+// that follows must take this shard's lock after the insert and removes
+// the entry — or the epoch already moved and the stale response is
+// dropped here. A response computed against a swapped-out corpus can
+// never survive in the cache.
+func (c *Cache) put(key string, sortedPrefixLen int, val *Cached, epoch uint64, stillCurrent func(uint64) bool) {
+	if !c.enabled() {
+		return
+	}
+	cost := val.cost()
+	s := c.shardFor(key, sortedPrefixLen)
+	if cost > s.maxBytes {
+		return
+	}
+	s.mu.Lock()
+	if !stillCurrent(epoch) {
+		s.mu.Unlock()
+		return
+	}
+	if old, ok := s.entries[key]; ok {
+		// A concurrent computation of the same key already inserted; keep
+		// the incumbent (the responses are equal by construction).
+		s.moveToFront(old)
+		s.mu.Unlock()
+		return
+	}
+	e := &cacheEntry{val: val, cost: cost, key: key}
+	s.entries[key] = e
+	s.pushFront(e)
+	s.bytes += cost
+	evicted := 0
+	for s.bytes > s.maxBytes && s.tail != nil && s.tail != e {
+		evicted++
+		s.remove(s.tail)
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(int64(evicted))
+	}
+}
+
+// clear drops every entry (corpus swap invalidation). In-flight
+// computations are left to their leaders; the Server's epoch check keeps
+// their results out of the cache.
+func (c *Cache) clear() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = make(map[string]*cacheEntry)
+		s.head, s.tail, s.bytes = nil, nil, 0
+		s.mu.Unlock()
+	}
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"` // queries that joined an in-flight identical computation
+	Evictions int64 `json:"evictions"`
+	Entries   int64 `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Capacity  int64 `json:"capacity"`
+}
+
+// stats snapshots the counters.
+func (c *Cache) stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += int64(len(s.entries))
+		st.Bytes += s.bytes
+		st.Capacity += s.maxBytes
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// --- intrusive LRU list (locked by the owning shard) ---
+
+func (s *cacheShard) pushFront(e *cacheEntry) {
+	e.prev, e.next = nil, s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *cacheShard) moveToFront(e *cacheEntry) {
+	if s.head == e {
+		return
+	}
+	// Unlink.
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if s.tail == e {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+}
+
+func (s *cacheShard) remove(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	delete(s.entries, e.key)
+	s.bytes -= e.cost
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"extract/internal/search"
+)
+
+// FuzzCacheKey round-trips adversarial term-id tuples and option
+// combinations through the cache-key encoder: encodeKey must stay
+// injective (decode inverts it exactly) and its canonical prefix must be
+// permutation-invariant, or two different queries could share a cache
+// entry. Runs for 10s in CI's fuzz job.
+func FuzzCacheKey(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, byte(0), uint16(0), int16(-1))
+	f.Add([]byte{9, 9, 1, 0xff, 3}, byte(7), uint16(25), int16(10))
+	f.Add([]byte{}, byte(1), uint16(1), int16(0))
+
+	f.Fuzz(func(t *testing.T, raw []byte, flags byte, maxResults uint16, bound16 int16) {
+		// Derive a unique id tuple from raw: 4 bytes per id, deduped,
+		// capped so the fuzzer explores shapes rather than allocation.
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		seen := map[uint32]bool{}
+		var ids []uint32
+		for i := 0; i+4 <= len(raw); i += 4 {
+			id := binary.LittleEndian.Uint32(raw[i:])
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) == 0 {
+			ids = []uint32{uint32(flags)}
+		}
+		opts := search.Options{
+			DistinctAnchors: flags&1 != 0,
+			MaxResults:      int(maxResults),
+		}
+		if flags&2 != 0 {
+			opts.Semantics = search.SemanticsELCA
+		}
+		if flags&4 != 0 {
+			opts.Mode = search.ModeXSeek
+		}
+		bound := int(bound16)
+		if bound < -1 {
+			bound = -1
+		}
+
+		key, plen := encodeKey(ids, opts, bound)
+		if plen <= 0 || plen > len(key) {
+			t.Fatalf("bad sorted prefix length %d of %d", plen, len(key))
+		}
+		got, gotOpts, gotBound, ok := decodeKey(key)
+		if !ok {
+			t.Fatalf("decode failed for ids %v opts %+v bound %d", ids, opts, bound)
+		}
+		if len(got) != len(ids) || gotOpts != opts || gotBound != bound {
+			t.Fatalf("round trip mismatch: got (%v %+v %d), want (%v %+v %d)",
+				got, gotOpts, gotBound, ids, opts, bound)
+		}
+		for i := range ids {
+			if got[i] != ids[i] {
+				t.Fatalf("id %d: got %d, want %d", i, got[i], ids[i])
+			}
+		}
+
+		// Canonical prefix is permutation-invariant: reversing the tuple
+		// must keep the prefix and (for >1 id) change only the tail.
+		if len(ids) > 1 {
+			rev := make([]uint32, len(ids))
+			for i, id := range ids {
+				rev[len(ids)-1-i] = id
+			}
+			key2, plen2 := encodeKey(rev, opts, bound)
+			if plen2 != plen || key2[:plen2] != key[:plen] {
+				t.Fatalf("canonical prefix not permutation-invariant")
+			}
+			if key2 == key {
+				t.Fatalf("distinct orderings %v vs %v share a key", ids, rev)
+			}
+		}
+	})
+}
+
+// FuzzDecodeKey hardens the decoder against arbitrary byte strings: it
+// must never panic, and anything it accepts must re-encode to the same
+// key (no two byte strings decode to one logical query).
+func FuzzDecodeKey(f *testing.F) {
+	k1, _ := encodeKey([]uint32{3, 1, 2}, search.Options{DistinctAnchors: true}, 10)
+	f.Add([]byte(k1))
+	f.Add([]byte{0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ids, opts, bound, ok := decodeKey(string(raw))
+		if !ok {
+			return
+		}
+		re, _ := encodeKey(ids, opts, bound)
+		if re != string(raw) {
+			t.Fatalf("decode/encode not canonical: %q -> (%v %+v %d) -> %q",
+				raw, ids, opts, bound, re)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+// Package serve is the query-serving layer over a sharded corpus: the
+// piece that turns the one-shot query path into something that can hold up
+// under sustained traffic. It contributes three things the raw engine does
+// not have:
+//
+//   - a fixed-size worker pool bounding the corpus-wide evaluation
+//     concurrency (shard.Corpus.Search alone spawns one goroutine per
+//     shard per query, which multiplies under concurrent queries),
+//   - per-shard search.Engine instances cached per option combination and
+//     reused across queries instead of rebuilt,
+//   - a sharded, size-bounded LRU query cache keyed on interned keyword
+//     ids, with singleflight so concurrent identical queries compute once
+//     and explicit invalidation on corpus swap.
+//
+// Cached responses are byte-identical to uncached evaluation (pinned by
+// property tests); the layer changes cost, never answers.
+package serve
+
+import "sync"
+
+// Pool is a fixed-size worker pool executing batches of independent tasks.
+// One Pool serves every query against a Server, so total evaluation
+// concurrency is bounded by the pool size no matter how many queries are in
+// flight. When every worker is busy the submitting goroutine runs tasks
+// inline instead of queueing behind a slow batch — submission never blocks
+// on unrelated work and Run can never deadlock, even against a stopped
+// pool.
+type Pool struct {
+	tasks chan poolTask
+
+	stopOnce sync.Once
+	stop     chan struct{}
+}
+
+type poolTask struct {
+	fn   func()
+	done *sync.WaitGroup
+}
+
+// NewPool starts a pool of n workers (n < 1 is forced to 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{
+		tasks: make(chan poolTask),
+		stop:  make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	for {
+		select {
+		case t := <-p.tasks:
+			t.fn()
+			t.done.Done()
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// Run executes every task and returns when all have completed. Tasks a
+// worker cannot pick up immediately run on the calling goroutine.
+func (p *Pool) Run(tasks []func()) {
+	if len(tasks) == 1 {
+		tasks[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	for _, fn := range tasks {
+		wg.Add(1)
+		select {
+		case p.tasks <- poolTask{fn: fn, done: &wg}:
+		default:
+			fn()
+			wg.Done()
+		}
+	}
+	wg.Wait()
+}
+
+// Stop terminates the workers. In-flight tasks finish; Run keeps working
+// afterwards (inline on the caller), so stopping is always safe.
+func (p *Pool) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+}

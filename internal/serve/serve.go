@@ -1,0 +1,295 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"extract/internal/core"
+	"extract/internal/index"
+	"extract/internal/search"
+	"extract/internal/shard"
+)
+
+// DefaultCacheBytes is the query-cache budget when the caller does not set
+// one: large enough to hold the working set of a skewed query stream, small
+// next to the corpus it serves.
+const DefaultCacheBytes = 64 << 20
+
+// Server is the query-serving layer over one sharded corpus. It owns the
+// worker pool, the per-option engine sets and the query cache; see the
+// package comment for what each buys. A Server is safe for concurrent use.
+type Server struct {
+	pool  *Pool
+	cache *Cache
+	// interner maps query terms to the dense ids cache keys are built
+	// from. It spans corpus swaps: ids only ever accumulate, so keys stay
+	// stable and swap invalidation is the cache clear alone.
+	interner *index.Interner
+
+	// epoch counts corpus swaps; flights record it so responses computed
+	// against a swapped-out corpus are never cached.
+	epoch atomic.Uint64
+
+	mu      sync.Mutex
+	sc      *shard.Corpus
+	gen     *core.Generator // shared snippet generator over the corpus analysis
+	engines map[search.Options][]*search.Engine
+}
+
+// Option configures New.
+type Option func(*config)
+
+type config struct {
+	workers    int
+	cacheBytes int64
+}
+
+// WithWorkers sets the worker-pool size (default GOMAXPROCS). The pool
+// bounds corpus-wide evaluation concurrency across all in-flight queries.
+func WithWorkers(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.workers = n
+		}
+	}
+}
+
+// WithCacheBytes sets the query-cache budget in bytes (default
+// DefaultCacheBytes). Zero disables caching; singleflight coalescing of
+// concurrent identical queries stays on.
+func WithCacheBytes(n int64) Option {
+	return func(c *config) {
+		if n >= 0 {
+			c.cacheBytes = n
+		}
+	}
+}
+
+// New builds a serving layer over sc.
+func New(sc *shard.Corpus, opts ...Option) *Server {
+	cfg := config{workers: runtime.GOMAXPROCS(0), cacheBytes: DefaultCacheBytes}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &Server{
+		pool:     NewPool(cfg.workers),
+		cache:    NewCache(cfg.cacheBytes),
+		interner: index.NewInterner(),
+		sc:       sc,
+		gen:      core.NewGenerator(sc.Analysis()),
+	}
+	s.engines = make(map[search.Options][]*search.Engine)
+	// The pool's workers would otherwise pin a dropped Server's goroutines
+	// forever; a cleanup stops them when the Server becomes unreachable,
+	// so short-lived Servers (tests, tools) need no explicit Close.
+	runtime.AddCleanup(s, func(p *Pool) { p.Stop() }, s.pool)
+	return s
+}
+
+// Close stops the worker pool. Queries issued after Close still work, with
+// per-shard evaluation running on the calling goroutine.
+func (s *Server) Close() { s.pool.Stop() }
+
+// Corpus returns the corpus currently being served.
+func (s *Server) Corpus() *shard.Corpus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sc
+}
+
+// Swap replaces the served corpus and invalidates the query cache and the
+// cached engine sets. Queries already in flight complete against the
+// corpus they started on; their responses are returned to their callers
+// but never enter the cache.
+func (s *Server) Swap(sc *shard.Corpus) {
+	s.mu.Lock()
+	s.sc = sc
+	s.gen = core.NewGenerator(sc.Analysis())
+	s.engines = make(map[search.Options][]*search.Engine)
+	s.mu.Unlock()
+	s.epoch.Add(1)
+	s.cache.clear()
+}
+
+// Invalidate drops every cached response without changing the corpus —
+// for callers that mutated the corpus in place.
+func (s *Server) Invalidate() {
+	s.epoch.Add(1)
+	s.cache.clear()
+}
+
+// Stats snapshots the query-cache counters.
+func (s *Server) Stats() Stats { return s.cache.stats() }
+
+// maxEngineSets bounds the engine memo: search.Options embeds the
+// caller-chosen MaxResults, so distinct option values are unbounded in
+// principle, and a client sweeping them must not grow a long-lived
+// server's heap. Real traffic uses a handful of combinations; anything
+// past the bound gets throwaway engines (construction is one small
+// allocation per shard).
+const maxEngineSets = 64
+
+// snapshot returns the coherent (corpus, generator, engine set) triple for
+// one query, building and memoizing the per-shard engines for opts on
+// first use.
+func (s *Server) snapshot(opts search.Options) (*shard.Corpus, *core.Generator, []*search.Engine) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	engines, ok := s.engines[opts]
+	if !ok {
+		shards := s.sc.Shards()
+		engines = make([]*search.Engine, len(shards))
+		for i, sh := range shards {
+			engines[i] = sh.Engine(opts)
+		}
+		if len(s.engines) < maxEngineSets {
+			s.engines[opts] = engines
+		}
+	}
+	return s.sc, s.gen, engines
+}
+
+// Cached is one cached query response: the result list, and — for Query
+// keys — the generated snippets aligned with it. Both are shared across
+// every caller that hits the entry and must be treated as immutable.
+type Cached struct {
+	Results  []*search.Result
+	Snippets []*core.Generated
+}
+
+// cost estimates the entry's heap footprint for the cache budget: result
+// and snippet trees dominate, so edges are the measure that matters —
+// the constants are rough per-node costs (node struct, Dewey id, slice
+// headers), not an exact accounting.
+func (v *Cached) cost() int64 {
+	const (
+		perNode  = 160
+		perEntry = 512
+	)
+	c := int64(perEntry)
+	for _, r := range v.Results {
+		c += perEntry + perNode*int64(r.Size()+1)
+	}
+	for _, g := range v.Snippets {
+		c += perEntry + perNode*int64(g.Snippet.Edges+1)
+		c += int64(32 * len(g.IList.Items))
+	}
+	return c
+}
+
+// key interns the query's terms and builds its cache key. A query with no
+// usable keywords returns search.ErrEmptyQuery; cacheable is false (with
+// no error) when the interner is full and the query's unseen terms cannot
+// be admitted — such queries compute directly, they are just not cached or
+// coalesced.
+func (s *Server) key(query string, opts search.Options, bound int) (key string, prefixLen int, cacheable bool, err error) {
+	terms := search.ParseQuery(query)
+	if len(terms) == 0 {
+		return "", 0, false, search.ErrEmptyQuery
+	}
+	// ParseQuery dedupes terms, so the interned ids are pairwise distinct
+	// — the invariant encodeKey's delta encoding relies on.
+	strs := make([]string, len(terms))
+	for i, t := range terms {
+		strs[i] = t.String()
+	}
+	ids := make([]uint32, len(terms))
+	if !s.interner.IDs(strs, ids) {
+		return "", 0, false, nil
+	}
+	key, prefixLen = encodeKey(ids, opts, bound)
+	return key, prefixLen, true, nil
+}
+
+// Search evaluates a keyword query across the shards through the worker
+// pool, serving repeated queries from the cache. The returned slice is the
+// caller's to reorder; the results it points to are shared and immutable.
+func (s *Server) Search(query string, opts search.Options) ([]*search.Result, error) {
+	compute := func() (*Cached, error) {
+		sc, _, engines := s.snapshot(opts)
+		rs, err := sc.SearchEngines(query, opts, engines, s.pool.Run)
+		if err != nil {
+			return nil, err
+		}
+		return &Cached{Results: rs}, nil
+	}
+	v, err := s.serve(query, opts, -1, compute)
+	if err != nil {
+		return nil, err
+	}
+	return append([]*search.Result(nil), v.Results...), nil
+}
+
+// Query runs the full pipeline — search, then one snippet per result at
+// the given bound — with snippet generation fanned out over the worker
+// pool. Results and snippets are returned in document order, in fresh
+// slices; the objects they point to are shared and immutable.
+func (s *Server) Query(query string, opts search.Options, bound int) ([]*search.Result, []*core.Generated, error) {
+	compute := func() (*Cached, error) {
+		sc, gen, engines := s.snapshot(opts)
+		rs, err := sc.SearchEngines(query, opts, engines, s.pool.Run)
+		if err != nil {
+			return nil, err
+		}
+		// Tokenized here, not on the hit path: cache hits never pay it.
+		kws := index.Tokenize(query)
+		return &Cached{Results: rs, Snippets: s.snippets(gen, rs, kws, bound)}, nil
+	}
+	v, err := s.serve(query, opts, bound, compute)
+	if err != nil {
+		return nil, nil, err
+	}
+	return append([]*search.Result(nil), v.Results...),
+		append([]*core.Generated(nil), v.Snippets...), nil
+}
+
+// serve answers one query through the cache when its key is admissible,
+// directly otherwise.
+func (s *Server) serve(query string, opts search.Options, bound int, compute func() (*Cached, error)) (*Cached, error) {
+	key, prefixLen, cacheable, err := s.key(query, opts, bound)
+	if err != nil {
+		return nil, err
+	}
+	if !cacheable {
+		return compute()
+	}
+	epoch := s.epoch.Load()
+	return s.cache.do(key, prefixLen, epoch, s.epochIs, compute)
+}
+
+func (s *Server) epochIs(e uint64) bool { return s.epoch.Load() == e }
+
+// snippets generates one snippet per result, chunking the work over the
+// pool (snippets are independent; the generator is shared and concurrency-
+// safe).
+func (s *Server) snippets(gen *core.Generator, rs []*search.Result, kws []string, bound int) []*core.Generated {
+	out := make([]*core.Generated, len(rs))
+	if len(rs) < 4 {
+		for i, r := range rs {
+			out[i] = gen.ForResultTokens(r, kws, bound)
+		}
+		return out
+	}
+	chunks := runtime.GOMAXPROCS(0)
+	if chunks > len(rs) {
+		chunks = len(rs)
+	}
+	tasks := make([]func(), chunks)
+	per := (len(rs) + chunks - 1) / chunks
+	for c := 0; c < chunks; c++ {
+		lo := c * per
+		hi := lo + per
+		if hi > len(rs) {
+			hi = len(rs)
+		}
+		lo2, hi2 := lo, hi
+		tasks[c] = func() {
+			for i := lo2; i < hi2; i++ {
+				out[i] = gen.ForResultTokens(rs[i], kws, bound)
+			}
+		}
+	}
+	s.pool.Run(tasks)
+	return out
+}

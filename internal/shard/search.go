@@ -30,11 +30,53 @@ import (
 // root entity — evaluate on the lazily reconstructed whole-document corpus
 // instead, which is exact by construction.
 func (sc *Corpus) Search(query string, opts search.Options) ([]*search.Result, error) {
+	return sc.SearchEngines(query, opts, nil, nil)
+}
+
+// Runner executes a batch of independent tasks, returning when all of them
+// have completed. The serving layer passes a fixed-size worker pool here so
+// per-shard evaluation stops spawning one goroutine per shard per query;
+// nil runs each task on its own goroutine.
+type Runner func(tasks []func())
+
+// runGoroutines is the default Runner: one goroutine per task.
+func runGoroutines(tasks []func()) {
+	if len(tasks) == 1 {
+		tasks[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	for _, t := range tasks {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(t)
+	}
+	wg.Wait()
+}
+
+// SearchEngines is Search with caller-managed per-shard engines and task
+// scheduling. engines, when non-nil, must be aligned with Shards() and
+// built over the same options (the serving layer caches one engine set per
+// option combination and reuses it across queries); nil builds throwaway
+// engines. run schedules the per-shard evaluations; nil spawns one
+// goroutine per shard.
+func (sc *Corpus) SearchEngines(query string, opts search.Options, engines []*search.Engine, run Runner) ([]*search.Result, error) {
 	if len(sc.shards) == 0 {
 		return nil, search.ErrEmptyQuery
 	}
+	if run == nil {
+		run = runGoroutines
+	}
+	shardEngine := func(i int) *search.Engine {
+		if engines != nil {
+			return engines[i]
+		}
+		return sc.shards[i].Engine(opts)
+	}
 	if len(sc.shards) == 1 {
-		return search.NewEngine(sc.shards[0].Doc, sc.shards[0].Index, sc.cls, opts).Search(query)
+		return shardEngine(0).Search(query)
 	}
 
 	type shardOut struct {
@@ -49,11 +91,10 @@ func (sc *Corpus) Search(query string, opts search.Options) ([]*search.Result, e
 		err          error
 	}
 	outs := make([]shardOut, len(sc.shards))
-	var wg sync.WaitGroup
+	tasks := make([]func(), len(sc.shards))
 	for i, s := range sc.shards {
-		wg.Add(1)
-		go func(i int, eng *search.Engine, root *xmltree.Node) {
-			defer wg.Done()
+		i, eng, root := i, shardEngine(i), s.Doc.Root
+		tasks[i] = func() {
 			o := &outs[i]
 			o.eval, o.err = eng.Evaluate(query)
 			if o.err != nil || o.eval.LCAs == nil {
@@ -71,9 +112,9 @@ func (sc *Corpus) Search(query string, opts search.Options) ([]*search.Result, e
 					break
 				}
 			}
-		}(i, s.Engine(opts), s.Doc.Root)
+		}
 	}
-	wg.Wait()
+	run(tasks)
 	for i := range outs {
 		if outs[i].err != nil {
 			return nil, outs[i].err

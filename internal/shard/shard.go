@@ -195,18 +195,26 @@ func (sc *Corpus) DistinctKeywords() int {
 	return len(seen)
 }
 
-// CompletePrefix merges per-shard prefix completions, re-ranking the union
-// by corpus-wide posting count. A keyword missing from every shard's local
-// top-k cannot be suggested; in exchange no shard's vocabulary is scanned
-// beyond its own completion index.
+// CompletePrefix merges the full per-shard prefix tails and re-ranks the
+// union by corpus-wide posting count. Merging whole tails — not per-shard
+// top-k lists — is what makes the suggestions exact: a keyword spread
+// thinly across shards can rank below every local top-k yet carry the
+// highest global count, and truncating before the global re-rank would
+// lose it (the suggestions equivalence property test pins sharded output
+// identical to unsharded). Each tail is one binary search plus a
+// contiguous slice of the shard's sorted vocabulary, so exactness costs a
+// scan proportional to the number of matching keywords, not to k.
 func (sc *Corpus) CompletePrefix(prefix string, k int) []string {
 	if len(sc.shards) == 1 {
 		return sc.shards[0].Index.CompletePrefix(prefix, k)
 	}
+	if k <= 0 {
+		return nil
+	}
 	counts := make(map[string]int)
 	var order []string
 	for _, s := range sc.shards {
-		for _, kw := range s.Index.CompletePrefix(prefix, k) {
+		for _, kw := range s.Index.PrefixKeywords(prefix) {
 			if _, seen := counts[kw]; !seen {
 				order = append(order, kw)
 				counts[kw] = sc.Count(kw)

@@ -3,6 +3,7 @@ package shard
 import (
 	"bytes"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"extract/internal/core"
@@ -291,4 +292,92 @@ func equalStrings(a, b []string) bool {
 		}
 	}
 	return true
+}
+
+// TestCompletePrefixGlobalTopK is the regression test for the local-top-k
+// ranking bug: a keyword spread thinly across shards ("wc" below, never in
+// any shard's local top-2) can still carry the highest global count, and
+// merging per-shard top-k lists instead of full prefix tails lost it.
+func TestCompletePrefixGlobalTopK(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<r>")
+	emit := func(kws ...string) {
+		b.WriteString("<e>")
+		for _, kw := range kws {
+			b.WriteString("<x>" + kw + "</x>")
+		}
+		b.WriteString("</e>")
+	}
+	// First half: wa x10, wb x9, wc x8. Second half: wd x10, we x9, wc x8.
+	// Globally wc (16) ranks first; locally it is third on both sides.
+	for i := 0; i < 10; i++ {
+		kws := []string{"wa"}
+		if i < 9 {
+			kws = append(kws, "wb")
+		}
+		if i < 8 {
+			kws = append(kws, "wc")
+		}
+		emit(kws...)
+	}
+	for i := 0; i < 10; i++ {
+		kws := []string{"wd"}
+		if i < 9 {
+			kws = append(kws, "we")
+		}
+		if i < 8 {
+			kws = append(kws, "wc")
+		}
+		emit(kws...)
+	}
+	b.WriteString("</r>")
+	parse := func() *xmltree.Document {
+		doc, err := xmltree.ParseString(b.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+
+	unsharded := core.BuildCorpus(parse())
+	for _, n := range []int{2, 3, 4} {
+		sc := Build(parse(), n)
+		for _, k := range []int{1, 2, 3, 5} {
+			got := sc.CompletePrefix("w", k)
+			want := unsharded.Index.CompletePrefix("w", k)
+			if !equalStrings(got, want) {
+				t.Errorf("n=%d k=%d: CompletePrefix = %v, want %v", n, k, got, want)
+			}
+		}
+		if got := sc.CompletePrefix("w", 2); len(got) == 0 || got[0] != "wc" {
+			t.Errorf("n=%d: top completion = %v, want wc first (global count 16)", n, got)
+		}
+	}
+}
+
+// TestCompletePrefixEquivalence sweeps prefixes over the generated corpora:
+// sharded suggestions must be identical to unsharded at every shard count.
+func TestCompletePrefixEquivalence(t *testing.T) {
+	for _, tc := range generatedCorpora() {
+		unsharded := core.BuildCorpus(tc.mk())
+		prefixes := map[string]bool{}
+		for _, kw := range unsharded.Index.Vocabulary() {
+			prefixes[kw[:1]] = true
+			if len(kw) > 1 {
+				prefixes[kw[:2]] = true
+			}
+		}
+		for _, n := range []int{2, 3, 5} {
+			sc := Build(tc.mk(), n)
+			for p := range prefixes {
+				for _, k := range []int{1, 3, 10} {
+					got := sc.CompletePrefix(p, k)
+					want := unsharded.Index.CompletePrefix(p, k)
+					if !equalStrings(got, want) {
+						t.Fatalf("%s n=%d prefix=%q k=%d: %v, want %v", tc.name, n, p, k, got, want)
+					}
+				}
+			}
+		}
+	}
 }

@@ -117,6 +117,48 @@ func Generate(doc *xmltree.Document, cfg Config) []Query {
 	return out
 }
 
+// Stream samples an endless query sequence over a fixed distinct-query
+// set with Zipf-skewed popularity: queries earlier in the slice are drawn
+// more often, the way live search traffic concentrates on a small head of
+// repeated queries. It is the workload shape the serving layer's query
+// cache is measured against (benchrunner -serve).
+type Stream struct {
+	queries []Query
+	r       *rand.Rand
+	zipf    *rand.Zipf
+}
+
+// NewStream builds a stream over queries with Zipf parameter s (s <= 1
+// degenerates to uniform) and a deterministic source.
+func NewStream(queries []Query, s float64, seed int64) *Stream {
+	st := &Stream{queries: queries, r: rand.New(rand.NewSource(seed))}
+	if s > 1 && len(queries) > 1 {
+		st.zipf = rand.NewZipf(st.r, s, 1, uint64(len(queries)-1))
+	}
+	return st
+}
+
+// Next returns the next query of the stream.
+func (st *Stream) Next() Query {
+	if len(st.queries) == 0 {
+		return Query{}
+	}
+	if st.zipf != nil {
+		return st.queries[st.zipf.Uint64()]
+	}
+	return st.queries[st.r.Intn(len(st.queries))]
+}
+
+// Take returns the next n queries as a slice — a fixed workload two
+// benchmark phases can replay identically.
+func (st *Stream) Take(n int) []Query {
+	out := make([]Query, n)
+	for i := range out {
+		out[i] = st.Next()
+	}
+	return out
+}
+
 func distinct(in []string) []string {
 	seen := make(map[string]bool, len(in))
 	var out []string

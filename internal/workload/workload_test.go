@@ -71,3 +71,38 @@ func TestGenerateEmptyDoc(t *testing.T) {
 		t.Errorf("queries = %d, want 0", len(qs))
 	}
 }
+
+func TestStreamZipfSkew(t *testing.T) {
+	doc := gen.Stores(gen.StoresConfig{Retailers: 4, StoresPerRetailer: 3, ClothesPerStore: 5, Seed: 7})
+	qs := Generate(doc, Config{Queries: 10, Keywords: 2, Seed: 7})
+	if len(qs) < 5 {
+		t.Fatalf("workload too small: %d", len(qs))
+	}
+	st := NewStream(qs, 1.4, 3)
+	counts := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[st.Next().Text()]++
+	}
+	head := counts[qs[0].Text()]
+	if head*3 < n {
+		t.Errorf("zipf head query drew %d of %d, want a dominant share", head, n)
+	}
+	// Determinism: same seed, same sequence.
+	a := NewStream(qs, 1.4, 11).Take(50)
+	b := NewStream(qs, 1.4, 11).Take(50)
+	for i := range a {
+		if a[i].Text() != b[i].Text() {
+			t.Fatalf("stream %d differs: %q vs %q", i, a[i].Text(), b[i].Text())
+		}
+	}
+	// Uniform fallback still covers the tail.
+	uni := NewStream(qs, 0, 5)
+	seen := map[string]bool{}
+	for i := 0; i < 2000; i++ {
+		seen[uni.Next().Text()] = true
+	}
+	if len(seen) != len(qs) {
+		t.Errorf("uniform stream saw %d of %d distinct queries", len(seen), len(qs))
+	}
+}

@@ -15,15 +15,28 @@
 //	                                          # serving-layer tuning: a
 //	                                          # 4-worker evaluation pool and
 //	                                          # a 128 MiB query cache
+//	extractd -watch 5s -data name=big.xml     # poll big.xml's mtime and
+//	                                          # hot-reload it when it changes
 //
-// Sharded datasets are served through the query-serving layer
-// (internal/serve): per-shard evaluation runs on a fixed worker pool
-// (-workers, default GOMAXPROCS) and repeated queries are answered from a
-// sharded LRU cache (-cachemb, default 64 MiB; 0 disables). GET /stats
-// returns the per-dataset cache counters as JSON:
+// Every dataset — sharded or not — is served through the query-serving
+// layer (internal/serve): evaluation runs on a fixed worker pool (-workers,
+// default GOMAXPROCS) and repeated queries are answered from a sharded LRU
+// cache (-cachemb, default 64 MiB; 0 disables). GET /stats returns the
+// per-dataset cache counters as JSON:
 //
 //	curl localhost:8080/stats
 //	{"movies":{"shards":8,"cache":{"hits":42,"misses":7,...}}}
+//
+// File-backed datasets (-data) can be reloaded online — the file is
+// re-parsed and re-analyzed, then swapped in atomically; in-flight queries
+// finish against the old corpus and the query cache is invalidated in the
+// same step. Either ask for it (POST /reload) or let the mtime watcher
+// (-watch) do it when the file changes:
+//
+//	curl -X POST 'localhost:8080/reload?dataset=movies'
+//	{"dataset":"movies","shards":8,"nodes":183220}
+//
+// See README.md in this directory for the full flag and endpoint reference.
 package main
 
 import (
@@ -33,9 +46,12 @@ import (
 	"html/template"
 	"log"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"extract"
 	"extract/internal/baseline"
@@ -46,61 +62,84 @@ import (
 type dataset struct {
 	Name   string
 	Corpus *extract.Corpus
+
+	// Path is the XML file the dataset was loaded from; "" for the
+	// built-in demo corpora, which cannot be reloaded.
+	Path string
+
+	// mu serializes reloads of this dataset (manual and watcher-driven);
+	// queries do not take it — Corpus.Reload swaps atomically underneath
+	// them. mtime/size fingerprint the file generation last loaded; the
+	// watcher reloads on any change, not just a newer mtime, so rewrites
+	// within one timestamp-granularity tick or mtime-preserving copies
+	// are still picked up when the size moves.
+	mu    sync.Mutex
+	mtime time.Time
+	size  int64
 }
 
 type server struct {
 	datasets map[string]*dataset
 	names    []string
 	tmpl     *template.Template
+
+	// Load parameters, reapplied whenever a file-backed dataset reloads.
+	shards     int
+	workers    int
+	cacheBytes int64
 }
 
 func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
 		shards  = flag.Int("shards", 1, "partition each dataset into up to N index shards")
-		workers = flag.Int("workers", 0, "serving-layer worker pool size for sharded datasets (0 = GOMAXPROCS)")
-		cacheMB = flag.Int64("cachemb", -1, "query-cache budget per sharded dataset in MiB (0 disables, -1 = default)")
+		workers = flag.Int("workers", 0, "serving-layer worker pool size (0 = GOMAXPROCS)")
+		cacheMB = flag.Int64("cachemb", -1, "query-cache budget per dataset in MiB (0 disables, -1 = default)")
+		watch   = flag.Duration("watch", 0, "poll file-backed datasets at this interval and hot-reload on mtime change (0 disables)")
 	)
 	var dataFlags multiFlag
 	flag.Var(&dataFlags, "data", "dataset as name=file.xml (repeatable)")
 	flag.Parse()
 
-	s := &server{datasets: make(map[string]*dataset)}
-
 	cacheBytes := *cacheMB
 	if cacheBytes > 0 {
 		cacheBytes <<= 20
 	}
+	s := &server{
+		datasets:   make(map[string]*dataset),
+		shards:     *shards,
+		workers:    *workers,
+		cacheBytes: cacheBytes,
+	}
+
 	build := func(doc *xmltree.Document) *extract.Corpus {
+		var c *extract.Corpus
 		if *shards > 1 {
-			c := extract.FromDocumentSharded(doc, nil, *shards)
-			c.ConfigureServing(*workers, cacheBytes)
-			return c
+			c = extract.FromDocumentSharded(doc, nil, *shards)
+		} else {
+			c = extract.FromDocument(doc, nil)
 		}
-		return extract.FromDocument(doc, nil)
+		c.ConfigureServing(*workers, cacheBytes)
+		return c
 	}
 	// Built-in demo datasets: the paper's two scenarios plus movies.
-	s.add("stores (Figure 5)", build(gen.Figure5Corpus()))
-	s.add("retailers (Figure 1)", build(gen.Figure1Corpus()))
-	s.add("movies", build(gen.Movies(gen.MoviesConfig{Movies: 30, Seed: 7})))
+	s.add("stores (Figure 5)", build(gen.Figure5Corpus()), "")
+	s.add("retailers (Figure 1)", build(gen.Figure1Corpus()), "")
+	s.add("movies", build(gen.Movies(gen.MoviesConfig{Movies: 30, Seed: 7})), "")
 
 	for _, df := range dataFlags {
 		name, path, ok := strings.Cut(df, "=")
 		if !ok {
 			log.Fatalf("extractd: bad -data %q, want name=file.xml", df)
 		}
-		lopts := []extract.Option{extract.WithShards(*shards), extract.WithWorkers(*workers)}
-		if cacheBytes >= 0 {
-			lopts = append(lopts, extract.WithQueryCache(cacheBytes))
-		}
-		c, err := extract.LoadFile(path, lopts...)
+		c, err := extract.LoadFile(path, s.loadOptions()...)
 		if err != nil {
 			log.Fatalf("extractd: load %s: %v", path, err)
 		}
 		if n := c.Shards(); n > 1 {
 			log.Printf("extractd: %s: %d shards", name, n)
 		}
-		s.add(name, c)
+		s.add(name, c, path)
 	}
 	sort.Strings(s.names)
 
@@ -108,6 +147,11 @@ func main() {
 	http.HandleFunc("/", s.handleSearch)
 	http.HandleFunc("/view", s.handleView)
 	http.HandleFunc("/stats", s.handleStats)
+	http.HandleFunc("/reload", s.handleReload)
+
+	if *watch > 0 {
+		go s.watchFiles(*watch)
+	}
 
 	log.Printf("extractd: demo on http://localhost%s/ with datasets: %s",
 		*addr, strings.Join(s.names, "; "))
@@ -119,9 +163,86 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
-func (s *server) add(name string, c *extract.Corpus) {
-	s.datasets[name] = &dataset{Name: name, Corpus: c}
+// loadOptions returns the extract load options every file-backed dataset is
+// (re)loaded with, so a reload reproduces the boot-time configuration.
+func (s *server) loadOptions() []extract.Option {
+	opts := []extract.Option{extract.WithShards(s.shards), extract.WithWorkers(s.workers)}
+	if s.cacheBytes >= 0 {
+		opts = append(opts, extract.WithQueryCache(s.cacheBytes))
+	}
+	return opts
+}
+
+func (s *server) add(name string, c *extract.Corpus, path string) {
+	ds := &dataset{Name: name, Corpus: c, Path: path}
+	if path != "" {
+		if fi, err := os.Stat(path); err == nil {
+			ds.mtime, ds.size = fi.ModTime(), fi.Size()
+		}
+	}
+	s.datasets[name] = ds
 	s.names = append(s.names, name)
+}
+
+// reload re-parses and re-analyzes a file-backed dataset and swaps the new
+// corpus in atomically. In-flight queries finish against the old corpus;
+// the query cache is invalidated in the same step.
+func (s *server) reload(ds *dataset) error {
+	if ds.Path == "" {
+		return fmt.Errorf("dataset %q is not file-backed", ds.Name)
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	fi, err := os.Stat(ds.Path)
+	if err != nil {
+		return err
+	}
+	fresh, err := extract.LoadFile(ds.Path, s.loadOptions()...)
+	if err != nil {
+		return err
+	}
+	ds.Corpus.Reload(fresh)
+	ds.mtime, ds.size = fi.ModTime(), fi.Size()
+	log.Printf("extractd: reloaded %s from %s (%d shards, %d nodes)",
+		ds.Name, ds.Path, ds.Corpus.Shards(), ds.Corpus.Stats().Nodes)
+	return nil
+}
+
+// watchFiles polls every file-backed dataset's mtime and reloads the ones
+// whose files changed — the hands-off variant of POST /reload. A reload
+// failure (a half-written file, say) is logged and retried on the next
+// tick; the old corpus keeps serving.
+func (s *server) watchFiles(interval time.Duration) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for range tick.C {
+		s.checkFiles()
+	}
+}
+
+// checkFiles is one watcher tick: reload every file-backed dataset whose
+// file is newer than the generation being served.
+func (s *server) checkFiles() {
+	for _, name := range s.names {
+		ds := s.datasets[name]
+		if ds.Path == "" {
+			continue
+		}
+		fi, err := os.Stat(ds.Path)
+		if err != nil {
+			log.Printf("extractd: watch %s: %v", ds.Path, err)
+			continue
+		}
+		ds.mu.Lock()
+		changed := !fi.ModTime().Equal(ds.mtime) || fi.Size() != ds.size
+		ds.mu.Unlock()
+		if !changed {
+			continue
+		}
+		if err := s.reload(ds); err != nil {
+			log.Printf("extractd: reload %s: %v", ds.Name, err)
+		}
+	}
 }
 
 type hitView struct {
@@ -212,7 +333,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // datasetStats is one dataset's row of the /stats endpoint.
 type datasetStats struct {
 	Shards int                 `json:"shards"`
-	Cache  *extract.CacheStats `json:"cache,omitempty"` // nil when unsharded (no serving layer)
+	Cache  *extract.CacheStats `json:"cache"` // every dataset serves through the query cache
 }
 
 // handleStats reports per-dataset serving-layer counters as JSON — the
@@ -229,6 +350,37 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(out); err != nil {
 		log.Printf("extractd: stats: %v", err)
+	}
+}
+
+// handleReload reloads one file-backed dataset from its source file:
+// POST /reload?dataset=name. The swap is online — concurrent searches keep
+// answering, first against the old corpus, then the new.
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	ds := s.datasets[r.FormValue("dataset")]
+	if ds == nil {
+		http.Error(w, "unknown dataset", http.StatusNotFound)
+		return
+	}
+	if ds.Path == "" {
+		http.Error(w, "dataset is not file-backed", http.StatusConflict)
+		return
+	}
+	if err := s.reload(ds); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(map[string]any{
+		"dataset": ds.Name,
+		"shards":  ds.Corpus.Shards(),
+		"nodes":   ds.Corpus.Stats().Nodes,
+	}); err != nil {
+		log.Printf("extractd: reload: %v", err)
 	}
 }
 

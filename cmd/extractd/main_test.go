@@ -5,17 +5,22 @@ import (
 	"html/template"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"extract"
 	"extract/internal/gen"
+	"extract/xmltree"
 )
 
 func testServer(t *testing.T) *server {
 	t.Helper()
-	s := &server{datasets: map[string]*dataset{}}
-	s.add("stores (Figure 5)", extract.FromDocument(gen.Figure5Corpus(), nil))
+	s := &server{datasets: map[string]*dataset{}, shards: 1, cacheBytes: -1}
+	s.add("stores (Figure 5)", extract.FromDocument(gen.Figure5Corpus(), nil), "")
 	s.tmpl = template.Must(template.New("page").Parse(pageHTML))
 	return s
 }
@@ -101,12 +106,19 @@ func TestSuggestionsInForm(t *testing.T) {
 func TestHandleStats(t *testing.T) {
 	s := testServer(t)
 	sharded := extract.FromDocumentSharded(gen.Movies(gen.MoviesConfig{Movies: 10, Seed: 7}), nil, 3)
-	s.add("movies-sharded", sharded)
+	s.add("movies-sharded", sharded, "")
 	if _, err := sharded.Query("movie", 6); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := sharded.Query("movie", 6); err != nil { // second hit must be served from cache
 		t.Fatal(err)
+	}
+	// The unsharded dataset serves through the same layer and caches too.
+	unsharded := s.datasets["stores (Figure 5)"].Corpus
+	for i := 0; i < 2; i++ {
+		if _, err := unsharded.Query("store texas", 6); err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	rr := httptest.NewRecorder()
@@ -124,8 +136,12 @@ func TestHandleStats(t *testing.T) {
 	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
 		t.Fatalf("stats not JSON: %v\n%s", err, rr.Body.String())
 	}
-	if row, ok := out["stores (Figure 5)"]; !ok || row.Cache != nil {
-		t.Errorf("unsharded dataset should report no cache: %+v ok=%v", row, ok)
+	urow, ok := out["stores (Figure 5)"]
+	if !ok || urow.Shards != 1 || urow.Cache == nil {
+		t.Fatalf("unsharded dataset must report cache stats: %+v ok=%v", urow, ok)
+	}
+	if urow.Cache.Hits < 1 || urow.Cache.Misses < 1 {
+		t.Errorf("unsharded cache counters not moving: %+v", *urow.Cache)
 	}
 	row, ok := out["movies-sharded"]
 	if !ok || row.Shards != 3 || row.Cache == nil {
@@ -133,5 +149,199 @@ func TestHandleStats(t *testing.T) {
 	}
 	if row.Cache.Hits < 1 || row.Cache.Misses < 1 {
 		t.Errorf("cache counters not moving: %+v", *row.Cache)
+	}
+}
+
+// writeDataset serializes a generated corpus to an XML file on disk.
+func writeDataset(t *testing.T, path string, doc *xmltree.Document) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(xmltree.XMLString(doc.Root)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fileServer builds a server with one file-backed dataset named "movies".
+func fileServer(t *testing.T, path string) *server {
+	t.Helper()
+	s := testServer(t)
+	c, err := extract.LoadFile(path, s.loadOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.add("movies", c, path)
+	return s
+}
+
+func TestHandleReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "movies.xml")
+	writeDataset(t, path, gen.Movies(gen.MoviesConfig{Movies: 5, Seed: 1}))
+	s := fileServer(t, path)
+	ds := s.datasets["movies"]
+
+	// Warm the cache against the old corpus, remember the old answer.
+	oldHits, err := ds.Corpus.Query("movie", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ds.Corpus.Stats().Nodes
+
+	// The file grows; POST /reload must swap the new corpus in.
+	writeDataset(t, path, gen.Movies(gen.MoviesConfig{Movies: 12, Seed: 2}))
+	rr := httptest.NewRecorder()
+	s.handleReload(rr, httptest.NewRequest("POST", "/reload?dataset=movies", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rr.Code, rr.Body.String())
+	}
+	var out struct {
+		Dataset string `json:"dataset"`
+		Nodes   int    `json:"nodes"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatalf("reload response not JSON: %v\n%s", err, rr.Body.String())
+	}
+	if out.Dataset != "movies" || out.Nodes == before {
+		t.Fatalf("reload response = %+v, want new node count != %d", out, before)
+	}
+	if got := ds.Corpus.Stats().Nodes; got != out.Nodes {
+		t.Fatalf("corpus nodes = %d, reload reported %d", got, out.Nodes)
+	}
+
+	// The cache was invalidated with the swap: the same query now answers
+	// from the new corpus, not the entry cached against the old one.
+	newHits, err := ds.Corpus.Query("movie", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newHits) == len(oldHits) {
+		t.Fatalf("reload kept serving the old corpus: %d hits before and after", len(oldHits))
+	}
+}
+
+func TestHandleReloadErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "movies.xml")
+	writeDataset(t, path, gen.Movies(gen.MoviesConfig{Movies: 4, Seed: 3}))
+	s := fileServer(t, path)
+	cases := []struct {
+		method, url string
+		code        int
+	}{
+		{"GET", "/reload?dataset=movies", http.StatusMethodNotAllowed},
+		{"POST", "/reload?dataset=unknown", http.StatusNotFound},
+		{"POST", "/reload?dataset=stores+%28Figure+5%29", http.StatusConflict}, // built-in: not file-backed
+	}
+	for _, c := range cases {
+		rr := httptest.NewRecorder()
+		s.handleReload(rr, httptest.NewRequest(c.method, c.url, nil))
+		if rr.Code != c.code {
+			t.Errorf("%s %s: status = %d, want %d", c.method, c.url, rr.Code, c.code)
+		}
+	}
+
+	// A reload that fails to parse must leave the old corpus serving.
+	before := s.datasets["movies"].Corpus.Stats().Nodes
+	if err := os.WriteFile(path, []byte("<broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rr := httptest.NewRecorder()
+	s.handleReload(rr, httptest.NewRequest("POST", "/reload?dataset=movies", nil))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("broken file reload: status = %d", rr.Code)
+	}
+	if got := s.datasets["movies"].Corpus.Stats().Nodes; got != before {
+		t.Fatalf("failed reload changed the corpus: %d -> %d nodes", before, got)
+	}
+	if _, err := s.datasets["movies"].Corpus.Query("movie", 6); err != nil {
+		t.Fatalf("old corpus stopped serving after failed reload: %v", err)
+	}
+}
+
+// TestReloadDuringQueries drives concurrent searches while the dataset
+// reloads repeatedly — the online-swap path under the race detector (CI
+// runs every test with -race). Every response must be complete and
+// error-free, whichever corpus generation served it.
+func TestReloadDuringQueries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "movies.xml")
+	writeDataset(t, path, gen.Movies(gen.MoviesConfig{Movies: 6, Seed: 5}))
+	s := fileServer(t, path)
+	ds := s.datasets["movies"]
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				hits, err := ds.Corpus.Query("movie title", 8)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, h := range hits {
+					if h.Result == nil || h.Snippet == nil || h.Snippet.Inline() == "" {
+						t.Error("incomplete hit during reload")
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 5; i++ {
+		writeDataset(t, path, gen.Movies(gen.MoviesConfig{Movies: 5 + i, Seed: int64(i)}))
+		rr := httptest.NewRecorder()
+		s.handleReload(rr, httptest.NewRequest("POST", "/reload?dataset=movies", nil))
+		if rr.Code != http.StatusOK {
+			t.Errorf("reload %d: status = %d: %s", i, rr.Code, rr.Body.String())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestWatchTickReloadsChangedFiles drives one watcher tick directly: an
+// unchanged file must not reload, a rewritten (newer-mtime) file must.
+func TestWatchTickReloadsChangedFiles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "movies.xml")
+	writeDataset(t, path, gen.Movies(gen.MoviesConfig{Movies: 4, Seed: 9}))
+	s := fileServer(t, path)
+	ds := s.datasets["movies"]
+	before := ds.Corpus.Stats().Nodes
+
+	s.checkFiles() // unchanged mtime: nothing happens
+	if got := ds.Corpus.Stats().Nodes; got != before {
+		t.Fatalf("tick without a file change reloaded: %d -> %d nodes", before, got)
+	}
+
+	writeDataset(t, path, gen.Movies(gen.MoviesConfig{Movies: 9, Seed: 10}))
+	bumpMtime(t, path)
+	s.checkFiles()
+	if got := ds.Corpus.Stats().Nodes; got == before {
+		t.Fatalf("tick after a file change did not reload (%d nodes)", got)
+	}
+
+	// A second tick with no further change must not reload again.
+	after := ds.Corpus.Stats().Nodes
+	s.checkFiles()
+	if got := ds.Corpus.Stats().Nodes; got != after {
+		t.Fatalf("second tick reloaded again: %d -> %d nodes", after, got)
+	}
+}
+
+// bumpMtime pushes the file's mtime clearly past the recorded one, so the
+// test does not depend on filesystem timestamp granularity.
+func bumpMtime(t *testing.T, path string) {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	when := fi.ModTime().Add(2 * time.Second)
+	if err := os.Chtimes(path, when, when); err != nil {
+		t.Fatal(err)
 	}
 }

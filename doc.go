@@ -61,20 +61,26 @@
 //
 // # Query-serving layer
 //
-// Sharded queries run through internal/serve, the layer that makes the
-// online snippet-generation path hold up under sustained, repetitive
-// traffic:
+// Every query — on a sharded or an unsharded corpus alike — runs through
+// internal/serve, the layer that makes the online snippet-generation path
+// hold up under sustained, repetitive traffic. The layer is
+// corpus-agnostic: it drives any corpus shape through a small backend
+// interface (a sharded corpus with one engine per shard, or an unsharded
+// corpus with exactly one), so there is a single serving path to maintain
+// and both shapes get:
 //
-//   - A fixed-size worker pool (WithWorkers, default GOMAXPROCS) executes
-//     all per-shard evaluation and snippet generation, bounding corpus-wide
-//     concurrency no matter how many queries are in flight — the
-//     goroutine-per-shard-per-query fan-out is gone. When every worker is
-//     busy, submitters run their own tasks inline, so the pool can never
-//     deadlock.
-//   - Per-shard search engines are built once per option combination and
-//     reused across queries.
+//   - A fixed-size worker pool (WithWorkers, default GOMAXPROCS) executing
+//     all fanned-out work — per-shard evaluation on sharded corpora,
+//     snippet generation on any corpus — bounding that concurrency no
+//     matter how many queries are in flight; the goroutine-per-shard-
+//     per-query fan-out is gone. (An unsharded corpus has no evaluation
+//     fan-out: its single engine evaluates on the calling goroutine.)
+//     When every worker is busy, submitters run their own tasks inline,
+//     so the pool can never deadlock.
+//   - Search engines built once per option combination and reused across
+//     queries.
 //   - A sharded, size-bounded LRU query cache (WithQueryCache, 0 disables)
-//     replays repeated queries — Corpus.Search result lists, and
+//     replaying repeated queries — Corpus.Search result lists, and
 //     Corpus.Query result+snippet pairs per bound — without recomputation.
 //     Keys are tuples of interned keyword ids (index.Interner), carried in
 //     a canonical sorted-tuple encoding whose order-free prefix picks the
@@ -88,10 +94,22 @@
 //
 // Cached responses are byte-identical to uncached evaluation (pinned by
 // property tests); `benchrunner -serve` measures the payoff as concurrent
-// QPS over a Zipf-distributed workload, cold versus warm (the "serve"
-// section of BENCH_search.json — warm throughput is well over 5x cold at
-// every recorded size). Corpus.QueryCacheStats exposes the hit/miss/
-// occupancy counters; extractd serves them at /stats.
+// QPS over a Zipf-distributed workload, cold versus warm, for sharded and
+// unsharded corpora (the "serve" section of BENCH_search.json — warm
+// throughput is well over 5x cold at every recorded size).
+// Corpus.QueryCacheStats exposes the hit/miss/occupancy counters; extractd
+// serves them at /stats.
+//
+// # Online reload
+//
+// Corpus.Reload swaps freshly analyzed data into a serving corpus without
+// a restart and without dropping traffic: the data pointer is replaced
+// atomically, the serving layer swaps backends and invalidates its cache
+// in the same step, and queries already in flight finish against the data
+// they started on. The new data may have any shape — a reload can change
+// the shard count. extractd exposes the path per dataset as POST /reload
+// and, with -watch, as an mtime poller that reloads a file-backed dataset
+// whenever its file changes (see cmd/extractd/README.md).
 //
 // # Persisted indexes
 //
@@ -123,4 +141,12 @@
 // parser and query-cache key codec, the bench-regression gate and the
 // serve-throughput gate on every PR, with Go module and build caches
 // shared across jobs.
+//
+// # Further reading
+//
+// ARCHITECTURE.md at the repository root is the layer-by-layer tour —
+// xmltree up through index, search, snippet generation, shard, persist,
+// serve and this facade — with request-lifecycle walkthroughs of a cached
+// sharded query and an online reload. cmd/extractd/README.md documents
+// the demo server's flags and endpoints.
 package extract

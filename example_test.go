@@ -3,8 +3,10 @@ package extract_test
 import (
 	"fmt"
 	"log"
+	"strings"
 
 	"extract"
+	"extract/xmltree"
 )
 
 const libraryXML = `
@@ -58,6 +60,76 @@ func ExampleCorpus_Search_phrase() {
 	fmt.Println(len(exact), len(reversed))
 	// Output:
 	// 1 0
+}
+
+// Corpora built with the FromDocument* constructors take no load options;
+// ConfigureServing sets their serving-layer parameters — worker-pool size
+// and query-cache budget — before the first query.
+func ExampleCorpus_ConfigureServing() {
+	doc, err := xmltree.Parse(strings.NewReader(libraryXML))
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus := extract.FromDocument(doc, nil)
+	corpus.ConfigureServing(2, 1<<20) // 2 workers, a 1 MiB query cache
+	defer corpus.Close()
+
+	hits, err := corpus.Query("databases", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, ok := corpus.QueryCacheStats()
+	fmt.Println(len(hits), ok, stats.Capacity)
+	// Output:
+	// 2 true 1048576
+}
+
+// Every corpus serves queries through a cache; repeating a query answers
+// from it, and QueryCacheStats shows the counters.
+func ExampleCorpus_QueryCacheStats() {
+	corpus, err := extract.LoadString(libraryXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer corpus.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := corpus.Query("Ada databases", 3); err != nil {
+			log.Fatal(err)
+		}
+	}
+	stats, _ := corpus.QueryCacheStats()
+	fmt.Printf("misses=%d hits=%d entries=%d\n", stats.Misses, stats.Hits, stats.Entries)
+	// Output:
+	// misses=1 hits=2 entries=1
+}
+
+// Reload swaps freshly analyzed data into a serving corpus — the online
+// index-refresh path. Queries in flight finish against the old data; the
+// query cache is invalidated in the same step.
+func ExampleCorpus_Reload() {
+	corpus, err := extract.LoadString(libraryXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer corpus.Close()
+	hits, _ := corpus.Query("databases", 3)
+	fmt.Println(len(hits), "results")
+
+	updated, err := extract.LoadString(`
+<library>
+  <book><title>The Art of Indexing</title><author>Ada Stone</author><topic>databases</topic></book>
+  <book><title>Trees Everywhere</title><author>Ben Rivera</author><topic>databases</topic></book>
+  <book><title>Snippets at Scale</title><author>Cleo Park</author><topic>databases</topic></book>
+</library>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus.Reload(updated)
+	hits, _ = corpus.Query("databases", 3)
+	fmt.Println(len(hits), "results")
+	// Output:
+	// 2 results
+	// 3 results
 }
 
 // The IList (Snippet Information List) ranks what a snippet should show:

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"extract/internal/core"
 	"extract/internal/dtd"
@@ -25,14 +25,17 @@ import (
 // (entity / attribute / connection), mined entity keys and keyword index.
 // A corpus loaded with WithShards partitions the document into shards with
 // independent packed indexes; queries fan out across them and merge (see
-// internal/shard), while the API is identical. Sharded queries run through
-// a serving layer (internal/serve): a fixed worker pool bounds per-shard
-// evaluation concurrency, per-shard engines are reused across queries, and
-// repeated queries are answered from a size-bounded LRU cache keyed on
-// interned keyword ids — tune it with WithWorkers and WithQueryCache.
+// internal/shard), while the API is identical. Every corpus — sharded or
+// not — answers Search and Query through one serving layer (internal/serve):
+// a fixed worker pool bounds evaluation concurrency, engines are reused
+// across queries, and repeated queries are answered from a size-bounded LRU
+// cache keyed on interned keyword ids — tune it with WithWorkers and
+// WithQueryCache. Reload swaps in freshly analyzed data without dropping
+// in-flight queries.
 type Corpus struct {
-	c  *core.Corpus  // unsharded corpus; nil when sharded
-	sh *shard.Corpus // sharded corpus; nil when unsharded
+	// data is the corpus's current analyzed state, replaced atomically by
+	// Reload; every method works on one coherent snapshot of it.
+	data atomic.Pointer[corpusData]
 
 	// Serving-layer configuration, fixed before the first query.
 	srvWorkers int
@@ -40,9 +43,32 @@ type Corpus struct {
 
 	srvOnce sync.Once
 	srv     *serve.Server
+
+	// reloadMu serializes Reload: publishing the data generation and
+	// swapping the serving backend must be one step, or two racing
+	// reloads could leave queries served from one generation and
+	// Stats/Suggest/SaveIndex reading another.
+	reloadMu sync.Mutex
 }
 
-// server returns the lazily started serving layer of a sharded corpus.
+// corpusData is one immutable generation of a corpus's analyzed state —
+// exactly one of the two fields is set. Reload publishes a new generation
+// and swaps the serving layer onto it; queries in flight keep the snapshot
+// they started with.
+type corpusData struct {
+	c  *core.Corpus  // unsharded corpus; nil when sharded
+	sh *shard.Corpus // sharded corpus; nil when unsharded
+}
+
+// backend adapts the generation to the serving layer's corpus interface.
+func (d *corpusData) backend() serve.Backend {
+	if d.sh != nil {
+		return d.sh
+	}
+	return serve.Single{C: d.c}
+}
+
+// server returns the corpus's lazily started serving layer.
 func (c *Corpus) server() *serve.Server {
 	c.srvOnce.Do(func() {
 		var opts []serve.Option
@@ -52,21 +78,33 @@ func (c *Corpus) server() *serve.Server {
 		if c.srvCache >= 0 {
 			opts = append(opts, serve.WithCacheBytes(c.srvCache))
 		}
-		c.srv = serve.New(c.sh, opts...)
+		c.srv = serve.New(c.data.Load().backend(), opts...)
 	})
 	return c.srv
 }
 
+// newCorpus wraps one corpus generation with default serving configuration.
+func newCorpus(d *corpusData) *Corpus {
+	c := &Corpus{srvCache: -1}
+	c.data.Store(d)
+	return c
+}
+
 // newSharded wraps a sharded corpus with default serving configuration.
 func newSharded(sh *shard.Corpus) *Corpus {
-	return &Corpus{sh: sh, srvCache: -1}
+	return newCorpus(&corpusData{sh: sh})
+}
+
+// newUnsharded wraps an unsharded corpus with default serving configuration.
+func newUnsharded(cc *core.Corpus) *Corpus {
+	return newCorpus(&corpusData{c: cc})
 }
 
 // ConfigureServing sets the serving-layer parameters — worker-pool size
 // (0 = GOMAXPROCS) and query-cache budget in bytes (0 disables caching,
 // negative restores the default budget) — for corpora built with the
 // FromDocument* constructors, which take no load options. It must be
-// called before the first query and is a no-op on unsharded corpora.
+// called before the first query.
 func (c *Corpus) ConfigureServing(workers int, cacheBytes int64) {
 	c.srvWorkers = workers
 	c.srvCache = cacheBytes
@@ -76,12 +114,28 @@ func (c *Corpus) ConfigureServing(workers int, cacheBytes int64) {
 // need it; a dropped Corpus cleans up on garbage collection, and queries
 // after Close still work (evaluation runs on the calling goroutine).
 func (c *Corpus) Close() {
-	if c.sh != nil {
-		// Going through server() makes Close safe against a concurrent
-		// first query: the sync.Once orders the pool's creation before
-		// its stop (worst case it builds a pool only to stop it).
-		c.server().Close()
-	}
+	// Going through server() makes Close safe against a concurrent
+	// first query: the sync.Once orders the pool's creation before
+	// its stop (worst case it builds a pool only to stop it).
+	c.server().Close()
+}
+
+// Reload replaces the corpus's analyzed data with src's — the online
+// index-refresh path. The swap is atomic: queries already in flight finish
+// against the data they started on, later queries see only the new data,
+// and the query cache is invalidated in the same step (responses computed
+// against the old data never enter it). Concurrent Reload calls are
+// serialized; the one that starts last wins. src may have any shape —
+// reloading can change the shard count, or swap a sharded corpus for an
+// unsharded one — and is consumed: it must not be used afterwards. The
+// receiving corpus keeps its own serving configuration (workers, cache
+// budget).
+func (c *Corpus) Reload(src *Corpus) {
+	c.reloadMu.Lock()
+	defer c.reloadMu.Unlock()
+	d := src.data.Load()
+	c.data.Store(d)
+	c.server().Swap(d.backend())
 }
 
 // CacheStats is a point-in-time snapshot of the query cache: hit/miss
@@ -97,12 +151,10 @@ type CacheStats struct {
 	Capacity  int64 `json:"capacity"`
 }
 
-// QueryCacheStats reports the query-cache counters of a sharded corpus's
-// serving layer; ok is false for unsharded corpora, which have no cache.
+// QueryCacheStats reports the query-cache counters of the corpus's serving
+// layer. Every corpus has one, so ok is always true; it is retained so
+// callers written against the sharded-only serving layer keep compiling.
 func (c *Corpus) QueryCacheStats() (stats CacheStats, ok bool) {
-	if c.sh == nil {
-		return CacheStats{}, false
-	}
 	st := c.server().Stats()
 	return CacheStats{
 		Hits:      st.Hits,
@@ -119,10 +171,11 @@ func (c *Corpus) QueryCacheStats() (stats CacheStats, ok bool) {
 // snippet generation needs: the corpus itself, or the shared analysis view
 // of a sharded corpus.
 func (c *Corpus) analysis() *core.Corpus {
-	if c.sh != nil {
-		return c.sh.Analysis()
+	d := c.data.Load()
+	if d.sh != nil {
+		return d.sh.Analysis()
 	}
-	return c.c
+	return d.c
 }
 
 // Option configures corpus loading.
@@ -188,10 +241,12 @@ func WithShards(n int) Option {
 	}
 }
 
-// WithWorkers sets the serving layer's worker-pool size for a sharded
-// corpus (default GOMAXPROCS): the fixed number of goroutines that all
-// per-shard query evaluation runs on, no matter how many queries are in
-// flight. No effect on unsharded corpora.
+// WithWorkers sets the serving layer's worker-pool size (default
+// GOMAXPROCS): the fixed number of goroutines that all fanned-out work —
+// per-shard evaluation on a sharded corpus, snippet generation on any
+// corpus — runs on, no matter how many queries are in flight. An unsharded
+// corpus has no evaluation fan-out to bound: its single-engine evaluation
+// runs on the goroutine that asked.
 func WithWorkers(n int) Option {
 	return func(c *loadConfig) error {
 		if n < 0 {
@@ -202,11 +257,12 @@ func WithWorkers(n int) Option {
 	}
 }
 
-// WithQueryCache sets the query-cache budget in bytes for a sharded
-// corpus. Repeated queries (same keywords, options and snippet bound) are
-// answered from a sharded LRU cache keyed on interned keyword ids instead
-// of being recomputed; 0 disables caching. The default is a modest budget
-// (see internal/serve.DefaultCacheBytes). No effect on unsharded corpora.
+// WithQueryCache sets the query-cache budget in bytes. Repeated queries
+// (same keywords, options and snippet bound) are answered from a sharded
+// LRU cache keyed on interned keyword ids instead of being recomputed; 0
+// disables caching. The default is a modest budget (see
+// internal/serve.DefaultCacheBytes). Sharded and unsharded corpora cache
+// alike — both serve queries through the same layer.
 func WithQueryCache(bytes int64) Option {
 	return func(c *loadConfig) error {
 		if bytes < 0 {
@@ -244,12 +300,14 @@ func Load(r io.Reader, opts ...Option) (*Corpus, error) {
 		}
 		cfg.dtd = d
 	}
+	var c *Corpus
 	if cfg.shards > 1 {
-		c := FromDocumentSharded(doc, cfg.dtd, cfg.shards)
-		c.ConfigureServing(cfg.workers, cfg.cache)
-		return c, nil
+		c = FromDocumentSharded(doc, cfg.dtd, cfg.shards)
+	} else {
+		c = FromDocument(doc, cfg.dtd)
 	}
-	return FromDocument(doc, cfg.dtd), nil
+	c.ConfigureServing(cfg.workers, cfg.cache)
+	return c, nil
 }
 
 // LoadString parses and analyzes an XML database from a string.
@@ -292,22 +350,25 @@ func LoadFiles(paths []string, opts ...Option) (*Corpus, error) {
 		}
 		xmltree.Append(root, doc.Root)
 	}
+	var c *Corpus
 	if cfg.shards > 1 {
-		c := FromDocumentSharded(xmltree.NewDocument(root), cfg.dtd, cfg.shards)
-		c.ConfigureServing(cfg.workers, cfg.cache)
-		return c, nil
+		c = FromDocumentSharded(xmltree.NewDocument(root), cfg.dtd, cfg.shards)
+	} else {
+		c = FromDocument(xmltree.NewDocument(root), cfg.dtd)
 	}
-	return FromDocument(xmltree.NewDocument(root), cfg.dtd), nil
+	c.ConfigureServing(cfg.workers, cfg.cache)
+	return c, nil
 }
 
 // Suggest returns up to k indexed keywords starting with prefix, most
 // frequent first — query autocompletion. On a sharded corpus the per-shard
 // completions merge, re-ranked by corpus-wide frequency.
 func (c *Corpus) Suggest(prefix string, k int) []string {
-	if c.sh != nil {
-		return c.sh.CompletePrefix(prefix, k)
+	d := c.data.Load()
+	if d.sh != nil {
+		return d.sh.CompletePrefix(prefix, k)
 	}
-	return c.c.Index.CompletePrefix(prefix, k)
+	return d.c.Index.CompletePrefix(prefix, k)
 }
 
 // FromDocument analyzes an already-parsed document. d may be nil.
@@ -316,7 +377,7 @@ func FromDocument(doc *xmltree.Document, d *dtd.DTD) *Corpus {
 	if d != nil {
 		copts = append(copts, core.WithDTD(d))
 	}
-	return &Corpus{c: core.BuildCorpus(doc, copts...)}
+	return newUnsharded(core.BuildCorpus(doc, copts...))
 }
 
 // FromDocumentSharded analyzes an already-parsed document and partitions it
@@ -337,19 +398,20 @@ func FromDocumentSharded(doc *xmltree.Document, d *dtd.DTD, n int) *Corpus {
 // harness and tools; library users should not need it. For a sharded
 // corpus it returns the reconstructed whole-document fallback corpus.
 func (c *Corpus) Internal() *core.Corpus {
-	if c.sh != nil {
-		return c.sh.Fallback()
+	d := c.data.Load()
+	if d.sh != nil {
+		return d.sh.Fallback()
 	}
-	return c.c
+	return d.c
 }
 
 // InternalShards exposes the sharded corpus, or nil when unsharded.
-func (c *Corpus) InternalShards() *shard.Corpus { return c.sh }
+func (c *Corpus) InternalShards() *shard.Corpus { return c.data.Load().sh }
 
 // Shards returns the number of index shards (1 for an unsharded corpus).
 func (c *Corpus) Shards() int {
-	if c.sh != nil {
-		return c.sh.NumShards()
+	if sh := c.data.Load().sh; sh != nil {
+		return sh.NumShards()
 	}
 	return 1
 }
@@ -368,42 +430,44 @@ type Stats struct {
 // Stats returns corpus summary statistics. On a sharded corpus they
 // aggregate across shards (shard-root copies deduplicated).
 func (c *Corpus) Stats() Stats {
-	if c.sh != nil {
+	d := c.data.Load()
+	if d.sh != nil {
 		maxDepth := 0
-		for _, s := range c.sh.Shards() {
+		for _, s := range d.sh.Shards() {
 			if ds := s.Doc.ComputeStats(); ds.MaxDepth > maxDepth {
 				maxDepth = ds.MaxDepth
 			}
 		}
-		cls := c.sh.Classification()
+		cls := d.sh.Classification()
 		return Stats{
-			Nodes:            c.sh.TotalNodes(),
-			Elements:         c.sh.TotalElements(),
+			Nodes:            d.sh.TotalNodes(),
+			Elements:         d.sh.TotalElements(),
 			MaxDepth:         maxDepth,
-			DistinctKeywords: c.sh.DistinctKeywords(),
+			DistinctKeywords: d.sh.DistinctKeywords(),
 			Entities:         cls.Entities(),
 			Attributes:       cls.Attributes(),
 			Connections:      cls.Connections(),
 		}
 	}
-	ds := c.c.Doc.ComputeStats()
+	ds := d.c.Doc.ComputeStats()
 	return Stats{
 		Nodes:            ds.Nodes,
 		Elements:         ds.Elements,
 		MaxDepth:         ds.MaxDepth,
-		DistinctKeywords: c.c.Index.DistinctKeywords(),
-		Entities:         c.c.Cls.Entities(),
-		Attributes:       c.c.Cls.Attributes(),
-		Connections:      c.c.Cls.Connections(),
+		DistinctKeywords: d.c.Index.DistinctKeywords(),
+		Entities:         d.c.Cls.Entities(),
+		Attributes:       d.c.Cls.Attributes(),
+		Connections:      d.c.Cls.Connections(),
 	}
 }
 
 // EntityKey returns the mined key attribute of an entity label.
 func (c *Corpus) EntityKey(entity string) (attr string, ok bool) {
-	if c.sh != nil {
-		return c.sh.Keys().KeyAttr(entity)
+	d := c.data.Load()
+	if d.sh != nil {
+		return d.sh.Keys().KeyAttr(entity)
 	}
-	return c.c.Keys.KeyAttr(entity)
+	return d.c.Keys.KeyAttr(entity)
 }
 
 // SearchOption configures query evaluation.
@@ -469,24 +533,16 @@ func (c *Corpus) Search(query string, opts ...SearchOption) ([]*Result, error) {
 	for _, f := range opts {
 		f(&cfg)
 	}
-	var (
-		rs  []*search.Result
-		err error
-	)
-	if c.sh != nil {
-		// The serving layer answers repeated queries from its cache; the
-		// returned slice is fresh (safe for the in-place ranking sort
-		// below), the results it holds are shared and read-only.
-		rs, err = c.server().Search(query, cfg.opts)
-	} else {
-		rs, err = c.c.Engine(cfg.opts).Search(query)
-	}
+	// The serving layer answers repeated queries from its cache; the
+	// returned slice is fresh (safe for the in-place ranking sort below),
+	// the results it holds are shared and read-only.
+	rs, backend, err := c.server().SearchWithBackend(query, cfg.opts)
 	if err != nil {
 		return nil, err
 	}
 	var scores []float64
 	if cfg.ranked {
-		scores = c.scorer().Sort(rs, queryTermKeys(query))
+		scores = scorerFor(backend).Sort(rs, queryTermKeys(query))
 	}
 	out := make([]*Result, len(rs))
 	for i, r := range rs {
@@ -498,13 +554,19 @@ func (c *Corpus) Search(query string, opts ...SearchOption) ([]*Result, error) {
 	return out, nil
 }
 
-// scorer builds the relevance scorer over the corpus's global document
-// frequencies.
-func (c *Corpus) scorer() *rank.Scorer {
-	if c.sh != nil {
-		return rank.NewScorerFunc(c.sh.Count, c.sh.TotalElements())
+// scorerFor builds the relevance scorer over the global document
+// frequencies of the corpus generation behind one serving backend — the
+// generation that produced the results being ranked, which during a reload
+// is not necessarily the corpus's current one.
+func scorerFor(b serve.Backend) *rank.Scorer {
+	switch x := b.(type) {
+	case *shard.Corpus:
+		return rank.NewScorerFunc(x.Count, x.TotalElements())
+	case serve.Single:
+		return rank.NewScorer(x.C.Index)
 	}
-	return rank.NewScorer(c.c.Index)
+	// Unreachable: the facade only ever builds the two shapes above.
+	panic("extract: unknown serving backend")
 }
 
 // queryTermKeys returns the canonical term strings ranking scores against.
@@ -619,68 +681,20 @@ type Hit struct {
 }
 
 // Query runs the end-to-end pipeline: search, then snippet each result
-// within the bound. With many results, snippet generation fans out over
-// the available CPUs — never spawning more workers than results — sharing
-// one generator so collector buffers and the tokenized query are reused;
-// output order is unaffected.
+// within the bound. The serving layer computes — or replays from its cache
+// — the result list and the snippets in one entry, with evaluation and
+// snippet generation both scheduled on its worker pool. Cached entries hold
+// hits in document order; ranking reorders a private copy, so a ranked and
+// an unranked query share one cache entry.
 func (c *Corpus) Query(query string, bound int, opts ...SearchOption) ([]*Hit, error) {
 	if bound < 0 {
 		return nil, fmt.Errorf("extract: negative snippet bound %d", bound)
 	}
-	if c.sh != nil {
-		return c.queryServed(query, bound, opts...)
-	}
-	results, err := c.Search(query, opts...)
-	if err != nil {
-		return nil, err
-	}
-	g := core.NewGenerator(c.analysis())
-	kws := index.Tokenize(query)
-	snippet := func(r *Result) *Snippet {
-		return &Snippet{g: g.ForResultTokens(r.r, kws, bound)}
-	}
-	hits := make([]*Hit, len(results))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(results) {
-		workers = len(results)
-	}
-	if len(results) >= 4 && workers > 1 {
-		var wg sync.WaitGroup
-		idx := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range idx {
-					hits[i] = &Hit{Result: results[i], Snippet: snippet(results[i])}
-				}
-			}()
-		}
-		for i := range results {
-			idx <- i
-		}
-		close(idx)
-		wg.Wait()
-		return hits, nil
-	}
-	for i, r := range results {
-		hits[i] = &Hit{Result: r, Snippet: snippet(r)}
-	}
-	return hits, nil
-}
-
-// queryServed is Query on a sharded corpus: the serving layer computes —
-// or replays from its cache — the result list and the snippets in one
-// entry, with per-shard evaluation and snippet generation both scheduled
-// on its worker pool. Cached entries hold hits in document order; ranking
-// reorders a private copy, so a ranked and an unranked query share one
-// cache entry.
-func (c *Corpus) queryServed(query string, bound int, opts ...SearchOption) ([]*Hit, error) {
 	cfg := searchConfig{opts: search.Options{DistinctAnchors: true}}
 	for _, f := range opts {
 		f(&cfg)
 	}
-	rs, gens, err := c.server().Query(query, cfg.opts, bound)
+	rs, gens, backend, err := c.server().QueryWithBackend(query, cfg.opts, bound)
 	if err != nil {
 		return nil, err
 	}
@@ -692,7 +706,7 @@ func (c *Corpus) queryServed(query string, bound int, opts ...SearchOption) ([]*
 		}
 	}
 	if cfg.ranked {
-		scorer := c.scorer()
+		scorer := scorerFor(backend)
 		keys := queryTermKeys(query)
 		for _, h := range hits {
 			h.Result.score = scorer.Score(h.Result.r, keys)
@@ -712,11 +726,12 @@ func (c *Corpus) XPath(expr string) ([]*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	xdoc := c.c
-	if c.sh != nil {
+	d := c.data.Load()
+	xdoc := d.c
+	if d.sh != nil {
 		// XPath needs the whole document; evaluate on the reconstructed
 		// fallback corpus.
-		xdoc = c.sh.Fallback()
+		xdoc = d.sh.Fallback()
 	}
 	var out []*Result
 	for _, n := range e.SelectDoc(xdoc.Doc) {
@@ -732,18 +747,20 @@ func (c *Corpus) XPath(expr string) ([]*Result, error) {
 // (packed slabs; one image per shard for a sharded corpus); LoadIndex
 // reopens it without re-parsing, re-tokenizing or re-analyzing the XML.
 func (c *Corpus) SaveIndex(w io.Writer) error {
-	if c.sh != nil {
-		return shard.Save(w, c.sh)
+	d := c.data.Load()
+	if d.sh != nil {
+		return shard.Save(w, d.sh)
 	}
-	return persist.Save(w, c.c)
+	return persist.Save(w, d.c)
 }
 
 // SaveIndexFile writes the analyzed corpus to a file.
 func (c *Corpus) SaveIndexFile(path string) error {
-	if c.sh != nil {
-		return shard.SaveFile(path, c.sh)
+	d := c.data.Load()
+	if d.sh != nil {
+		return shard.SaveFile(path, d.sh)
 	}
-	return persist.SaveFile(path, c.c)
+	return persist.SaveFile(path, d.c)
 }
 
 // LoadIndex reads a corpus saved with SaveIndex, dispatching on the magic
@@ -764,7 +781,7 @@ func LoadIndex(r io.Reader) (*Corpus, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Corpus{c: cc}, nil
+	return newUnsharded(cc), nil
 }
 
 // LoadIndexFile reads a corpus saved with SaveIndexFile.
@@ -787,7 +804,7 @@ func LoadIndexFile(path string) (*Corpus, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Corpus{c: cc}, nil
+	return newUnsharded(cc), nil
 }
 
 // Tokenize exposes the query/index tokenizer (lowercased word tokens).

@@ -95,3 +95,21 @@ func TestCompareReportsServeGate(t *testing.T) {
 		t.Fatalf("unknown size flagged: %v", msgs)
 	}
 }
+
+// TestCompareReportsServeKeyedByShards: each size carries a sharded and an
+// unsharded serve point; a regression of one must be attributed to it, not
+// masked by (or blamed on) the other.
+func TestCompareReportsServeKeyedByShards(t *testing.T) {
+	base := &SearchPerfReport{Serve: []ServePerfPoint{
+		{Nodes: 100_000, Shards: 4, WarmSpeedup: 400},
+		{Nodes: 100_000, Shards: 1, WarmSpeedup: 300},
+	}}
+	cur := &SearchPerfReport{Serve: []ServePerfPoint{
+		{Nodes: 100_000, Shards: 4, WarmSpeedup: 8}, // healthy
+		{Nodes: 100_000, Shards: 1, WarmSpeedup: 2}, // cache stopped paying
+	}}
+	msgs := CompareReports(base, cur, 1.2)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "(1 shards)") {
+		t.Fatalf("msgs = %v, want exactly the unsharded point flagged", msgs)
+	}
+}

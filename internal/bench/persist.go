@@ -34,7 +34,7 @@ type PersistPerfPoint struct {
 
 // timeItCold measures fn as a cold one-shot: a forced GC before every run
 // so each measurement starts from a settled heap — the corpus-load-at-
-//-server-start scenario the persist trajectory tracks. Scheduler noise on a
+// -server-start scenario the persist trajectory tracks. Scheduler noise on a
 // shared machine is strictly additive and arrives in bursts, so it keeps
 // sampling (at least minReps, up to maxReps) until the running minimum has
 // not improved for `patience` consecutive runs: the minimum is the estimate
@@ -257,12 +257,15 @@ func CompareReports(baseline, current *SearchPerfReport, tol float64) []string {
 		}
 	}
 
-	baseServe := map[int]float64{}
+	// Serve points come in sharded and unsharded variants at each corpus
+	// size, so the baseline is keyed on both dimensions.
+	type serveKey struct{ nodes, shards int }
+	baseServe := map[serveKey]float64{}
 	for _, p := range baseline.Serve {
-		baseServe[p.Nodes] = p.WarmSpeedup
+		baseServe[serveKey{p.Nodes, p.Shards}] = p.WarmSpeedup
 	}
 	for _, p := range current.Serve {
-		base, ok := baseServe[p.Nodes]
+		base, ok := baseServe[serveKey{p.Nodes, p.Shards}]
 		if !ok || base <= 0 || p.WarmSpeedup <= 0 {
 			continue
 		}
@@ -282,8 +285,8 @@ func CompareReports(baseline, current *SearchPerfReport, tol float64) []string {
 		}
 		if p.WarmSpeedup < demanded/tol {
 			msgs = append(msgs, fmt.Sprintf(
-				"serve warm QPS at %d nodes regressed: %.1fx -> %.1fx over cold evaluation (limit %.1fx)",
-				p.Nodes, base, p.WarmSpeedup, demanded/tol))
+				"serve warm QPS at %d nodes (%d shards) regressed: %.1fx -> %.1fx over cold evaluation (limit %.1fx)",
+				p.Nodes, p.Shards, base, p.WarmSpeedup, demanded/tol))
 		}
 	}
 	return msgs

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"extract/internal/core"
 	"extract/internal/search"
 	"extract/internal/serve"
 	"extract/internal/shard"
@@ -21,7 +22,10 @@ import (
 // warm/cold QPS ratio is the cache's benefit on repeated-query traffic,
 // and — both phases running back to back on the same machine — it is the
 // machine-normalized quantity the CI gate compares, exactly like the
-// persist gate's load-speedup ratio.
+// persist gate's load-speedup ratio. Each corpus size is measured twice:
+// sharded (Shards > 1, evaluation fanned out per shard) and unsharded
+// (Shards == 1, the serve.Single backend) — both shapes serve through the
+// same layer and both are gated.
 type ServePerfPoint struct {
 	Nodes           int `json:"nodes"`
 	Shards          int `json:"shards"`
@@ -39,32 +43,40 @@ type ServePerfPoint struct {
 // servePerfShards is the shard count of the serve trajectory corpus.
 const servePerfShards = 4
 
-// ServePerf measures concurrent query throughput over sharded corpora at
-// the given sizes (default 1k/10k/100k nodes).
+// ServePerf measures concurrent query throughput at the given sizes
+// (default 1k/10k/100k nodes), one sharded and one unsharded point per
+// size.
 func ServePerf(sizes []int) ([]ServePerfPoint, error) {
 	if len(sizes) == 0 {
 		sizes = []int{1_000, 10_000, 100_000}
 	}
 	var points []ServePerfPoint
 	for _, size := range sizes {
-		p, err := servePerfPoint(size)
-		if err != nil {
-			return nil, err
+		for _, shards := range []int{servePerfShards, 1} {
+			p, err := servePerfPoint(size, shards)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, p)
 		}
-		points = append(points, p)
 	}
 	return points, nil
 }
 
-func servePerfPoint(size int) (ServePerfPoint, error) {
+func servePerfPoint(size, shards int) (ServePerfPoint, error) {
 	doc := storesCorpusOfSize(size, 3)
 	nodes := doc.Len()
-	qdoc := storesCorpusOfSize(size, 3) // shard.Build consumes its document
+	qdoc := storesCorpusOfSize(size, 3) // corpus building consumes its document
 	qs := workload.Generate(qdoc, workload.Config{Queries: 40, Keywords: 2, Seed: 17})
 	if len(qs) == 0 {
 		return ServePerfPoint{}, fmt.Errorf("bench: no serve workload at %d nodes", size)
 	}
-	sc := shard.Build(doc, servePerfShards)
+	var backend serve.Backend
+	if shards > 1 {
+		backend = shard.Build(doc, shards)
+	} else {
+		backend = serve.Single{C: core.BuildCorpus(doc)}
+	}
 	workers := runtime.GOMAXPROCS(0)
 	clients := workers
 	if clients > 8 {
@@ -107,10 +119,10 @@ func servePerfPoint(size int) (ServePerfPoint, error) {
 		return float64(len(stream)) / elapsed.Seconds(), nil
 	}
 
-	// Cold: cache disabled, so every op pays per-shard evaluation and
-	// snippet generation (singleflight still coalesces true ties, as it
-	// would in production).
-	coldSrv := serve.New(sc, serve.WithWorkers(workers), serve.WithCacheBytes(0))
+	// Cold: cache disabled, so every op pays evaluation and snippet
+	// generation (singleflight still coalesces true ties, as it would in
+	// production).
+	coldSrv := serve.New(backend, serve.WithWorkers(workers), serve.WithCacheBytes(0))
 	cold, err := run(coldSrv)
 	coldSrv.Close()
 	if err != nil {
@@ -118,7 +130,7 @@ func servePerfPoint(size int) (ServePerfPoint, error) {
 	}
 
 	// Warm: cache on, working set pre-touched once, then the same ops.
-	warmSrv := serve.New(sc, serve.WithWorkers(workers))
+	warmSrv := serve.New(backend, serve.WithWorkers(workers))
 	defer warmSrv.Close()
 	for _, q := range qs {
 		if _, _, err := warmSrv.Query(q.Text(), opts, 10); err != nil {
@@ -132,9 +144,13 @@ func servePerfPoint(size int) (ServePerfPoint, error) {
 	}
 	post := warmSrv.Stats()
 
+	numShards := 1
+	if sc, ok := backend.(*shard.Corpus); ok {
+		numShards = sc.NumShards()
+	}
 	p := ServePerfPoint{
 		Nodes:           nodes,
-		Shards:          sc.NumShards(),
+		Shards:          numShards,
 		Workers:         workers,
 		Clients:         clients,
 		DistinctQueries: len(qs),

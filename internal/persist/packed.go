@@ -655,7 +655,7 @@ func decodeStructure(nodeSlab []xmltree.Node, ccSlab []byte) ([]*xmltree.Node, e
 				return nil, fmt.Errorf("%w: child counts exceed node count", ErrBadFormat)
 			}
 			childBacking = childBacking[:start+int(cc)]
-			nd.Children = childBacking[start:start:start+int(cc)]
+			nd.Children = childBacking[start : start : start+int(cc)]
 			stack = append(stack, frame{node: nd, remaining: cc})
 		} else {
 			nd.End = int32(i)

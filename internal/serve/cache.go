@@ -111,7 +111,7 @@ func (c *Cache) do(key string, sortedPrefixLen int, epoch uint64,
 		c.misses.Add(1)
 		val, err := compute()
 		if err == nil {
-			c.put(key, sortedPrefixLen, val, epoch, stillCurrent)
+			c.put(key, sortedPrefixLen, val, epoch, stillCurrent, nil)
 		}
 		return val, err
 	}
@@ -123,20 +123,27 @@ func (c *Cache) do(key string, sortedPrefixLen int, epoch uint64,
 	f.val, f.err = compute()
 	close(f.done)
 
-	s.mu.Lock()
-	if s.inflight[key] == f {
-		delete(s.inflight, key)
-	}
-	s.mu.Unlock()
+	// The cache insert and the inflight-slot removal happen under one
+	// shard lock (put clears f), so no moment exists where a new caller
+	// sees neither the flight nor the entry and computes redundantly —
+	// the singleflight guarantee is exactly one computation per key.
 	if f.err == nil {
-		c.put(key, sortedPrefixLen, f.val, f.epoch, stillCurrent)
+		c.put(key, sortedPrefixLen, f.val, f.epoch, stillCurrent, f)
+	} else {
+		s.mu.Lock()
+		if s.inflight[key] == f {
+			delete(s.inflight, key)
+		}
+		s.mu.Unlock()
 	}
 	return f.val, f.err
 }
 
 // put inserts a computed response, evicting least-recently-used entries
 // until the shard fits its budget. Entries larger than the whole shard
-// budget are not kept.
+// budget are not kept. When f is non-nil it is the caller's own inflight
+// slot, removed under the same lock as the insert so followers always see
+// the flight or the entry, never a gap between them.
 //
 // stillCurrent(epoch) is re-checked under the shard lock, which makes the
 // insert atomic with swap invalidation: Swap bumps the epoch before
@@ -145,17 +152,14 @@ func (c *Cache) do(key string, sortedPrefixLen int, epoch uint64,
 // the entry — or the epoch already moved and the stale response is
 // dropped here. A response computed against a swapped-out corpus can
 // never survive in the cache.
-func (c *Cache) put(key string, sortedPrefixLen int, val *Cached, epoch uint64, stillCurrent func(uint64) bool) {
-	if !c.enabled() {
-		return
-	}
+func (c *Cache) put(key string, sortedPrefixLen int, val *Cached, epoch uint64, stillCurrent func(uint64) bool, f *flight) {
 	cost := val.cost()
 	s := c.shardFor(key, sortedPrefixLen)
-	if cost > s.maxBytes {
-		return
-	}
 	s.mu.Lock()
-	if !stillCurrent(epoch) {
+	if f != nil && s.inflight[key] == f {
+		delete(s.inflight, key)
+	}
+	if !c.enabled() || cost > s.maxBytes || !stillCurrent(epoch) {
 		s.mu.Unlock()
 		return
 	}

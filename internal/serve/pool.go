@@ -1,16 +1,23 @@
-// Package serve is the query-serving layer over a sharded corpus: the
-// piece that turns the one-shot query path into something that can hold up
-// under sustained traffic. It contributes three things the raw engine does
-// not have:
+// Package serve is the query-serving layer over a corpus: the piece that
+// turns the one-shot query path into something that can hold up under
+// sustained traffic. It drives any corpus shape through the Backend
+// interface — a sharded corpus with an engine per shard, or an unsharded
+// one through the Single adapter — and contributes three things the raw
+// engines do not have:
 //
-//   - a fixed-size worker pool bounding the corpus-wide evaluation
-//     concurrency (shard.Corpus.Search alone spawns one goroutine per
-//     shard per query, which multiplies under concurrent queries),
-//   - per-shard search.Engine instances cached per option combination and
-//     reused across queries instead of rebuilt,
+//   - a fixed-size worker pool bounding the concurrency of all fanned-out
+//     work — per-shard evaluation and snippet generation
+//     (shard.Corpus.Search alone spawns one goroutine per shard per query,
+//     which multiplies under concurrent queries; a Single backend's lone
+//     evaluation runs inline on the caller, there being nothing to fan
+//     out),
+//   - search.Engine instances cached per option combination and reused
+//     across queries instead of rebuilt,
 //   - a sharded, size-bounded LRU query cache keyed on interned keyword
 //     ids, with singleflight so concurrent identical queries compute once
-//     and explicit invalidation on corpus swap.
+//     and explicit invalidation on corpus swap (Server.Swap — the online
+//     reload path; in-flight queries finish against the corpus they
+//     started on and their responses are never cached).
 //
 // Cached responses are byte-identical to uncached evaluation (pinned by
 // property tests); the layer changes cost, never answers.

@@ -16,7 +16,48 @@ import (
 // next to the corpus it serves.
 const DefaultCacheBytes = 64 << 20
 
-// Server is the query-serving layer over one sharded corpus. It owns the
+// Backend is the evaluation side the serving layer drives: a corpus that
+// can expose its per-unit engines and evaluate a query through them. A
+// sharded corpus (*shard.Corpus) is one Backend with an engine per shard; an
+// unsharded corpus adapts through Single with exactly one. The Server never
+// looks inside — worker pool, engine memo, cache and swap epoch all operate
+// on the interface, so every corpus shape gets the same serving path.
+type Backend interface {
+	// Analysis returns the corpus carrying the classification and keys
+	// snippet generation needs (not necessarily a document).
+	Analysis() *core.Corpus
+	// Engines builds the backend's evaluation engines for one option
+	// combination, in the alignment SearchEngines expects.
+	Engines(opts search.Options) []*search.Engine
+	// SearchEngines evaluates a query on engines previously built by
+	// Engines for the same opts (nil builds throwaway ones), scheduling
+	// independent per-engine work through run (nil = own goroutines).
+	SearchEngines(query string, opts search.Options, engines []*search.Engine, run shard.Runner) ([]*search.Result, error)
+}
+
+// Single adapts an unsharded corpus to the Backend interface: one engine,
+// no fan-out or merge, evaluation on the calling goroutine (exactly what a
+// one-shard sharded corpus does). It is how the facade routes unsharded
+// corpora through the serving layer.
+type Single struct{ C *core.Corpus }
+
+// Analysis returns the corpus itself.
+func (s Single) Analysis() *core.Corpus { return s.C }
+
+// Engines builds the corpus's one engine for opts.
+func (s Single) Engines(opts search.Options) []*search.Engine {
+	return []*search.Engine{s.C.Engine(opts)}
+}
+
+// SearchEngines evaluates the query on the single engine, inline.
+func (s Single) SearchEngines(query string, opts search.Options, engines []*search.Engine, _ shard.Runner) ([]*search.Result, error) {
+	if engines == nil {
+		engines = s.Engines(opts)
+	}
+	return engines[0].Search(query)
+}
+
+// Server is the query-serving layer over one corpus backend. It owns the
 // worker pool, the per-option engine sets and the query cache; see the
 // package comment for what each buys. A Server is safe for concurrent use.
 type Server struct {
@@ -32,7 +73,7 @@ type Server struct {
 	epoch atomic.Uint64
 
 	mu      sync.Mutex
-	sc      *shard.Corpus
+	backend Backend
 	gen     *core.Generator // shared snippet generator over the corpus analysis
 	engines map[search.Options][]*search.Engine
 }
@@ -66,8 +107,8 @@ func WithCacheBytes(n int64) Option {
 	}
 }
 
-// New builds a serving layer over sc.
-func New(sc *shard.Corpus, opts ...Option) *Server {
+// New builds a serving layer over b.
+func New(b Backend, opts ...Option) *Server {
 	cfg := config{workers: runtime.GOMAXPROCS(0), cacheBytes: DefaultCacheBytes}
 	for _, o := range opts {
 		o(&cfg)
@@ -76,8 +117,8 @@ func New(sc *shard.Corpus, opts ...Option) *Server {
 		pool:     NewPool(cfg.workers),
 		cache:    NewCache(cfg.cacheBytes),
 		interner: index.NewInterner(),
-		sc:       sc,
-		gen:      core.NewGenerator(sc.Analysis()),
+		backend:  b,
+		gen:      core.NewGenerator(b.Analysis()),
 	}
 	s.engines = make(map[search.Options][]*search.Engine)
 	// The pool's workers would otherwise pin a dropped Server's goroutines
@@ -91,21 +132,21 @@ func New(sc *shard.Corpus, opts ...Option) *Server {
 // per-shard evaluation running on the calling goroutine.
 func (s *Server) Close() { s.pool.Stop() }
 
-// Corpus returns the corpus currently being served.
-func (s *Server) Corpus() *shard.Corpus {
+// Backend returns the corpus backend currently being served.
+func (s *Server) Backend() Backend {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.sc
+	return s.backend
 }
 
-// Swap replaces the served corpus and invalidates the query cache and the
-// cached engine sets. Queries already in flight complete against the
-// corpus they started on; their responses are returned to their callers
-// but never enter the cache.
-func (s *Server) Swap(sc *shard.Corpus) {
+// Swap replaces the served corpus backend and invalidates the query cache
+// and the cached engine sets — the online index-refresh primitive. Queries
+// already in flight complete against the corpus they started on; their
+// responses are returned to their callers but never enter the cache.
+func (s *Server) Swap(b Backend) {
 	s.mu.Lock()
-	s.sc = sc
-	s.gen = core.NewGenerator(sc.Analysis())
+	s.backend = b
+	s.gen = core.NewGenerator(b.Analysis())
 	s.engines = make(map[search.Options][]*search.Engine)
 	s.mu.Unlock()
 	s.epoch.Add(1)
@@ -130,32 +171,33 @@ func (s *Server) Stats() Stats { return s.cache.stats() }
 // allocation per shard).
 const maxEngineSets = 64
 
-// snapshot returns the coherent (corpus, generator, engine set) triple for
-// one query, building and memoizing the per-shard engines for opts on
+// snapshot returns the coherent (backend, generator, engine set) triple for
+// one query, building and memoizing the backend's engines for opts on
 // first use.
-func (s *Server) snapshot(opts search.Options) (*shard.Corpus, *core.Generator, []*search.Engine) {
+func (s *Server) snapshot(opts search.Options) (Backend, *core.Generator, []*search.Engine) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	engines, ok := s.engines[opts]
 	if !ok {
-		shards := s.sc.Shards()
-		engines = make([]*search.Engine, len(shards))
-		for i, sh := range shards {
-			engines[i] = sh.Engine(opts)
-		}
+		engines = s.backend.Engines(opts)
 		if len(s.engines) < maxEngineSets {
 			s.engines[opts] = engines
 		}
 	}
-	return s.sc, s.gen, engines
+	return s.backend, s.gen, engines
 }
 
 // Cached is one cached query response: the result list, and — for Query
 // keys — the generated snippets aligned with it. Both are shared across
 // every caller that hits the entry and must be treated as immutable.
+// Backend records the corpus generation the response was computed against;
+// swap invalidation guarantees a cached entry's backend is the one that
+// was current when it was admitted, and an in-flight response outliving a
+// swap carries the old backend it was actually evaluated on.
 type Cached struct {
 	Results  []*search.Result
 	Snippets []*core.Generated
+	Backend  Backend
 }
 
 // cost estimates the entry's heap footprint for the cache budget: result
@@ -202,23 +244,33 @@ func (s *Server) key(query string, opts search.Options, bound int) (key string, 
 	return key, prefixLen, true, nil
 }
 
-// Search evaluates a keyword query across the shards through the worker
+// Search evaluates a keyword query on the backend through the worker
 // pool, serving repeated queries from the cache. The returned slice is the
 // caller's to reorder; the results it points to are shared and immutable.
 func (s *Server) Search(query string, opts search.Options) ([]*search.Result, error) {
+	rs, _, err := s.SearchWithBackend(query, opts)
+	return rs, err
+}
+
+// SearchWithBackend is Search, additionally reporting the corpus backend
+// the response was evaluated on. During a Swap a response may have been
+// computed against the swapped-out corpus; callers deriving anything
+// generation-dependent from the results (ranking statistics, say) must use
+// this backend, not the server's current one.
+func (s *Server) SearchWithBackend(query string, opts search.Options) ([]*search.Result, Backend, error) {
 	compute := func() (*Cached, error) {
-		sc, _, engines := s.snapshot(opts)
-		rs, err := sc.SearchEngines(query, opts, engines, s.pool.Run)
+		b, _, engines := s.snapshot(opts)
+		rs, err := b.SearchEngines(query, opts, engines, s.pool.Run)
 		if err != nil {
 			return nil, err
 		}
-		return &Cached{Results: rs}, nil
+		return &Cached{Results: rs, Backend: b}, nil
 	}
 	v, err := s.serve(query, opts, -1, compute)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return append([]*search.Result(nil), v.Results...), nil
+	return append([]*search.Result(nil), v.Results...), v.Backend, nil
 }
 
 // Query runs the full pipeline — search, then one snippet per result at
@@ -226,22 +278,29 @@ func (s *Server) Search(query string, opts search.Options) ([]*search.Result, er
 // pool. Results and snippets are returned in document order, in fresh
 // slices; the objects they point to are shared and immutable.
 func (s *Server) Query(query string, opts search.Options, bound int) ([]*search.Result, []*core.Generated, error) {
+	rs, gs, _, err := s.QueryWithBackend(query, opts, bound)
+	return rs, gs, err
+}
+
+// QueryWithBackend is Query, additionally reporting the corpus backend the
+// response was evaluated on (see SearchWithBackend).
+func (s *Server) QueryWithBackend(query string, opts search.Options, bound int) ([]*search.Result, []*core.Generated, Backend, error) {
 	compute := func() (*Cached, error) {
-		sc, gen, engines := s.snapshot(opts)
-		rs, err := sc.SearchEngines(query, opts, engines, s.pool.Run)
+		b, gen, engines := s.snapshot(opts)
+		rs, err := b.SearchEngines(query, opts, engines, s.pool.Run)
 		if err != nil {
 			return nil, err
 		}
 		// Tokenized here, not on the hit path: cache hits never pay it.
 		kws := index.Tokenize(query)
-		return &Cached{Results: rs, Snippets: s.snippets(gen, rs, kws, bound)}, nil
+		return &Cached{Results: rs, Snippets: s.snippets(gen, rs, kws, bound), Backend: b}, nil
 	}
 	v, err := s.serve(query, opts, bound, compute)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	return append([]*search.Result(nil), v.Results...),
-		append([]*core.Generated(nil), v.Snippets...), nil
+		append([]*core.Generated(nil), v.Snippets...), v.Backend, nil
 }
 
 // serve answers one query through the cache when its key is admissible,

@@ -56,6 +56,17 @@ func runGoroutines(tasks []func()) {
 	wg.Wait()
 }
 
+// Engines builds one engine per shard for opts, in Shards() order — the
+// engine set SearchEngines accepts. The serving layer memoizes one set per
+// option combination (shard.Corpus satisfies serve.Backend with it).
+func (sc *Corpus) Engines(opts search.Options) []*search.Engine {
+	engines := make([]*search.Engine, len(sc.shards))
+	for i, s := range sc.shards {
+		engines[i] = s.Engine(opts)
+	}
+	return engines
+}
+
 // SearchEngines is Search with caller-managed per-shard engines and task
 // scheduling. engines, when non-nil, must be aligned with Shards() and
 // built over the same options (the serving layer caches one engine set per

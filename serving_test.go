@@ -53,8 +53,15 @@ func TestServedQueryRepeatsIdentical(t *testing.T) {
 		t.Fatalf("entries = %d, want 2 (ranked/unranked shared; ELCA separate): %+v", st.Entries, st)
 	}
 
-	if _, ok := FromDocument(gen.Figure5Corpus(), nil).QueryCacheStats(); ok {
-		t.Fatal("unsharded corpus must report no cache stats")
+	// Unsharded corpora serve through the same layer and report stats too.
+	unsharded := FromDocument(gen.Figure5Corpus(), nil)
+	defer unsharded.Close()
+	if _, err := unsharded.Query("austin store", 10); err != nil {
+		t.Fatal(err)
+	}
+	ust, ok := unsharded.QueryCacheStats()
+	if !ok || ust.Misses == 0 {
+		t.Fatalf("unsharded corpus must report cache stats: ok=%v %+v", ok, ust)
 	}
 }
 

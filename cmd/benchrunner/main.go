@@ -12,12 +12,17 @@
 //	benchrunner -persist BENCH_search.json # update the persist-load perf points
 //	benchrunner -serve BENCH_search.json   # update the serving-layer QPS points
 //	                                       # (zipf workload, cold vs warm cache)
+//	benchrunner -reload BENCH_search.json  # update the refresh points (full vs
+//	                                       # delta reload after a one-entity edit)
 //	benchrunner -search new.json -persist new.json -baseline BENCH_search.json
 //	                                       # CI gate: exit 1 if QueryEndToEnd or
 //	                                       # packed load regressed >20% vs baseline
 //	benchrunner -serve new.json -baseline BENCH_search.json
 //	                                       # CI gate: exit 1 if the warm/cold QPS
 //	                                       # ratio fell below the gated floor
+//	benchrunner -reload new.json -baseline BENCH_search.json
+//	                                       # CI gate: exit 1 if the delta/full
+//	                                       # reload speedup fell below the floor
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"os"
 
 	"extract/internal/bench"
+	"extract/internal/bench/reloadperf"
 )
 
 func main() {
@@ -35,13 +41,14 @@ func main() {
 		search     = flag.String("search", "", "update the search→snippet hot-path perf points in this JSON file")
 		persist    = flag.String("persist", "", "update the persist-load perf points in this JSON file")
 		serve      = flag.String("serve", "", "update the serving-layer concurrent-QPS perf points in this JSON file")
+		reload     = flag.String("reload", "", "update the full-vs-delta reload perf points in this JSON file")
 		baseline   = flag.String("baseline", "", "compare the updated JSON against this baseline report and fail on regression")
 		maxRegress = flag.Float64("maxregress", 1.20, "regression tolerance for -baseline (1.20 = 20% slower fails)")
 	)
 	flag.Parse()
 
 	sizes := bench.Sizes{Quick: *quick}
-	perfMode := *search != "" || *persist != "" || *serve != ""
+	perfMode := *search != "" || *persist != "" || *serve != "" || *reload != ""
 	if *search != "" {
 		report, err := bench.WriteSearchPerf(*search, sizes.SearchPerfSizes())
 		if err != nil {
@@ -66,6 +73,14 @@ func main() {
 		}
 		fmt.Print(bench.RenderServe(points))
 	}
+	if *reload != "" {
+		points, err := reloadperf.UpdateReloadPerf(*reload, sizes.SearchPerfSizes())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.RenderReload(points))
+	}
 	if *baseline != "" {
 		current := *search
 		if current == "" {
@@ -75,7 +90,10 @@ func main() {
 			current = *serve
 		}
 		if current == "" {
-			fmt.Fprintln(os.Stderr, "benchrunner: -baseline requires -search, -persist and/or -serve")
+			current = *reload
+		}
+		if current == "" {
+			fmt.Fprintln(os.Stderr, "benchrunner: -baseline requires -search, -persist, -serve and/or -reload")
 			os.Exit(2)
 		}
 		base, err := bench.ReadReport(*baseline)

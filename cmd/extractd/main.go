@@ -8,6 +8,9 @@
 //
 //	extractd                                  # built-in demo datasets
 //	extractd -addr :8080 -data name=file.xml  # add a dataset from disk
+//	extractd -data name=dir.xtsnap            # serve a snapshot directory:
+//	                                          # mmap'd packed images, no
+//	                                          # XML parse or re-analysis
 //	extractd -shards 8 -data name=big.xml     # serve sharded corpora:
 //	                                          # per-shard packed indexes,
 //	                                          # parallel query fan-out
@@ -22,19 +25,23 @@
 // layer (internal/serve): evaluation runs on a fixed worker pool (-workers,
 // default GOMAXPROCS) and repeated queries are answered from a sharded LRU
 // cache (-cachemb, default 64 MiB; 0 disables). GET /stats returns the
-// per-dataset cache counters as JSON:
+// per-dataset cache and refresh counters as JSON:
 //
 //	curl localhost:8080/stats
-//	{"movies":{"shards":8,"cache":{"hits":42,"misses":7,...}}}
+//	{"movies":{"shards":8,"cache":{"hits":42,...},"reloads":3,
+//	           "last_reload_mode":"delta",...}}
 //
-// File-backed datasets (-data) can be reloaded online — the file is
-// re-parsed and re-analyzed, then swapped in atomically; in-flight queries
-// finish against the old corpus and the query cache is invalidated in the
-// same step. Either ask for it (POST /reload) or let the mtime watcher
-// (-watch) do it when the file changes:
+// File-backed datasets (-data) reload online and incrementally: an XML
+// source is re-parsed, diffed per shard, and only changed shards are
+// re-analyzed (unchanged ones are adopted in place); a snapshot source is
+// diffed through its manifest and only changed packed images are decoded.
+// Either way the swap is atomic — in-flight queries finish against the old
+// corpus and the query cache is invalidated in the same step. Either ask
+// for it (POST /reload) or let the mtime watcher (-watch) do it when the
+// source changes (a snapshot's manifest file carries its generation):
 //
 //	curl -X POST 'localhost:8080/reload?dataset=movies'
-//	{"dataset":"movies","shards":8,"nodes":183220}
+//	{"dataset":"movies","shards":8,"nodes":183220,"mode":"delta","reloads":1}
 //
 // See README.md in this directory for the full flag and endpoint reference.
 package main
@@ -47,6 +54,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -56,6 +64,7 @@ import (
 	"extract"
 	"extract/internal/baseline"
 	"extract/internal/gen"
+	"extract/internal/ingest"
 	"extract/xmltree"
 )
 
@@ -63,19 +72,54 @@ type dataset struct {
 	Name   string
 	Corpus *extract.Corpus
 
-	// Path is the XML file the dataset was loaded from; "" for the
-	// built-in demo corpora, which cannot be reloaded.
+	// Path is the source the dataset was loaded from — an XML file, or a
+	// snapshot directory when Snapshot is set; "" for the built-in demo
+	// corpora, which cannot be reloaded.
 	Path string
+
+	// Snapshot marks a dataset served from a .xtsnap snapshot directory:
+	// it reloads through the packed images (ReloadSnapshot), never by
+	// re-parsing XML.
+	Snapshot bool
 
 	// mu serializes reloads of this dataset (manual and watcher-driven);
 	// queries do not take it — Corpus.Reload swaps atomically underneath
-	// them. mtime/size fingerprint the file generation last loaded; the
-	// watcher reloads on any change, not just a newer mtime, so rewrites
-	// within one timestamp-granularity tick or mtime-preserving copies
-	// are still picked up when the size moves.
+	// them. mtime/size fingerprint the file generation last loaded (for a
+	// snapshot, its manifest file); the watcher reloads on any change,
+	// not just a newer mtime, so rewrites within one timestamp-
+	// granularity tick or mtime-preserving copies are still picked up
+	// when the size moves.
 	mu    sync.Mutex
 	mtime time.Time
 	size  int64
+
+	// obs guards the refresh-observability fields below. It is separate
+	// from mu — which a reload holds for its whole re-parse — so /stats
+	// never blocks behind a reload in progress.
+	obs sync.Mutex
+
+	// Refresh bookkeeping for /stats: how many reloads this dataset has
+	// served (its generation), when the last one happened, and whether it
+	// went the delta or the full path.
+	reloads    int
+	lastReload time.Time
+	lastMode   string
+
+	// missing marks a dataset whose source vanished: the watcher logs the
+	// disappearance once and skips the dataset until the source returns,
+	// instead of retrying (and logging) every tick.
+	missing bool
+}
+
+// watchPath returns the file whose mtime fingerprints the dataset's
+// source generation: the XML file itself, or a snapshot's manifest (which
+// is written last, atomically, so a changed mtime means a complete new
+// snapshot).
+func (ds *dataset) watchPath() string {
+	if ds.Snapshot {
+		return filepath.Join(ds.Path, ingest.ManifestName)
+	}
+	return ds.Path
 }
 
 type server struct {
@@ -130,9 +174,18 @@ func main() {
 	for _, df := range dataFlags {
 		name, path, ok := strings.Cut(df, "=")
 		if !ok {
-			log.Fatalf("extractd: bad -data %q, want name=file.xml", df)
+			log.Fatalf("extractd: bad -data %q, want name=file.xml or name=dir.xtsnap", df)
 		}
-		c, err := extract.LoadFile(path, s.loadOptions()...)
+		var c *extract.Corpus
+		var err error
+		if isSnapshotPath(path) {
+			// Snapshot dataset: serve straight off the mmap'd packed
+			// images — no XML parse, no re-analysis; the shard shape comes
+			// from the snapshot (-shards does not apply).
+			c, err = extract.LoadSnapshot(path, s.loadOptions()...)
+		} else {
+			c, err = extract.LoadFile(path, s.loadOptions()...)
+		}
 		if err != nil {
 			log.Fatalf("extractd: load %s: %v", path, err)
 		}
@@ -163,6 +216,12 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
+// isSnapshotPath reports whether a -data path names a snapshot directory
+// rather than an XML file.
+func isSnapshotPath(path string) bool {
+	return strings.HasSuffix(path, ".xtsnap")
+}
+
 // loadOptions returns the extract load options every file-backed dataset is
 // (re)loaded with, so a reload reproduces the boot-time configuration.
 func (s *server) loadOptions() []extract.Option {
@@ -174,9 +233,9 @@ func (s *server) loadOptions() []extract.Option {
 }
 
 func (s *server) add(name string, c *extract.Corpus, path string) {
-	ds := &dataset{Name: name, Corpus: c, Path: path}
+	ds := &dataset{Name: name, Corpus: c, Path: path, Snapshot: isSnapshotPath(path)}
 	if path != "" {
-		if fi, err := os.Stat(path); err == nil {
+		if fi, err := os.Stat(ds.watchPath()); err == nil {
 			ds.mtime, ds.size = fi.ModTime(), fi.Size()
 		}
 	}
@@ -184,34 +243,48 @@ func (s *server) add(name string, c *extract.Corpus, path string) {
 	s.names = append(s.names, name)
 }
 
-// reload re-parses and re-analyzes a file-backed dataset and swaps the new
-// corpus in atomically. In-flight queries finish against the old corpus;
-// the query cache is invalidated in the same step.
+// reload refreshes a file-backed dataset through the delta path — re-parse
+// plus per-shard diff for an XML source, a manifest diff plus packed-image
+// decode for a snapshot — and swaps the new corpus in atomically.
+// In-flight queries finish against the old corpus; the query cache is
+// invalidated in the same step. Unchanged shards are adopted across the
+// swap, so a small edit reloads in time proportional to what changed.
 func (s *server) reload(ds *dataset) error {
 	if ds.Path == "" {
 		return fmt.Errorf("dataset %q is not file-backed", ds.Name)
 	}
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
-	fi, err := os.Stat(ds.Path)
+	fi, err := os.Stat(ds.watchPath())
 	if err != nil {
 		return err
 	}
-	fresh, err := extract.LoadFile(ds.Path, s.loadOptions()...)
+	var stats extract.DeltaStats
+	if ds.Snapshot {
+		stats, err = ds.Corpus.ReloadSnapshot(ds.Path)
+	} else {
+		stats, err = ds.Corpus.ReloadDeltaFile(ds.Path, s.loadOptions()...)
+	}
 	if err != nil {
 		return err
 	}
-	ds.Corpus.Reload(fresh)
 	ds.mtime, ds.size = fi.ModTime(), fi.Size()
-	log.Printf("extractd: reloaded %s from %s (%d shards, %d nodes)",
-		ds.Name, ds.Path, ds.Corpus.Shards(), ds.Corpus.Stats().Nodes)
+	ds.obs.Lock()
+	ds.reloads++
+	ds.lastReload = time.Now()
+	ds.lastMode = stats.Mode()
+	ds.missing = false
+	ds.obs.Unlock()
+	log.Printf("extractd: reloaded %s from %s (%s: %d/%d shards rebuilt, %d nodes)",
+		ds.Name, ds.Path, stats.Mode(), stats.Rebuilt, stats.Shards, ds.Corpus.Stats().Nodes)
 	return nil
 }
 
 // watchFiles polls every file-backed dataset's mtime and reloads the ones
 // whose files changed — the hands-off variant of POST /reload. A reload
 // failure (a half-written file, say) is logged and retried on the next
-// tick; the old corpus keeps serving.
+// tick; the old corpus keeps serving. A dataset whose source file
+// disappears is logged once and then skipped until the file returns.
 func (s *server) watchFiles(interval time.Duration) {
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
@@ -221,20 +294,36 @@ func (s *server) watchFiles(interval time.Duration) {
 }
 
 // checkFiles is one watcher tick: reload every file-backed dataset whose
-// file is newer than the generation being served.
+// source is newer than the generation being served.
 func (s *server) checkFiles() {
 	for _, name := range s.names {
 		ds := s.datasets[name]
 		if ds.Path == "" {
 			continue
 		}
-		fi, err := os.Stat(ds.Path)
+		fi, err := os.Stat(ds.watchPath())
 		if err != nil {
-			log.Printf("extractd: watch %s: %v", ds.Path, err)
+			// The source vanished (or turned unreadable): say so once,
+			// keep the loaded corpus serving, and stop retrying until the
+			// file comes back — a deploy replacing the file atomically
+			// never lands here, so this is an operator mistake worth one
+			// loud line, not one per tick.
+			ds.obs.Lock()
+			first := !ds.missing
+			ds.missing = true
+			ds.obs.Unlock()
+			if first {
+				log.Printf("extractd: watch %s: %v — still serving the loaded corpus; will reload when the file returns", ds.Path, err)
+			}
 			continue
 		}
+		ds.obs.Lock()
+		missing := ds.missing
+		ds.obs.Unlock()
 		ds.mu.Lock()
-		changed := !fi.ModTime().Equal(ds.mtime) || fi.Size() != ds.size
+		// A dataset recovering from a missing source always reloads: the
+		// recreated file may carry the old mtime and size.
+		changed := missing || !fi.ModTime().Equal(ds.mtime) || fi.Size() != ds.size
 		ds.mu.Unlock()
 		if !changed {
 			continue
@@ -334,10 +423,21 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 type datasetStats struct {
 	Shards int                 `json:"shards"`
 	Cache  *extract.CacheStats `json:"cache"` // every dataset serves through the query cache
+
+	// Refresh observability: which source kind the dataset reloads from,
+	// its reload generation (0 = the boot-time load), and when/how the
+	// last reload went — "delta" when unchanged shards were adopted,
+	// "full" when everything was rebuilt.
+	Source         string `json:"source,omitempty"` // "xml" or "snapshot"; absent for built-ins
+	Reloads        int    `json:"reloads"`
+	LastReload     string `json:"last_reload,omitempty"` // RFC 3339
+	LastReloadMode string `json:"last_reload_mode,omitempty"`
 }
 
 // handleStats reports per-dataset serving-layer counters as JSON — the
-// operational view of the query cache (hit rate, occupancy, evictions).
+// operational view of the query cache (hit rate, occupancy, evictions,
+// admission rejects) and of the refresh path (reload generation, last
+// reload time and mode).
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	out := make(map[string]datasetStats, len(s.datasets))
 	for name, ds := range s.datasets {
@@ -345,6 +445,19 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		if st, ok := ds.Corpus.QueryCacheStats(); ok {
 			row.Cache = &st
 		}
+		if ds.Path != "" {
+			row.Source = "xml"
+			if ds.Snapshot {
+				row.Source = "snapshot"
+			}
+		}
+		ds.obs.Lock()
+		row.Reloads = ds.reloads
+		if !ds.lastReload.IsZero() {
+			row.LastReload = ds.lastReload.Format(time.RFC3339)
+			row.LastReloadMode = ds.lastMode
+		}
+		ds.obs.Unlock()
 		out[name] = row
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -374,11 +487,16 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	ds.obs.Lock()
+	mode, gen := ds.lastMode, ds.reloads
+	ds.obs.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(map[string]any{
 		"dataset": ds.Name,
 		"shards":  ds.Corpus.Shards(),
 		"nodes":   ds.Corpus.Stats().Nodes,
+		"mode":    mode,
+		"reloads": gen,
 	}); err != nil {
 		log.Printf("extractd: reload: %v", err)
 	}

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"html/template"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -343,5 +345,202 @@ func bumpMtime(t *testing.T, path string) {
 	when := fi.ModTime().Add(2 * time.Second)
 	if err := os.Chtimes(path, when, when); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWatchTickMissingFile is the delete-then-recreate regression: a
+// dataset whose source file disappears is logged once and skipped —
+// not retried (and logged) every tick — and reloads as soon as the file
+// returns, even if the recreated file carries the old mtime and size.
+func TestWatchTickMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "movies.xml")
+	doc := gen.Movies(gen.MoviesConfig{Movies: 5, Seed: 21})
+	writeDataset(t, path, doc)
+	origFi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fileServer(t, path)
+	ds := s.datasets["movies"]
+	before := ds.Corpus.Stats().Nodes
+
+	var logs bytes.Buffer
+	log.SetOutput(&logs)
+	defer log.SetOutput(os.Stderr)
+
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		s.checkFiles()
+	}
+	if got := ds.Corpus.Stats().Nodes; got != before {
+		t.Fatalf("missing file changed the corpus: %d -> %d nodes", before, got)
+	}
+	if n := strings.Count(logs.String(), "will reload when the file returns"); n != 1 {
+		t.Fatalf("missing file logged %d times over 3 ticks, want exactly 1:\n%s", n, logs.String())
+	}
+
+	// The file returns — with identical content, mtime and size, the
+	// hardest case: the recovery itself must force the reload.
+	writeDataset(t, path, gen.Movies(gen.MoviesConfig{Movies: 5, Seed: 21}))
+	if err := os.Chtimes(path, origFi.ModTime(), origFi.ModTime()); err != nil {
+		t.Fatal(err)
+	}
+	s.checkFiles()
+	ds.obs.Lock()
+	reloads, missing := ds.reloads, ds.missing
+	ds.obs.Unlock()
+	if reloads != 1 || missing {
+		t.Fatalf("recreated file did not reload: reloads=%d missing=%v", reloads, missing)
+	}
+	if _, err := ds.Corpus.Query("movie", 6); err != nil {
+		t.Fatal(err)
+	}
+
+	// And the tick after recovery is quiet again.
+	s.checkFiles()
+	ds.obs.Lock()
+	reloads = ds.reloads
+	ds.obs.Unlock()
+	if reloads != 1 {
+		t.Fatalf("tick after recovery reloaded again (%d reloads)", reloads)
+	}
+}
+
+// TestHandleStatsReloadFields: /stats reports the refresh view — source
+// kind, reload generation, last-reload time and mode.
+func TestHandleStatsReloadFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "movies.xml")
+	writeDataset(t, path, gen.Movies(gen.MoviesConfig{Movies: 5, Seed: 31}))
+	s := fileServer(t, path)
+
+	stats := func() map[string]datasetStats {
+		rr := httptest.NewRecorder()
+		s.handleStats(rr, httptest.NewRequest("GET", "/stats", nil))
+		var out map[string]datasetStats
+		if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+			t.Fatalf("stats not JSON: %v\n%s", err, rr.Body.String())
+		}
+		return out
+	}
+
+	row := stats()["movies"]
+	if row.Source != "xml" || row.Reloads != 0 || row.LastReload != "" {
+		t.Fatalf("boot-time stats row = %+v", row)
+	}
+	if builtin := stats()["stores (Figure 5)"]; builtin.Source != "" {
+		t.Fatalf("built-in dataset claims a source: %+v", builtin)
+	}
+
+	writeDataset(t, path, gen.Movies(gen.MoviesConfig{Movies: 8, Seed: 32}))
+	rr := httptest.NewRecorder()
+	s.handleReload(rr, httptest.NewRequest("POST", "/reload?dataset=movies", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("reload: %d: %s", rr.Code, rr.Body.String())
+	}
+
+	row = stats()["movies"]
+	if row.Reloads != 1 || row.LastReloadMode != "full" {
+		t.Fatalf("stats row after full reload = %+v", row)
+	}
+	if _, err := time.Parse(time.RFC3339, row.LastReload); err != nil {
+		t.Fatalf("last_reload %q not RFC 3339: %v", row.LastReload, err)
+	}
+}
+
+// snapshotDoc builds the stores corpus the snapshot tests serve: four
+// top-level retailers so a 3-shard corpus has a shard to spare.
+func snapshotDoc(mutate bool) *xmltree.Document {
+	doc := gen.Stores(gen.StoresConfig{Retailers: 4, StoresPerRetailer: 3, ClothesPerStore: 3, Seed: 71})
+	if mutate {
+		entity := doc.Root.Children[1]
+		done := false
+		entity.Walk(func(n *xmltree.Node) bool {
+			if done || !n.IsText() {
+				return true
+			}
+			n.Value = "zzzrestocked"
+			done = true
+			return false
+		})
+	}
+	return doc
+}
+
+// TestSnapshotDataset serves a .xtsnap dataset end to end: load, query,
+// then an in-place snapshot refresh reloaded through the delta path.
+func TestSnapshotDataset(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "stores.xtsnap")
+	src := extract.FromDocumentSharded(snapshotDoc(false), nil, 3)
+	if err := src.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	s := testServer(t)
+	c, err := extract.LoadSnapshot(dir, s.loadOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.add("stores-snap", c, dir)
+	ds := s.datasets["stores-snap"]
+	if !ds.Snapshot {
+		t.Fatal("snapshot dataset not recognized")
+	}
+	if c.Shards() != 3 {
+		t.Fatalf("snapshot served %d shards, want 3", c.Shards())
+	}
+	hits, err := c.Query("store texas", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("snapshot dataset answered nothing")
+	}
+
+	// Refresh the snapshot in place (one entity changed: the incremental
+	// writer rewrites one shard image) and reload through the handler.
+	src2 := extract.FromDocumentSharded(snapshotDoc(true), nil, 3)
+	if err := src2.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	rr := httptest.NewRecorder()
+	s.handleReload(rr, httptest.NewRequest("POST", "/reload?dataset=stores-snap", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("snapshot reload: %d: %s", rr.Code, rr.Body.String())
+	}
+	var out struct {
+		Mode    string `json:"mode"`
+		Reloads int    `json:"reloads"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Mode != "delta" || out.Reloads != 1 {
+		t.Fatalf("snapshot reload response = %+v, want delta/1", out)
+	}
+	results, err := c.Search("zzzrestocked")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("reloaded snapshot does not serve the new content")
+	}
+
+	// The watcher notices a new snapshot generation through the manifest.
+	writeDatasetSnapshot := func() {
+		src3 := extract.FromDocumentSharded(snapshotDoc(false), nil, 3)
+		if err := src3.SaveSnapshot(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeDatasetSnapshot()
+	bumpMtime(t, ds.watchPath())
+	s.checkFiles()
+	ds.obs.Lock()
+	reloads := ds.reloads
+	ds.obs.Unlock()
+	if reloads != 2 {
+		t.Fatalf("watcher did not reload the refreshed snapshot (reloads=%d)", reloads)
 	}
 }

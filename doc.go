@@ -90,7 +90,11 @@
 //     Invalidation is explicit: swapping or mutating the corpus behind the
 //     serving layer clears the cache atomically (serve.Server.Swap), and
 //     in-flight results computed against a swapped-out corpus are returned
-//     to their callers but never cached.
+//     to their callers but never cached. A TinyLFU-style admission filter
+//     guards inserts under eviction pressure: a one-off query can fill
+//     spare capacity but never displaces an entry that is asked for more
+//     often, so scans of distinct queries cannot flush the warm working
+//     set (CacheStats.Rejected counts the refusals).
 //
 // Cached responses are byte-identical to uncached evaluation (pinned by
 // property tests); `benchrunner -serve` measures the payoff as concurrent
@@ -100,16 +104,48 @@
 // Corpus.QueryCacheStats exposes the hit/miss/occupancy counters; extractd
 // serves them at /stats.
 //
-// # Online reload
+// # Online reload and delta ingestion
 //
 // Corpus.Reload swaps freshly analyzed data into a serving corpus without
 // a restart and without dropping traffic: the data pointer is replaced
 // atomically, the serving layer swaps backends and invalidates its cache
 // in the same step, and queries already in flight finish against the data
 // they started on. The new data may have any shape — a reload can change
-// the shard count. extractd exposes the path per dataset as POST /reload
-// and, with -watch, as an mtime poller that reloads a file-backed dataset
-// whenever its file changes (see cmd/extractd/README.md).
+// the shard count.
+//
+// Corpus.ReloadDelta is the incremental variant (internal/ingest): the
+// new XML source's top-level entities are hashed with the same
+// partitioner a fresh load would use, and only shards whose content hash
+// moved are re-tokenized — unchanged shards are adopted from the serving
+// generation, document and packed index intact, then rebound to a freshly
+// computed global analysis. The result is byte-identical to a fresh full
+// load (pinned by property tests); anything structural — root label,
+// DOCTYPE subset, shard layout — degrades the delta to exactly the fresh
+// build. The swap semantics are Reload's, including the cache epoch bump.
+//
+// extractd exposes the path per dataset as POST /reload and, with -watch,
+// as an mtime poller that reloads a file-backed dataset whenever its
+// source changes, skipping (with one log line) datasets whose source file
+// disappears until it returns (see cmd/extractd/README.md).
+//
+// # Snapshots
+//
+// Corpus.SaveSnapshot writes a corpus as a snapshot directory: a small
+// versioned manifest carrying per-shard content hashes, a packed
+// global-analysis image, and one packed image per shard (internal/ingest,
+// reusing internal/persist's fuzzed codec). LoadSnapshot serves straight
+// off the memory-mapped images — no XML parse, no re-analysis — and
+// Corpus.ReloadSnapshot refreshes a serving corpus from a snapshot
+// incrementally, decoding only the images whose content hash moved.
+// Snapshot writes are themselves incremental (unchanged shard images are
+// not re-encoded) and the manifest is written last, atomically, so
+// refreshing a snapshot directory under a watcher is safe. extractd
+// serves snapshots directly via -data name=dir.xtsnap. The "reload"
+// section of BENCH_search.json records the payoff: after a one-entity
+// edit of a 100k-node corpus, an XML delta reload modestly beats a full
+// one (both still parse and re-analyze), while a snapshot delta reload
+// beats a full snapshot load severalfold — and either snapshot reload is
+// two orders of magnitude cheaper than any XML path.
 //
 // # Persisted indexes
 //
@@ -132,21 +168,24 @@
 // `go run ./cmd/benchrunner -search BENCH_search.json` regenerates the
 // hot-path before/after trajectory (the retained *Baseline implementations
 // are the "before" side); `-persist` does the same for the persist-load
-// trajectory, `-serve` for the serving-layer cold/warm QPS trajectory, and
+// trajectory, `-serve` for the serving-layer cold/warm QPS trajectory,
+// `-reload` for the full-versus-delta refresh trajectory, and
 // `-baseline` compares a fresh run against the committed file, failing on
-// >20% regression of QueryEndToEnd, of the packed load's advantage, or of
-// the warm/cold throughput ratio (machine-normalized ratios; see
-// bench.CompareReports). CI runs lint (vet + staticcheck) before
-// build/test, the race detector, fuzz smokes for the persist decoder, XML
-// parser and query-cache key codec, the bench-regression gate and the
-// serve-throughput gate on every PR, with Go module and build caches
-// shared across jobs.
+// >20% regression of QueryEndToEnd, of the packed load's advantage, of
+// the warm/cold throughput ratio, or of the delta-reload speedup
+// (machine-normalized ratios; see bench.CompareReports). CI runs lint
+// (vet + staticcheck) before build/test, the race detector, fuzz smokes
+// for the persist decoder, XML parser, query-cache key codec and
+// snapshot-manifest decoder, the bench-regression gate, the
+// serve-throughput gate and the reload gate on every PR, with Go module
+// and build caches shared across jobs.
 //
 // # Further reading
 //
 // ARCHITECTURE.md at the repository root is the layer-by-layer tour —
-// xmltree up through index, search, snippet generation, shard, persist,
-// serve and this facade — with request-lifecycle walkthroughs of a cached
-// sharded query and an online reload. cmd/extractd/README.md documents
-// the demo server's flags and endpoints.
+// xmltree up through index, search, snippet generation, shard, ingest,
+// persist, serve and this facade — with request-lifecycle walkthroughs of
+// a cached sharded query, an online reload and a delta reload.
+// cmd/extractd/README.md documents the demo server's flags and endpoints,
+// including snapshot (.xtsnap) datasets.
 package extract

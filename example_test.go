@@ -3,6 +3,7 @@ package extract_test
 import (
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"extract"
@@ -130,6 +131,65 @@ func ExampleCorpus_Reload() {
 	// Output:
 	// 2 results
 	// 3 results
+}
+
+// ReloadDelta refreshes a serving corpus from changed XML incrementally:
+// shards whose entities did not change are adopted in place, so refresh
+// cost tracks the edit, not the corpus size. Answers are byte-identical
+// to a full fresh load either way.
+func ExampleCorpus_ReloadDelta() {
+	corpus, err := extract.LoadString(libraryXML, extract.WithShards(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer corpus.Close()
+
+	// The same library with one book's topic edited: of the two shards
+	// (one per book), only the second changed.
+	edited := strings.Replace(libraryXML, "<topic>databases</topic></book>\n</library>",
+		"<topic>forests</topic></book>\n</library>", 1)
+	stats, err := corpus.ReloadDelta(strings.NewReader(edited), extract.WithShards(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s reload: %d of %d shards rebuilt\n", stats.Mode(), stats.Rebuilt, stats.Shards)
+	hits, _ := corpus.Query("forests", 3)
+	fmt.Println(len(hits), "results")
+	// Output:
+	// delta reload: 1 of 2 shards rebuilt
+	// 1 results
+}
+
+// A snapshot directory persists the analyzed corpus as packed images plus
+// a manifest of content hashes; loading one re-analyzes nothing, and
+// reloading from one decodes only the images that changed.
+func ExampleCorpus_SaveSnapshot() {
+	corpus, err := extract.LoadString(libraryXML, extract.WithShards(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer corpus.Close()
+
+	dir, err := os.MkdirTemp("", "library-*.xtsnap")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := corpus.SaveSnapshot(dir); err != nil {
+		log.Fatal(err)
+	}
+
+	served, err := extract.LoadSnapshot(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer served.Close()
+	fmt.Println(served.Shards(), "shards")
+	hits, _ := served.Query("databases", 3)
+	fmt.Println(len(hits), "results")
+	// Output:
+	// 2 shards
+	// 2 results
 }
 
 // The IList (Snippet Information List) ranks what a snippet should show:

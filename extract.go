@@ -12,6 +12,7 @@ import (
 	"extract/internal/core"
 	"extract/internal/dtd"
 	"extract/internal/index"
+	"extract/internal/ingest"
 	"extract/internal/persist"
 	"extract/internal/rank"
 	"extract/internal/search"
@@ -52,12 +53,49 @@ type Corpus struct {
 }
 
 // corpusData is one immutable generation of a corpus's analyzed state —
-// exactly one of the two fields is set. Reload publishes a new generation
-// and swaps the serving layer onto it; queries in flight keep the snapshot
-// they started with.
+// exactly one of the two corpus fields is set. Reload publishes a new
+// generation and swaps the serving layer onto it; queries in flight keep
+// the snapshot they started with.
 type corpusData struct {
 	c  *core.Corpus  // unsharded corpus; nil when sharded
 	sh *shard.Corpus // sharded corpus; nil when unsharded
+
+	// src is the generation's delta-ingestion identity (root fingerprint
+	// + per-shard content hashes), computed lazily on the first delta
+	// reload — or carried over from the snapshot manifest for a
+	// snapshot-loaded generation, which then never rehashes at all.
+	srcMu sync.Mutex
+	src   *ingest.Source
+}
+
+// source returns the generation's content hashes, computing them on first
+// use (one linear pass over the documents).
+func (d *corpusData) source() ingest.Source {
+	d.srcMu.Lock()
+	defer d.srcMu.Unlock()
+	if d.src == nil {
+		var s ingest.Source
+		if d.sh != nil {
+			label, fromAttr := d.sh.Root()
+			s.RootHash = ingest.RootHash(label, fromAttr, d.sh.InternalSubset())
+			s.Shards = make([]uint64, 0, d.sh.NumShards())
+			for _, sc := range d.sh.Shards() {
+				s.Shards = append(s.Shards, ingest.ShardHash(sc.Doc))
+			}
+		} else {
+			label, fromAttr, subset := "", false, ""
+			if d.c.Doc != nil {
+				subset = d.c.Doc.InternalSubset
+				if d.c.Doc.Root != nil {
+					label, fromAttr = d.c.Doc.Root.Label, d.c.Doc.Root.FromAttr
+				}
+			}
+			s.RootHash = ingest.RootHash(label, fromAttr, subset)
+			s.Shards = []uint64{ingest.ShardHash(d.c.Doc)}
+		}
+		d.src = &s
+	}
+	return *d.src
 }
 
 // backend adapts the generation to the serving layer's corpus interface.
@@ -138,6 +176,290 @@ func (c *Corpus) Reload(src *Corpus) {
 	c.server().Swap(d.backend())
 }
 
+// DeltaStats reports what one delta reload did: how many shards the new
+// generation has, how many were adopted unchanged from the previous one,
+// and how many were rebuilt (or, for a snapshot reload, reloaded from
+// their packed images).
+type DeltaStats struct {
+	Shards  int `json:"shards"`
+	Reused  int `json:"reused"`
+	Rebuilt int `json:"rebuilt"`
+}
+
+// Mode names the refresh that happened: "delta" when at least one shard
+// was adopted, "full" otherwise.
+func (s DeltaStats) Mode() string {
+	if s.Reused > 0 {
+		return "delta"
+	}
+	return "full"
+}
+
+// ReloadDelta is Reload with the new corpus built incrementally from XML
+// source: the source is parsed and its top-level entities are hashed with
+// the same partitioner a fresh load would use, and only shards whose
+// content hash moved are re-analyzed — unchanged shards are adopted from
+// the serving generation, document and packed index intact. The global
+// analysis (classification, keys, summary, dataguide) is always recomputed
+// over the new document, so the resulting corpus is byte-identical to a
+// fresh Load of the same source with the same options (pinned by property
+// tests); the swap itself behaves exactly like Reload, including the
+// query-cache epoch bump. A parse or option error leaves the old
+// generation serving. opts are the load options a fresh load would get;
+// pass the same ones every reload, or the shard layout shifts and the
+// delta degrades to a full rebuild (which is always correct, just not
+// cheap).
+func (c *Corpus) ReloadDelta(r io.Reader, opts ...Option) (DeltaStats, error) {
+	cfg := newLoadConfig()
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return DeltaStats{}, err
+		}
+	}
+	var popts []xmltree.ParseOption
+	if cfg.maxNodes > 0 {
+		popts = append(popts, xmltree.WithMaxNodes(cfg.maxNodes))
+	}
+	doc, err := xmltree.Parse(r, popts...)
+	if err != nil {
+		return DeltaStats{}, err
+	}
+	if cfg.dtd == nil && doc.InternalSubset != "" {
+		d, err := dtd.ParseString(doc.InternalSubset)
+		if err != nil {
+			return DeltaStats{}, fmt.Errorf("extract: internal DTD subset: %w", err)
+		}
+		cfg.dtd = d
+	}
+
+	c.reloadMu.Lock()
+	defer c.reloadMu.Unlock()
+	old := c.data.Load()
+	diff := ingest.Diff(old.source(), doc, cfg.shards)
+
+	var (
+		nd    *corpusData
+		stats DeltaStats
+	)
+	switch {
+	case cfg.shards > 1 && diff.Reused > 0 && old.sh != nil:
+		// The delta path proper: analyze the whole new document (the
+		// global artifacts a fresh build computes before partitioning),
+		// then rebuild only the changed blocks against it.
+		a := core.Analyze(doc, cfg.dtd)
+		label, fromAttr := "", false
+		if doc.Root != nil {
+			label, fromAttr = doc.Root.Label, doc.Root.FromAttr
+		}
+		subset := doc.InternalSubset
+		// Materialize (reparent + finalize) only the changed blocks —
+		// adopted blocks' children stay where they are, so the per-reload
+		// work past the parse is proportional to the change.
+		cuts := shard.Cuts(doc, cfg.shards)
+		oldShards := old.sh.Shards()
+		shards := make([]*core.Corpus, len(diff.Hashes))
+		for i := range shards {
+			if !diff.Changed[i] {
+				// Content-identical block: adopt the old shard's document
+				// and packed index; Assemble rebinds it to the new
+				// analysis.
+				shards[i] = &core.Corpus{Doc: oldShards[i].Doc, Index: oldShards[i].Index}
+				stats.Reused++
+			} else {
+				part := shard.PartitionAt(doc, cuts, i)
+				shards[i] = core.BuildCorpus(part, core.WithSharedAnalysis(a))
+				stats.Rebuilt++
+			}
+		}
+		nd = &corpusData{sh: shard.Assemble(shards, a, label, fromAttr, subset)}
+		stats.Shards = len(shards)
+	case cfg.shards > 1:
+		// Nothing to adopt (first delta, shape change, or everything
+		// moved): the exact fresh-load path.
+		var sopts []shard.Option
+		if cfg.dtd != nil {
+			sopts = append(sopts, shard.WithDTD(cfg.dtd))
+		}
+		sc := shard.Build(doc, cfg.shards, sopts...)
+		nd = &corpusData{sh: sc}
+		stats.Shards, stats.Rebuilt = sc.NumShards(), sc.NumShards()
+	case diff.Reused == 1 && old.c != nil:
+		// Unsharded and content-identical: keep the document and index,
+		// refresh the analysis.
+		a := core.Analyze(doc, cfg.dtd)
+		nd = &corpusData{c: &core.Corpus{
+			Doc: old.c.Doc, Index: old.c.Index,
+			Cls: a.Cls, Keys: a.Keys, Summary: a.Summary, Guide: a.Guide, DTD: a.DTD,
+		}}
+		stats.Shards, stats.Reused = 1, 1
+	default:
+		var copts []core.Option
+		if cfg.dtd != nil {
+			copts = append(copts, core.WithDTD(cfg.dtd))
+		}
+		nd = &corpusData{c: core.BuildCorpus(doc, copts...)}
+		stats.Shards, stats.Rebuilt = 1, 1
+	}
+	nd.src = &ingest.Source{RootHash: diff.RootHash, Shards: diff.Hashes}
+	c.data.Store(nd)
+	c.server().Swap(nd.backend())
+	return stats, nil
+}
+
+// ReloadDeltaFile is ReloadDelta reading the XML source from a file.
+func (c *Corpus) ReloadDeltaFile(path string, opts ...Option) (DeltaStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return DeltaStats{}, err
+	}
+	defer f.Close()
+	return c.ReloadDelta(f, opts...)
+}
+
+// ReloadSnapshot is Reload with the new corpus read from a snapshot
+// directory (see SaveSnapshot), incrementally: the snapshot manifest's
+// per-shard content hashes are diffed against the serving generation's,
+// unchanged shards are adopted in place, and only changed shard images are
+// decoded from disk — the refresh path for deployments that ship index
+// updates as snapshot directories instead of raw XML. When the shapes do
+// not line up the whole snapshot loads, which is still just mmap + decode,
+// never re-analysis. The swap behaves exactly like Reload; a read error
+// leaves the old generation serving.
+func (c *Corpus) ReloadSnapshot(dir string) (DeltaStats, error) {
+	c.reloadMu.Lock()
+	defer c.reloadMu.Unlock()
+	old := c.data.Load()
+	oldSrc := old.source()
+
+	// A writer may be refreshing the directory in place; the manifest is
+	// written last, so re-reading it after the images and retrying on a
+	// mismatch guarantees one coherent generation (same scheme as
+	// ingest.Load).
+	const attempts = 3
+	for attempt := 0; attempt < attempts; attempt++ {
+		m, err := ingest.ReadManifest(dir)
+		if err != nil {
+			return DeltaStats{}, err
+		}
+		snapSrc := m.Source()
+		aligned := oldSrc.RootHash == snapSrc.RootHash && len(oldSrc.Shards) == len(snapSrc.Shards)
+
+		var (
+			nd    *corpusData
+			stats DeltaStats
+		)
+		switch {
+		case m.Sharded && aligned && old.sh != nil:
+			a, label, fromAttr, subset, err := ingest.LoadAnalysis(dir, m)
+			if err != nil {
+				if !ingest.ManifestUnchanged(dir, m) {
+					continue
+				}
+				return DeltaStats{}, err
+			}
+			oldShards := old.sh.Shards()
+			shards := make([]*core.Corpus, len(m.Shards))
+			errs := make([]error, len(m.Shards))
+			var wg sync.WaitGroup
+			for i, e := range m.Shards {
+				if snapSrc.Shards[i] == oldSrc.Shards[i] {
+					shards[i] = &core.Corpus{Doc: oldShards[i].Doc, Index: oldShards[i].Index}
+					stats.Reused++
+					continue
+				}
+				stats.Rebuilt++
+				// Changed images decode in parallel, like a full snapshot
+				// load — a delta with several changed shards must never be
+				// slower than the full path it undercuts.
+				wg.Add(1)
+				go func(i int, e ingest.ShardEntry) {
+					defer wg.Done()
+					shards[i], errs[i] = ingest.LoadShardImage(dir, e)
+				}(i, e)
+			}
+			wg.Wait()
+			if err := firstError(errs); err != nil {
+				if !ingest.ManifestUnchanged(dir, m) {
+					continue
+				}
+				return DeltaStats{}, err
+			}
+			nd = &corpusData{sh: shard.Assemble(shards, a, label, fromAttr, subset)}
+			stats.Shards = len(shards)
+			if !ingest.ManifestUnchanged(dir, m) {
+				continue
+			}
+		case !m.Sharded && aligned && old.c != nil && snapSrc.Shards[0] == oldSrc.Shards[0]:
+			// Unchanged unsharded snapshot: adopt the whole generation
+			// (its image embeds the same analysis) — no image is read, so
+			// there is nothing to race with. The swap still bumps the
+			// cache epoch, which is what a reload promises.
+			nd = &corpusData{c: old.c}
+			stats.Shards, stats.Reused = 1, 1
+		default:
+			loaded, err := ingest.Load(dir) // internally retry-stable
+			if err != nil {
+				return DeltaStats{}, err
+			}
+			nd = &corpusData{sh: loaded.Corpus, c: loaded.Single}
+			snapSrc = loaded.Source
+			stats.Shards = len(snapSrc.Shards)
+			stats.Rebuilt = stats.Shards
+		}
+		nd.src = &snapSrc
+		c.data.Store(nd)
+		c.server().Swap(nd.backend())
+		return stats, nil
+	}
+	return DeltaStats{}, ingest.ErrSnapshotChanging
+}
+
+// firstError returns the first non-nil error of a parallel fan-out.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveSnapshot writes the corpus as a snapshot directory: a manifest with
+// per-shard content hashes plus packed images (see internal/ingest). A
+// snapshot is both the cheapest thing to serve from — LoadSnapshot
+// memory-maps it and re-analyzes nothing — and the unit of incremental
+// refresh: re-snapshotting after a small change rewrites only the changed
+// shard images, and ReloadSnapshot adopts the unchanged ones in place.
+func (c *Corpus) SaveSnapshot(dir string) error {
+	d := c.data.Load()
+	if d.sh != nil {
+		return ingest.Snapshot(dir, d.sh)
+	}
+	return ingest.SnapshotSingle(dir, d.c)
+}
+
+// LoadSnapshot opens a snapshot directory written by SaveSnapshot. The
+// corpus shape (sharded or not, and how) comes from the snapshot itself,
+// so of the load options only the serving-layer ones — WithWorkers and
+// WithQueryCache — apply; shard, DTD and parse options are ignored.
+func LoadSnapshot(dir string, opts ...Option) (*Corpus, error) {
+	cfg := newLoadConfig()
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	loaded, err := ingest.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	d := &corpusData{sh: loaded.Corpus, c: loaded.Single}
+	d.src = &loaded.Source
+	c := newCorpus(d)
+	c.ConfigureServing(cfg.workers, cfg.cache)
+	return c, nil
+}
+
 // CacheStats is a point-in-time snapshot of the query cache: hit/miss
 // counters, queries coalesced onto an in-flight identical computation, and
 // current occupancy against the configured budget.
@@ -146,9 +468,13 @@ type CacheStats struct {
 	Misses    int64 `json:"misses"`
 	Coalesced int64 `json:"coalesced"`
 	Evictions int64 `json:"evictions"`
-	Entries   int64 `json:"entries"`
-	Bytes     int64 `json:"bytes"`
-	Capacity  int64 `json:"capacity"`
+	// Rejected counts responses the admission filter declined to cache: a
+	// query seen only once may fill spare capacity but never evicts the
+	// warm working set.
+	Rejected int64 `json:"rejected"`
+	Entries  int64 `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	Capacity int64 `json:"capacity"`
 }
 
 // QueryCacheStats reports the query-cache counters of the corpus's serving
@@ -161,6 +487,7 @@ func (c *Corpus) QueryCacheStats() (stats CacheStats, ok bool) {
 		Misses:    st.Misses,
 		Coalesced: st.Coalesced,
 		Evictions: st.Evictions,
+		Rejected:  st.Rejected,
 		Entries:   st.Entries,
 		Bytes:     st.Bytes,
 		Capacity:  st.Capacity,

@@ -96,6 +96,49 @@ func TestCompareReportsServeGate(t *testing.T) {
 	}
 }
 
+func reloadReport(source string, deltaSpeedup float64) *SearchPerfReport {
+	return &SearchPerfReport{
+		Reload: []ReloadPerfPoint{{Nodes: 100_000, Shards: 4, Source: source,
+			FullNs: 2_000_000, DeltaSpeedup: deltaSpeedup}},
+	}
+}
+
+func TestCompareReportsReloadGate(t *testing.T) {
+	base := reloadReport("snapshot", 3.0) // quiet-hardware delta/full ratio
+	// Healthy runs: below the committed ratio but above the capped floor
+	// (1.5x / 1.2 = 1.25x).
+	if msgs := CompareReports(base, reloadReport("snapshot", 1.6), 1.2); len(msgs) != 0 {
+		t.Fatalf("noise dip flagged: %v", msgs)
+	}
+	if msgs := CompareReports(base, reloadReport("snapshot", 1.26), 1.2); len(msgs) != 0 {
+		t.Fatalf("floor grazed but passed ratio flagged: %v", msgs)
+	}
+	// The delta stopped beating the full path: fails.
+	msgs := CompareReports(base, reloadReport("snapshot", 1.05), 1.2)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "delta reload") {
+		t.Fatalf("msgs = %v", msgs)
+	}
+	// XML-source points are bounded by re-parse cost; committed ratios
+	// under the threshold are trajectory, not gate.
+	if msgs := CompareReports(reloadReport("xml", 1.15), reloadReport("xml", 0.9), 1.2); len(msgs) != 0 {
+		t.Fatalf("sub-threshold xml ratio flagged: %v", msgs)
+	}
+	// Points are keyed by source: an xml current point never answers for
+	// the snapshot baseline.
+	if msgs := CompareReports(base, reloadReport("xml", 0.9), 1.2); len(msgs) != 0 {
+		t.Fatalf("cross-source comparison happened: %v", msgs)
+	}
+	// Sub-millisecond baseline full reloads are fixed-cost noise, not
+	// gate material, whatever their ratio.
+	tiny := &SearchPerfReport{Reload: []ReloadPerfPoint{{Nodes: 1000, Shards: 4,
+		Source: "snapshot", FullNs: 400_000, DeltaSpeedup: 2.5}}}
+	tinyCur := &SearchPerfReport{Reload: []ReloadPerfPoint{{Nodes: 1000, Shards: 4,
+		Source: "snapshot", FullNs: 400_000, DeltaSpeedup: 0.8}}}
+	if msgs := CompareReports(tiny, tinyCur, 1.2); len(msgs) != 0 {
+		t.Fatalf("sub-millisecond point flagged: %v", msgs)
+	}
+}
+
 // TestCompareReportsServeKeyedByShards: each size carries a sharded and an
 // unsharded serve point; a regression of one must be attributed to it, not
 // masked by (or blamed on) the other.

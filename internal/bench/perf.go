@@ -28,6 +28,13 @@ func resultOfSize(nodes int) *xmltree.Document {
 	return xmltree.NewDocument(xmltree.DeepCopy(retailer))
 }
 
+// StoresDocOfSize builds a stores document with roughly the given node
+// count — the shared corpus generator of the perf trajectories (exported
+// for the reloadperf subpackage, which measures through the facade).
+func StoresDocOfSize(nodes int, seed int64) *xmltree.Document {
+	return storesCorpusOfSize(nodes, seed)
+}
+
 // storesCorpusOfSize builds a corpus with roughly the given node count.
 func storesCorpusOfSize(nodes int, seed int64) *xmltree.Document {
 	per := nodes / (4 * 5 * 7)

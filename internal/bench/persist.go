@@ -289,5 +289,49 @@ func CompareReports(baseline, current *SearchPerfReport, tol float64) []string {
 				p.Nodes, p.Shards, base, p.WarmSpeedup, demanded/tol))
 		}
 	}
+
+	// Reload points are keyed by (nodes, shards, source); the gated
+	// quantity is the in-run delta/full reload speedup after a one-entity
+	// edit.
+	type reloadKey struct {
+		nodes, shards int
+		source        string
+	}
+	baseReload := map[reloadKey]ReloadPerfPoint{}
+	for _, p := range baseline.Reload {
+		baseReload[reloadKey{p.Nodes, p.Shards, p.Source}] = p
+	}
+	for _, p := range current.Reload {
+		bp, ok := baseReload[reloadKey{p.Nodes, p.Shards, p.Source}]
+		base := bp.DeltaSpeedup
+		if !ok || base <= 0 || p.DeltaSpeedup <= 0 {
+			continue
+		}
+		// Points whose baseline advantage is small are not gate material:
+		// XML-source deltas are bounded by the re-parse and re-analysis
+		// both paths pay (their ~1.1x at scale is recorded as trajectory,
+		// not enforced). Neither are points whose baseline full reload is
+		// sub-millisecond — there fixed costs (allocator, syscalls, the
+		// swap itself) drown the per-shard work the delta skips and the
+		// ratio is noise on a contended runner. The enforceable advantage
+		// — decoding one changed packed image instead of all of them —
+		// lives in the snapshot points at scale.
+		if base < 1.25 || bp.FullNs < 1_000_000 {
+			continue
+		}
+		// The committed speedup is recorded on quiet hardware; cap the
+		// demand (floor ~1.25x at default tolerance) so a contended CI
+		// runner has headroom, while still failing loudly if delta reload
+		// stops beating the full path.
+		demanded := base
+		if demanded > 1.5 {
+			demanded = 1.5
+		}
+		if p.DeltaSpeedup < demanded/tol {
+			msgs = append(msgs, fmt.Sprintf(
+				"delta reload at %d nodes (%d shards, %s) regressed: %.2fx -> %.2fx over the full path (limit %.2fx)",
+				p.Nodes, p.Shards, p.Source, base, p.DeltaSpeedup, demanded/tol))
+		}
+	}
 	return msgs
 }

@@ -1,0 +1,254 @@
+// Package reloadperf measures the refresh trajectory — full versus delta
+// reload after a one-entity edit — through the extract facade. It is a
+// subpackage because internal/bench itself cannot import the facade (the
+// facade's benchmarks import internal/bench); only cmd/benchrunner links
+// it.
+package reloadperf
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"extract"
+	"extract/internal/bench"
+	"extract/xmltree"
+)
+
+// shards is the shard count of the reload trajectory corpus (the stores
+// corpus has four top-level retailers).
+const shards = 4
+
+// timeItColdSetup measures fn as a cold one-shot with an untimed setup
+// before every run — the delta path needs the corpus reset to the old
+// generation between measurements, or the second delta would diff
+// identical content. Like bench's timeItCold it keeps the running minimum
+// and rides out contention bursts adaptively.
+func timeItColdSetup(minReps int, setup, fn func()) int64 {
+	const (
+		patience = 8
+		maxReps  = 40
+	)
+	setup()
+	fn() // warm the code paths, not the measurement
+	best := int64(0)
+	sinceImproved := 0
+	for i := 0; i < maxReps && (i < minReps || sinceImproved < patience); i++ {
+		setup()
+		runtime.GC()
+		start := time.Now()
+		fn()
+		d := time.Since(start).Nanoseconds()
+		if best == 0 || d < best {
+			best = d
+			sinceImproved = 0
+		} else {
+			sinceImproved++
+		}
+	}
+	return best
+}
+
+// ReloadPerf measures full versus delta reload time at the given corpus
+// sizes (default 1k/10k/100k nodes), two points per size: a served
+// sharded corpus refreshing from XML in which exactly one top-level
+// entity changed, and the same refresh shipped as a snapshot directory in
+// which one packed shard image changed.
+func ReloadPerf(sizes []int) ([]bench.ReloadPerfPoint, error) {
+	if len(sizes) == 0 {
+		sizes = []int{1_000, 10_000, 100_000}
+	}
+	var points []bench.ReloadPerfPoint
+	for _, size := range sizes {
+		f := newReloadFixture(size)
+		for _, src := range []string{"xml", "snapshot"} {
+			p, err := f.point(src)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, p)
+		}
+		f.close()
+	}
+	return points, nil
+}
+
+// reloadFixture is one corpus size's measurement setup: the A and B
+// generations as XML strings and as snapshot directories, plus the served
+// corpus being refreshed.
+type reloadFixture struct {
+	nodes        int
+	xmlA, xmlB   string
+	snapA, snapB string
+	c, srcA      *extract.Corpus
+	err          error
+}
+
+func newReloadFixture(size int) *reloadFixture {
+	f := &reloadFixture{}
+	docA := bench.StoresDocOfSize(size, 11)
+	f.nodes = docA.Len()
+	f.xmlA = xmltree.XMLString(docA.Root)
+
+	// The edit: one text value inside the third retailer flips. Weights
+	// and child counts are untouched, so the partition boundaries hold and
+	// exactly one shard's content hash moves.
+	docB := bench.StoresDocOfSize(size, 11)
+	entity := docB.Root.Children[2]
+	mutated := false
+	entity.Walk(func(n *xmltree.Node) bool {
+		if mutated || !n.IsText() {
+			return true
+		}
+		n.Value = "zzzrestocked"
+		mutated = true
+		return false
+	})
+	if !mutated {
+		f.err = fmt.Errorf("reloadperf: no text node to mutate at %d nodes", size)
+		return f
+	}
+	f.xmlB = xmltree.XMLString(docB.Root)
+
+	opts := f.opts()
+	if f.c, f.err = extract.LoadString(f.xmlA, opts...); f.err != nil {
+		return f
+	}
+	if f.srcA, f.err = extract.LoadString(f.xmlA, opts...); f.err != nil {
+		return f
+	}
+	dir, err := os.MkdirTemp("", "extract-reload-bench")
+	if err != nil {
+		f.err = err
+		return f
+	}
+	f.snapA = filepath.Join(dir, "a.xtsnap")
+	f.snapB = filepath.Join(dir, "b.xtsnap")
+	srcB, err := extract.LoadString(f.xmlB, opts...)
+	if err != nil {
+		f.err = err
+		return f
+	}
+	defer srcB.Close()
+	if f.err = f.srcA.SaveSnapshot(f.snapA); f.err != nil {
+		return f
+	}
+	f.err = srcB.SaveSnapshot(f.snapB)
+	return f
+}
+
+func (f *reloadFixture) opts() []extract.Option {
+	return []extract.Option{extract.WithShards(shards)}
+}
+
+func (f *reloadFixture) close() {
+	if f.c != nil {
+		f.c.Close()
+	}
+	if f.srcA != nil {
+		f.srcA.Close()
+	}
+	if f.snapA != "" {
+		os.RemoveAll(filepath.Dir(f.snapA))
+	}
+}
+
+// point measures one (size, source) cell: the serving corpus resets to
+// generation A before every run, then refreshes to B through the full
+// path and through the delta path.
+func (f *reloadFixture) point(source string) (bench.ReloadPerfPoint, error) {
+	if f.err != nil {
+		return bench.ReloadPerfPoint{}, f.err
+	}
+	opts := f.opts()
+	// Reload consumes its source, so every reset hands it a freshly
+	// loaded generation-A corpus; the A snapshot makes that cheap (mmap +
+	// decode, no re-analysis) and its manifest-sourced hashes match the
+	// parsed generation's by the hash-agreement invariant.
+	reset := func() {
+		fresh, err := extract.LoadSnapshot(f.snapA)
+		if err != nil {
+			panic(err)
+		}
+		f.c.Reload(fresh)
+	}
+	p := bench.ReloadPerfPoint{Nodes: f.nodes, Shards: f.c.Shards(), Source: source}
+
+	var full, delta func()
+	var deltaStats func() (extract.DeltaStats, error)
+	switch source {
+	case "xml":
+		full = func() {
+			fresh, err := extract.LoadString(f.xmlB, opts...)
+			if err != nil {
+				panic(err)
+			}
+			f.c.Reload(fresh)
+		}
+		delta = func() {
+			if _, err := f.c.ReloadDelta(strings.NewReader(f.xmlB), opts...); err != nil {
+				panic(err)
+			}
+		}
+		deltaStats = func() (extract.DeltaStats, error) {
+			return f.c.ReloadDelta(strings.NewReader(f.xmlB), opts...)
+		}
+	case "snapshot":
+		full = func() {
+			fresh, err := extract.LoadSnapshot(f.snapB)
+			if err != nil {
+				panic(err)
+			}
+			f.c.Reload(fresh)
+		}
+		delta = func() {
+			if _, err := f.c.ReloadSnapshot(f.snapB); err != nil {
+				panic(err)
+			}
+		}
+		deltaStats = func() (extract.DeltaStats, error) {
+			return f.c.ReloadSnapshot(f.snapB)
+		}
+	default:
+		return bench.ReloadPerfPoint{}, fmt.Errorf("reloadperf: unknown source %q", source)
+	}
+
+	// Sanity: the delta must actually be a one-shard delta, or the point
+	// measures the wrong thing.
+	reset()
+	stats, err := deltaStats()
+	if err != nil {
+		return bench.ReloadPerfPoint{}, err
+	}
+	if stats.Reused != p.Shards-1 {
+		return bench.ReloadPerfPoint{}, fmt.Errorf("reloadperf: %s delta at %d nodes reused %d of %d shards, want %d",
+			source, f.nodes, stats.Reused, stats.Shards, p.Shards-1)
+	}
+	p.ChangedShards = stats.Rebuilt
+
+	reps := 10
+	p.FullNs = timeItColdSetup(reps, reset, full)
+	p.DeltaNs = timeItColdSetup(reps, reset, delta)
+	if p.DeltaNs > 0 {
+		p.DeltaSpeedup = float64(p.FullNs) / float64(p.DeltaNs)
+	}
+	return p, nil
+}
+
+// UpdateReloadPerf runs the reload suite and merges the points into the
+// report JSON at path, preserving the other recorded trajectories.
+func UpdateReloadPerf(path string, sizes []int) ([]bench.ReloadPerfPoint, error) {
+	points, err := ReloadPerf(sizes)
+	if err != nil {
+		return nil, err
+	}
+	report, err := bench.ReadReport(path)
+	if err != nil {
+		return nil, err
+	}
+	report.Reload = points
+	return points, bench.WriteReport(path, report)
+}

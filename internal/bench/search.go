@@ -62,6 +62,10 @@ type SearchPerfReport struct {
 	// -serve): concurrent QPS against sharded corpora, cold vs warm query
 	// cache.
 	Serve []ServePerfPoint `json:"serve,omitempty"`
+
+	// Reload is the refresh trajectory (benchrunner -reload): full versus
+	// delta reload time after a one-entity edit.
+	Reload []ReloadPerfPoint `json:"reload,omitempty"`
 }
 
 // timeIt returns fn's duration in nanoseconds: the minimum of three batch

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"extract/xmltree"
 )
@@ -72,8 +73,17 @@ type Index struct {
 	vocab     []string
 }
 
+// builds counts Build invocations process-wide. Index construction is the
+// expensive tokenizing pass a delta reload exists to avoid, so the tests
+// that pin "unchanged shards are not re-analyzed" assert on this counter.
+var builds atomic.Int64
+
+// Builds returns the number of times Build has run in this process.
+func Builds() int64 { return builds.Load() }
+
 // Build constructs the index for a document in one pass.
 func Build(doc *xmltree.Document) *Index {
+	builds.Add(1)
 	ix := &Index{doc: doc, postings: make(map[string]*PostingList)}
 	add := func(keyword string, n *xmltree.Node, f MatchField) {
 		list := ix.postings[keyword]

@@ -1,0 +1,243 @@
+package ingest
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"extract/internal/core"
+	"extract/internal/gen"
+	"extract/internal/search"
+	"extract/internal/shard"
+	"extract/xmltree"
+)
+
+func storesDoc() *xmltree.Document {
+	return gen.Stores(gen.StoresConfig{Retailers: 4, StoresPerRetailer: 3, ClothesPerStore: 4, Seed: 23})
+}
+
+// mutateOneEntity flips one text value inside the subtree of the root's
+// child at index i — the smallest possible source change, confined to one
+// partition block.
+func mutateOneEntity(doc *xmltree.Document, i int) {
+	entity := doc.Root.Children[i]
+	var done bool
+	entity.Walk(func(n *xmltree.Node) bool {
+		if done || !n.IsText() {
+			return true
+		}
+		n.Value = "zzzmutated"
+		done = true
+		return false
+	})
+	if !done {
+		panic("no text node to mutate")
+	}
+}
+
+// render flattens search results and snippets over a sharded corpus to
+// comparable bytes.
+func render(sc *shard.Corpus, query string) string {
+	rs, err := sc.Search(query, search.Options{DistinctAnchors: true})
+	if err != nil {
+		return "err:" + err.Error()
+	}
+	g := core.NewGenerator(sc.Analysis())
+	var b bytes.Buffer
+	for _, r := range rs {
+		b.WriteString(xmltree.XMLString(r.Root))
+		b.WriteString("\n")
+		b.WriteString(xmltree.XMLString(g.ForResult(r, query, 8).Snippet.Root))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+var testQueries = []string{"retailer", "store texas", "jeans", "zzznope store"}
+
+// TestHashAgreement pins the invariant the delta path rests on: the block
+// hashes Diff computes for a document equal the ShardHash of the shards
+// Partition-and-Build produce from the same content.
+func TestHashAgreement(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4} {
+		d := Diff(Source{}, storesDoc(), n)
+		sc := shard.Build(storesDoc(), n)
+		if len(d.Hashes) != sc.NumShards() {
+			t.Fatalf("n=%d: Diff saw %d blocks, Build made %d shards", n, len(d.Hashes), sc.NumShards())
+		}
+		for i, s := range sc.Shards() {
+			if got := ShardHash(s.Doc); got != d.Hashes[i] {
+				t.Fatalf("n=%d shard %d: built-shard hash %x != block hash %x", n, i, got, d.Hashes[i])
+			}
+		}
+		label, fromAttr := sc.Root()
+		if got := RootHash(label, fromAttr, sc.InternalSubset()); got != d.RootHash {
+			t.Fatalf("n=%d: root hash disagrees: %x vs %x", n, got, d.RootHash)
+		}
+	}
+}
+
+// TestDiff covers the adoption verdicts: identical content adopts
+// everything, a one-entity edit rebuilds exactly its block, and a root or
+// layout change degrades to a full rebuild.
+func TestDiff(t *testing.T) {
+	base := Diff(Source{}, storesDoc(), 4)
+	if base.Reused != 0 {
+		t.Fatalf("diff against empty source reused %d blocks", base.Reused)
+	}
+	old := Source{RootHash: base.RootHash, Shards: base.Hashes}
+
+	same := Diff(old, storesDoc(), 4)
+	if same.Reused != 4 {
+		t.Fatalf("identical content: reused %d of 4 blocks (%v)", same.Reused, same.Changed)
+	}
+
+	mut := storesDoc()
+	mutateOneEntity(mut, 2)
+	d := Diff(old, mut, 4)
+	if d.Reused != 3 || !d.Changed[2] {
+		t.Fatalf("one-entity edit: reused %d, changed %v", d.Reused, d.Changed)
+	}
+
+	rooted := storesDoc()
+	rooted.Root.Label = "renamed"
+	if d := Diff(old, rooted, 4); d.Reused != 0 {
+		t.Fatalf("root change: reused %d blocks", d.Reused)
+	}
+
+	if d := Diff(old, storesDoc(), 2); d.Reused != 0 {
+		t.Fatalf("layout change: reused %d blocks", d.Reused)
+	}
+}
+
+// TestSnapshotRoundTripSharded pins snapshot persistence: a loaded
+// sharded snapshot answers queries byte-identically to the corpus it was
+// written from, and its Source matches the live generation's hashes.
+func TestSnapshotRoundTripSharded(t *testing.T) {
+	dir := t.TempDir()
+	sc := shard.Build(storesDoc(), 3)
+	if err := Snapshot(dir, sc); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Corpus == nil || loaded.Single != nil {
+		t.Fatalf("sharded snapshot loaded as %+v", loaded)
+	}
+	if loaded.Corpus.NumShards() != sc.NumShards() {
+		t.Fatalf("shards: %d, want %d", loaded.Corpus.NumShards(), sc.NumShards())
+	}
+	for i, s := range sc.Shards() {
+		if loaded.Source.Shards[i] != ShardHash(s.Doc) {
+			t.Fatalf("manifest source hash %d disagrees with live shard", i)
+		}
+	}
+	for _, q := range testQueries {
+		if got, want := render(loaded.Corpus, q), render(sc, q); got != want {
+			t.Fatalf("q=%q: snapshot answers differ\nwant %s\ngot  %s", q, want, got)
+		}
+	}
+	if a, ok := loaded.Corpus.Keys().KeyAttr("retailer"); !ok || a != "name" {
+		t.Fatalf("mined keys lost in snapshot: %q %v", a, ok)
+	}
+}
+
+// TestSnapshotRoundTripSingle covers the unsharded shape.
+func TestSnapshotRoundTripSingle(t *testing.T) {
+	dir := t.TempDir()
+	c := core.BuildCorpus(storesDoc())
+	if err := SnapshotSingle(dir, c); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Single == nil || loaded.Corpus != nil {
+		t.Fatalf("unsharded snapshot loaded as %+v", loaded)
+	}
+	if loaded.Single.Doc.Len() != c.Doc.Len() {
+		t.Fatalf("nodes: %d, want %d", loaded.Single.Doc.Len(), c.Doc.Len())
+	}
+	if len(loaded.Source.Shards) != 1 || loaded.Source.Shards[0] != ShardHash(c.Doc) {
+		t.Fatalf("manifest source %v disagrees with live corpus", loaded.Source)
+	}
+}
+
+// TestSnapshotIncrementalWrite proves unchanged shard images are not
+// re-encoded: their on-disk bytes (replaced with a sentinel between
+// snapshots) survive a re-snapshot whose content hash still matches, while
+// a genuinely changed shard's image is rewritten.
+func TestSnapshotIncrementalWrite(t *testing.T) {
+	dir := t.TempDir()
+	if err := Snapshot(dir, shard.Build(storesDoc(), 4)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plant sentinels in two shard files: one whose content will not
+	// change (must be left alone) and one whose content will (must be
+	// rewritten).
+	sentinel := []byte("sentinel: this image must not be rewritten")
+	keepFile := filepath.Join(dir, shardFile(0))
+	changeFile := filepath.Join(dir, shardFile(2))
+	if err := os.WriteFile(keepFile, sentinel, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(changeFile, sentinel, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	mut := storesDoc()
+	mutateOneEntity(mut, 2)
+	if err := Snapshot(dir, shard.Build(mut, 4)); err != nil {
+		t.Fatal(err)
+	}
+
+	kept, err := os.ReadFile(keepFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(kept, sentinel) {
+		t.Error("unchanged shard image was re-encoded")
+	}
+	changed, err := os.ReadFile(changeFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(changed, sentinel) {
+		t.Error("changed shard image was not rewritten")
+	}
+}
+
+// TestSnapshotShapeChangeCleans: re-snapshotting with fewer shards removes
+// the orphaned image files and the directory stays loadable.
+func TestSnapshotShapeChangeCleans(t *testing.T) {
+	dir := t.TempDir()
+	if err := Snapshot(dir, shard.Build(storesDoc(), 4)); err != nil {
+		t.Fatal(err)
+	}
+	sc2 := shard.Build(storesDoc(), 2)
+	if err := Snapshot(dir, sc2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i < 4; i++ {
+		if _, err := os.Stat(filepath.Join(dir, shardFile(i))); !os.IsNotExist(err) {
+			t.Errorf("stale image %s survived the shape change", shardFile(i))
+		}
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Corpus.NumShards() != sc2.NumShards() {
+		t.Fatalf("shards after shape change: %d, want %d", loaded.Corpus.NumShards(), sc2.NumShards())
+	}
+	for _, q := range testQueries {
+		if got, want := render(loaded.Corpus, q), render(sc2, q); got != want {
+			t.Fatalf("q=%q: answers differ after shape change", q)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot manifest: the small, versioned description of a snapshot
+// directory that delta reloads diff against. All integers little-endian.
+//
+//	magic "XTSN" | version u8 = 1 | flags u8 (bit0: sharded)
+//	u64 rootHash
+//	analysis: u8 nameLen | name | u64 imageHash   (empty name when unsharded)
+//	u32 shardCount
+//	per shard: u8 nameLen | name | u64 contentHash | u64 imageHash
+//
+// ContentHash fingerprints the shard's *source entities* (see HashEntities)
+// — the key Diff compares across generations; ImageHash fingerprints the
+// packed image bytes, so an incremental Snapshot can prove an on-disk image
+// is current without re-encoding it.
+const (
+	manifestMagic   = "XTSN"
+	manifestVersion = 1
+
+	// ManifestName is the manifest's file name inside a snapshot
+	// directory — the file watchers stat to detect a new snapshot
+	// generation (it is written last, atomically).
+	ManifestName = "manifest.xtsn"
+
+	flagSharded = 1
+
+	maxManifestShards = 1 << 16
+	maxNameLen        = 255
+)
+
+// ErrBadManifest reports a corrupted or foreign manifest.
+var ErrBadManifest = errors.New("ingest: bad manifest")
+
+// FileEntry names one auxiliary image file of a snapshot.
+type FileEntry struct {
+	File      string
+	ImageHash uint64
+}
+
+// ShardEntry describes one shard of a snapshot: its packed image file, the
+// content hash of its source entities, and the image hash of the file
+// bytes.
+type ShardEntry struct {
+	File        string
+	ContentHash uint64
+	ImageHash   uint64
+}
+
+// Manifest is the decoded form of a snapshot directory's manifest file.
+type Manifest struct {
+	// Sharded records the corpus shape: a sharded snapshot has a global
+	// analysis image plus one packed image per shard, an unsharded one
+	// has exactly one packed corpus image and no analysis file.
+	Sharded  bool
+	RootHash uint64
+	Analysis FileEntry
+	Shards   []ShardEntry
+}
+
+// Source returns the generation identity the manifest describes, in the
+// form Diff compares.
+func (m *Manifest) Source() Source {
+	s := Source{RootHash: m.RootHash, Shards: make([]uint64, len(m.Shards))}
+	for i, e := range m.Shards {
+		s.Shards[i] = e.ContentHash
+	}
+	return s
+}
+
+// EncodeManifest serializes m canonically: decoding the result yields an
+// equal Manifest, and re-encoding any decoded manifest reproduces the
+// input bytes (pinned by the fuzz target and the golden file).
+func EncodeManifest(m *Manifest) []byte {
+	buf := make([]byte, 0, 64+32*len(m.Shards))
+	buf = append(buf, manifestMagic...)
+	buf = append(buf, manifestVersion)
+	var flags byte
+	if m.Sharded {
+		flags |= flagSharded
+	}
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint64(buf, m.RootHash)
+	buf = append(buf, byte(len(m.Analysis.File)))
+	buf = append(buf, m.Analysis.File...)
+	buf = binary.LittleEndian.AppendUint64(buf, m.Analysis.ImageHash)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Shards)))
+	for _, e := range m.Shards {
+		buf = append(buf, byte(len(e.File)))
+		buf = append(buf, e.File...)
+		buf = binary.LittleEndian.AppendUint64(buf, e.ContentHash)
+		buf = binary.LittleEndian.AppendUint64(buf, e.ImageHash)
+	}
+	return buf
+}
+
+// manifestCursor decodes with sticky bounds checking.
+type manifestCursor struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (c *manifestCursor) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("%w: %s", ErrBadManifest, fmt.Sprintf(format, args...))
+	}
+}
+
+func (c *manifestCursor) bytes(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(c.data)-c.off {
+		c.fail("truncated at offset %d (need %d bytes)", c.off, n)
+		return nil
+	}
+	b := c.data[c.off : c.off+n]
+	c.off += n
+	return b
+}
+
+func (c *manifestCursor) u8() byte {
+	b := c.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (c *manifestCursor) u32() uint32 {
+	b := c.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (c *manifestCursor) u64() uint64 {
+	b := c.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (c *manifestCursor) name(what string) string {
+	n := int(c.u8())
+	s := string(c.bytes(n))
+	if c.err != nil {
+		return ""
+	}
+	if s != "" && !validName(s) {
+		c.fail("invalid %s file name %q", what, s)
+		return ""
+	}
+	return s
+}
+
+// validName accepts exactly the file names a snapshot writer produces:
+// plain names inside the snapshot directory, never paths. Rejecting
+// separators and dot-names up front means a hostile manifest cannot make
+// the loader read or the writer delete anything outside its directory.
+func validName(s string) bool {
+	if s == "" || len(s) > maxNameLen || s == "." || s == ".." {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// DecodeManifest parses and validates a manifest image.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	c := &manifestCursor{data: data}
+	if len(data) < len(manifestMagic)+2 || string(data[:len(manifestMagic)]) != manifestMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadManifest)
+	}
+	c.off = len(manifestMagic)
+	if v := c.u8(); v != manifestVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadManifest, v)
+	}
+	flags := c.u8()
+	if flags&^byte(flagSharded) != 0 {
+		return nil, fmt.Errorf("%w: unknown flag bits %#x", ErrBadManifest, flags)
+	}
+	m := &Manifest{Sharded: flags&flagSharded != 0}
+	m.RootHash = c.u64()
+	m.Analysis.File = c.name("analysis")
+	m.Analysis.ImageHash = c.u64()
+	count := int(c.u32())
+	if c.err == nil && (count == 0 || count > maxManifestShards) {
+		return nil, fmt.Errorf("%w: absurd shard count %d", ErrBadManifest, count)
+	}
+	if c.err == nil && count > (len(c.data)-c.off)/17 {
+		// A shard entry costs at least 17 bytes; a larger count cannot be
+		// backed by the remaining bytes.
+		return nil, fmt.Errorf("%w: shard count %d exceeds manifest size", ErrBadManifest, count)
+	}
+	seen := make(map[string]bool, count+1)
+	if m.Analysis.File != "" {
+		seen[m.Analysis.File] = true
+	}
+	for i := 0; i < count && c.err == nil; i++ {
+		e := ShardEntry{File: c.name("shard")}
+		e.ContentHash = c.u64()
+		e.ImageHash = c.u64()
+		if c.err != nil {
+			break
+		}
+		if e.File == "" {
+			return nil, fmt.Errorf("%w: shard %d has no file name", ErrBadManifest, i)
+		}
+		if seen[e.File] {
+			return nil, fmt.Errorf("%w: duplicate file name %q", ErrBadManifest, e.File)
+		}
+		seen[e.File] = true
+		m.Shards = append(m.Shards, e)
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadManifest, len(data)-c.off)
+	}
+	if m.Sharded && m.Analysis.File == "" {
+		return nil, fmt.Errorf("%w: sharded snapshot without analysis image", ErrBadManifest)
+	}
+	if !m.Sharded {
+		if m.Analysis.File != "" || m.Analysis.ImageHash != 0 {
+			return nil, fmt.Errorf("%w: unsharded snapshot with analysis image", ErrBadManifest)
+		}
+		if len(m.Shards) != 1 {
+			return nil, fmt.Errorf("%w: unsharded snapshot with %d images", ErrBadManifest, len(m.Shards))
+		}
+	}
+	return m, nil
+}
+
+// ReadManifest loads and decodes the manifest of a snapshot directory.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeManifest(data)
+}
+
+// ManifestUnchanged reports whether dir's manifest still encodes exactly
+// m. Every snapshot write renames the manifest last, so a loader that
+// reads the manifest, loads images, and then sees the manifest unchanged
+// has provably loaded one generation — re-checking (and retrying on
+// mismatch) is how Load and the snapshot reload path stay safe against a
+// writer refreshing the directory in place mid-load.
+func ManifestUnchanged(dir string, m *Manifest) bool {
+	m2, err := ReadManifest(dir)
+	return err == nil && bytes.Equal(EncodeManifest(m2), EncodeManifest(m))
+}
+
+// writeManifest writes the manifest atomically (temp file + rename), so a
+// watcher that stats ManifestName never observes a half-written manifest:
+// either the old generation's manifest or the new one.
+func writeManifest(dir string, m *Manifest) error {
+	tmp, err := os.CreateTemp(dir, ManifestName+".tmp*")
+	if err != nil {
+		return err
+	}
+	// CreateTemp's 0600 would make the manifest the one unreadable file in
+	// a snapshot served by another user; match the images.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if _, err := tmp.Write(EncodeManifest(m)); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, ManifestName)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package ingest
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden manifest file")
+
+// goldenManifest is a fixed, fully populated manifest: every field and
+// both shapes of entry exercised, hashes chosen with high bytes set so
+// endianness mistakes cannot hide.
+func goldenManifest() *Manifest {
+	return &Manifest{
+		Sharded:  true,
+		RootHash: 0xdeadbeefcafe0123,
+		Analysis: FileEntry{File: "analysis.xtix", ImageHash: 0x0102030405060708},
+		Shards: []ShardEntry{
+			{File: "shard-0000.xtix", ContentHash: 0xfedcba9876543210, ImageHash: 1},
+			{File: "shard-0001.xtix", ContentHash: 42, ImageHash: 0xffffffffffffffff},
+			{File: "shard-0002.xtix", ContentHash: 0, ImageHash: 0},
+		},
+	}
+}
+
+// TestManifestRoundTrip pins losslessness both ways: decode(encode(m))
+// equals m for representative manifests, and encode(decode(b)) reproduces
+// the exact bytes (the encoding is canonical).
+func TestManifestRoundTrip(t *testing.T) {
+	cases := []*Manifest{
+		goldenManifest(),
+		{RootHash: 7, Shards: []ShardEntry{{File: "shard-0000.xtix", ContentHash: 9, ImageHash: 11}}},
+		{Sharded: true, Analysis: FileEntry{File: "a.xtix"}, Shards: []ShardEntry{{File: "s.xtix"}}},
+	}
+	for i, m := range cases {
+		enc := EncodeManifest(m)
+		got, err := DecodeManifest(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("case %d: round trip drifted\nwant %+v\ngot  %+v", i, m, got)
+		}
+		if re := EncodeManifest(got); !bytes.Equal(re, enc) {
+			t.Fatalf("case %d: re-encode is not canonical", i)
+		}
+	}
+}
+
+// TestManifestGolden pins the on-disk encoding byte-for-byte: committed
+// manifests must keep decoding in every future revision, and an
+// intentional format change must bump the version and regenerate with
+// -update (the same scheme internal/persist uses).
+func TestManifestGolden(t *testing.T) {
+	path := filepath.Join("testdata", "manifest.golden")
+	enc := EncodeManifest(goldenManifest())
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if !bytes.Equal(enc, want) {
+		t.Errorf("manifest encoding drifted from golden (%d vs %d bytes); format changes must bump the version",
+			len(enc), len(want))
+	}
+	m, err := DecodeManifest(want)
+	if err != nil {
+		t.Fatalf("golden manifest no longer decodes: %v", err)
+	}
+	if !reflect.DeepEqual(m, goldenManifest()) {
+		t.Errorf("golden manifest decoded to %+v", m)
+	}
+}
+
+// TestManifestRejects enumerates the validation rules a hostile or
+// corrupted manifest must not get past.
+func TestManifestRejects(t *testing.T) {
+	good := EncodeManifest(goldenManifest())
+	mutate := func(f func(b []byte) []byte) []byte {
+		return f(append([]byte(nil), good...))
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   mutate(func(b []byte) []byte { b[0] = 'Y'; return b }),
+		"bad version": mutate(func(b []byte) []byte { b[4] = 99; return b }),
+		"bad flags":   mutate(func(b []byte) []byte { b[5] = 0xff; return b }),
+		"truncated":   good[:len(good)-3],
+		"trailing":    append(append([]byte(nil), good...), 0),
+	}
+	for name, data := range cases {
+		if _, err := DecodeManifest(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+
+	structural := map[string]*Manifest{
+		"path traversal in shard": {Sharded: true, Analysis: FileEntry{File: "a.xtix"},
+			Shards: []ShardEntry{{File: "../evil"}}},
+		"separator in analysis": {Sharded: true, Analysis: FileEntry{File: "x/y"},
+			Shards: []ShardEntry{{File: "s.xtix"}}},
+		"duplicate names": {Sharded: true, Analysis: FileEntry{File: "a.xtix"},
+			Shards: []ShardEntry{{File: "s.xtix"}, {File: "s.xtix"}}},
+		"sharded without analysis": {Sharded: true,
+			Shards: []ShardEntry{{File: "s.xtix"}}},
+		"unsharded with analysis": {Analysis: FileEntry{File: "a.xtix"},
+			Shards: []ShardEntry{{File: "s.xtix"}}},
+		"unsharded with two images": {
+			Shards: []ShardEntry{{File: "s.xtix"}, {File: "t.xtix"}}},
+	}
+	for name, m := range structural {
+		if _, err := DecodeManifest(EncodeManifest(m)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}

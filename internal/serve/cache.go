@@ -30,8 +30,75 @@ type flight struct {
 	epoch uint64
 }
 
+// Doorkeeper admission parameters. The doorkeeper is a tiny counting
+// filter (TinyLFU-style) per cache shard: every access — hit or miss —
+// bumps the query key's counters, and an insert that would evict is
+// admitted only when the candidate's estimated frequency is at least that
+// of every entry it would displace. A one-off query (frequency 1) — a client scanning
+// distinct keyword combinations — can therefore fill spare capacity or
+// churn among other one-offs, but can never displace a warm entry whose
+// repeated hits have grown its count (pinned by the scan-resistance
+// test). Counters halve once enough accesses accumulate, so yesterday's
+// frequencies age out instead of vetoing today's working set.
+const (
+	// doorCounters is the per-row counter count; two rows indexed by
+	// independent slices of one hash give count-min behavior, so a
+	// collision can only inflate an estimate, and only admission-relevantly
+	// when a key is crowded in both rows at once. Sized so that even a
+	// scan touching thousands of distinct keys per shard between agings
+	// keeps per-slot crowding far below a warm entry's hit count (1 KiB
+	// per row per shard).
+	doorCounters = 1024
+	// doorAgeOps halves every counter after this many recorded accesses
+	// per shard.
+	doorAgeOps = 4096
+)
+
+// doorkeeper is one shard's counting filter, locked by the owning shard.
+type doorkeeper struct {
+	rows [2][doorCounters]uint8
+	ops  int
+}
+
+// touch records one access and ages the filter when due.
+func (d *doorkeeper) touch(h uint64) {
+	for r := range d.rows {
+		if c := &d.rows[r][d.idx(r, h)]; *c < 255 {
+			*c++
+		}
+	}
+	if d.ops++; d.ops >= doorAgeOps {
+		d.ops = 0
+		for r := range d.rows {
+			for i := range d.rows[r] {
+				d.rows[r][i] >>= 1
+			}
+		}
+	}
+}
+
+// count estimates the key's access frequency (count-min over the rows).
+func (d *doorkeeper) count(h uint64) uint8 {
+	c := d.rows[0][d.idx(0, h)]
+	if c2 := d.rows[1][d.idx(1, h)]; c2 < c {
+		c = c2
+	}
+	return c
+}
+
+func (d *doorkeeper) idx(row int, h uint64) int {
+	return int((h >> (row * 32)) % doorCounters)
+}
+
+func (d *doorkeeper) reset() {
+	for r := range d.rows {
+		clear(d.rows[r][:])
+	}
+	d.ops = 0
+}
+
 // cacheShard is one lock-striped slice of the cache: an LRU-ordered entry
-// map plus the in-flight table for its keys.
+// map plus the in-flight table and admission filter for its keys.
 type cacheShard struct {
 	mu       sync.Mutex
 	entries  map[string]*cacheEntry
@@ -40,6 +107,7 @@ type cacheShard struct {
 	tail     *cacheEntry // least recently used
 	bytes    int64
 	maxBytes int64
+	door     doorkeeper
 }
 
 // Cache is a sharded, size-bounded LRU map from encoded query keys to
@@ -49,17 +117,22 @@ type cacheShard struct {
 type Cache struct {
 	shards [numCacheShards]cacheShard
 	seed   maphash.Seed
+	// doorSeed hashes keys for the admission filter — independent of the
+	// shard-placement seed so filter collisions do not correlate with
+	// lock striping.
+	doorSeed maphash.Seed
 
 	hits      atomic.Int64
 	misses    atomic.Int64
 	coalesced atomic.Int64
 	evictions atomic.Int64
+	rejected  atomic.Int64
 }
 
 // NewCache builds a cache with a total budget of maxBytes across all
 // shards (costs are the entries' estimated heap footprints).
 func NewCache(maxBytes int64) *Cache {
-	c := &Cache{seed: maphash.MakeSeed()}
+	c := &Cache{seed: maphash.MakeSeed(), doorSeed: maphash.MakeSeed()}
 	for i := range c.shards {
 		c.shards[i].entries = make(map[string]*cacheEntry)
 		c.shards[i].inflight = make(map[string]*flight)
@@ -88,6 +161,11 @@ func (c *Cache) do(key string, sortedPrefixLen int, epoch uint64,
 	s := c.shardFor(key, sortedPrefixLen)
 	s.mu.Lock()
 	if c.enabled() {
+		// Record the access hit or miss: repeated queries grow the
+		// frequency that earns (and defends) a cache slot. Coalesced
+		// followers record too — a burst of identical queries is genuine
+		// demand, whether or not one computation served it.
+		s.door.touch(maphash.String(c.doorSeed, key))
 		if e, ok := s.entries[key]; ok {
 			s.moveToFront(e)
 			s.mu.Unlock()
@@ -170,6 +248,25 @@ func (c *Cache) put(key string, sortedPrefixLen int, val *Cached, epoch uint64, 
 		s.mu.Unlock()
 		return
 	}
+	if need := s.bytes + cost - s.maxBytes; need > 0 {
+		// The insert would evict. Admit only if the candidate is asked
+		// for at least as often as EVERY entry it would displace — a
+		// large response must out-demand the whole set of victims that
+		// makes room for it, or one twice-seen bulk query could wipe a
+		// shard's warm working set in a single insert. A rejected
+		// candidate may still fill spare capacity next time; its accesses
+		// were recorded, so a genuine repeat earns its way in.
+		candidate := s.door.count(maphash.String(c.doorSeed, key))
+		freed := int64(0)
+		for v := s.tail; v != nil && freed < need; v = v.prev {
+			if candidate < s.door.count(maphash.String(c.doorSeed, v.key)) {
+				s.mu.Unlock()
+				c.rejected.Add(1)
+				return
+			}
+			freed += v.cost
+		}
+	}
 	e := &cacheEntry{val: val, cost: cost, key: key}
 	s.entries[key] = e
 	s.pushFront(e)
@@ -194,6 +291,9 @@ func (c *Cache) clear() {
 		s.mu.Lock()
 		s.entries = make(map[string]*cacheEntry)
 		s.head, s.tail, s.bytes = nil, nil, 0
+		// The admission filter's frequencies describe the swapped-out
+		// corpus's traffic; the new generation starts unprejudiced.
+		s.door.reset()
 		s.mu.Unlock()
 	}
 }
@@ -204,6 +304,7 @@ type Stats struct {
 	Misses    int64 `json:"misses"`
 	Coalesced int64 `json:"coalesced"` // queries that joined an in-flight identical computation
 	Evictions int64 `json:"evictions"`
+	Rejected  int64 `json:"rejected"` // inserts the admission filter kept out of a full cache
 	Entries   int64 `json:"entries"`
 	Bytes     int64 `json:"bytes"`
 	Capacity  int64 `json:"capacity"`
@@ -216,6 +317,7 @@ func (c *Cache) stats() Stats {
 		Misses:    c.misses.Load(),
 		Coalesced: c.coalesced.Load(),
 		Evictions: c.evictions.Load(),
+		Rejected:  c.rejected.Load(),
 	}
 	for i := range c.shards {
 		s := &c.shards[i]

@@ -226,7 +226,9 @@ func TestCacheDisabled(t *testing.T) {
 
 // TestEvictionBound drives the LRU directly with minimal entries (an empty
 // Cached costs its fixed overhead): inserting far more bytes than the
-// budget must evict, and the byte accounting must stay within budget.
+// budget must evict, and the byte accounting must stay within budget
+// (cold equal-frequency keys churn LRU-style — the admission filter only
+// protects entries whose hits have grown their frequency).
 func TestEvictionBound(t *testing.T) {
 	c := NewCache(16 << 10) // 1 KiB per shard; empty entries cost 512
 	always := func(uint64) bool { return true }
@@ -284,12 +286,87 @@ func TestLRURecency(t *testing.T) {
 	add(x) // overflows the shard: must evict b, not a
 	add(a)
 	add(x)
-	add(b)
+	add(b) // b (asked twice) cannot displace a (asked three times): rejected
 	if computed[a] != 1 || computed[x] != 1 {
 		t.Fatalf("recently used entries recomputed: %v", computed)
 	}
 	if computed[b] != 2 {
 		t.Fatalf("LRU victim b computed %d times, want 2 (evicted once): %v", computed[b], computed)
+	}
+	if st := c.stats(); st.Rejected == 0 {
+		t.Fatalf("admission filter never rejected the colder candidate: %+v", st)
+	}
+}
+
+// TestScanResistance pins the admission filter's guarantee: a long stream
+// of one-off queries (each key seen exactly once) can fill spare capacity
+// but never evicts the warm working set, so the working set keeps hitting
+// after the scan.
+func TestScanResistance(t *testing.T) {
+	c := NewCache(16 << 10) // 1 KiB per shard: two 512-byte entries each
+	always := func(uint64) bool { return true }
+
+	computed := map[string]int{}
+	plens := map[string]int{}
+	add := func(k string) {
+		if _, err := c.do(k, plens[k], 0, always, func() (*Cached, error) {
+			computed[k]++
+			return &Cached{}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A working set of four keys in four distinct cache shards (discovered,
+	// not assumed: the shard hash is seeded per cache), each hammered so
+	// its frequency clearly exceeds anything a one-off can accumulate.
+	seen := map[*cacheShard]bool{}
+	var working []string
+	for i := 0; len(working) < 4 && i < 1<<14; i++ {
+		k, p := encodeKey([]uint32{uint32(i)}, search.Options{}, -1)
+		if s := c.shardFor(k, p); !seen[s] {
+			seen[s] = true
+			plens[k] = p
+			working = append(working, k)
+		}
+	}
+	if len(working) != 4 {
+		t.Fatal("could not find four shard-distinct keys")
+	}
+	for pass := 0; pass < 8; pass++ {
+		for _, k := range working {
+			add(k)
+		}
+	}
+	for _, k := range working {
+		if computed[k] != 1 {
+			t.Fatalf("working-set key not cached after warmup: %v", computed)
+		}
+	}
+
+	// The scan: 2000 distinct one-off queries, far more than the whole
+	// cache could hold.
+	for i := 0; i < 2000; i++ {
+		k, p := encodeKey([]uint32{1 << 20, uint32(i)}, search.Options{}, -1)
+		plens[k] = p
+		add(k)
+	}
+
+	// The working set must have survived: every lookup hits, nothing is
+	// recomputed. (One-offs may churn among themselves in working-set-free
+	// shards; what the filter forbids is displacing the hammered keys.)
+	for _, k := range working {
+		add(k)
+		if computed[k] != 1 {
+			t.Fatalf("scan evicted working-set key (computed %d times)", computed[k])
+		}
+	}
+	st := c.stats()
+	if st.Rejected == 0 {
+		t.Fatalf("scan inserts were never rejected: %+v", st)
+	}
+	if st.Bytes > st.Capacity {
+		t.Fatalf("cache over budget: %+v", st)
 	}
 }
 

@@ -24,28 +24,30 @@ import (
 	"extract/xmltree"
 )
 
-// Partition splits doc into at most n shard documents by distributing the
-// root's children into contiguous blocks of balanced subtree size. Each
-// block is reparented under a fresh copy of the root element (same label,
-// same DOCTYPE internal subset) and finalized. The input document's nodes
-// are MOVED, not copied: doc and its node sequence are invalid afterwards.
-//
-// Fewer than n shards are returned when the root has fewer children; a
-// document with no root or a single child partitions into one shard.
-func Partition(doc *xmltree.Document, n int) []*xmltree.Document {
+// Cuts returns the child-index boundaries Partition would cut doc's root
+// children at: a strictly increasing sequence starting at 0 and ending at
+// len(root.Children), one interval per shard. A document that does not
+// partition (no root, n <= 1, fewer than two children) yields the single
+// interval [0, len(children)]. Cuts is read-only — the delta-ingestion
+// path uses it to hash the prospective blocks of a new document against a
+// previous generation's shards before deciding what to rebuild.
+func Cuts(doc *xmltree.Document, n int) []int {
 	root := doc.Root
-	if root == nil || n <= 1 || len(root.Children) < 2 {
-		return []*xmltree.Document{doc}
+	if root == nil {
+		return []int{0, 0}
 	}
-	if n > len(root.Children) {
-		n = len(root.Children)
+	children := root.Children
+	if n <= 1 || len(children) < 2 {
+		return []int{0, len(children)}
+	}
+	if n > len(children) {
+		n = len(children)
 	}
 
 	// Contiguous blocks balanced by subtree node count. The greedy cut
 	// closes a block once it reaches the ideal share of the remaining
 	// weight, while always leaving enough children for the remaining
 	// blocks.
-	children := root.Children
 	weights := make([]int, len(children))
 	totalWeight := 0
 	for i, c := range children {
@@ -53,7 +55,7 @@ func Partition(doc *xmltree.Document, n int) []*xmltree.Document {
 		totalWeight += weights[i]
 	}
 
-	var docs []*xmltree.Document
+	cuts := []int{0}
 	start := 0
 	remaining := totalWeight
 	for b := 0; b < n && start < len(children); b++ {
@@ -72,19 +74,53 @@ func Partition(doc *xmltree.Document, n int) []*xmltree.Document {
 				break
 			}
 		}
-		shardRoot := &xmltree.Node{
-			Kind:     xmltree.KindElement,
-			Label:    root.Label,
-			FromAttr: root.FromAttr,
-		}
-		for _, c := range children[start:end] {
-			xmltree.Append(shardRoot, c)
-		}
-		d := xmltree.NewDocument(shardRoot)
-		d.InternalSubset = doc.InternalSubset
-		docs = append(docs, d)
+		cuts = append(cuts, end)
 		remaining -= acc
 		start = end
 	}
+	return cuts
+}
+
+// Partition splits doc into at most n shard documents by distributing the
+// root's children into contiguous blocks of balanced subtree size (the
+// boundaries Cuts computes). Each block is reparented under a fresh copy of
+// the root element (same label, same DOCTYPE internal subset) and
+// finalized. The input document's nodes are MOVED, not copied: doc and its
+// node sequence are invalid afterwards.
+//
+// Fewer than n shards are returned when the root has fewer children; a
+// document with no root or a single child partitions into one shard.
+func Partition(doc *xmltree.Document, n int) []*xmltree.Document {
+	root := doc.Root
+	if root == nil || n <= 1 || len(root.Children) < 2 {
+		return []*xmltree.Document{doc}
+	}
+	cuts := Cuts(doc, n)
+	docs := make([]*xmltree.Document, 0, len(cuts)-1)
+	for b := 0; b+1 < len(cuts); b++ {
+		docs = append(docs, PartitionAt(doc, cuts, b))
+	}
 	return docs
+}
+
+// PartitionAt materializes block b of Partition's split at the given Cuts
+// boundaries: the root children in [cuts[b], cuts[b+1]) reparented under a
+// fresh copy of the root and finalized. The children are MOVED out of doc.
+// Block documents are independent — a delta reload materializes only the
+// blocks whose content changed and leaves the adopted blocks' children
+// where they are, so its per-reload work is proportional to the change,
+// not the corpus.
+func PartitionAt(doc *xmltree.Document, cuts []int, b int) *xmltree.Document {
+	root := doc.Root
+	shardRoot := &xmltree.Node{
+		Kind:     xmltree.KindElement,
+		Label:    root.Label,
+		FromAttr: root.FromAttr,
+	}
+	for _, c := range root.Children[cuts[b]:cuts[b+1]] {
+		xmltree.Append(shardRoot, c)
+	}
+	d := xmltree.NewDocument(shardRoot)
+	d.InternalSubset = doc.InternalSubset
+	return d
 }

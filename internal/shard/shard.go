@@ -79,6 +79,41 @@ func Build(doc *xmltree.Document, n int, opts ...Option) *Corpus {
 	return sc
 }
 
+// Assemble builds a Corpus from per-shard corpora and a global analysis —
+// the delta-reload and snapshot-load path, where shards are a mix of
+// freshly built corpora and corpora adopted (document and packed index
+// intact) from a previous generation or decoded from per-shard packed
+// images. Every shard is rebound to the given analysis artifacts, so the
+// assembled corpus classifies and anchors exactly as if it had been built
+// in one piece. The shards slice is adopted, not copied.
+func Assemble(shards []*core.Corpus, a *core.Analysis, rootLabel string, rootFromAttr bool, subset string) *Corpus {
+	sc := &Corpus{
+		shards:       shards,
+		cls:          a.Cls,
+		keys:         a.Keys,
+		summary:      a.Summary,
+		guide:        a.Guide,
+		dtd:          a.DTD,
+		subset:       subset,
+		rootLabel:    rootLabel,
+		rootFromAttr: rootFromAttr,
+	}
+	for _, s := range shards {
+		s.Cls, s.Keys, s.Summary, s.Guide, s.DTD = sc.cls, sc.keys, sc.summary, sc.guide, sc.dtd
+	}
+	return sc
+}
+
+// Root returns the label and attribute-origin flag of the original
+// document's root element, which every shard root copies.
+func (sc *Corpus) Root() (label string, fromAttr bool) {
+	return sc.rootLabel, sc.rootFromAttr
+}
+
+// InternalSubset returns the DOCTYPE internal subset of the original
+// document ("" if none).
+func (sc *Corpus) InternalSubset() string { return sc.subset }
+
 // fromParts assembles a Corpus from already-loaded shard corpora (the
 // persisted-file path). Shared analysis artifacts are taken from the first
 // shard and deduplicated across all of them.

@@ -20,6 +20,11 @@
 //	                                          # a 128 MiB query cache
 //	extractd -watch 5s -data name=big.xml     # poll big.xml's mtime and
 //	                                          # hot-reload it when it changes
+//	extractd -query-timeout 2s -max-inflight 64
+//	                                          # failure policy: per-query
+//	                                          # deadline and a bound on
+//	                                          # concurrently admitted queries
+//	                                          # (excess answered 503)
 //
 // Every dataset — sharded or not — is served through the query-serving
 // layer (internal/serve): evaluation runs on a fixed worker pool (-workers,
@@ -43,22 +48,36 @@
 //	curl -X POST 'localhost:8080/reload?dataset=movies'
 //	{"dataset":"movies","shards":8,"nodes":183220,"mode":"delta","reloads":1}
 //
+// The process has a full lifecycle: /healthz reports liveness, /readyz
+// reports readiness (503 while the boot-time loads run, while draining,
+// or while a watched dataset's reload loop is tripped open after repeated
+// failures), and SIGINT/SIGTERM drains in-flight requests (bounded by
+// -drain) before releasing the worker pools. Failed watcher reloads retry
+// with exponential backoff; the last good corpus serves throughout. API
+// errors are JSON: {"error":"..."}.
+//
 // See README.md in this directory for the full flag and endpoint reference.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"html/template"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"extract"
@@ -66,6 +85,18 @@ import (
 	"extract/internal/gen"
 	"extract/internal/ingest"
 	"extract/xmltree"
+)
+
+const (
+	// breakerThreshold is the consecutive-reload-failure count past which
+	// a dataset is reported degraded by /readyz: the corpus keeps serving,
+	// but its source has been unloadable long enough that an operator (or
+	// an orchestrator watching readiness) should know.
+	breakerThreshold = 5
+
+	// maxBackoffShift caps the exponential reload backoff at
+	// watchInterval << maxBackoffShift between attempts.
+	maxBackoffShift = 6
 )
 
 type dataset struct {
@@ -109,6 +140,14 @@ type dataset struct {
 	// disappearance once and skips the dataset until the source returns,
 	// instead of retrying (and logging) every tick.
 	missing bool
+
+	// Reload-failure tracking (under obs). Consecutive failures push the
+	// watcher's next attempt out exponentially (a corrupt source should
+	// not be re-parsed at full tick rate forever) and, past
+	// breakerThreshold, mark the dataset degraded in /readyz. A
+	// successful reload — watcher-driven or POST /reload — resets both.
+	failures    int
+	nextAttempt time.Time
 }
 
 // watchPath returns the file whose mtime fingerprints the dataset's
@@ -128,18 +167,44 @@ type server struct {
 	tmpl     *template.Template
 
 	// Load parameters, reapplied whenever a file-backed dataset reloads.
-	shards     int
-	workers    int
-	cacheBytes int64
+	shards      int
+	workers     int
+	cacheBytes  int64
+	timeout     time.Duration
+	maxInFlight int
+
+	// watchInterval is the -watch poll period — also the base of the
+	// per-dataset exponential reload backoff (0 disables both).
+	watchInterval time.Duration
+
+	// ready flips once the boot-time dataset loads finish; the listener
+	// comes up first, so /readyz answers 503 while loading. draining
+	// flips when shutdown starts, telling load balancers to stop routing
+	// while in-flight requests finish.
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	// now is time.Now unless a test injects a clock for backoff timing.
+	now func() time.Time
+}
+
+func (s *server) timeNow() time.Time {
+	if s.now != nil {
+		return s.now()
+	}
+	return time.Now()
 }
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		shards  = flag.Int("shards", 1, "partition each dataset into up to N index shards")
-		workers = flag.Int("workers", 0, "serving-layer worker pool size (0 = GOMAXPROCS)")
-		cacheMB = flag.Int64("cachemb", -1, "query-cache budget per dataset in MiB (0 disables, -1 = default)")
-		watch   = flag.Duration("watch", 0, "poll file-backed datasets at this interval and hot-reload on mtime change (0 disables)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		shards       = flag.Int("shards", 1, "partition each dataset into up to N index shards")
+		workers      = flag.Int("workers", 0, "serving-layer worker pool size (0 = GOMAXPROCS)")
+		cacheMB      = flag.Int64("cachemb", -1, "query-cache budget per dataset in MiB (0 disables, -1 = default)")
+		watch        = flag.Duration("watch", 0, "poll file-backed datasets at this interval and hot-reload on mtime change (0 disables)")
+		queryTimeout = flag.Duration("query-timeout", 0, "per-query evaluation deadline (0 disables)")
+		maxInFlight  = flag.Int("max-inflight", 0, "bound on concurrently admitted queries per dataset; excess answered 503 (0 = unlimited)")
+		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for draining in-flight requests")
 	)
 	var dataFlags multiFlag
 	flag.Var(&dataFlags, "data", "dataset as name=file.xml (repeatable)")
@@ -150,11 +215,30 @@ func main() {
 		cacheBytes <<= 20
 	}
 	s := &server{
-		datasets:   make(map[string]*dataset),
-		shards:     *shards,
-		workers:    *workers,
-		cacheBytes: cacheBytes,
+		datasets:      make(map[string]*dataset),
+		shards:        *shards,
+		workers:       *workers,
+		cacheBytes:    cacheBytes,
+		timeout:       *queryTimeout,
+		maxInFlight:   *maxInFlight,
+		watchInterval: *watch,
 	}
+
+	// Listen before loading anything: readiness is observable from the
+	// first moment — /healthz answers 200 (the process is up) and /readyz
+	// answers 503 until the boot-time loads finish. Handlers that touch
+	// datasets reject with the same 503 until then, so the early listener
+	// never races the loads.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("extractd: listen %s: %v", *addr, err)
+	}
+	httpSrv := &http.Server{Handler: s.routes()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("extractd: serve: %v", err)
+		}
+	}()
 
 	build := func(doc *xmltree.Document) *extract.Corpus {
 		var c *extract.Corpus
@@ -164,6 +248,7 @@ func main() {
 			c = extract.FromDocument(doc, nil)
 		}
 		c.ConfigureServing(*workers, cacheBytes)
+		c.ConfigureLimits(*queryTimeout, *maxInFlight)
 		return c
 	}
 	// Built-in demo datasets: the paper's two scenarios plus movies.
@@ -195,20 +280,47 @@ func main() {
 		s.add(name, c, path)
 	}
 	sort.Strings(s.names)
-
 	s.tmpl = template.Must(template.New("page").Parse(pageHTML))
-	http.HandleFunc("/", s.handleSearch)
-	http.HandleFunc("/view", s.handleView)
-	http.HandleFunc("/stats", s.handleStats)
-	http.HandleFunc("/reload", s.handleReload)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *watch > 0 {
-		go s.watchFiles(*watch)
+		go s.watchFiles(ctx, *watch)
 	}
+	s.ready.Store(true)
+	log.Printf("extractd: demo on http://%s/ with datasets: %s",
+		ln.Addr(), strings.Join(s.names, "; "))
 
-	log.Printf("extractd: demo on http://localhost%s/ with datasets: %s",
-		*addr, strings.Join(s.names, "; "))
-	log.Fatal(http.ListenAndServe(*addr, nil))
+	// Graceful lifecycle: on SIGINT/SIGTERM, flip /readyz to draining,
+	// let in-flight requests finish (bounded by -drain), then release the
+	// worker pools. A second signal kills the process immediately (stop()
+	// above restores default signal handling).
+	<-ctx.Done()
+	stop()
+	log.Printf("extractd: shutdown signal received; draining for up to %v", *drain)
+	s.draining.Store(true)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("extractd: drain incomplete: %v", err)
+	}
+	for _, name := range s.names {
+		s.datasets[name].Corpus.Close()
+	}
+	log.Printf("extractd: shutdown complete")
+}
+
+// routes wires every endpoint onto a fresh mux (package-global state would
+// leak between tests).
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleSearch)
+	mux.HandleFunc("/view", s.handleView)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/reload", s.handleReload)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	return mux
 }
 
 type multiFlag []string
@@ -229,7 +341,100 @@ func (s *server) loadOptions() []extract.Option {
 	if s.cacheBytes >= 0 {
 		opts = append(opts, extract.WithQueryCache(s.cacheBytes))
 	}
+	if s.timeout > 0 {
+		opts = append(opts, extract.WithQueryTimeout(s.timeout))
+	}
+	if s.maxInFlight > 0 {
+		opts = append(opts, extract.WithMaxInFlight(s.maxInFlight))
+	}
 	return opts
+}
+
+// writeError answers with the JSON error envelope every non-HTML endpoint
+// uses: {"error": "..."} plus the status code.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(map[string]string{"error": msg}); err != nil {
+		log.Printf("extractd: write error response: %v", err)
+	}
+}
+
+// writeQueryError maps a failed query to a status code and a sanitized
+// message: overload and deadline outcomes keep their specific codes (with
+// Retry-After on overload, so well-behaved clients back off), anything
+// else — including a recovered evaluation panic — is a generic 500 whose
+// detail stays in the server log, never in the response.
+func writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, extract.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "server overloaded; retry later")
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "query deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "request canceled")
+	default:
+		log.Printf("extractd: query failed: %v", err)
+		writeError(w, http.StatusInternalServerError, "query failed")
+	}
+}
+
+// notReady gates every dataset-touching handler while boot-time loads run:
+// the listener is up (so /healthz and /readyz answer) but the datasets map
+// is still being populated. The atomic ready flag orders those writes
+// before any handler read.
+func (s *server) notReady(w http.ResponseWriter) bool {
+	if s.ready.Load() {
+		return false
+	}
+	writeError(w, http.StatusServiceUnavailable, "server is loading datasets")
+	return true
+}
+
+// handleHealthz reports liveness: the process is up and serving HTTP.
+// Always 200 — loading, degraded and draining states belong to /readyz.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// handleReadyz reports whether the server should receive traffic: 503
+// while the boot-time loads run, 503 once shutdown starts draining, and
+// 503 naming the datasets whose reload loop has tripped the circuit
+// breaker (the corpus still serves its last good generation, but an
+// orchestrator should know the source has been unloadable for a while).
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeError(w, http.StatusServiceUnavailable, "draining")
+	case !s.ready.Load():
+		writeError(w, http.StatusServiceUnavailable, "loading datasets")
+	default:
+		if bad := s.degradedDatasets(); len(bad) > 0 {
+			writeError(w, http.StatusServiceUnavailable,
+				"degraded: repeated reload failures: "+strings.Join(bad, ", "))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	}
+}
+
+// degradedDatasets lists datasets whose consecutive reload failures have
+// reached the circuit-breaker threshold.
+func (s *server) degradedDatasets() []string {
+	var bad []string
+	for _, name := range s.names {
+		ds := s.datasets[name]
+		ds.obs.Lock()
+		tripped := ds.failures >= breakerThreshold
+		ds.obs.Unlock()
+		if tripped {
+			bad = append(bad, name)
+		}
+	}
+	return bad
 }
 
 func (s *server) add(name string, c *extract.Corpus, path string) {
@@ -266,6 +471,7 @@ func (s *server) reload(ds *dataset) error {
 		stats, err = ds.Corpus.ReloadDeltaFile(ds.Path, s.loadOptions()...)
 	}
 	if err != nil {
+		s.noteReloadFailure(ds)
 		return err
 	}
 	ds.mtime, ds.size = fi.ModTime(), fi.Size()
@@ -274,22 +480,53 @@ func (s *server) reload(ds *dataset) error {
 	ds.lastReload = time.Now()
 	ds.lastMode = stats.Mode()
 	ds.missing = false
+	ds.failures = 0
+	ds.nextAttempt = time.Time{}
 	ds.obs.Unlock()
 	log.Printf("extractd: reloaded %s from %s (%s: %d/%d shards rebuilt, %d nodes)",
 		ds.Name, ds.Path, stats.Mode(), stats.Rebuilt, stats.Shards, ds.Corpus.Stats().Nodes)
 	return nil
 }
 
+// noteReloadFailure records one failed reload attempt: the watcher's next
+// attempt backs off exponentially (base -watch interval, doubling per
+// consecutive failure, capped), and at breakerThreshold the dataset is
+// reported degraded by /readyz until a reload succeeds. Manual POST
+// /reload is never gated — an operator retry is always allowed — but its
+// failures count too.
+func (s *server) noteReloadFailure(ds *dataset) {
+	ds.obs.Lock()
+	defer ds.obs.Unlock()
+	ds.failures++
+	if s.watchInterval > 0 {
+		shift := ds.failures - 1
+		if shift > maxBackoffShift {
+			shift = maxBackoffShift
+		}
+		ds.nextAttempt = s.timeNow().Add(s.watchInterval << shift)
+	}
+	if ds.failures == breakerThreshold {
+		log.Printf("extractd: %s: %d consecutive reload failures — reporting degraded until a reload succeeds",
+			ds.Name, ds.failures)
+	}
+}
+
 // watchFiles polls every file-backed dataset's mtime and reloads the ones
 // whose files changed — the hands-off variant of POST /reload. A reload
-// failure (a half-written file, say) is logged and retried on the next
-// tick; the old corpus keeps serving. A dataset whose source file
-// disappears is logged once and then skipped until the file returns.
-func (s *server) watchFiles(interval time.Duration) {
+// failure (a half-written file, say) is logged and retried with
+// exponential backoff; the old corpus keeps serving. A dataset whose
+// source file disappears is logged once and then skipped until the file
+// returns. The loop exits when ctx is canceled at shutdown.
+func (s *server) watchFiles(ctx context.Context, interval time.Duration) {
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
-	for range tick.C {
-		s.checkFiles()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			s.checkFiles()
+		}
 	}
 }
 
@@ -319,7 +556,12 @@ func (s *server) checkFiles() {
 		}
 		ds.obs.Lock()
 		missing := ds.missing
+		wait := ds.nextAttempt
 		ds.obs.Unlock()
+		if !wait.IsZero() && s.timeNow().Before(wait) {
+			// Backing off after failed reloads; the old corpus serves.
+			continue
+		}
 		ds.mu.Lock()
 		// A dataset recovering from a missing source always reloads: the
 		// recreated file may carry the old mtime and size.
@@ -360,6 +602,9 @@ type pageData struct {
 }
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if s.notReady(w) {
+		return
+	}
 	data := pageData{
 		Datasets: s.names,
 		Dataset:  r.FormValue("dataset"),
@@ -391,8 +636,16 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	if ds != nil && data.Query != "" {
 		data.Ran = true
-		hits, err := ds.Corpus.Query(data.Query, data.Bound, extract.WithMaxResults(25))
-		if err != nil {
+		// The request context flows into evaluation: a client that
+		// disconnects mid-query cancels its shard fan-out, and the
+		// -query-timeout deadline bounds it.
+		hits, err := ds.Corpus.QueryContext(r.Context(), data.Query, data.Bound, extract.WithMaxResults(25))
+		switch {
+		case errors.Is(err, extract.ErrOverloaded):
+			data.Error = "server overloaded; retry shortly"
+		case errors.Is(err, context.DeadlineExceeded):
+			data.Error = "query deadline exceeded"
+		case err != nil:
 			data.Error = err.Error()
 		}
 		kws := extract.Tokenize(data.Query)
@@ -439,6 +692,9 @@ type datasetStats struct {
 // admission rejects) and of the refresh path (reload generation, last
 // reload time and mode).
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	if s.notReady(w) {
+		return
+	}
 	out := make(map[string]datasetStats, len(s.datasets))
 	for name, ds := range s.datasets {
 		row := datasetStats{Shards: ds.Corpus.Shards()}
@@ -470,21 +726,28 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // POST /reload?dataset=name. The swap is online — concurrent searches keep
 // answering, first against the old corpus, then the new.
 func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.notReady(w) {
+		return
+	}
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	ds := s.datasets[r.FormValue("dataset")]
 	if ds == nil {
-		http.Error(w, "unknown dataset", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, "unknown dataset")
 		return
 	}
 	if ds.Path == "" {
-		http.Error(w, "dataset is not file-backed", http.StatusConflict)
+		writeError(w, http.StatusConflict, "dataset is not file-backed")
 		return
 	}
 	if err := s.reload(ds); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		// Reload failures are operator-actionable: the cause (a parse
+		// error, a bad image) goes back to whoever POSTed, and is logged
+		// either way.
+		log.Printf("extractd: reload %s: %v", ds.Name, err)
+		writeError(w, http.StatusInternalServerError, "reload failed: "+err.Error())
 		return
 	}
 	ds.obs.Lock()
@@ -503,19 +766,26 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleView(w http.ResponseWriter, r *http.Request) {
+	if s.notReady(w) {
+		return
+	}
 	ds := s.datasets[r.FormValue("dataset")]
 	if ds == nil {
-		http.Error(w, "unknown dataset", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, "unknown dataset")
 		return
 	}
 	idx, err := strconv.Atoi(r.FormValue("result"))
 	if err != nil || idx < 0 {
-		http.Error(w, "bad result index", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "bad result index")
 		return
 	}
-	results, err := ds.Corpus.Search(r.FormValue("q"), extract.WithMaxResults(idx+1))
+	results, err := ds.Corpus.SearchContext(r.Context(), r.FormValue("q"), extract.WithMaxResults(idx+1))
+	if errors.Is(err, extract.ErrOverloaded) || errors.Is(err, context.DeadlineExceeded) {
+		writeQueryError(w, err)
+		return
+	}
 	if err != nil || idx >= len(results) {
-		http.Error(w, "result not found", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, "result not found")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

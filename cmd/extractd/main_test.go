@@ -24,6 +24,7 @@ func testServer(t *testing.T) *server {
 	s := &server{datasets: map[string]*dataset{}, shards: 1, cacheBytes: -1}
 	s.add("stores (Figure 5)", extract.FromDocument(gen.Figure5Corpus(), nil), "")
 	s.tmpl = template.Must(template.New("page").Parse(pageHTML))
+	s.ready.Store(true)
 	return s
 }
 

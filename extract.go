@@ -1,6 +1,7 @@
 package extract
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -8,9 +9,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"extract/internal/core"
 	"extract/internal/dtd"
+	"extract/internal/faultinject"
 	"extract/internal/index"
 	"extract/internal/ingest"
 	"extract/internal/persist"
@@ -21,6 +24,11 @@ import (
 	"extract/xmltree"
 	"extract/xpath"
 )
+
+// ErrOverloaded rejects a query that would exceed the corpus's in-flight
+// bound (WithMaxInFlight / ConfigureLimits). It is returned before any
+// evaluation work; servers should map it to HTTP 503 with a Retry-After.
+var ErrOverloaded = serve.ErrOverloaded
 
 // Corpus is an analyzed XML database: parsed tree, node classification
 // (entity / attribute / connection), mined entity keys and keyword index.
@@ -39,8 +47,10 @@ type Corpus struct {
 	data atomic.Pointer[corpusData]
 
 	// Serving-layer configuration, fixed before the first query.
-	srvWorkers int
-	srvCache   int64 // cache budget in bytes; -1 = serve.DefaultCacheBytes
+	srvWorkers     int
+	srvCache       int64 // cache budget in bytes; -1 = serve.DefaultCacheBytes
+	srvTimeout     time.Duration
+	srvMaxInFlight int
 
 	srvOnce sync.Once
 	srv     *serve.Server
@@ -116,6 +126,12 @@ func (c *Corpus) server() *serve.Server {
 		if c.srvCache >= 0 {
 			opts = append(opts, serve.WithCacheBytes(c.srvCache))
 		}
+		if c.srvTimeout > 0 {
+			opts = append(opts, serve.WithQueryTimeout(c.srvTimeout))
+		}
+		if c.srvMaxInFlight > 0 {
+			opts = append(opts, serve.WithMaxInFlight(c.srvMaxInFlight))
+		}
 		c.srv = serve.New(c.data.Load().backend(), opts...)
 	})
 	return c.srv
@@ -146,6 +162,17 @@ func newUnsharded(cc *core.Corpus) *Corpus {
 func (c *Corpus) ConfigureServing(workers int, cacheBytes int64) {
 	c.srvWorkers = workers
 	c.srvCache = cacheBytes
+}
+
+// ConfigureLimits sets the serving layer's failure-policy knobs — the
+// per-query deadline (0 = none) and the bound on concurrently admitted
+// queries (0 = unlimited; excess queries fail fast with ErrOverloaded) —
+// for corpora built with the FromDocument* constructors, which take no
+// load options. Like ConfigureServing, it must be called before the first
+// query.
+func (c *Corpus) ConfigureLimits(queryTimeout time.Duration, maxInFlight int) {
+	c.srvTimeout = queryTimeout
+	c.srvMaxInFlight = maxInFlight
 }
 
 // Close releases the serving layer's worker pool. Only long-lived servers
@@ -210,6 +237,11 @@ func (s DeltaStats) Mode() string {
 // delta degrades to a full rebuild (which is always correct, just not
 // cheap).
 func (c *Corpus) ReloadDelta(r io.Reader, opts ...Option) (DeltaStats, error) {
+	if faultinject.Enabled() {
+		if err := faultinject.Fire(faultinject.ReloadSource); err != nil {
+			return DeltaStats{}, err
+		}
+	}
 	cfg := newLoadConfig()
 	for _, o := range opts {
 		if err := o(&cfg); err != nil {
@@ -326,6 +358,11 @@ func (c *Corpus) ReloadDeltaFile(path string, opts ...Option) (DeltaStats, error
 // never re-analysis. The swap behaves exactly like Reload; a read error
 // leaves the old generation serving.
 func (c *Corpus) ReloadSnapshot(dir string) (DeltaStats, error) {
+	if faultinject.Enabled() {
+		if err := faultinject.Fire(faultinject.ReloadSource); err != nil {
+			return DeltaStats{}, err
+		}
+	}
 	c.reloadMu.Lock()
 	defer c.reloadMu.Unlock()
 	old := c.data.Load()
@@ -457,6 +494,7 @@ func LoadSnapshot(dir string, opts ...Option) (*Corpus, error) {
 	d.src = &loaded.Source
 	c := newCorpus(d)
 	c.ConfigureServing(cfg.workers, cfg.cache)
+	c.ConfigureLimits(cfg.timeout, cfg.maxInFlight)
 	return c, nil
 }
 
@@ -475,6 +513,10 @@ type CacheStats struct {
 	Entries  int64 `json:"entries"`
 	Bytes    int64 `json:"bytes"`
 	Capacity int64 `json:"capacity"`
+	// Panics counts queries failed by a recovered evaluation panic; Shed
+	// counts queries rejected by the in-flight bound (ErrOverloaded).
+	Panics int64 `json:"panics"`
+	Shed   int64 `json:"shed"`
 }
 
 // QueryCacheStats reports the query-cache counters of the corpus's serving
@@ -491,6 +533,8 @@ func (c *Corpus) QueryCacheStats() (stats CacheStats, ok bool) {
 		Entries:   st.Entries,
 		Bytes:     st.Bytes,
 		Capacity:  st.Capacity,
+		Panics:    st.Panics,
+		Shed:      st.Shed,
 	}, true
 }
 
@@ -509,11 +553,13 @@ func (c *Corpus) analysis() *core.Corpus {
 type Option func(*loadConfig) error
 
 type loadConfig struct {
-	dtd      *dtd.DTD
-	maxNodes int
-	shards   int
-	workers  int
-	cache    int64 // -1 = default
+	dtd         *dtd.DTD
+	maxNodes    int
+	shards      int
+	workers     int
+	cache       int64 // -1 = default
+	timeout     time.Duration
+	maxInFlight int
 }
 
 // WithDTD supplies DTD text governing entity classification; without it the
@@ -600,6 +646,34 @@ func WithQueryCache(bytes int64) Option {
 	}
 }
 
+// WithQueryTimeout sets a per-query deadline (default none): a query still
+// evaluating when it expires stops at the next checkpoint and returns
+// context.DeadlineExceeded. Queries carrying an earlier deadline on their
+// own context (SearchContext, QueryContext) keep it.
+func WithQueryTimeout(d time.Duration) Option {
+	return func(c *loadConfig) error {
+		if d < 0 {
+			return fmt.Errorf("extract: negative query timeout %v", d)
+		}
+		c.timeout = d
+		return nil
+	}
+}
+
+// WithMaxInFlight bounds the number of queries evaluated concurrently
+// (default unlimited). Queries beyond the bound fail immediately with
+// ErrOverloaded instead of queueing — overload degrades to fast clean
+// errors a client can retry.
+func WithMaxInFlight(n int) Option {
+	return func(c *loadConfig) error {
+		if n < 0 {
+			return fmt.Errorf("extract: negative in-flight bound %d", n)
+		}
+		c.maxInFlight = n
+		return nil
+	}
+}
+
 func newLoadConfig() loadConfig { return loadConfig{cache: -1} }
 
 // Load parses and analyzes an XML database from r.
@@ -634,6 +708,7 @@ func Load(r io.Reader, opts ...Option) (*Corpus, error) {
 		c = FromDocument(doc, cfg.dtd)
 	}
 	c.ConfigureServing(cfg.workers, cfg.cache)
+	c.ConfigureLimits(cfg.timeout, cfg.maxInFlight)
 	return c, nil
 }
 
@@ -684,6 +759,7 @@ func LoadFiles(paths []string, opts ...Option) (*Corpus, error) {
 		c = FromDocument(xmltree.NewDocument(root), cfg.dtd)
 	}
 	c.ConfigureServing(cfg.workers, cfg.cache)
+	c.ConfigureLimits(cfg.timeout, cfg.maxInFlight)
 	return c, nil
 }
 
@@ -856,6 +932,14 @@ func (r *Result) Internal() *search.Result { return r.r }
 // Double-quoted spans in the query are phrase terms. Results come in
 // document order, or by relevance with WithRanking.
 func (c *Corpus) Search(query string, opts ...SearchOption) ([]*Result, error) {
+	return c.SearchContext(context.Background(), query, opts...)
+}
+
+// SearchContext is Search honoring ctx: a cancelled or expired query stops
+// at the next evaluation checkpoint and returns the context's error. The
+// corpus's own query timeout (WithQueryTimeout), when configured, still
+// applies on top of any deadline ctx carries.
+func (c *Corpus) SearchContext(ctx context.Context, query string, opts ...SearchOption) ([]*Result, error) {
 	cfg := searchConfig{opts: search.Options{DistinctAnchors: true}}
 	for _, f := range opts {
 		f(&cfg)
@@ -863,7 +947,7 @@ func (c *Corpus) Search(query string, opts ...SearchOption) ([]*Result, error) {
 	// The serving layer answers repeated queries from its cache; the
 	// returned slice is fresh (safe for the in-place ranking sort below),
 	// the results it holds are shared and read-only.
-	rs, backend, err := c.server().SearchWithBackend(query, cfg.opts)
+	rs, backend, err := c.server().SearchWithBackendContext(ctx, query, cfg.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -1014,6 +1098,12 @@ type Hit struct {
 // hits in document order; ranking reorders a private copy, so a ranked and
 // an unranked query share one cache entry.
 func (c *Corpus) Query(query string, bound int, opts ...SearchOption) ([]*Hit, error) {
+	return c.QueryContext(context.Background(), query, bound, opts...)
+}
+
+// QueryContext is Query honoring ctx (see SearchContext): evaluation and
+// snippet generation both stop at their next checkpoint once ctx ends.
+func (c *Corpus) QueryContext(ctx context.Context, query string, bound int, opts ...SearchOption) ([]*Hit, error) {
 	if bound < 0 {
 		return nil, fmt.Errorf("extract: negative snippet bound %d", bound)
 	}
@@ -1021,7 +1111,7 @@ func (c *Corpus) Query(query string, bound int, opts ...SearchOption) ([]*Hit, e
 	for _, f := range opts {
 		f(&cfg)
 	}
-	rs, gens, backend, err := c.server().QueryWithBackend(query, cfg.opts, bound)
+	rs, gens, backend, err := c.server().QueryWithBackendContext(ctx, query, cfg.opts, bound)
 	if err != nil {
 		return nil, err
 	}

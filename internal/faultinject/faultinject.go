@@ -1,0 +1,118 @@
+// Package faultinject is a process-wide fault-injection registry for
+// robustness tests. Production code polls named hook points at failure-domain
+// boundaries — per-shard evaluation, snippet generation, reload sources,
+// image decoding — and the chaos tests install hooks that panic, sleep,
+// error, or corrupt bytes there, driving the serving stack through the
+// failure paths real traffic only hits under load or hardware trouble.
+//
+// The registry is race-safe and near-free when idle: every hook point is
+// guarded by one atomic bool load, so shipping the hook calls in production
+// code costs nothing measurable while no test has installed a hook.
+package faultinject
+
+import "sync/atomic"
+
+// Point names one fault-injection site.
+type Point uint8
+
+const (
+	// ShardEval fires at the head of each per-shard query evaluation —
+	// panic here to simulate a crashing shard, sleep to simulate a slow one.
+	ShardEval Point = iota
+	// SnippetGen fires before each generated snippet.
+	SnippetGen
+	// ReloadSource fires when a reload path reads its source — error here
+	// to simulate a disappearing or failing ingest source.
+	ReloadSource
+	// ImageBytes transforms a persisted image before decoding — corrupt
+	// bytes here to simulate bit rot without touching disk.
+	ImageBytes
+
+	numPoints
+)
+
+// hook carries the installed behaviors for one point. Fire-style points use
+// fn; byte-transforming points use transform.
+type hook struct {
+	fn        func() error
+	transform func([]byte) []byte
+}
+
+var (
+	// armed is the fast-path gate: false means every Fire/Mutate call is a
+	// single atomic load and an immediate return.
+	armed atomic.Bool
+	hooks [numPoints]atomic.Pointer[hook]
+)
+
+// Enabled reports whether any hook is installed. Call sites may use it to
+// skip argument preparation; Fire and Mutate check it themselves.
+func Enabled() bool { return armed.Load() }
+
+// Fire runs the hook installed at p, if any. The hook may sleep (slow
+// fault), panic (crash fault), or return an error (failure fault); a nil or
+// absent hook returns nil.
+func Fire(p Point) error {
+	if !armed.Load() {
+		return nil
+	}
+	h := hooks[p].Load()
+	if h == nil || h.fn == nil {
+		return nil
+	}
+	return h.fn()
+}
+
+// Mutate passes data through the byte-transforming hook at p, if any,
+// returning the (possibly corrupted) replacement. Hooks must not modify
+// data in place — callers may hold read-only mappings — but return a
+// mutated copy.
+func Mutate(p Point, data []byte) []byte {
+	if !armed.Load() {
+		return data
+	}
+	h := hooks[p].Load()
+	if h == nil || h.transform == nil {
+		return data
+	}
+	return h.transform(data)
+}
+
+// Set installs fn at p (nil clears the point).
+func Set(p Point, fn func() error) {
+	if fn == nil {
+		hooks[p].Store(nil)
+	} else {
+		hooks[p].Store(&hook{fn: fn})
+	}
+	rearm()
+}
+
+// SetMutator installs a byte-transforming hook at p (nil clears the point).
+func SetMutator(p Point, fn func([]byte) []byte) {
+	if fn == nil {
+		hooks[p].Store(nil)
+	} else {
+		hooks[p].Store(&hook{transform: fn})
+	}
+	rearm()
+}
+
+// Reset clears every hook. Tests must defer it.
+func Reset() {
+	for i := range hooks {
+		hooks[i].Store(nil)
+	}
+	armed.Store(false)
+}
+
+// rearm recomputes the fast-path gate after an install or clear.
+func rearm() {
+	for i := range hooks {
+		if hooks[i].Load() != nil {
+			armed.Store(true)
+			return
+		}
+	}
+	armed.Store(false)
+}

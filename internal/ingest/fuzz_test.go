@@ -7,9 +7,10 @@ import (
 )
 
 // FuzzManifest feeds arbitrary bytes to the manifest decoder: it must
-// reject or accept without panicking, and anything accepted must re-encode
-// to exactly the input (the encoding is canonical) and survive a second
-// decode as an equal value.
+// reject or accept without panicking, and anything accepted must survive a
+// re-encode/decode round trip as an equal value. Accepted current-version
+// (v2) input must additionally re-encode to exactly the input bytes; a v1
+// input re-encodes as v2, so only value equality is required there.
 func FuzzManifest(f *testing.F) {
 	f.Add(EncodeManifest(goldenManifest()))
 	f.Add(EncodeManifest(&Manifest{
@@ -20,6 +21,9 @@ func FuzzManifest(f *testing.F) {
 	f.Add([]byte("XTSN"))
 	good := EncodeManifest(goldenManifest())
 	f.Add(good[:len(good)/2])
+	v1 := append([]byte(nil), good[:len(good)-4]...)
+	v1[len(manifestMagic)] = manifestVersionNoCRC
+	f.Add(v1)
 	mut := append([]byte(nil), good...)
 	for i := 4; i < len(mut); i += 7 {
 		mut[i] ^= 0x55
@@ -32,8 +36,8 @@ func FuzzManifest(f *testing.F) {
 			return
 		}
 		re := EncodeManifest(m)
-		if !bytes.Equal(re, data) {
-			t.Fatalf("accepted manifest re-encodes differently (%d vs %d bytes)", len(re), len(data))
+		if data[len(manifestMagic)] == manifestVersion && !bytes.Equal(re, data) {
+			t.Fatalf("accepted v2 manifest re-encodes differently (%d vs %d bytes)", len(re), len(data))
 		}
 		m2, err := DecodeManifest(re)
 		if err != nil {

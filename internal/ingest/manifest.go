@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 )
@@ -12,19 +13,26 @@ import (
 // Snapshot manifest: the small, versioned description of a snapshot
 // directory that delta reloads diff against. All integers little-endian.
 //
-//	magic "XTSN" | version u8 = 1 | flags u8 (bit0: sharded)
+//	magic "XTSN" | version u8 = 2 | flags u8 (bit0: sharded)
 //	u64 rootHash
 //	analysis: u8 nameLen | name | u64 imageHash   (empty name when unsharded)
 //	u32 shardCount
 //	per shard: u8 nameLen | name | u64 contentHash | u64 imageHash
+//	u32 CRC-32C of every preceding byte
+//
+// Version 1 is the same layout without the trailing checksum; it still
+// decodes, so snapshots written before the checksum existed keep loading.
+// The checksum is verified before any field parsing: a torn or bit-flipped
+// manifest fails as corruption, not as whatever field the damage lands in.
 //
 // ContentHash fingerprints the shard's *source entities* (see HashEntities)
 // — the key Diff compares across generations; ImageHash fingerprints the
 // packed image bytes, so an incremental Snapshot can prove an on-disk image
 // is current without re-encoding it.
 const (
-	manifestMagic   = "XTSN"
-	manifestVersion = 1
+	manifestMagic        = "XTSN"
+	manifestVersion      = 2
+	manifestVersionNoCRC = 1
 
 	// ManifestName is the manifest's file name inside a snapshot
 	// directory — the file watchers stat to detect a new snapshot
@@ -36,6 +44,9 @@ const (
 	maxManifestShards = 1 << 16
 	maxNameLen        = 255
 )
+
+// manifestCRC is the CRC-32C polynomial table for the trailing checksum.
+var manifestCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrBadManifest reports a corrupted or foreign manifest.
 var ErrBadManifest = errors.New("ingest: bad manifest")
@@ -99,7 +110,7 @@ func EncodeManifest(m *Manifest) []byte {
 		buf = binary.LittleEndian.AppendUint64(buf, e.ContentHash)
 		buf = binary.LittleEndian.AppendUint64(buf, e.ImageHash)
 	}
-	return buf
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, manifestCRC))
 }
 
 // manifestCursor decodes with sticky bounds checking.
@@ -185,16 +196,29 @@ func validName(s string) bool {
 	return true
 }
 
-// DecodeManifest parses and validates a manifest image.
+// DecodeManifest parses and validates a manifest image. Version 2 is
+// checksum-verified before any field parsing; version 1 (pre-checksum) is
+// still accepted.
 func DecodeManifest(data []byte) (*Manifest, error) {
-	c := &manifestCursor{data: data}
 	if len(data) < len(manifestMagic)+2 || string(data[:len(manifestMagic)]) != manifestMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadManifest)
 	}
-	c.off = len(manifestMagic)
-	if v := c.u8(); v != manifestVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadManifest, v)
+	switch data[len(manifestMagic)] {
+	case manifestVersionNoCRC:
+	case manifestVersion:
+		if len(data) < len(manifestMagic)+2+4 {
+			return nil, fmt.Errorf("%w: truncated before checksum", ErrBadManifest)
+		}
+		body := data[:len(data)-4]
+		want := binary.LittleEndian.Uint32(data[len(data)-4:])
+		if got := crc32.Checksum(body, manifestCRC); got != want {
+			return nil, fmt.Errorf("%w: checksum mismatch (manifest corrupt)", ErrBadManifest)
+		}
+		data = body
+	default:
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadManifest, data[len(manifestMagic)])
 	}
+	c := &manifestCursor{data: data, off: len(manifestMagic) + 1}
 	flags := c.u8()
 	if flags&^byte(flagSharded) != 0 {
 		return nil, fmt.Errorf("%w: unknown flag bits %#x", ErrBadManifest, flags)

@@ -2,7 +2,9 @@ package ingest
 
 import (
 	"bytes"
+	"encoding/binary"
 	"flag"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -83,6 +85,24 @@ func TestManifestGolden(t *testing.T) {
 	}
 }
 
+// TestManifestV1Compat pins backward compatibility: a version 1 manifest —
+// the same layout without the trailing checksum — must keep decoding to
+// the same value. The v1 bytes are derived from the v2 encoding exactly
+// the way the formats differ, so the fixture can never drift from the
+// encoder.
+func TestManifestV1Compat(t *testing.T) {
+	enc := EncodeManifest(goldenManifest())
+	v1 := append([]byte(nil), enc[:len(enc)-4]...)
+	v1[len(manifestMagic)] = manifestVersionNoCRC
+	m, err := DecodeManifest(v1)
+	if err != nil {
+		t.Fatalf("v1 manifest no longer decodes: %v", err)
+	}
+	if !reflect.DeepEqual(m, goldenManifest()) {
+		t.Errorf("v1 manifest decoded to %+v", m)
+	}
+}
+
 // TestManifestRejects enumerates the validation rules a hostile or
 // corrupted manifest must not get past.
 func TestManifestRejects(t *testing.T) {
@@ -90,11 +110,19 @@ func TestManifestRejects(t *testing.T) {
 	mutate := func(f func(b []byte) []byte) []byte {
 		return f(append([]byte(nil), good...))
 	}
+	// reseal recomputes the trailing checksum after a mutation, so the
+	// decoder's field validation — not just the CRC — is what rejects it.
+	reseal := func(b []byte) []byte {
+		b = b[:len(b)-4]
+		return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, manifestCRC))
+	}
 	cases := map[string][]byte{
 		"empty":       {},
 		"bad magic":   mutate(func(b []byte) []byte { b[0] = 'Y'; return b }),
 		"bad version": mutate(func(b []byte) []byte { b[4] = 99; return b }),
-		"bad flags":   mutate(func(b []byte) []byte { b[5] = 0xff; return b }),
+		"bad flags":   mutate(func(b []byte) []byte { b[5] = 0xff; return reseal(b) }),
+		"bit flip":    mutate(func(b []byte) []byte { b[9] ^= 0x04; return b }),
+		"stale crc":   mutate(func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }),
 		"truncated":   good[:len(good)-3],
 		"trailing":    append(append([]byte(nil), good...), 0),
 	}

@@ -2,6 +2,7 @@ package persist
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"extract/internal/core"
@@ -48,4 +49,84 @@ func FuzzLoad(f *testing.F) {
 			t.Fatal("inconsistent node count")
 		}
 	})
+}
+
+// FuzzCorruptImage XORs one byte of a valid checked (version 3) image —
+// the single-bit-flip failure mode checksums exist for. Any flip inside
+// the checksummed body must be rejected with ErrBadFormat by section
+// verification; flips in the header must either fail cleanly or, if they
+// happen to still parse, yield a consistent corpus. Never a panic, never a
+// silently-accepted corrupt body.
+func FuzzCorruptImage(f *testing.F) {
+	c := core.BuildCorpus(gen.Figure5Corpus())
+	var buf bytes.Buffer
+	if err := Save(&buf, c); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	bodyStart := len(magic) + 2 + 8*numSections
+
+	f.Add(0, byte(0x01))            // magic
+	f.Add(len(magic), byte(0x01))   // version byte: 3 -> 2
+	f.Add(len(magic)+1, byte(0xFF)) // section count
+	f.Add(len(magic)+2, byte(0x80)) // first section length
+	f.Add(len(magic)+6, byte(0x01)) // first section checksum
+	f.Add(bodyStart, byte(0xFF))    // first body byte
+	f.Add(len(good)-1, byte(0x01))  // last body byte
+	f.Add(len(good)/2, byte(0x55))  // mid-body
+
+	f.Fuzz(func(t *testing.T, off int, x byte) {
+		if off < 0 || off >= len(good) || x == 0 {
+			t.Skip()
+		}
+		mut := append([]byte(nil), good...)
+		mut[off] ^= x
+		loaded, err := Load(bytes.NewReader(mut))
+		if off >= bodyStart {
+			if err == nil {
+				t.Fatalf("flip of body byte %d accepted", off)
+			}
+			if !errors.Is(err, ErrBadFormat) {
+				t.Fatalf("body corruption at %d: err = %v, want ErrBadFormat", off, err)
+			}
+			return
+		}
+		if err == nil {
+			if loaded.Doc == nil || loaded.Index == nil || loaded.Cls == nil || loaded.Keys == nil {
+				t.Fatal("accepted corpus with nil artifacts")
+			}
+		}
+	})
+}
+
+// TestCheckedImageCorruption is the deterministic cousin of
+// FuzzCorruptImage: it strides over the body flipping bytes, and truncates
+// the image at representative points, asserting every corruption is
+// rejected with ErrBadFormat before reaching the structural decoders.
+func TestCheckedImageCorruption(t *testing.T) {
+	c := core.BuildCorpus(gen.Figure1Corpus())
+	var buf bytes.Buffer
+	if err := Save(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	bodyStart := len(magic) + 2 + 8*numSections
+
+	for off := bodyStart; off < len(good); off += 251 {
+		mut := append([]byte(nil), good...)
+		mut[off] ^= 0xFF
+		if _, err := Load(bytes.NewReader(mut)); !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("flip at %d: err = %v, want ErrBadFormat", off, err)
+		}
+	}
+	for _, n := range []int{0, 1, len(magic), len(magic) + 1, bodyStart - 1,
+		bodyStart + 17, len(good) / 2, len(good) - 1} {
+		if _, err := Load(bytes.NewReader(good[:n])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Extra trailing bytes must be rejected too, not silently ignored.
+	if _, err := Load(bytes.NewReader(append(append([]byte(nil), good...), 0))); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("trailing byte: err = %v, want ErrBadFormat", err)
+	}
 }

@@ -23,13 +23,20 @@ func goldenCorpus() *core.Corpus {
 // producing exactly the committed bytes (the format is versioned — an
 // intentional change bumps the version byte, adds a new golden file and
 // regenerates with -update).
+//
+// figure1.checked.golden (v3) and figure1.legacy.golden (v1) track what
+// Save and SaveLegacy write today and regenerate with -update;
+// figure1.packed.golden is a frozen v2 image from before the checksum
+// table existed — nothing writes that version anymore, so the file is
+// never regenerated, only required to keep loading.
 func TestGoldenFiles(t *testing.T) {
 	c := goldenCorpus()
+	checkedPath := filepath.Join("testdata", "figure1.checked.golden")
 	packedPath := filepath.Join("testdata", "figure1.packed.golden")
 	legacyPath := filepath.Join("testdata", "figure1.legacy.golden")
 
-	var packed, legacy bytes.Buffer
-	if err := Save(&packed, c); err != nil {
+	var checked, legacy bytes.Buffer
+	if err := Save(&checked, c); err != nil {
 		t.Fatal(err)
 	}
 	if err := SaveLegacy(&legacy, c); err != nil {
@@ -40,7 +47,7 @@ func TestGoldenFiles(t *testing.T) {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(packedPath, packed.Bytes(), 0o644); err != nil {
+		if err := os.WriteFile(checkedPath, checked.Bytes(), 0o644); err != nil {
 			t.Fatal(err)
 		}
 		if err := os.WriteFile(legacyPath, legacy.Bytes(), 0o644); err != nil {
@@ -48,25 +55,39 @@ func TestGoldenFiles(t *testing.T) {
 		}
 	}
 
-	wantPacked, err := os.ReadFile(packedPath)
+	wantChecked, err := os.ReadFile(checkedPath)
 	if err != nil {
 		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	wantPacked, err := os.ReadFile(packedPath)
+	if err != nil {
+		t.Fatalf("v2 compat golden missing (cannot be regenerated): %v", err)
 	}
 	wantLegacy, err := os.ReadFile(legacyPath)
 	if err != nil {
 		t.Fatalf("golden file missing (run with -update): %v", err)
 	}
-	if !bytes.Equal(packed.Bytes(), wantPacked) {
-		t.Errorf("packed Save output drifted from golden (%d vs %d bytes); "+
-			"format changes must bump the version", packed.Len(), len(wantPacked))
+	if !bytes.Equal(checked.Bytes(), wantChecked) {
+		t.Errorf("checked Save output drifted from golden (%d vs %d bytes); "+
+			"format changes must bump the version", checked.Len(), len(wantChecked))
 	}
 	if !bytes.Equal(legacy.Bytes(), wantLegacy) {
 		t.Errorf("legacy Save output drifted from golden (%d vs %d bytes)", legacy.Len(), len(wantLegacy))
 	}
 
-	// Both golden images must load into a corpus that answers the paper's
-	// Figure 1 query correctly.
-	for name, data := range map[string][]byte{"packed": wantPacked, "legacy": wantLegacy} {
+	// The v3 body must be byte-identical to the v2 body: version 3 is the
+	// v2 stream behind a section table, nothing more.
+	v2Body := wantPacked[len(magic)+1:]
+	v3Body := wantChecked[len(magic)+2+8*numSections:]
+	if !bytes.Equal(v2Body, v3Body) {
+		t.Errorf("v3 body diverged from v2 body (%d vs %d bytes)", len(v3Body), len(v2Body))
+	}
+
+	// Every golden image — all three versions — must load into a corpus
+	// that answers the paper's Figure 1 query correctly.
+	for name, data := range map[string][]byte{
+		"checked": wantChecked, "packed": wantPacked, "legacy": wantLegacy,
+	} {
 		loaded, err := Load(bytes.NewReader(data))
 		if err != nil {
 			t.Fatalf("%s golden: %v", name, err)

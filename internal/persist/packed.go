@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 	"sync"
@@ -24,6 +25,15 @@ import (
 // and postings — concurrently.
 //
 //	magic "XTIX" | version u8 = 2
+//	meta:     u32 subsetLen, bytes  (DOCTYPE internal subset)
+//
+// Version 3 carries the identical body, split at the five section
+// boundaries below (class, keys, guide and summary fold into one "aux"
+// section), behind a checksum table verified before any decoding:
+//
+//	magic "XTIX" | version u8 = 3 | u8 sectionCount = 5
+//	| (u32 length, u32 CRC-32C) x 5 | sections
+//
 //	meta:     u32 subsetLen, bytes  (DOCTYPE internal subset)
 //	          u32 dtdLen, bytes     (DTD rendered to declaration syntax)
 //	          u32 n                 (node count, early so the reader can
@@ -51,6 +61,22 @@ const (
 
 	maxCount = 1 << 28 // sanity bound on any persisted count
 )
+
+// Section indices of the version 3 table.
+const (
+	secMeta = iota
+	secStrings
+	secTree
+	secPostings
+	secAux
+	numSections
+)
+
+var sectionNames = [numSections]string{"meta", "strings", "tree", "postings", "aux"}
+
+// castagnoli is the CRC-32C polynomial table for section checksums
+// (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // interner assigns dense string ids in first-seen order.
 type interner struct {
@@ -82,9 +108,10 @@ func appendI32(b []byte, v int32) []byte {
 	return binary.LittleEndian.AppendUint32(b, uint32(v))
 }
 
-// savePacked writes the version 2 format.
+// savePacked writes the checked (version 3) format: the packed body split
+// into five sections, each materialized so its CRC-32C lands in the header
+// before any body byte is written.
 func savePacked(w io.Writer, c *core.Corpus) error {
-	bw := bufio.NewWriter(w)
 	in := newInterner()
 
 	nodes := c.Doc.Nodes()
@@ -138,11 +165,10 @@ func savePacked(w io.Writer, c *core.Corpus) error {
 		}
 	}
 
-	buf := make([]byte, 0, 1<<16)
-	buf = append(buf, magic...)
-	buf = append(buf, versionPacked)
+	var secs [numSections][]byte
 
 	// Meta.
+	buf := make([]byte, 0, 1<<12)
 	subset := c.Doc.InternalSubset
 	buf = appendU32(buf, uint32(len(subset)))
 	buf = append(buf, subset...)
@@ -153,28 +179,26 @@ func savePacked(w io.Writer, c *core.Corpus) error {
 	buf = appendU32(buf, uint32(len(dtdText)))
 	buf = append(buf, dtdText...)
 	buf = appendU32(buf, uint32(n))
+	secs[secMeta] = buf
 
 	// Strings.
 	blobLen := 0
 	for _, s := range in.table {
 		blobLen += len(s)
 	}
+	buf = make([]byte, 0, 8+4*len(in.table)+blobLen)
 	buf = appendU32(buf, uint32(len(in.table)))
 	buf = appendU32(buf, uint32(blobLen))
 	for _, s := range in.table {
 		buf = appendI32(buf, int32(len(s)))
 	}
-	if _, err := bw.Write(buf); err != nil {
-		return err
-	}
 	for _, s := range in.table {
-		if _, err := bw.WriteString(s); err != nil {
-			return err
-		}
+		buf = append(buf, s...)
 	}
+	secs[secStrings] = buf
 
 	// Tree slabs.
-	buf = buf[:0]
+	buf = make([]byte, 0, 13*n)
 	for _, nd := range nodes {
 		var tag byte
 		if nd.IsText() {
@@ -194,16 +218,15 @@ func savePacked(w io.Writer, c *core.Corpus) error {
 	for _, nd := range nodes {
 		buf = appendI32(buf, int32(len(nd.Children)))
 	}
-	if _, err := bw.Write(buf); err != nil {
-		return err
-	}
+	secs[secTree] = buf
 
 	// Postings.
 	total := 0
 	for _, kw := range vocab {
 		total += c.Index.List(kw).Len()
 	}
-	buf = appendU32(buf[:0], uint32(len(vocab)))
+	buf = make([]byte, 0, 8+8*len(vocab)+5*total)
+	buf = appendU32(buf, uint32(len(vocab)))
 	for _, kw := range vocab {
 		buf = appendI32(buf, in.ids[kw])
 	}
@@ -221,12 +244,11 @@ func savePacked(w io.Writer, c *core.Corpus) error {
 			buf = append(buf, byte(f))
 		}
 	}
-	if _, err := bw.Write(buf); err != nil {
-		return err
-	}
+	secs[secPostings] = buf
 
-	// Classification.
-	buf = appendU32(buf[:0], uint32(len(catLabels)))
+	// Aux: classification + keys + guide + summary.
+	buf = make([]byte, 0, 1<<12)
+	buf = appendU32(buf, uint32(len(catLabels)))
 	for _, l := range catLabels {
 		buf = appendI32(buf, in.ids[l])
 	}
@@ -298,10 +320,60 @@ func savePacked(w io.Writer, c *core.Corpus) error {
 		buf = appendI32(buf, 0)
 		buf = appendU32(buf, 0)
 	}
-	if _, err := bw.Write(buf); err != nil {
+	secs[secAux] = buf
+
+	// Header, then the section bytes.
+	head := make([]byte, 0, len(magic)+2+8*numSections)
+	head = append(head, magic...)
+	head = append(head, versionChecked, numSections)
+	for _, s := range secs {
+		head = appendU32(head, uint32(len(s)))
+		head = appendU32(head, crc32.Checksum(s, castagnoli))
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(head); err != nil {
 		return err
 	}
+	for _, s := range secs {
+		if _, err := bw.Write(s); err != nil {
+			return err
+		}
+	}
 	return bw.Flush()
+}
+
+// verifySections validates a version 3 header — section count, lengths
+// summing exactly to the body, per-section CRC-32C — and returns the body
+// offset decoding starts at. Checksums run before any structural decoding,
+// so corruption surfaces here as a named-section error rather than as
+// whatever downstream decoder happens to trip.
+func verifySections(data []byte) (int, error) {
+	tbl := len(magic) + 1
+	body := tbl + 1 + 8*numSections
+	if len(data) < body {
+		return 0, fmt.Errorf("%w: truncated section table", ErrBadFormat)
+	}
+	if int(data[tbl]) != numSections {
+		return 0, fmt.Errorf("%w: section count %d, want %d", ErrBadFormat, data[tbl], numSections)
+	}
+	pos := body
+	for i := 0; i < numSections; i++ {
+		ln := int(binary.LittleEndian.Uint32(data[tbl+1+8*i:]))
+		want := binary.LittleEndian.Uint32(data[tbl+1+8*i+4:])
+		if ln > len(data)-pos {
+			return 0, fmt.Errorf("%w: %s section truncated (need %d bytes at offset %d)",
+				ErrBadFormat, sectionNames[i], ln, pos)
+		}
+		if got := crc32.Checksum(data[pos:pos+ln], castagnoli); got != want {
+			return 0, fmt.Errorf("%w: %s section checksum mismatch (image corrupt)",
+				ErrBadFormat, sectionNames[i])
+		}
+		pos += ln
+	}
+	if pos != len(data) {
+		return 0, fmt.Errorf("%w: %d trailing bytes after sections", ErrBadFormat, len(data)-pos)
+	}
+	return body, nil
 }
 
 // cursor decodes the packed byte image with bounds checking; the first
@@ -378,12 +450,14 @@ func (t *stringTable) str(id int32) (string, bool) {
 	return t.table[id], true
 }
 
-// loadPacked decodes a version 2 image (including the magic+version head).
-// The tree and posting sections — the two large ones — decode concurrently:
-// posting lists reference nodes by address into the node slab, which is
-// allocated before either decoder runs.
-func loadPacked(data []byte) (*core.Corpus, error) {
-	c := &cursor{data: data, off: len(magic) + 1}
+// loadPackedAt decodes the packed body starting at bodyOff — immediately
+// after the version byte for version 2, after the verified section table
+// for version 3 (the body bytes are identical). The tree and posting
+// sections — the two large ones — decode concurrently: posting lists
+// reference nodes by address into the node slab, which is allocated before
+// either decoder runs.
+func loadPackedAt(data []byte, bodyOff int) (*core.Corpus, error) {
+	c := &cursor{data: data, off: bodyOff}
 
 	// Meta.
 	subset := string(c.bytes(c.count("subset")))

@@ -3,7 +3,7 @@
 // Builder stage) can be reopened without re-parsing XML or re-running
 // classification and key mining — the role the demo's on-disk indexes play.
 //
-// Two format versions exist, distinguished by the version byte after the
+// Three format versions exist, distinguished by the version byte after the
 // magic:
 //
 // Version 1 (legacy, varint-coded) stores the tree, classification and
@@ -11,7 +11,7 @@
 // load by linear passes over the tree. SaveLegacy still writes it and Load
 // still reads it, but rebuilding makes loading large corpora slow.
 //
-// Version 2 (packed, the default written by Save) is slab-oriented: after a
+// Version 2 (packed) is slab-oriented: after a
 // small metadata section (DOCTYPE internal subset, rendered DTD), every
 // large structure is a length-prefixed little-endian int32 or byte slab —
 // string table offsets + one contiguous blob, preorder node arrays
@@ -28,8 +28,18 @@
 // DTD-declared labels absent from the instance) and the mined keys are all
 // restored exactly; version 1 dropped the DTD and the internal subset.
 //
-// Both readers validate magic, version, string ids, node counts and slab
-// bounds, and fail loudly on truncation or corruption (see FuzzLoad).
+// Version 3 (checked, the default written by Save) is version 2's exact
+// byte stream split into five sections — meta, strings, tree, postings,
+// aux — with a section table (u32 length + u32 CRC-32C per section)
+// between the version byte and the body. The checksums are verified before
+// any decoding, so a truncated or bit-flipped image — the failure mode of
+// serving memory-mapped files off real disks — fails with a clean named
+// error instead of reaching the structural decoders. Versions 1 and 2
+// still load.
+//
+// All readers validate magic, version, string ids, node counts and slab
+// bounds, and fail loudly on truncation or corruption (see FuzzLoad and
+// FuzzCorruptImage).
 package persist
 
 import (
@@ -41,6 +51,7 @@ import (
 	"os"
 
 	"extract/internal/core"
+	"extract/internal/faultinject"
 )
 
 const (
@@ -51,12 +62,16 @@ const (
 	// versionPacked is the slab format: everything persisted, nothing
 	// rebuilt.
 	versionPacked = 2
+	// versionChecked is the packed format with a per-section CRC-32C
+	// table, verified before decoding.
+	versionChecked = 3
 )
 
 // ErrBadFormat reports a corrupted or foreign file.
 var ErrBadFormat = errors.New("persist: bad format")
 
-// Save writes the analyzed corpus to w in the packed (version 2) format.
+// Save writes the analyzed corpus to w in the checked (version 3) format:
+// the packed layout guarded by a per-section CRC-32C table.
 func Save(w io.Writer, c *core.Corpus) error {
 	return savePacked(w, c)
 }
@@ -96,10 +111,10 @@ func LoadFile(path string) (*core.Corpus, error) {
 	}
 	if data, unmap, ok := mapFile(f); ok {
 		f.Close()
-		if len(data) >= len(magic)+1 &&
-			string(data[:len(magic)]) == magic && data[len(magic)] == versionPacked {
+		if len(data) >= len(magic)+1 && string(data[:len(magic)]) == magic &&
+			(data[len(magic)] == versionPacked || data[len(magic)] == versionChecked) {
 			defer unmap()
-			return loadPacked(data)
+			return loadBytes(data)
 		}
 		// Legacy or foreign content: copy out of the mapping and take the
 		// generic path, so no decoder ever retains mapped memory.
@@ -121,8 +136,13 @@ func LoadBytes(data []byte) (*core.Corpus, error) {
 	return loadBytes(data)
 }
 
-// loadBytes decodes a fully-read image.
+// loadBytes decodes a fully-read image. The faultinject hook lets tests
+// corrupt images on the way in; mutators return a modified copy, so a
+// memory-mapped image is never written through.
 func loadBytes(data []byte) (*core.Corpus, error) {
+	if faultinject.Enabled() {
+		data = faultinject.Mutate(faultinject.ImageBytes, data)
+	}
 	if len(data) < len(magic)+1 || string(data[:len(magic)]) != magic {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadFormat)
 	}
@@ -130,7 +150,13 @@ func loadBytes(data []byte) (*core.Corpus, error) {
 	case versionLegacy:
 		return loadLegacy(bufio.NewReader(bytes.NewReader(data)))
 	case versionPacked:
-		return loadPacked(data)
+		return loadPackedAt(data, len(magic)+1)
+	case versionChecked:
+		body, err := verifySections(data)
+		if err != nil {
+			return nil, err
+		}
+		return loadPackedAt(data, body)
 	default:
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, data[len(magic)])
 	}

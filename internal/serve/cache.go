@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"hash/maphash"
 	"sync"
 	"sync/atomic"
@@ -154,8 +155,11 @@ func (c *Cache) shardFor(key string, sortedPrefixLen int) *cacheShard {
 // applies even when the cache budget is zero). epoch is the server's
 // invalidation epoch read when the query began; stillCurrent re-checks it
 // after computing, so a response computed against a corpus that was swapped
-// out mid-flight is returned to its waiters but never cached.
-func (c *Cache) do(key string, sortedPrefixLen int, epoch uint64,
+// out mid-flight is returned to its waiters but never cached. ctx bounds
+// only the caller's own waiting: a coalesced follower whose context ends
+// stops waiting and returns the context's error, while the leader's
+// computation (running on the leader's context) is unaffected.
+func (c *Cache) do(ctx context.Context, key string, sortedPrefixLen int, epoch uint64,
 	stillCurrent func(uint64) bool, compute func() (*Cached, error)) (*Cached, error) {
 
 	s := c.shardFor(key, sortedPrefixLen)
@@ -177,8 +181,12 @@ func (c *Cache) do(key string, sortedPrefixLen int, epoch uint64,
 		if f.epoch == epoch {
 			s.mu.Unlock()
 			c.coalesced.Add(1)
-			<-f.done
-			return f.val, f.err
+			select {
+			case <-f.done:
+				return f.val, f.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
 		}
 		// The flight predates an invalidation: its result will be of the
 		// swapped-out corpus, good enough only for callers who asked
@@ -308,6 +316,8 @@ type Stats struct {
 	Entries   int64 `json:"entries"`
 	Bytes     int64 `json:"bytes"`
 	Capacity  int64 `json:"capacity"`
+	Panics    int64 `json:"panics"` // queries failed by a recovered evaluation panic
+	Shed      int64 `json:"shed"`   // queries rejected by the in-flight bound
 }
 
 // stats snapshots the counters.

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"extract/internal/core"
+	"extract/internal/faultinject"
+	"extract/internal/search"
+	"extract/internal/shard"
+)
+
+// failureFixture builds a sharded stores corpus, a server over it, and one
+// query known to produce results, with its reference answer computed off
+// the raw sharded engine.
+func failureFixture(t *testing.T, opts ...Option) (*shard.Corpus, *Server, string, []string) {
+	t.Helper()
+	mk := testCorpora()["stores"]
+	sc := shard.Build(mk(), 3)
+	srv := New(sc, append([]Option{WithWorkers(2)}, opts...)...)
+	t.Cleanup(srv.Close)
+	for _, q := range corpusQueries(mk()) {
+		want, err := uncachedHits(sc, q, search.Options{DistinctAnchors: true}, 10)
+		if err == nil && len(want) > 0 {
+			return sc, srv, q, want
+		}
+	}
+	t.Fatal("no workload query produced results")
+	return nil, nil, "", nil
+}
+
+// TestQueryDeadline: a server-imposed deadline turns a query that cannot
+// finish in time into context.DeadlineExceeded — and the failure is never
+// cached, so the same query answers correctly once the pressure is gone.
+func TestQueryDeadline(t *testing.T) {
+	defer faultinject.Reset()
+	_, srv, q, _ := failureFixture(t, WithQueryTimeout(time.Nanosecond))
+
+	// A nanosecond deadline has always expired by the first checkpoint.
+	_, _, err := srv.Query(q, search.Options{DistinctAnchors: true}, 10)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+
+	// A caller-supplied earlier context is honored the same way on the
+	// Search path.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := srv.SearchContext(ctx, q, search.Options{DistinctAnchors: true}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SearchContext(canceled) err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCanceledQueryNotCached: a cancellation outcome must not poison the
+// cache — the same key re-queried with a live context computes the real
+// answer.
+func TestCanceledQueryNotCached(t *testing.T) {
+	defer faultinject.Reset()
+	_, srv, q, want := failureFixture(t)
+	opts := search.Options{DistinctAnchors: true}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := srv.QueryContext(ctx, q, opts, 10); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled query err = %v, want context.Canceled", err)
+	}
+
+	rs, gs, err := srv.Query(q, opts, 10)
+	if err != nil {
+		t.Fatalf("query after cancellation: %v", err)
+	}
+	got := renderHits(rs, gs)
+	if len(got) != len(want) {
+		t.Fatalf("%d hits after cancellation, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d differs after cancellation\nwant %s\ngot  %s", i, want[i], got[i])
+		}
+	}
+}
+
+// blockingBackend wraps a real backend but parks every evaluation on a
+// channel, holding its admission slot for as long as the test wants.
+type blockingBackend struct {
+	inner   Backend
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingBackend) Analysis() *core.Corpus { return b.inner.Analysis() }
+
+func (b *blockingBackend) Engines(opts search.Options) []*search.Engine {
+	return b.inner.Engines(opts)
+}
+
+func (b *blockingBackend) SearchEnginesContext(ctx context.Context, query string, opts search.Options, engines []*search.Engine, run shard.Runner) ([]*search.Result, error) {
+	b.entered <- struct{}{}
+	<-b.release
+	return b.inner.SearchEnginesContext(ctx, query, opts, engines, run)
+}
+
+// TestOverloadSheds: with WithMaxInFlight(1) a second concurrent query is
+// rejected immediately with ErrOverloaded and counted in Stats().Shed,
+// while the admitted query completes normally; once the slot frees, new
+// queries are admitted again.
+func TestOverloadSheds(t *testing.T) {
+	mk := testCorpora()["stores"]
+	sc := shard.Build(mk(), 3)
+	bb := &blockingBackend{
+		inner:   sc,
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	srv := New(bb, WithWorkers(2), WithMaxInFlight(1))
+	defer srv.Close()
+	opts := search.Options{DistinctAnchors: true}
+
+	firstErr := make(chan error, 1)
+	go func() {
+		_, err := srv.Search("store", opts)
+		firstErr <- err
+	}()
+	<-bb.entered // the first query holds the only slot inside the backend
+
+	if _, err := srv.Search("retailer", opts); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second query err = %v, want ErrOverloaded", err)
+	}
+	if st := srv.Stats(); st.Shed != 1 {
+		t.Fatalf("Stats().Shed = %d, want 1", st.Shed)
+	}
+
+	close(bb.release)
+	if err := <-firstErr; err != nil {
+		t.Fatalf("admitted query failed: %v", err)
+	}
+
+	// Slot released: the server admits queries again (the second backend
+	// call sails through the closed release channel).
+	go func() { <-bb.entered }()
+	if _, err := srv.Search("retailer", opts); err != nil {
+		t.Fatalf("query after load dropped: %v", err)
+	}
+	if st := srv.Stats(); st.Shed != 1 {
+		t.Fatalf("Stats().Shed after recovery = %d, want still 1", st.Shed)
+	}
+}
+
+// TestPanicIsolation: a panicking shard fails its own query with a
+// *shard.PanicError — counted in Stats().Panics, never cached, never
+// crashing the process — and the same query answers correctly once the
+// fault clears.
+func TestPanicIsolation(t *testing.T) {
+	defer faultinject.Reset()
+	_, srv, q, want := failureFixture(t)
+	opts := search.Options{DistinctAnchors: true}
+
+	faultinject.Set(faultinject.ShardEval, func() error { panic("injected shard crash") })
+	_, _, err := srv.Query(q, opts, 10)
+	var pe *shard.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *shard.PanicError", err)
+	}
+	if pe.Value != "injected shard crash" {
+		t.Fatalf("PanicError.Value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError carries no stack")
+	}
+	if st := srv.Stats(); st.Panics == 0 {
+		t.Fatalf("Stats().Panics = 0 after a panicking query (%+v)", st)
+	}
+
+	// The panic outcome must not have been cached: the same key now
+	// computes the correct answer.
+	faultinject.Reset()
+	rs, gs, err := srv.Query(q, opts, 10)
+	if err != nil {
+		t.Fatalf("query after fault cleared: %v", err)
+	}
+	got := renderHits(rs, gs)
+	if len(got) != len(want) {
+		t.Fatalf("%d hits after panic, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d differs after panic\nwant %s\ngot  %s", i, want[i], got[i])
+		}
+	}
+}
+
+// TestSnippetFaultFailsCleanly: a failure injected into snippet generation
+// fails the Query pipeline with that error while the Search path (which
+// generates no snippets) keeps working; clearing the fault restores Query.
+func TestSnippetFaultFailsCleanly(t *testing.T) {
+	defer faultinject.Reset()
+	_, srv, q, want := failureFixture(t)
+	opts := search.Options{DistinctAnchors: true}
+
+	sentinel := errors.New("injected snippet failure")
+	faultinject.Set(faultinject.SnippetGen, func() error { return sentinel })
+
+	if _, _, err := srv.Query(q, opts, 10); !errors.Is(err, sentinel) {
+		t.Fatalf("Query err = %v, want %v", err, sentinel)
+	}
+	if _, err := srv.Search(q, opts); err != nil {
+		t.Fatalf("Search with snippet fault installed: %v", err)
+	}
+
+	faultinject.Reset()
+	rs, gs, err := srv.Query(q, opts, 10)
+	if err != nil {
+		t.Fatalf("Query after fault cleared: %v", err)
+	}
+	if got := renderHits(rs, gs); len(got) != len(want) {
+		t.Fatalf("%d hits after snippet fault, want %d", len(got), len(want))
+	}
+}

@@ -23,7 +23,11 @@
 // property tests); the layer changes cost, never answers.
 package serve
 
-import "sync"
+import (
+	"sync"
+
+	"extract/internal/shard"
+)
 
 // Pool is a fixed-size worker pool executing batches of independent tasks.
 // One Pool serves every query against a Server, so total evaluation
@@ -32,6 +36,10 @@ import "sync"
 // inline instead of queueing behind a slow batch — submission never blocks
 // on unrelated work and Run can never deadlock, even against a stopped
 // pool.
+//
+// Every task — on a worker or inline on the submitter — runs under panic
+// recovery: a panicking task becomes a *shard.PanicError on its own batch,
+// failing that query alone. Workers survive to serve unrelated queries.
 type Pool struct {
 	tasks chan poolTask
 
@@ -42,6 +50,31 @@ type Pool struct {
 type poolTask struct {
 	fn   func()
 	done *sync.WaitGroup
+	box  *errBox
+}
+
+// errBox collects the first task error of one Run batch across the
+// goroutines executing it.
+type errBox struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (b *errBox) put(err error) {
+	if err == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.mu.Unlock()
+}
+
+func (b *errBox) first() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
 }
 
 // NewPool starts a pool of n workers (n < 1 is forced to 1).
@@ -63,7 +96,7 @@ func (p *Pool) worker() {
 	for {
 		select {
 		case t := <-p.tasks:
-			t.fn()
+			t.box.put(shard.Recover(t.fn))
 			t.done.Done()
 		case <-p.stop:
 			return
@@ -71,24 +104,27 @@ func (p *Pool) worker() {
 	}
 }
 
-// Run executes every task and returns when all have completed. Tasks a
-// worker cannot pick up immediately run on the calling goroutine.
-func (p *Pool) Run(tasks []func()) {
+// Run executes every task and returns when all have completed, reporting
+// the first recovered panic as a *shard.PanicError (nil when every task
+// finished cleanly). Tasks a worker cannot pick up immediately run on the
+// calling goroutine, under the same recovery.
+func (p *Pool) Run(tasks []func()) error {
 	if len(tasks) == 1 {
-		tasks[0]()
-		return
+		return shard.Recover(tasks[0])
 	}
 	var wg sync.WaitGroup
+	var box errBox
 	for _, fn := range tasks {
 		wg.Add(1)
 		select {
-		case p.tasks <- poolTask{fn: fn, done: &wg}:
+		case p.tasks <- poolTask{fn: fn, done: &wg, box: &box}:
 		default:
-			fn()
+			box.put(shard.Recover(fn))
 			wg.Done()
 		}
 	}
 	wg.Wait()
+	return box.first()
 }
 
 // Stop terminates the workers. In-flight tasks finish; Run keeps working

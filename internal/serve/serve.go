@@ -1,11 +1,16 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"extract/internal/core"
+	"extract/internal/faultinject"
 	"extract/internal/index"
 	"extract/internal/search"
 	"extract/internal/shard"
@@ -27,12 +32,13 @@ type Backend interface {
 	// snippet generation needs (not necessarily a document).
 	Analysis() *core.Corpus
 	// Engines builds the backend's evaluation engines for one option
-	// combination, in the alignment SearchEngines expects.
+	// combination, in the alignment SearchEnginesContext expects.
 	Engines(opts search.Options) []*search.Engine
-	// SearchEngines evaluates a query on engines previously built by
+	// SearchEnginesContext evaluates a query on engines previously built by
 	// Engines for the same opts (nil builds throwaway ones), scheduling
-	// independent per-engine work through run (nil = own goroutines).
-	SearchEngines(query string, opts search.Options, engines []*search.Engine, run shard.Runner) ([]*search.Result, error)
+	// independent per-engine work through run (nil = own goroutines) and
+	// honoring ctx cancellation between units of work.
+	SearchEnginesContext(ctx context.Context, query string, opts search.Options, engines []*search.Engine, run shard.Runner) ([]*search.Result, error)
 }
 
 // Single adapts an unsharded corpus to the Backend interface: one engine,
@@ -49,8 +55,11 @@ func (s Single) Engines(opts search.Options) []*search.Engine {
 	return []*search.Engine{s.C.Engine(opts)}
 }
 
-// SearchEngines evaluates the query on the single engine, inline.
-func (s Single) SearchEngines(query string, opts search.Options, engines []*search.Engine, _ shard.Runner) ([]*search.Result, error) {
+// SearchEnginesContext evaluates the query on the single engine, inline.
+func (s Single) SearchEnginesContext(ctx context.Context, query string, opts search.Options, engines []*search.Engine, _ shard.Runner) ([]*search.Result, error) {
+	if err := shard.Checkpoint(ctx); err != nil {
+		return nil, err
+	}
 	if engines == nil {
 		engines = s.Engines(opts)
 	}
@@ -72,18 +81,35 @@ type Server struct {
 	// against a swapped-out corpus are never cached.
 	epoch atomic.Uint64
 
+	// timeout is the per-query deadline (0 = none); maxInFlight bounds
+	// admitted queries (0 = unlimited), with inflight the live count.
+	timeout     time.Duration
+	maxInFlight int64
+	inflight    atomic.Int64
+
+	panics atomic.Int64 // queries failed by a recovered panic
+	shed   atomic.Int64 // queries rejected by the in-flight bound
+
 	mu      sync.Mutex
 	backend Backend
 	gen     *core.Generator // shared snippet generator over the corpus analysis
 	engines map[search.Options][]*search.Engine
 }
 
+// ErrOverloaded rejects a query that would exceed the server's in-flight
+// bound (WithMaxInFlight). It is returned before any evaluation work, so
+// overload degrades to fast clean errors the caller can retry, instead of
+// a growing convoy of slow queries.
+var ErrOverloaded = errors.New("serve: overloaded: in-flight query limit reached")
+
 // Option configures New.
 type Option func(*config)
 
 type config struct {
-	workers    int
-	cacheBytes int64
+	workers     int
+	cacheBytes  int64
+	timeout     time.Duration
+	maxInFlight int
 }
 
 // WithWorkers sets the worker-pool size (default GOMAXPROCS). The pool
@@ -107,6 +133,30 @@ func WithCacheBytes(n int64) Option {
 	}
 }
 
+// WithQueryTimeout sets a per-query deadline applied to every query that
+// does not already carry an earlier one (default none). An expired query
+// stops at the next evaluation checkpoint and returns
+// context.DeadlineExceeded.
+func WithQueryTimeout(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.timeout = d
+		}
+	}
+}
+
+// WithMaxInFlight bounds the number of queries admitted concurrently
+// (default unlimited). Queries beyond the bound are rejected immediately
+// with ErrOverloaded — load sheds to clean errors instead of queueing
+// until collapse.
+func WithMaxInFlight(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.maxInFlight = n
+		}
+	}
+}
+
 // New builds a serving layer over b.
 func New(b Backend, opts ...Option) *Server {
 	cfg := config{workers: runtime.GOMAXPROCS(0), cacheBytes: DefaultCacheBytes}
@@ -114,11 +164,13 @@ func New(b Backend, opts ...Option) *Server {
 		o(&cfg)
 	}
 	s := &Server{
-		pool:     NewPool(cfg.workers),
-		cache:    NewCache(cfg.cacheBytes),
-		interner: index.NewInterner(),
-		backend:  b,
-		gen:      core.NewGenerator(b.Analysis()),
+		pool:        NewPool(cfg.workers),
+		cache:       NewCache(cfg.cacheBytes),
+		interner:    index.NewInterner(),
+		backend:     b,
+		gen:         core.NewGenerator(b.Analysis()),
+		timeout:     cfg.timeout,
+		maxInFlight: int64(cfg.maxInFlight),
 	}
 	s.engines = make(map[search.Options][]*search.Engine)
 	// The pool's workers would otherwise pin a dropped Server's goroutines
@@ -160,8 +212,13 @@ func (s *Server) Invalidate() {
 	s.cache.clear()
 }
 
-// Stats snapshots the query-cache counters.
-func (s *Server) Stats() Stats { return s.cache.stats() }
+// Stats snapshots the query-cache and failure counters.
+func (s *Server) Stats() Stats {
+	st := s.cache.stats()
+	st.Panics = s.panics.Load()
+	st.Shed = s.shed.Load()
+	return st
+}
 
 // maxEngineSets bounds the engine memo: search.Options embeds the
 // caller-chosen MaxResults, so distinct option values are unbounded in
@@ -248,7 +305,13 @@ func (s *Server) key(query string, opts search.Options, bound int) (key string, 
 // pool, serving repeated queries from the cache. The returned slice is the
 // caller's to reorder; the results it points to are shared and immutable.
 func (s *Server) Search(query string, opts search.Options) ([]*search.Result, error) {
-	rs, _, err := s.SearchWithBackend(query, opts)
+	return s.SearchContext(context.Background(), query, opts)
+}
+
+// SearchContext is Search honoring ctx: a cancelled or expired query stops
+// at the next evaluation checkpoint and returns the context's error.
+func (s *Server) SearchContext(ctx context.Context, query string, opts search.Options) ([]*search.Result, error) {
+	rs, _, err := s.SearchWithBackendContext(ctx, query, opts)
 	return rs, err
 }
 
@@ -258,15 +321,20 @@ func (s *Server) Search(query string, opts search.Options) ([]*search.Result, er
 // generation-dependent from the results (ranking statistics, say) must use
 // this backend, not the server's current one.
 func (s *Server) SearchWithBackend(query string, opts search.Options) ([]*search.Result, Backend, error) {
-	compute := func() (*Cached, error) {
+	return s.SearchWithBackendContext(context.Background(), query, opts)
+}
+
+// SearchWithBackendContext is SearchWithBackend honoring ctx.
+func (s *Server) SearchWithBackendContext(ctx context.Context, query string, opts search.Options) ([]*search.Result, Backend, error) {
+	compute := func(ctx context.Context) (*Cached, error) {
 		b, _, engines := s.snapshot(opts)
-		rs, err := b.SearchEngines(query, opts, engines, s.pool.Run)
+		rs, err := b.SearchEnginesContext(ctx, query, opts, engines, s.pool.Run)
 		if err != nil {
 			return nil, err
 		}
 		return &Cached{Results: rs, Backend: b}, nil
 	}
-	v, err := s.serve(query, opts, -1, compute)
+	v, err := s.serve(ctx, query, opts, -1, compute)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -278,24 +346,39 @@ func (s *Server) SearchWithBackend(query string, opts search.Options) ([]*search
 // pool. Results and snippets are returned in document order, in fresh
 // slices; the objects they point to are shared and immutable.
 func (s *Server) Query(query string, opts search.Options, bound int) ([]*search.Result, []*core.Generated, error) {
-	rs, gs, _, err := s.QueryWithBackend(query, opts, bound)
+	rs, gs, _, err := s.QueryWithBackendContext(context.Background(), query, opts, bound)
+	return rs, gs, err
+}
+
+// QueryContext is Query honoring ctx (see SearchContext).
+func (s *Server) QueryContext(ctx context.Context, query string, opts search.Options, bound int) ([]*search.Result, []*core.Generated, error) {
+	rs, gs, _, err := s.QueryWithBackendContext(ctx, query, opts, bound)
 	return rs, gs, err
 }
 
 // QueryWithBackend is Query, additionally reporting the corpus backend the
 // response was evaluated on (see SearchWithBackend).
 func (s *Server) QueryWithBackend(query string, opts search.Options, bound int) ([]*search.Result, []*core.Generated, Backend, error) {
-	compute := func() (*Cached, error) {
+	return s.QueryWithBackendContext(context.Background(), query, opts, bound)
+}
+
+// QueryWithBackendContext is QueryWithBackend honoring ctx.
+func (s *Server) QueryWithBackendContext(ctx context.Context, query string, opts search.Options, bound int) ([]*search.Result, []*core.Generated, Backend, error) {
+	compute := func(ctx context.Context) (*Cached, error) {
 		b, gen, engines := s.snapshot(opts)
-		rs, err := b.SearchEngines(query, opts, engines, s.pool.Run)
+		rs, err := b.SearchEnginesContext(ctx, query, opts, engines, s.pool.Run)
 		if err != nil {
 			return nil, err
 		}
 		// Tokenized here, not on the hit path: cache hits never pay it.
 		kws := index.Tokenize(query)
-		return &Cached{Results: rs, Snippets: s.snippets(gen, rs, kws, bound), Backend: b}, nil
+		gs, err := s.snippets(ctx, gen, rs, kws, bound)
+		if err != nil {
+			return nil, err
+		}
+		return &Cached{Results: rs, Snippets: gs, Backend: b}, nil
 	}
-	v, err := s.serve(query, opts, bound, compute)
+	v, err := s.serve(ctx, query, opts, bound, compute)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -303,38 +386,124 @@ func (s *Server) QueryWithBackend(query string, opts search.Options, bound int) 
 		append([]*core.Generated(nil), v.Snippets...), v.Backend, nil
 }
 
+// begin admits one query: it sheds immediately when the in-flight bound is
+// reached, then applies the per-query deadline. finish releases the
+// admission slot and the deadline timer; callers must always call it.
+func (s *Server) begin(ctx context.Context) (context.Context, func(), error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if s.maxInFlight > 0 {
+		if s.inflight.Add(1) > s.maxInFlight {
+			s.inflight.Add(-1)
+			s.shed.Add(1)
+			return nil, nil, ErrOverloaded
+		}
+	}
+	cancel := context.CancelFunc(func() {})
+	if s.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+	}
+	finish := func() {
+		cancel()
+		if s.maxInFlight > 0 {
+			s.inflight.Add(-1)
+		}
+	}
+	return ctx, finish, nil
+}
+
+// compute runs one query computation inside the panic-isolation boundary:
+// a panic anywhere in evaluation or snippet generation — recovered by the
+// pool on a worker, or here when it escapes on the calling goroutine —
+// becomes a per-query *shard.PanicError and bumps the Panics counter. One
+// bad query fails alone; the process and every other query survive.
+func (s *Server) compute(ctx context.Context, fn func(context.Context) (*Cached, error)) (v *Cached, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			v, err = nil, &shard.PanicError{Value: r, Stack: debug.Stack()}
+			s.panics.Add(1)
+		}
+	}()
+	v, err = fn(ctx)
+	if err != nil {
+		var pe *shard.PanicError
+		if errors.As(err, &pe) {
+			s.panics.Add(1)
+		}
+		return nil, err
+	}
+	return v, nil
+}
+
 // serve answers one query through the cache when its key is admissible,
-// directly otherwise.
-func (s *Server) serve(query string, opts search.Options, bound int, compute func() (*Cached, error)) (*Cached, error) {
+// directly otherwise. Failed computations — errors, timeouts, panics —
+// are returned to their callers and never cached.
+func (s *Server) serve(ctx context.Context, query string, opts search.Options, bound int, compute func(context.Context) (*Cached, error)) (*Cached, error) {
+	ctx, finish, err := s.begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer finish()
+	run := func() (*Cached, error) { return s.compute(ctx, compute) }
 	key, prefixLen, cacheable, err := s.key(query, opts, bound)
 	if err != nil {
 		return nil, err
 	}
 	if !cacheable {
-		return compute()
+		return run()
 	}
 	epoch := s.epoch.Load()
-	return s.cache.do(key, prefixLen, epoch, s.epochIs, compute)
+	v, err := s.cache.do(ctx, key, prefixLen, epoch, s.epochIs, run)
+	if err != nil && isContextError(err) && ctx.Err() == nil {
+		// A coalesced leader hit its own cancellation or deadline, not
+		// ours: our context is still live, so compute privately rather
+		// than inherit a failure this caller never had.
+		return run()
+	}
+	return v, err
+}
+
+func isContextError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 func (s *Server) epochIs(e uint64) bool { return s.epoch.Load() == e }
 
+// snippetCheckpoint gates each generated snippet on cancellation and the
+// SnippetGen fault-injection point.
+func snippetCheckpoint(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if faultinject.Enabled() {
+		return faultinject.Fire(faultinject.SnippetGen)
+	}
+	return nil
+}
+
 // snippets generates one snippet per result, chunking the work over the
 // pool (snippets are independent; the generator is shared and concurrency-
-// safe).
-func (s *Server) snippets(gen *core.Generator, rs []*search.Result, kws []string, bound int) []*core.Generated {
+// safe). A cancelled query stops between snippets and returns the
+// context's error — a partially filled snippet set is never returned, so
+// nothing incomplete can be cached.
+func (s *Server) snippets(ctx context.Context, gen *core.Generator, rs []*search.Result, kws []string, bound int) ([]*core.Generated, error) {
 	out := make([]*core.Generated, len(rs))
 	if len(rs) < 4 {
 		for i, r := range rs {
+			if err := snippetCheckpoint(ctx); err != nil {
+				return nil, err
+			}
 			out[i] = gen.ForResultTokens(r, kws, bound)
 		}
-		return out
+		return out, nil
 	}
 	chunks := runtime.GOMAXPROCS(0)
 	if chunks > len(rs) {
 		chunks = len(rs)
 	}
 	tasks := make([]func(), chunks)
+	errs := make([]error, chunks)
 	per := (len(rs) + chunks - 1) / chunks
 	for c := 0; c < chunks; c++ {
 		lo := c * per
@@ -342,13 +511,24 @@ func (s *Server) snippets(gen *core.Generator, rs []*search.Result, kws []string
 		if hi > len(rs) {
 			hi = len(rs)
 		}
-		lo2, hi2 := lo, hi
+		lo2, hi2, c2 := lo, hi, c
 		tasks[c] = func() {
 			for i := lo2; i < hi2; i++ {
+				if err := snippetCheckpoint(ctx); err != nil {
+					errs[c2] = err
+					return
+				}
 				out[i] = gen.ForResultTokens(rs[i], kws, bound)
 			}
 		}
 	}
-	s.pool.Run(tasks)
-	return out
+	if err := s.pool.Run(tasks); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }

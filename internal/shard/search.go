@@ -1,8 +1,12 @@
 package shard
 
 import (
+	"context"
+	"fmt"
+	"runtime/debug"
 	"sync"
 
+	"extract/internal/faultinject"
 	"extract/internal/index"
 	"extract/internal/search"
 	"extract/xmltree"
@@ -30,30 +34,96 @@ import (
 // root entity — evaluate on the lazily reconstructed whole-document corpus
 // instead, which is exact by construction.
 func (sc *Corpus) Search(query string, opts search.Options) ([]*search.Result, error) {
-	return sc.SearchEngines(query, opts, nil, nil)
+	return sc.SearchEnginesContext(context.Background(), query, opts, nil, nil)
 }
 
 // Runner executes a batch of independent tasks, returning when all of them
-// have completed. The serving layer passes a fixed-size worker pool here so
+// have completed, with every task under panic recovery: the returned error
+// is the first *PanicError recovered from the batch (nil when every task
+// ran cleanly). The serving layer passes a fixed-size worker pool here so
 // per-shard evaluation stops spawning one goroutine per shard per query;
 // nil runs each task on its own goroutine.
-type Runner func(tasks []func())
+type Runner func(tasks []func()) error
+
+// PanicError is a panic recovered from query evaluation or snippet
+// generation, converted into a per-query error: one panicking shard fails
+// its query, never the process. Value is the recovered panic value and
+// Stack the stack at recovery, for server-side logging.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic during query evaluation: %v", e.Value)
+}
+
+// Recover runs fn, converting a panic into a *PanicError. Runner
+// implementations wrap every task with it, whether the task runs on a
+// worker or inline on the submitting goroutine.
+func Recover(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// Checkpoint is the cancellation gate evaluation loops poll between units
+// of work: it reports the context's error once the query is cancelled or
+// past its deadline, and fires the ShardEval fault-injection point so
+// robustness tests can crash, slow, or fail a shard here.
+func Checkpoint(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if faultinject.Enabled() {
+		return faultinject.Fire(faultinject.ShardEval)
+	}
+	return nil
+}
 
 // runGoroutines is the default Runner: one goroutine per task.
-func runGoroutines(tasks []func()) {
+func runGoroutines(tasks []func()) error {
 	if len(tasks) == 1 {
-		tasks[0]()
-		return
+		return Recover(tasks[0])
 	}
 	var wg sync.WaitGroup
+	var box errBox
 	wg.Add(len(tasks))
 	for _, t := range tasks {
 		go func(f func()) {
 			defer wg.Done()
-			f()
+			box.put(Recover(f))
 		}(t)
 	}
 	wg.Wait()
+	return box.first()
+}
+
+// errBox collects the first error of one task batch across goroutines.
+type errBox struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (b *errBox) put(err error) {
+	if err == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.mu.Unlock()
+}
+
+func (b *errBox) first() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
 }
 
 // Engines builds one engine per shard for opts, in Shards() order — the
@@ -68,12 +138,22 @@ func (sc *Corpus) Engines(opts search.Options) []*search.Engine {
 }
 
 // SearchEngines is Search with caller-managed per-shard engines and task
-// scheduling. engines, when non-nil, must be aligned with Shards() and
-// built over the same options (the serving layer caches one engine set per
-// option combination and reuses it across queries); nil builds throwaway
-// engines. run schedules the per-shard evaluations; nil spawns one
-// goroutine per shard.
+// scheduling; see SearchEnginesContext, which it calls with a background
+// context.
 func (sc *Corpus) SearchEngines(query string, opts search.Options, engines []*search.Engine, run Runner) ([]*search.Result, error) {
+	return sc.SearchEnginesContext(context.Background(), query, opts, engines, run)
+}
+
+// SearchEnginesContext is Search with caller-managed per-shard engines and
+// task scheduling, honoring ctx: each shard polls Checkpoint before
+// evaluating and the merge re-checks before the cross-shard fallback, so a
+// cancelled or expired query stops burning workers at the next checkpoint
+// and returns the context's error. engines, when non-nil, must be aligned
+// with Shards() and built over the same options (the serving layer caches
+// one engine set per option combination and reuses it across queries); nil
+// builds throwaway engines. run schedules the per-shard evaluations; nil
+// spawns one goroutine per shard.
+func (sc *Corpus) SearchEnginesContext(ctx context.Context, query string, opts search.Options, engines []*search.Engine, run Runner) ([]*search.Result, error) {
 	if len(sc.shards) == 0 {
 		return nil, search.ErrEmptyQuery
 	}
@@ -87,7 +167,17 @@ func (sc *Corpus) SearchEngines(query string, opts search.Options, engines []*se
 		return sc.shards[i].Engine(opts)
 	}
 	if len(sc.shards) == 1 {
-		return shardEngine(0).Search(query)
+		var rs []*search.Result
+		var serr error
+		if err := run([]func(){func() {
+			if serr = Checkpoint(ctx); serr != nil {
+				return
+			}
+			rs, serr = shardEngine(0).Search(query)
+		}}); err != nil {
+			return nil, err
+		}
+		return rs, serr
 	}
 
 	type shardOut struct {
@@ -107,6 +197,9 @@ func (sc *Corpus) SearchEngines(query string, opts search.Options, engines []*se
 		i, eng, root := i, shardEngine(i), s.Doc.Root
 		tasks[i] = func() {
 			o := &outs[i]
+			if o.err = Checkpoint(ctx); o.err != nil {
+				return
+			}
 			o.eval, o.err = eng.Evaluate(query)
 			if o.err != nil || o.eval.LCAs == nil {
 				return
@@ -125,7 +218,9 @@ func (sc *Corpus) SearchEngines(query string, opts search.Options, engines []*se
 			}
 		}
 	}
-	run(tasks)
+	if err := run(tasks); err != nil {
+		return nil, err
+	}
 	for i := range outs {
 		if outs[i].err != nil {
 			return nil, outs[i].err
@@ -164,7 +259,12 @@ func (sc *Corpus) SearchEngines(query string, opts search.Options, engines []*se
 	}
 
 	if rootQualifies || rootAnchored {
-		// Cross-shard result: evaluate exactly on the whole document.
+		// Cross-shard result: evaluate exactly on the whole document. The
+		// fallback reconstruction and re-evaluation are the expensive tail,
+		// so re-check cancellation before paying for them.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		fb := sc.Fallback()
 		return search.NewEngine(fb.Doc, fb.Index, sc.cls, opts).Search(query)
 	}

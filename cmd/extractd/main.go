@@ -25,6 +25,9 @@
 //	                                          # deadline and a bound on
 //	                                          # concurrently admitted queries
 //	                                          # (excess answered 503)
+//	extractd -slow-query 250ms -pprof         # observability: log queries
+//	                                          # ≥250ms as JSON lines and
+//	                                          # serve /debug/pprof/
 //
 // Every dataset — sharded or not — is served through the query-serving
 // layer (internal/serve): evaluation runs on a fixed worker pool (-workers,
@@ -35,6 +38,15 @@
 //	curl localhost:8080/stats
 //	{"movies":{"shards":8,"cache":{"hits":42,...},"reloads":3,
 //	           "last_reload_mode":"delta",...}}
+//
+// GET /metrics is the full telemetry surface in Prometheus text format —
+// per-stage query latency summaries (p50/p90/p99/p999), cache and failure
+// counters (shed, panics, reload circuit breaker), reload timings — one
+// series set per dataset. -slow-query logs every query at least that slow
+// as one sanitized JSON line (tokenized keywords and stage timings, never
+// raw query text), and -pprof mounts net/http/pprof under /debug/pprof/.
+// OBSERVABILITY.md at the repo root documents every metric and the triage
+// runbook.
 //
 // File-backed datasets (-data) reload online and incrementally: an XML
 // source is re-parsed, diffed per shard, and only changed shards are
@@ -66,9 +78,11 @@ import (
 	"flag"
 	"fmt"
 	"html/template"
+	"io"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -177,6 +191,17 @@ type server struct {
 	// per-dataset exponential reload backoff (0 disables both).
 	watchInterval time.Duration
 
+	// slowQuery is the -slow-query threshold: queries at least this slow
+	// are logged as sanitized JSON lines to slowW (0 disables). slowW
+	// defaults to stderr; tests inject a buffer.
+	slowQuery time.Duration
+	slowW     io.Writer
+	slowMu    sync.Mutex
+
+	// pprofEnabled mounts net/http/pprof under /debug/pprof/ (-pprof).
+	// Opt-in: profiles expose internals, so the default surface is closed.
+	pprofEnabled bool
+
 	// ready flips once the boot-time dataset loads finish; the listener
 	// comes up first, so /readyz answers 503 while loading. draining
 	// flips when shutdown starts, telling load balancers to stop routing
@@ -205,6 +230,8 @@ func main() {
 		queryTimeout = flag.Duration("query-timeout", 0, "per-query evaluation deadline (0 disables)")
 		maxInFlight  = flag.Int("max-inflight", 0, "bound on concurrently admitted queries per dataset; excess answered 503 (0 = unlimited)")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for draining in-flight requests")
+		slowQuery    = flag.Duration("slow-query", 0, "log queries at least this slow as JSON lines on stderr (0 disables)")
+		pprofFlag    = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
 	)
 	var dataFlags multiFlag
 	flag.Var(&dataFlags, "data", "dataset as name=file.xml (repeatable)")
@@ -222,6 +249,9 @@ func main() {
 		timeout:       *queryTimeout,
 		maxInFlight:   *maxInFlight,
 		watchInterval: *watch,
+		slowQuery:     *slowQuery,
+		slowW:         os.Stderr,
+		pprofEnabled:  *pprofFlag,
 	}
 
 	// Listen before loading anything: readiness is observable from the
@@ -317,9 +347,20 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/", s.handleSearch)
 	mux.HandleFunc("/view", s.handleView)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/reload", s.handleReload)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
+	if s.pprofEnabled {
+		// Mounted explicitly rather than via the package's init-time
+		// registration on http.DefaultServeMux, which this server never
+		// uses — -pprof stays a real opt-in.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -444,8 +485,106 @@ func (s *server) add(name string, c *extract.Corpus, path string) {
 			ds.mtime, ds.size = fi.ModTime(), fi.Size()
 		}
 	}
+	// The watcher's failure-domain state exports next to the corpus's own
+	// metrics, so one /metrics scrape carries the PR 6 breaker state too.
+	c.RegisterGauge("extract_reload_consecutive_failures",
+		"Consecutive reload failures; resets to 0 on a successful reload.",
+		func() float64 {
+			ds.obs.Lock()
+			defer ds.obs.Unlock()
+			return float64(ds.failures)
+		}, nil)
+	c.RegisterGauge("extract_reload_breaker_open",
+		"1 while repeated reload failures keep the dataset degraded in /readyz, else 0.",
+		func() float64 {
+			ds.obs.Lock()
+			defer ds.obs.Unlock()
+			if ds.failures >= breakerThreshold {
+				return 1
+			}
+			return 0
+		}, nil)
+	if s.slowQuery > 0 {
+		c.ConfigureSlowQueryLog(s.slowQuery, func(q extract.SlowQuery) { s.logSlowQuery(name, q) })
+	}
 	s.datasets[name] = ds
 	s.names = append(s.names, name)
+}
+
+// slowQueryLine is one slow-query log record: a single JSON line, already
+// sanitized — tokenized keywords, stage timings, and an error class, never
+// raw query text, document values or error messages.
+type slowQueryLine struct {
+	TS       string             `json:"ts"` // RFC 3339, UTC
+	Dataset  string             `json:"dataset"`
+	Keywords []string           `json:"keywords"`
+	TotalMs  float64            `json:"total_ms"`
+	StagesMs map[string]float64 `json:"stages_ms"`
+	Cache    string             `json:"cache,omitempty"`
+	Results  int                `json:"results"`
+	Error    string             `json:"error,omitempty"`
+}
+
+// maxLoggedKeywords caps a slow-query line's keyword list: enough to
+// identify the query shape, bounded so a pathological thousand-term query
+// cannot flood the log.
+const maxLoggedKeywords = 16
+
+// logSlowQuery writes one slow-query JSON line. Lines are serialized under
+// slowMu so concurrent slow queries never interleave mid-line.
+func (s *server) logSlowQuery(dataset string, q extract.SlowQuery) {
+	kws := q.Keywords
+	if len(kws) > maxLoggedKeywords {
+		kws = kws[:maxLoggedKeywords]
+	}
+	line := slowQueryLine{
+		TS:       time.Now().UTC().Format(time.RFC3339Nano),
+		Dataset:  dataset,
+		Keywords: kws,
+		TotalMs:  roundMs(q.Duration),
+		StagesMs: make(map[string]float64, len(q.Stages)),
+		Cache:    q.Cache,
+		Results:  q.Results,
+		Error:    q.Err,
+	}
+	for st, d := range q.Stages {
+		line.StagesMs[st] = roundMs(d)
+	}
+	b, err := json.Marshal(line)
+	if err != nil {
+		log.Printf("extractd: slow-query marshal: %v", err)
+		return
+	}
+	s.slowMu.Lock()
+	defer s.slowMu.Unlock()
+	fmt.Fprintln(s.slowW, string(b))
+}
+
+// roundMs renders a duration as milliseconds with microsecond precision.
+func roundMs(d time.Duration) float64 {
+	return float64(d.Round(time.Microsecond)) / float64(time.Millisecond)
+}
+
+// handleMetrics serves every dataset's metrics as one merged Prometheus
+// text exposition, each series labeled dataset=<name>: per-stage query
+// latency summaries, cache and failure counters, reload timings, and the
+// watcher's failure gauges.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.notReady(w) {
+		return
+	}
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	corpora := make(map[string]*extract.Corpus, len(s.datasets))
+	for name, ds := range s.datasets {
+		corpora[name] = ds.Corpus
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := extract.WriteMetrics(w, corpora); err != nil {
+		log.Printf("extractd: metrics: %v", err)
+	}
 }
 
 // reload refreshes a file-backed dataset through the delta path — re-parse

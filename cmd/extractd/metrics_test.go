@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"html/template"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"extract"
+	"extract/internal/gen"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// valueRe strips the sample value (and any trailing spaces) from a
+// Prometheus series line, leaving the structural part: name, labels.
+var valueRe = regexp.MustCompile(` [^ ]+$`)
+
+// normalizeExposition strips values from an exposition so the structure —
+// which families, series and labels exist, in what order, with what
+// HELP/TYPE headers — compares exactly while timings and counts vary
+// freely.
+func normalizeExposition(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		if strings.HasPrefix(l, "#") {
+			continue
+		}
+		lines[i] = valueRe.ReplaceAllString(l, "")
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// TestMetricsGolden pins the /metrics surface: after a miss, a hit and a
+// reload, the exposition's families, series and labels must match the
+// golden file structurally. A metric renamed, dropped, or grown a label
+// fails here (and must be reflected in OBSERVABILITY.md, which the root
+// package's doc-diff test checks against the same registry).
+func TestMetricsGolden(t *testing.T) {
+	s := testServer(t)
+	ds := s.datasets["stores (Figure 5)"]
+	if _, err := ds.Corpus.Query("store texas", 6); err != nil { // miss: all stages record
+		t.Fatal(err)
+	}
+	if _, err := ds.Corpus.Query("store texas", 6); err != nil { // hit
+		t.Fatal(err)
+	}
+	// A swap reload registers the reload histogram and outcome counter.
+	ds.Corpus.Reload(extract.FromDocument(gen.Figure5Corpus(), nil))
+
+	rr := httptest.NewRecorder()
+	s.routes().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("GET /metrics = %d: %s", rr.Code, rr.Body.String())
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	got := normalizeExposition(rr.Body.String())
+
+	const goldenPath = "testdata/metrics.golden"
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("metrics structure drifted from %s (run with -update if intended):\n--- got ---\n%s", goldenPath, got)
+	}
+}
+
+// TestMetricsMultiDatasetHeaders pins the merge property: with several
+// datasets sharing metric names, each family keeps exactly one HELP and
+// one TYPE header (the text format forbids repeats).
+func TestMetricsMultiDatasetHeaders(t *testing.T) {
+	s := testServer(t)
+	s.add("movies", extract.FromDocument(gen.Movies(gen.MoviesConfig{Movies: 5, Seed: 7}), nil), "")
+	rr := httptest.NewRecorder()
+	s.routes().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("GET /metrics = %d", rr.Code)
+	}
+	seen := map[string]int{}
+	for _, l := range strings.Split(rr.Body.String(), "\n") {
+		if strings.HasPrefix(l, "# TYPE ") {
+			seen[l]++
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no TYPE headers in exposition")
+	}
+	for l, n := range seen {
+		if n != 1 {
+			t.Errorf("%q emitted %d times, want 1", l, n)
+		}
+	}
+	if !strings.Contains(rr.Body.String(), `dataset="movies"`) {
+		t.Error("movies dataset missing from merged exposition")
+	}
+}
+
+// TestSlowQueryLogSanitized pins the slow-query log's privacy contract:
+// the line carries tokenized keywords and stage timings, never the raw
+// query string; a failed query carries an error class, never an error
+// message.
+func TestSlowQueryLogSanitized(t *testing.T) {
+	var buf bytes.Buffer
+	s := &server{datasets: map[string]*dataset{}, shards: 1, cacheBytes: -1,
+		slowQuery: time.Nanosecond, slowW: &buf}
+	s.add("stores (Figure 5)", extract.FromDocument(gen.Figure5Corpus(), nil), "")
+	s.tmpl = template.Must(template.New("page").Parse(pageHTML))
+	s.ready.Store(true)
+
+	const rawQuery = "TeXaS, store!!"
+	ds := s.datasets["stores (Figure 5)"]
+	if _, err := ds.Corpus.Query(rawQuery, 6); err != nil {
+		t.Fatal(err)
+	}
+
+	line := strings.TrimSpace(buf.String())
+	if line == "" {
+		t.Fatal("no slow-query line logged at a 1ns threshold")
+	}
+	var rec slowQueryLine
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("slow-query line is not one JSON object: %v\n%s", err, line)
+	}
+	if rec.Dataset != "stores (Figure 5)" || rec.TotalMs <= 0 || rec.Error != "" {
+		t.Fatalf("record fields wrong: %+v", rec)
+	}
+	if len(rec.Keywords) != 2 || rec.Keywords[0] != "texas" || rec.Keywords[1] != "store" {
+		t.Fatalf("keywords = %v, want tokenized [texas store]", rec.Keywords)
+	}
+	// The raw values must not leak: not the query string as typed, not
+	// its casing, not its punctuation.
+	for _, leak := range []string{"TeXaS", "store!!", rawQuery} {
+		if strings.Contains(buf.String(), leak) {
+			t.Fatalf("raw query text %q leaked into the log: %s", leak, buf.String())
+		}
+	}
+	if rec.Cache != "miss" {
+		t.Fatalf("cache outcome = %q, want miss", rec.Cache)
+	}
+	for _, st := range []string{"admission", "cache", "dispatch", "eval", "snippet"} {
+		if _, ok := rec.StagesMs[st]; !ok {
+			t.Fatalf("stage %q missing from %v", st, rec.StagesMs)
+		}
+	}
+}
+
+// TestPprofOptIn pins that /debug/pprof/ exists only behind -pprof.
+func TestPprofOptIn(t *testing.T) {
+	// Without -pprof the catch-all route serves the search UI at any path,
+	// so the signal is the body: no profile index may appear.
+	s := testServer(t)
+	rr := httptest.NewRecorder()
+	s.routes().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if strings.Contains(rr.Body.String(), "profiles") {
+		t.Fatal("pprof index served without -pprof")
+	}
+	s.pprofEnabled = true
+	rr = httptest.NewRecorder()
+	s.routes().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rr.Code != 200 || !strings.Contains(rr.Body.String(), "profiles") {
+		t.Fatalf("pprof index with -pprof on: code=%d", rr.Code)
+	}
+}

@@ -100,9 +100,27 @@
 // property tests); `benchrunner -serve` measures the payoff as concurrent
 // QPS over a Zipf-distributed workload, cold versus warm, for sharded and
 // unsharded corpora (the "serve" section of BENCH_search.json — warm
-// throughput is well over 5x cold at every recorded size).
-// Corpus.QueryCacheStats exposes the hit/miss/occupancy counters; extractd
-// serves them at /stats.
+// throughput is well over 5x cold at every recorded size), alongside
+// warm/cold latency percentiles from variance-validated runs.
+//
+// # Observability
+//
+// Every Corpus carries a metric registry (internal/telemetry) that the
+// serving layer records into on every query — an end-to-end latency
+// histogram plus one per lifecycle stage entered (admission, cache probe,
+// dispatch, evaluation, snippet generation), cache and failure counters —
+// and that the reload and snapshot paths time as well. WriteMetrics (on a
+// Corpus, or the package-level variant merging several) renders it all in
+// the Prometheus text format; extractd serves that at GET /metrics.
+// QueryLatencies reads the same histograms as Go values (per-stage
+// p50/p90/p99/p999/max). ConfigureSlowQueryLog installs a hook fired for
+// every query over a threshold with a sanitized record: tokenized
+// keywords and an error class, never the raw query string or error text.
+// Corpus.QueryCacheStats remains the plain-Go view of the cache counters
+// (extractd serves it as JSON at /stats); it reads the very instruments
+// the registry exports, so the two views cannot disagree. OBSERVABILITY.md
+// documents every metric, the slow-query line schema, and profiling via
+// extractd -pprof.
 //
 // # Online reload and delta ingestion
 //
@@ -172,20 +190,30 @@
 // `-reload` for the full-versus-delta refresh trajectory, and
 // `-baseline` compares a fresh run against the committed file, failing on
 // >20% regression of QueryEndToEnd, of the packed load's advantage, of
-// the warm/cold throughput ratio, or of the delta-reload speedup
-// (machine-normalized ratios; see bench.CompareReports). CI runs lint
-// (vet + staticcheck) before build/test, the race detector, fuzz smokes
-// for the persist decoder, XML parser, query-cache key codec and
-// snapshot-manifest decoder, the bench-regression gate, the
-// serve-throughput gate and the reload gate on every PR, with Go module
-// and build caches shared across jobs.
+// the warm/cold throughput ratio, of the warm-p99 tail ratio (warm p99
+// over the same run's cold median — the serving layer's tail-latency
+// guarantee, measured from runs re-run until consecutive p99s agree), or
+// of the delta-reload speedup (machine-normalized ratios; see
+// bench.CompareReports). CI runs lint (vet + staticcheck) before
+// build/test, the race detector, fuzz smokes for the persist decoder,
+// XML parser, query-cache key codec and snapshot-manifest decoder, the
+// telemetry documentation gates (every exported internal/telemetry
+// identifier commented; OBSERVABILITY.md diffed against the live
+// registry), the bench-regression gate, the serve-throughput +
+// tail-latency gate and the reload gate on every PR, with Go module and
+// build caches shared across jobs.
 //
 // # Further reading
 //
 // ARCHITECTURE.md at the repository root is the layer-by-layer tour —
 // xmltree up through index, search, snippet generation, shard, ingest,
 // persist, serve and this facade — with request-lifecycle walkthroughs of
-// a cached sharded query, an online reload and a delta reload.
-// cmd/extractd/README.md documents the demo server's flags and endpoints,
-// including snapshot (.xtsnap) datasets.
+// a cached sharded query (annotated with the telemetry stage on the
+// clock at each step), an online reload and a delta reload.
+// OBSERVABILITY.md is the operator-facing metric reference — every
+// metric's name, labels, units and what a spike means, plus the
+// slow-query log schema and an SLO worked example. cmd/extractd/README.md
+// documents the demo server's flags and endpoints, including snapshot
+// (.xtsnap) datasets, the /metrics scrape and a curl-based triage
+// runbook.
 package extract

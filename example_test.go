@@ -5,6 +5,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"extract"
 	"extract/xmltree"
@@ -190,6 +191,54 @@ func ExampleCorpus_SaveSnapshot() {
 	// Output:
 	// 2 shards
 	// 2 results
+}
+
+// Every query records per-stage latency histograms; QueryLatencies reads
+// them back. Admission and the cache probe see every query, while
+// dispatch, eval and snippet run only when a response is computed — so
+// after one miss and one hit, the compute stages have seen exactly one
+// query.
+func ExampleCorpus_QueryLatencies() {
+	corpus, err := extract.LoadString(libraryXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer corpus.Close()
+	for i := 0; i < 2; i++ { // one miss, one hit
+		if _, err := corpus.Query("Ada databases", 3); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, s := range corpus.QueryLatencies() {
+		fmt.Printf("%s:%d\n", s.Stage, s.Count) // s.P99, s.Max etc. carry the latencies
+	}
+	// Output:
+	// total:2
+	// admission:2
+	// cache:2
+	// dispatch:1
+	// eval:1
+	// snippet:1
+}
+
+// ConfigureSlowQueryLog reports every query over a threshold with a
+// sanitized record: tokenized keywords and a per-stage breakdown, never
+// the raw query string. A 1ns threshold here makes every query "slow".
+func ExampleCorpus_ConfigureSlowQueryLog() {
+	corpus, err := extract.LoadString(libraryXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer corpus.Close()
+	corpus.ConfigureSlowQueryLog(time.Nanosecond, func(q extract.SlowQuery) {
+		_, computed := q.Stages["eval"]
+		fmt.Println(q.Keywords, q.Cache, q.Results, computed)
+	})
+	if _, err := corpus.Query("Ada, DATABASES!", 3); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// [ada databases] miss 1 true
 }
 
 // The IList (Snippet Information List) ranks what a snippet should show:

@@ -21,6 +21,7 @@ import (
 	"extract/internal/search"
 	"extract/internal/serve"
 	"extract/internal/shard"
+	"extract/internal/telemetry"
 	"extract/xmltree"
 	"extract/xpath"
 )
@@ -51,6 +52,14 @@ type Corpus struct {
 	srvCache       int64 // cache budget in bytes; -1 = serve.DefaultCacheBytes
 	srvTimeout     time.Duration
 	srvMaxInFlight int
+	slowThreshold  time.Duration
+	slowFn         func(SlowQuery)
+
+	// reg collects the corpus's metrics (query latency histograms, cache
+	// and failure counters, reload timings); see WriteMetrics. It exists
+	// from construction so reload metrics record even before the serving
+	// layer starts.
+	reg *telemetry.Registry
 
 	srvOnce sync.Once
 	srv     *serve.Server
@@ -132,6 +141,13 @@ func (c *Corpus) server() *serve.Server {
 		if c.srvMaxInFlight > 0 {
 			opts = append(opts, serve.WithMaxInFlight(c.srvMaxInFlight))
 		}
+		opts = append(opts, serve.WithTelemetry(c.reg))
+		if c.slowThreshold > 0 && c.slowFn != nil {
+			fn := c.slowFn
+			opts = append(opts, serve.WithSlowQueries(c.slowThreshold, func(r serve.QueryRecord) {
+				fn(sanitizeSlowQuery(r))
+			}))
+		}
 		c.srv = serve.New(c.data.Load().backend(), opts...)
 	})
 	return c.srv
@@ -139,7 +155,7 @@ func (c *Corpus) server() *serve.Server {
 
 // newCorpus wraps one corpus generation with default serving configuration.
 func newCorpus(d *corpusData) *Corpus {
-	c := &Corpus{srvCache: -1}
+	c := &Corpus{srvCache: -1, reg: telemetry.NewRegistry()}
 	c.data.Store(d)
 	return c
 }
@@ -196,11 +212,13 @@ func (c *Corpus) Close() {
 // receiving corpus keeps its own serving configuration (workers, cache
 // budget).
 func (c *Corpus) Reload(src *Corpus) {
+	start := time.Now()
 	c.reloadMu.Lock()
 	defer c.reloadMu.Unlock()
 	d := src.data.Load()
 	c.data.Store(d)
 	c.server().Swap(d.backend())
+	c.recordReload("swap", "full", start, nil)
 }
 
 // DeltaStats reports what one delta reload did: how many shards the new
@@ -236,7 +254,8 @@ func (s DeltaStats) Mode() string {
 // pass the same ones every reload, or the shard layout shifts and the
 // delta degrades to a full rebuild (which is always correct, just not
 // cheap).
-func (c *Corpus) ReloadDelta(r io.Reader, opts ...Option) (DeltaStats, error) {
+func (c *Corpus) ReloadDelta(r io.Reader, opts ...Option) (stats DeltaStats, err error) {
+	defer func(start time.Time) { c.recordReload("xml", stats.Mode(), start, err) }(time.Now())
 	if faultinject.Enabled() {
 		if err := faultinject.Fire(faultinject.ReloadSource); err != nil {
 			return DeltaStats{}, err
@@ -269,10 +288,7 @@ func (c *Corpus) ReloadDelta(r io.Reader, opts ...Option) (DeltaStats, error) {
 	old := c.data.Load()
 	diff := ingest.Diff(old.source(), doc, cfg.shards)
 
-	var (
-		nd    *corpusData
-		stats DeltaStats
-	)
+	var nd *corpusData
 	switch {
 	case cfg.shards > 1 && diff.Reused > 0 && old.sh != nil:
 		// The delta path proper: analyze the whole new document (the
@@ -357,7 +373,8 @@ func (c *Corpus) ReloadDeltaFile(path string, opts ...Option) (DeltaStats, error
 // not line up the whole snapshot loads, which is still just mmap + decode,
 // never re-analysis. The swap behaves exactly like Reload; a read error
 // leaves the old generation serving.
-func (c *Corpus) ReloadSnapshot(dir string) (DeltaStats, error) {
+func (c *Corpus) ReloadSnapshot(dir string) (stats DeltaStats, err error) {
+	defer func(start time.Time) { c.recordReload("snapshot", stats.Mode(), start, err) }(time.Now())
 	if faultinject.Enabled() {
 		if err := faultinject.Fire(faultinject.ReloadSource); err != nil {
 			return DeltaStats{}, err
@@ -468,6 +485,7 @@ func firstError(errs []error) error {
 // refresh: re-snapshotting after a small change rewrites only the changed
 // shard images, and ReloadSnapshot adopts the unchanged ones in place.
 func (c *Corpus) SaveSnapshot(dir string) error {
+	defer c.recordSnapshotSave(time.Now())
 	d := c.data.Load()
 	if d.sh != nil {
 		return ingest.Snapshot(dir, d.sh)

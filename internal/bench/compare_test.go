@@ -139,6 +139,48 @@ func TestCompareReportsReloadGate(t *testing.T) {
 	}
 }
 
+func tailReport(coldP50, warmP99 int64) *SearchPerfReport {
+	return &SearchPerfReport{
+		Serve: []ServePerfPoint{{Nodes: 100_000, Shards: 4,
+			ColdP50Ns: coldP50, WarmP99Ns: warmP99}},
+	}
+}
+
+func TestCompareReportsTailGate(t *testing.T) {
+	// Quiet-hardware baseline: warm p99 is 10% of the cold median.
+	base := tailReport(5_000_000, 500_000)
+	// Healthy CI run: looser than committed but inside the 0.25 floor
+	// with tolerance (0.25 * 1.2 = 0.30).
+	if msgs := CompareReports(base, tailReport(5_000_000, 1_400_000), 1.2); len(msgs) != 0 {
+		t.Fatalf("noise dip flagged: %v", msgs)
+	}
+	// The warm tail blew past the floored limit: fails.
+	msgs := CompareReports(base, tailReport(5_000_000, 2_000_000), 1.2)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "serve warm p99") {
+		t.Fatalf("msgs = %v", msgs)
+	}
+	// A baseline looser than the floor gates at its own ratio, not the
+	// floor: committed 0.4, current 0.45 passes (0.4 * 1.2 = 0.48) …
+	loose := tailReport(5_000_000, 2_000_000)
+	if msgs := CompareReports(loose, tailReport(5_000_000, 2_250_000), 1.2); len(msgs) != 0 {
+		t.Fatalf("within-tolerance drift flagged: %v", msgs)
+	}
+	// … and 0.5 fails.
+	msgs = CompareReports(loose, tailReport(5_000_000, 2_500_000), 1.2)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "serve warm p99") {
+		t.Fatalf("msgs = %v", msgs)
+	}
+	// Sub-half-millisecond cold medians are scheduler jitter, not gated.
+	if msgs := CompareReports(tailReport(400_000, 40_000), tailReport(400_000, 400_000), 1.2); len(msgs) != 0 {
+		t.Fatalf("jitter-scale point flagged: %v", msgs)
+	}
+	// Baselines that predate latency capture (zero fields) are ignored.
+	old := serveReport(400)
+	if msgs := CompareReports(old, tailReport(5_000_000, 4_000_000), 1.2); len(msgs) != 0 {
+		t.Fatalf("pre-latency baseline gated: %v", msgs)
+	}
+}
+
 // TestCompareReportsServeKeyedByShards: each size carries a sharded and an
 // unsharded serve point; a regression of one must be attributed to it, not
 // masked by (or blamed on) the other.

@@ -4,7 +4,8 @@ import (
 	"context"
 	"hash/maphash"
 	"sync"
-	"sync/atomic"
+
+	"extract/internal/telemetry"
 )
 
 // numCacheShards is the lock-striping factor of the query cache. Shard
@@ -123,11 +124,14 @@ type Cache struct {
 	// lock striping.
 	doorSeed maphash.Seed
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	coalesced atomic.Int64
-	evictions atomic.Int64
-	rejected  atomic.Int64
+	// The effectiveness counters are telemetry.Counters so the server can
+	// register them in its metric registry without an extra indirection on
+	// the increment path; Stats() reads the same instruments.
+	hits      telemetry.Counter
+	misses    telemetry.Counter
+	coalesced telemetry.Counter
+	evictions telemetry.Counter
+	rejected  telemetry.Counter
 }
 
 // NewCache builds a cache with a total budget of maxBytes across all
@@ -150,9 +154,20 @@ func (c *Cache) shardFor(key string, sortedPrefixLen int) *cacheShard {
 	return &c.shards[h%numCacheShards]
 }
 
+// Cache outcomes reported by do and surfaced in metrics and the
+// slow-query log.
+const (
+	outcomeHit         = "hit"
+	outcomeMiss        = "miss"
+	outcomeCoalesced   = "coalesced"
+	outcomeUncacheable = "uncacheable"
+)
+
 // do returns the cached response for key or computes it, coalescing
 // concurrent identical queries onto one computation (singleflight — it
-// applies even when the cache budget is zero). epoch is the server's
+// applies even when the cache budget is zero). The outcome reports how the
+// query was answered: outcomeHit, outcomeMiss (this caller computed), or
+// outcomeCoalesced (joined another caller's flight). epoch is the server's
 // invalidation epoch read when the query began; stillCurrent re-checks it
 // after computing, so a response computed against a corpus that was swapped
 // out mid-flight is returned to its waiters but never cached. ctx bounds
@@ -160,7 +175,7 @@ func (c *Cache) shardFor(key string, sortedPrefixLen int) *cacheShard {
 // stops waiting and returns the context's error, while the leader's
 // computation (running on the leader's context) is unaffected.
 func (c *Cache) do(ctx context.Context, key string, sortedPrefixLen int, epoch uint64,
-	stillCurrent func(uint64) bool, compute func() (*Cached, error)) (*Cached, error) {
+	stillCurrent func(uint64) bool, compute func() (*Cached, error)) (v *Cached, outcome string, err error) {
 
 	s := c.shardFor(key, sortedPrefixLen)
 	s.mu.Lock()
@@ -173,19 +188,19 @@ func (c *Cache) do(ctx context.Context, key string, sortedPrefixLen int, epoch u
 		if e, ok := s.entries[key]; ok {
 			s.moveToFront(e)
 			s.mu.Unlock()
-			c.hits.Add(1)
-			return e.val, nil
+			c.hits.Inc()
+			return e.val, outcomeHit, nil
 		}
 	}
 	if f, ok := s.inflight[key]; ok {
 		if f.epoch == epoch {
 			s.mu.Unlock()
-			c.coalesced.Add(1)
+			c.coalesced.Inc()
 			select {
 			case <-f.done:
-				return f.val, f.err
+				return f.val, outcomeCoalesced, f.err
 			case <-ctx.Done():
-				return nil, ctx.Err()
+				return nil, outcomeCoalesced, ctx.Err()
 			}
 		}
 		// The flight predates an invalidation: its result will be of the
@@ -194,17 +209,17 @@ func (c *Cache) do(ctx context.Context, key string, sortedPrefixLen int, epoch u
 		// the stale leader still owns the inflight slot, so this round of
 		// post-swap callers is not coalesced (put keeps the first entry).
 		s.mu.Unlock()
-		c.misses.Add(1)
+		c.misses.Inc()
 		val, err := compute()
 		if err == nil {
 			c.put(key, sortedPrefixLen, val, epoch, stillCurrent, nil)
 		}
-		return val, err
+		return val, outcomeMiss, err
 	}
 	f := &flight{done: make(chan struct{}), epoch: epoch}
 	s.inflight[key] = f
 	s.mu.Unlock()
-	c.misses.Add(1)
+	c.misses.Inc()
 
 	f.val, f.err = compute()
 	close(f.done)
@@ -222,7 +237,7 @@ func (c *Cache) do(ctx context.Context, key string, sortedPrefixLen int, epoch u
 		}
 		s.mu.Unlock()
 	}
-	return f.val, f.err
+	return f.val, outcomeMiss, f.err
 }
 
 // put inserts a computed response, evicting least-recently-used entries
@@ -290,6 +305,20 @@ func (c *Cache) put(key string, sortedPrefixLen int, val *Cached, epoch uint64, 
 	}
 }
 
+// occupancy reports the live entry count, estimated bytes held, and the
+// total byte budget across shards — the cache gauges.
+func (c *Cache) occupancy() (entries, bytes, capacity int64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		entries += int64(len(s.entries))
+		bytes += s.bytes
+		capacity += s.maxBytes
+		s.mu.Unlock()
+	}
+	return entries, bytes, capacity
+}
+
 // clear drops every entry (corpus swap invalidation). In-flight
 // computations are left to their leaders; the Server's epoch check keeps
 // their results out of the cache.
@@ -323,20 +352,13 @@ type Stats struct {
 // stats snapshots the counters.
 func (c *Cache) stats() Stats {
 	st := Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Coalesced: c.coalesced.Load(),
-		Evictions: c.evictions.Load(),
-		Rejected:  c.rejected.Load(),
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Coalesced: c.coalesced.Value(),
+		Evictions: c.evictions.Value(),
+		Rejected:  c.rejected.Value(),
 	}
-	for i := range c.shards {
-		s := &c.shards[i]
-		s.mu.Lock()
-		st.Entries += int64(len(s.entries))
-		st.Bytes += s.bytes
-		st.Capacity += s.maxBytes
-		s.mu.Unlock()
-	}
+	st.Entries, st.Bytes, st.Capacity = c.occupancy()
 	return st
 }
 

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"extract/internal/search"
+	"extract/internal/shard"
+	"extract/internal/telemetry"
+)
+
+// The query lifecycle stages instrumented with latency histograms. Each
+// served query passes through admission and the cache probe; dispatch,
+// eval and snippet run only when the response is computed (a cache hit or
+// coalesced wait skips them), so their histograms count computations, not
+// queries.
+type stage int
+
+const (
+	// stageAdmission is the shed/deadline gate (Server.begin).
+	stageAdmission stage = iota
+	// stageCache is key encoding plus the cache probe, including any
+	// coalesced wait on an identical in-flight computation.
+	stageCache
+	// stageDispatch is engine-set acquisition: the server lock plus the
+	// per-option engine memo (built on first use). Worker-pool queueing is
+	// part of eval — the pool schedules per-shard units, not whole queries.
+	stageDispatch
+	// stageEval is query evaluation across the backend's engines, through
+	// the worker pool.
+	stageEval
+	// stageSnippet is snippet generation for the result list.
+	stageSnippet
+	numStages
+)
+
+// stageNames are the `stage` label values, indexed by stage.
+var stageNames = [numStages]string{"admission", "cache", "dispatch", "eval", "snippet"}
+
+// Metric names exported for consumers that read registry snapshots (the
+// facade's latency accessors, the /metrics doc tests).
+const (
+	// MetricQuerySeconds is the end-to-end query latency histogram: every
+	// served query, including cache hits, shed queries and failures.
+	MetricQuerySeconds = "extract_query_seconds"
+	// MetricQueryStageSeconds is the per-stage latency histogram, labeled
+	// stage=admission|cache|dispatch|eval|snippet.
+	MetricQueryStageSeconds = "extract_query_stage_seconds"
+)
+
+// errKinds are the label values of extract_query_errors_total.
+var errKinds = []string{"overload", "timeout", "canceled", "panic", "empty", "other"}
+
+// trace accumulates one query's per-stage durations. Stages that never ran
+// (dispatch/eval/snippet on a cache hit) stay untouched and are not
+// recorded, so each stage histogram describes only queries that actually
+// entered the stage.
+type trace struct {
+	d       [numStages]time.Duration
+	touched [numStages]bool
+}
+
+func (t *trace) add(st stage, d time.Duration) {
+	t.d[st] += d
+	t.touched[st] = true
+}
+
+// QueryRecord describes one served query for the slow-query hook: the raw
+// query string, total and per-stage wall time, how the cache answered, and
+// the outcome. Hooks that persist records must sanitize Query themselves
+// (the facade logs tokenized keywords only, never the raw string).
+type QueryRecord struct {
+	// Query is the raw query string as received.
+	Query string
+	// Total is the end-to-end wall time, the duration compared against the
+	// slow-query threshold.
+	Total time.Duration
+	// Stages maps stage name (admission, cache, dispatch, eval, snippet) to
+	// time spent there; stages the query never entered are absent.
+	Stages map[string]time.Duration
+	// Cache is the cache outcome: hit, miss, coalesced, uncacheable, or ""
+	// when the query failed before the probe (shed, empty).
+	Cache string
+	// Results is the number of results returned (0 on error).
+	Results int
+	// ErrKind classifies the failure — overload, timeout, canceled, panic,
+	// empty, other — or "" for success. The error text itself is withheld:
+	// panic messages can embed document values.
+	ErrKind string
+}
+
+// SlowQueryFunc receives one QueryRecord per query at least as slow as the
+// WithSlowQueries threshold. It runs on the query's goroutine after the
+// response is ready, so it must be fast and must not block.
+type SlowQueryFunc func(QueryRecord)
+
+// metricsSet holds the server's registered instruments. All fields are
+// pre-registered at construction so the hot path never takes the registry
+// lock.
+type metricsSet struct {
+	total   *telemetry.Histogram
+	stages  [numStages]*telemetry.Histogram
+	errs    map[string]*telemetry.Counter
+	outcome map[string]*telemetry.Counter
+
+	slowThreshold time.Duration
+	slowFn        SlowQueryFunc
+}
+
+// newMetrics registers the server's instruments in reg and adopts the
+// counters embedded in the cache and server structs, so Stats() and the
+// registry report the same numbers.
+func newMetrics(reg *telemetry.Registry, s *Server) *metricsSet {
+	m := &metricsSet{
+		total: reg.Histogram(MetricQuerySeconds,
+			"End-to-end query latency: every served query, including cache hits, shed queries and failures."),
+		errs:    make(map[string]*telemetry.Counter, len(errKinds)),
+		outcome: make(map[string]*telemetry.Counter, 4),
+	}
+	for st := stage(0); st < numStages; st++ {
+		m.stages[st] = reg.Histogram(MetricQueryStageSeconds,
+			"Query latency by lifecycle stage; dispatch/eval/snippet count computed queries only.",
+			telemetry.L("stage", stageNames[st]))
+	}
+	for _, k := range errKinds {
+		m.errs[k] = reg.Counter("extract_query_errors_total",
+			"Failed queries by error kind.", telemetry.L("kind", k))
+	}
+	for _, o := range []string{"hit", "miss", "coalesced", "uncacheable"} {
+		m.outcome[o] = reg.Counter("extract_query_cache_outcomes_total",
+			"Queries by cache outcome (uncacheable = interner full, computed directly).",
+			telemetry.L("outcome", o))
+	}
+	c := s.cache
+	reg.AddCounter("extract_cache_hits_total", "Query-cache hits.", &c.hits)
+	reg.AddCounter("extract_cache_misses_total", "Query-cache misses (response computed).", &c.misses)
+	reg.AddCounter("extract_cache_coalesced_total",
+		"Queries that joined an identical in-flight computation instead of starting their own.", &c.coalesced)
+	reg.AddCounter("extract_cache_evictions_total", "Entries evicted to fit the cache budget.", &c.evictions)
+	reg.AddCounter("extract_cache_admission_rejected_total",
+		"Inserts the TinyLFU admission filter kept out of a full cache.", &c.rejected)
+	reg.AddCounter("extract_query_panics_total",
+		"Queries failed by a recovered evaluation panic.", &s.panics)
+	reg.AddCounter("extract_queries_shed_total",
+		"Queries rejected at admission by the in-flight bound.", &s.shed)
+	reg.Gauge("extract_inflight_queries", "Queries currently admitted and executing.",
+		func() float64 { return float64(s.inflight.Load()) })
+	reg.Gauge("extract_cache_entries", "Live query-cache entries.",
+		func() float64 { e, _, _ := c.occupancy(); return float64(e) })
+	reg.Gauge("extract_cache_bytes", "Estimated heap bytes held by the query cache.",
+		func() float64 { _, b, _ := c.occupancy(); return float64(b) })
+	reg.Gauge("extract_cache_capacity_bytes", "Query-cache byte budget.",
+		func() float64 { _, _, cap := c.occupancy(); return float64(cap) })
+	return m
+}
+
+// finish records one completed query: the total and per-stage histograms,
+// the outcome and error-kind counters, and — when the query was slow
+// enough and a hook is installed — the slow-query record.
+func (m *metricsSet) finish(tr *trace, query, outcome string, results int, err error, total time.Duration) {
+	m.total.Observe(total)
+	for st := stage(0); st < numStages; st++ {
+		if tr.touched[st] {
+			m.stages[st].Observe(tr.d[st])
+		}
+	}
+	if c, ok := m.outcome[outcome]; ok {
+		c.Inc()
+	}
+	kind := errKind(err)
+	if kind != "" {
+		m.errs[kind].Inc()
+	}
+	if m.slowFn == nil || total < m.slowThreshold {
+		return
+	}
+	stages := make(map[string]time.Duration, numStages)
+	for st := stage(0); st < numStages; st++ {
+		if tr.touched[st] {
+			stages[stageNames[st]] = tr.d[st]
+		}
+	}
+	m.slowFn(QueryRecord{
+		Query:   query,
+		Total:   total,
+		Stages:  stages,
+		Cache:   outcome,
+		Results: results,
+		ErrKind: kind,
+	})
+}
+
+// errKind classifies a query error into an extract_query_errors_total
+// label value, or "" for success.
+func errKind(err error) string {
+	var pe *shard.PanicError
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrOverloaded):
+		return "overload"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.As(err, &pe):
+		return "panic"
+	case errors.Is(err, search.ErrEmptyQuery):
+		return "empty"
+	default:
+		return "other"
+	}
+}

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"extract/internal/gen"
+	"extract/internal/search"
+	"extract/internal/shard"
+	"extract/internal/telemetry"
+)
+
+// snapIndex indexes a registry snapshot by series key.
+func snapIndex(reg *telemetry.Registry) map[string]telemetry.Metric {
+	out := map[string]telemetry.Metric{}
+	for _, m := range reg.Snapshot().Metrics {
+		out[m.Key()] = m
+	}
+	return out
+}
+
+// TestStageHistograms pins what each lifecycle stage counts: admission and
+// cache see every query, dispatch/eval see computed queries only, snippet
+// sees computed Query (not Search) calls only, and the total histogram
+// sees everything.
+func TestStageHistograms(t *testing.T) {
+	sc := shard.Build(gen.Figure1Corpus(), 2)
+	reg := telemetry.NewRegistry()
+	srv := New(sc, WithWorkers(2), WithTelemetry(reg))
+	defer srv.Close()
+
+	const q = "retailer texas"
+	if _, _, err := srv.Query(q, search.Options{}, 10); err != nil { // miss: computes + snippets
+		t.Fatal(err)
+	}
+	if _, _, err := srv.Query(q, search.Options{}, 10); err != nil { // hit
+		t.Fatal(err)
+	}
+	if _, err := srv.Search(q+" zzz", search.Options{}); err != nil { // miss, no snippet stage
+		t.Fatal(err)
+	}
+
+	idx := snapIndex(reg)
+	wantCounts := map[string]uint64{
+		MetricQuerySeconds: 3,
+		MetricQueryStageSeconds + "{stage=admission}": 3,
+		MetricQueryStageSeconds + "{stage=cache}":     3,
+		MetricQueryStageSeconds + "{stage=dispatch}":  2,
+		MetricQueryStageSeconds + "{stage=eval}":      2,
+		MetricQueryStageSeconds + "{stage=snippet}":   1,
+	}
+	for key, want := range wantCounts {
+		m, ok := idx[key]
+		if !ok || m.Histogram == nil {
+			t.Fatalf("histogram %s not in snapshot", key)
+		}
+		if m.Histogram.Count != want {
+			t.Errorf("%s count = %d, want %d", key, m.Histogram.Count, want)
+		}
+	}
+	if v := idx["extract_query_cache_outcomes_total{outcome=hit}"].Value; v != 1 {
+		t.Errorf("hit outcome count = %v, want 1", v)
+	}
+	if v := idx["extract_query_cache_outcomes_total{outcome=miss}"].Value; v != 2 {
+		t.Errorf("miss outcome count = %v, want 2", v)
+	}
+}
+
+// TestStatsMatchesRegistry pins counter unification: Stats() and the
+// registry read the same instruments, so the numbers can never disagree.
+func TestStatsMatchesRegistry(t *testing.T) {
+	sc := shard.Build(gen.Figure1Corpus(), 2)
+	reg := telemetry.NewRegistry()
+	srv := New(sc, WithWorkers(2), WithTelemetry(reg))
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		if _, err := srv.Search("retailer texas", search.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.Stats()
+	idx := snapIndex(reg)
+	pairs := map[string]int64{
+		"extract_cache_hits_total":      st.Hits,
+		"extract_cache_misses_total":    st.Misses,
+		"extract_cache_coalesced_total": st.Coalesced,
+		"extract_query_panics_total":    st.Panics,
+		"extract_queries_shed_total":    st.Shed,
+		"extract_cache_entries":         st.Entries,
+		"extract_cache_bytes":           st.Bytes,
+		"extract_cache_capacity_bytes":  st.Capacity,
+	}
+	for name, want := range pairs {
+		m, ok := idx[name]
+		if !ok {
+			t.Fatalf("metric %s not in snapshot", name)
+		}
+		if int64(m.Value) != want {
+			t.Errorf("%s = %v, registry disagrees with Stats %d", name, m.Value, want)
+		}
+	}
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("test exercised no cache traffic: %+v", st)
+	}
+}
+
+// TestSlowQueryHook pins the hook contract: every query at or above the
+// threshold is reported with its total, stage breakdown and cache outcome;
+// with a zero-effective threshold even a cache hit reports (with no
+// compute stages).
+func TestSlowQueryHook(t *testing.T) {
+	sc := shard.Build(gen.Figure1Corpus(), 2)
+	var recs []QueryRecord
+	srv := New(sc, WithWorkers(2),
+		WithSlowQueries(time.Nanosecond, func(r QueryRecord) { recs = append(recs, r) }))
+	defer srv.Close()
+
+	const q = "retailer texas"
+	if _, _, err := srv.Query(q, search.Options{}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.Query(q, search.Options{}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("hook fired %d times, want 2", len(recs))
+	}
+	miss, hit := recs[0], recs[1]
+	if miss.Query != q || miss.Cache != "miss" || miss.ErrKind != "" || miss.Results == 0 {
+		t.Fatalf("miss record wrong: %+v", miss)
+	}
+	for _, st := range []string{"admission", "cache", "dispatch", "eval", "snippet"} {
+		if _, ok := miss.Stages[st]; !ok {
+			t.Errorf("miss record lacks stage %q: %v", st, miss.Stages)
+		}
+	}
+	if miss.Total <= 0 {
+		t.Fatalf("miss total = %v", miss.Total)
+	}
+	if hit.Cache != "hit" {
+		t.Fatalf("second query not a hit: %+v", hit)
+	}
+	for _, st := range []string{"dispatch", "eval", "snippet"} {
+		if _, ok := hit.Stages[st]; ok {
+			t.Errorf("hit record has compute stage %q", st)
+		}
+	}
+}
+
+// TestSlowQueryErrKinds pins the error classification the slow-query log
+// and extract_query_errors_total rely on.
+func TestSlowQueryErrKinds(t *testing.T) {
+	sc := shard.Build(gen.Figure1Corpus(), 2)
+	reg := telemetry.NewRegistry()
+	var recs []QueryRecord
+	srv := New(sc, WithWorkers(2), WithTelemetry(reg), WithMaxInFlight(1), WithQueryTimeout(time.Hour),
+		WithSlowQueries(time.Nanosecond, func(r QueryRecord) { recs = append(recs, r) }))
+	defer srv.Close()
+
+	if _, err := srv.Search("", search.Options{}); err == nil {
+		t.Fatal("empty query served")
+	}
+	idx := snapIndex(reg)
+	if v := idx["extract_query_errors_total{kind=empty}"].Value; v != 1 {
+		t.Fatalf("empty-kind errors = %v, want 1", v)
+	}
+	if len(recs) != 1 || recs[0].ErrKind != "empty" {
+		t.Fatalf("slow record for empty query: %+v", recs)
+	}
+	if strings.Contains(recs[0].Cache, "hit") {
+		t.Fatalf("failed query has cache outcome %q", recs[0].Cache)
+	}
+}

@@ -149,7 +149,7 @@ func TestStaleFlightNotJoined(t *testing.T) {
 	oldVal, newVal := &Cached{}, &Cached{}
 	started, release := make(chan struct{}), make(chan struct{})
 	go func() {
-		_, _ = c.do(context.Background(), key, plen, 0, stillCurrent, func() (*Cached, error) {
+		_, _, _ = c.do(context.Background(), key, plen, 0, stillCurrent, func() (*Cached, error) {
 			close(started)
 			<-release
 			return oldVal, nil
@@ -158,7 +158,7 @@ func TestStaleFlightNotJoined(t *testing.T) {
 	<-started
 	epoch.Store(1) // the swap happens while the old flight computes
 
-	v, err := c.do(context.Background(), key, plen, 1, stillCurrent, func() (*Cached, error) { return newVal, nil })
+	v, _, err := c.do(context.Background(), key, plen, 1, stillCurrent, func() (*Cached, error) { return newVal, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestStaleFlightNotJoined(t *testing.T) {
 
 	// The fresh value was cached at the new epoch; the stale leader must
 	// not displace it.
-	v2, err := c.do(context.Background(), key, plen, 1, stillCurrent, func() (*Cached, error) {
+	v2, _, err := c.do(context.Background(), key, plen, 1, stillCurrent, func() (*Cached, error) {
 		t.Error("recomputed despite fresh cache entry")
 		return nil, nil
 	})

@@ -14,6 +14,7 @@ import (
 	"extract/internal/index"
 	"extract/internal/search"
 	"extract/internal/shard"
+	"extract/internal/telemetry"
 )
 
 // DefaultCacheBytes is the query-cache budget when the caller does not set
@@ -87,8 +88,13 @@ type Server struct {
 	maxInFlight int64
 	inflight    atomic.Int64
 
-	panics atomic.Int64 // queries failed by a recovered panic
-	shed   atomic.Int64 // queries rejected by the in-flight bound
+	panics telemetry.Counter // queries failed by a recovered panic
+	shed   telemetry.Counter // queries rejected by the in-flight bound
+
+	// metrics holds the pre-registered latency histograms and counters;
+	// always non-nil (a private registry is created when the caller does
+	// not supply one via WithTelemetry).
+	metrics *metricsSet
 
 	mu      sync.Mutex
 	backend Backend
@@ -106,10 +112,13 @@ var ErrOverloaded = errors.New("serve: overloaded: in-flight query limit reached
 type Option func(*config)
 
 type config struct {
-	workers     int
-	cacheBytes  int64
-	timeout     time.Duration
-	maxInFlight int
+	workers       int
+	cacheBytes    int64
+	timeout       time.Duration
+	maxInFlight   int
+	reg           *telemetry.Registry
+	slowThreshold time.Duration
+	slowFn        SlowQueryFunc
 }
 
 // WithWorkers sets the worker-pool size (default GOMAXPROCS). The pool
@@ -157,6 +166,31 @@ func WithMaxInFlight(n int) Option {
 	}
 }
 
+// WithTelemetry registers the server's latency histograms, counters and
+// gauges in reg instead of a private registry, so its metrics export
+// alongside the owning process's other instruments. The same registry must
+// not back two Servers: they would share (and double-count into) one set
+// of instruments.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *config) {
+		if reg != nil {
+			c.reg = reg
+		}
+	}
+}
+
+// WithSlowQueries installs fn as the slow-query hook: every query whose
+// end-to-end latency reaches threshold is reported as a QueryRecord after
+// its response is ready. fn runs on the query's goroutine and must not
+// block.
+func WithSlowQueries(threshold time.Duration, fn SlowQueryFunc) Option {
+	return func(c *config) {
+		if threshold > 0 && fn != nil {
+			c.slowThreshold, c.slowFn = threshold, fn
+		}
+	}
+}
+
 // New builds a serving layer over b.
 func New(b Backend, opts ...Option) *Server {
 	cfg := config{workers: runtime.GOMAXPROCS(0), cacheBytes: DefaultCacheBytes}
@@ -173,6 +207,12 @@ func New(b Backend, opts ...Option) *Server {
 		maxInFlight: int64(cfg.maxInFlight),
 	}
 	s.engines = make(map[search.Options][]*search.Engine)
+	reg := cfg.reg
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	s.metrics = newMetrics(reg, s)
+	s.metrics.slowThreshold, s.metrics.slowFn = cfg.slowThreshold, cfg.slowFn
 	// The pool's workers would otherwise pin a dropped Server's goroutines
 	// forever; a cleanup stops them when the Server becomes unreachable,
 	// so short-lived Servers (tests, tools) need no explicit Close.
@@ -212,11 +252,13 @@ func (s *Server) Invalidate() {
 	s.cache.clear()
 }
 
-// Stats snapshots the query-cache and failure counters.
+// Stats snapshots the query-cache and failure counters. The same
+// instruments back the telemetry registry (WithTelemetry), so the two
+// views never disagree.
 func (s *Server) Stats() Stats {
 	st := s.cache.stats()
-	st.Panics = s.panics.Load()
-	st.Shed = s.shed.Load()
+	st.Panics = s.panics.Value()
+	st.Shed = s.shed.Value()
 	return st
 }
 
@@ -326,9 +368,13 @@ func (s *Server) SearchWithBackend(query string, opts search.Options) ([]*search
 
 // SearchWithBackendContext is SearchWithBackend honoring ctx.
 func (s *Server) SearchWithBackendContext(ctx context.Context, query string, opts search.Options) ([]*search.Result, Backend, error) {
-	compute := func(ctx context.Context) (*Cached, error) {
+	compute := func(ctx context.Context, tr *trace) (*Cached, error) {
+		t := time.Now()
 		b, _, engines := s.snapshot(opts)
+		tr.add(stageDispatch, time.Since(t))
+		t = time.Now()
 		rs, err := b.SearchEnginesContext(ctx, query, opts, engines, s.pool.Run)
+		tr.add(stageEval, time.Since(t))
 		if err != nil {
 			return nil, err
 		}
@@ -364,15 +410,21 @@ func (s *Server) QueryWithBackend(query string, opts search.Options, bound int) 
 
 // QueryWithBackendContext is QueryWithBackend honoring ctx.
 func (s *Server) QueryWithBackendContext(ctx context.Context, query string, opts search.Options, bound int) ([]*search.Result, []*core.Generated, Backend, error) {
-	compute := func(ctx context.Context) (*Cached, error) {
+	compute := func(ctx context.Context, tr *trace) (*Cached, error) {
+		t := time.Now()
 		b, gen, engines := s.snapshot(opts)
+		tr.add(stageDispatch, time.Since(t))
+		t = time.Now()
 		rs, err := b.SearchEnginesContext(ctx, query, opts, engines, s.pool.Run)
+		tr.add(stageEval, time.Since(t))
 		if err != nil {
 			return nil, err
 		}
 		// Tokenized here, not on the hit path: cache hits never pay it.
+		t = time.Now()
 		kws := index.Tokenize(query)
 		gs, err := s.snippets(ctx, gen, rs, kws, bound)
+		tr.add(stageSnippet, time.Since(t))
 		if err != nil {
 			return nil, err
 		}
@@ -396,7 +448,7 @@ func (s *Server) begin(ctx context.Context) (context.Context, func(), error) {
 	if s.maxInFlight > 0 {
 		if s.inflight.Add(1) > s.maxInFlight {
 			s.inflight.Add(-1)
-			s.shed.Add(1)
+			s.shed.Inc()
 			return nil, nil, ErrOverloaded
 		}
 	}
@@ -413,23 +465,27 @@ func (s *Server) begin(ctx context.Context) (context.Context, func(), error) {
 	return ctx, finish, nil
 }
 
+// computeFn is one query's computation, recording its stage durations
+// into the trace it is handed.
+type computeFn func(context.Context, *trace) (*Cached, error)
+
 // compute runs one query computation inside the panic-isolation boundary:
 // a panic anywhere in evaluation or snippet generation — recovered by the
 // pool on a worker, or here when it escapes on the calling goroutine —
 // becomes a per-query *shard.PanicError and bumps the Panics counter. One
 // bad query fails alone; the process and every other query survive.
-func (s *Server) compute(ctx context.Context, fn func(context.Context) (*Cached, error)) (v *Cached, err error) {
+func (s *Server) compute(ctx context.Context, tr *trace, fn computeFn) (v *Cached, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			v, err = nil, &shard.PanicError{Value: r, Stack: debug.Stack()}
-			s.panics.Add(1)
+			s.panics.Inc()
 		}
 	}()
-	v, err = fn(ctx)
+	v, err = fn(ctx, tr)
 	if err != nil {
 		var pe *shard.PanicError
 		if errors.As(err, &pe) {
-			s.panics.Add(1)
+			s.panics.Inc()
 		}
 		return nil, err
 	}
@@ -437,31 +493,68 @@ func (s *Server) compute(ctx context.Context, fn func(context.Context) (*Cached,
 }
 
 // serve answers one query through the cache when its key is admissible,
-// directly otherwise. Failed computations — errors, timeouts, panics —
-// are returned to their callers and never cached.
-func (s *Server) serve(ctx context.Context, query string, opts search.Options, bound int, compute func(context.Context) (*Cached, error)) (*Cached, error) {
+// directly otherwise, recording the lifecycle histograms and — when the
+// query is slow enough — the slow-query record on the way out. Failed
+// computations — errors, timeouts, panics — are returned to their callers
+// and never cached.
+func (s *Server) serve(ctx context.Context, query string, opts search.Options, bound int, compute computeFn) (*Cached, error) {
+	start := time.Now()
+	tr := &trace{}
+	v, outcome, err := s.serveTraced(ctx, query, opts, bound, compute, tr)
+	results := 0
+	if v != nil {
+		results = len(v.Results)
+	}
+	s.metrics.finish(tr, query, outcome, results, err, time.Since(start))
+	return v, err
+}
+
+// serveTraced is serve's cache-vs-compute decision, reporting the cache
+// outcome alongside the response so serve can count and log it.
+func (s *Server) serveTraced(ctx context.Context, query string, opts search.Options, bound int, compute computeFn, tr *trace) (*Cached, string, error) {
+	t := time.Now()
 	ctx, finish, err := s.begin(ctx)
+	tr.add(stageAdmission, time.Since(t))
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	defer finish()
-	run := func() (*Cached, error) { return s.compute(ctx, compute) }
+	run := func() (*Cached, error) { return s.compute(ctx, tr, compute) }
+	// The cache stage spans key encoding through the probe's resolution:
+	// for a miss it ends when this caller starts computing; for a hit or a
+	// coalesced wait it ends when the response is in hand.
+	tCache := time.Now()
+	probed := false
+	probeDone := func() {
+		if !probed {
+			probed = true
+			tr.add(stageCache, time.Since(tCache))
+		}
+	}
 	key, prefixLen, cacheable, err := s.key(query, opts, bound)
 	if err != nil {
-		return nil, err
+		probeDone()
+		return nil, "", err
 	}
 	if !cacheable {
-		return run()
+		probeDone()
+		v, err := run()
+		return v, outcomeUncacheable, err
 	}
 	epoch := s.epoch.Load()
-	v, err := s.cache.do(ctx, key, prefixLen, epoch, s.epochIs, run)
+	v, outcome, err := s.cache.do(ctx, key, prefixLen, epoch, s.epochIs, func() (*Cached, error) {
+		probeDone()
+		return run()
+	})
+	probeDone()
 	if err != nil && isContextError(err) && ctx.Err() == nil {
 		// A coalesced leader hit its own cancellation or deadline, not
 		// ours: our context is still live, so compute privately rather
 		// than inherit a failure this caller never had.
-		return run()
+		v, err := run()
+		return v, outcomeMiss, err
 	}
-	return v, err
+	return v, outcome, err
 }
 
 func isContextError(err error) bool {

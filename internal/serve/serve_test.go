@@ -235,7 +235,7 @@ func TestEvictionBound(t *testing.T) {
 	always := func(uint64) bool { return true }
 	for i := 0; i < 100; i++ {
 		key, plen := encodeKey([]uint32{uint32(i)}, search.Options{}, -1)
-		if _, err := c.do(context.Background(), key, plen, 0, always, func() (*Cached, error) { return &Cached{}, nil }); err != nil {
+		if _, _, err := c.do(context.Background(), key, plen, 0, always, func() (*Cached, error) { return &Cached{}, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -274,7 +274,7 @@ func TestLRURecency(t *testing.T) {
 	a, b, x := keys[0], keys[1], keys[2]
 	computed := map[string]int{}
 	add := func(k string) {
-		if _, err := c.do(context.Background(), k, byPlen[k], 0, always, func() (*Cached, error) {
+		if _, _, err := c.do(context.Background(), k, byPlen[k], 0, always, func() (*Cached, error) {
 			computed[k]++
 			return &Cached{}, nil
 		}); err != nil {
@@ -310,7 +310,7 @@ func TestScanResistance(t *testing.T) {
 	computed := map[string]int{}
 	plens := map[string]int{}
 	add := func(k string) {
-		if _, err := c.do(context.Background(), k, plens[k], 0, always, func() (*Cached, error) {
+		if _, _, err := c.do(context.Background(), k, plens[k], 0, always, func() (*Cached, error) {
 			computed[k]++
 			return &Cached{}, nil
 		}); err != nil {
@@ -460,7 +460,7 @@ func TestSwapDuringFlight(t *testing.T) {
 		t.Fatalf("key: %v cacheable=%v", err, cacheable)
 	}
 	epoch := srv.epoch.Load()
-	if _, err := srv.cache.do(context.Background(), key, plen, epoch, srv.epochIs, func() (*Cached, error) {
+	if _, _, err := srv.cache.do(context.Background(), key, plen, epoch, srv.epochIs, func() (*Cached, error) {
 		srv.Swap(scB) // corpus swapped out from under the computation
 		return &Cached{}, nil
 	}); err != nil {

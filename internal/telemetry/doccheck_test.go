@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestExportedIdentifiersDocumented fails if any exported identifier in
+// this package lacks a doc comment. CI runs it as the telemetry docs gate:
+// the package is the repo's observability contract, so every exported name
+// must explain itself.
+func TestExportedIdentifiersDocumented(t *testing.T) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					t.Errorf("%s: exported %s %s has no doc comment", name, kindOf(d), d.Name.Name)
+				}
+			case *ast.GenDecl:
+				checkGenDecl(t, name, d)
+			}
+		}
+	}
+}
+
+// kindOf distinguishes methods from functions in failure messages.
+func kindOf(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "func"
+}
+
+// checkGenDecl requires a doc comment on every exported const, var, and
+// type. A grouped declaration's doc covers its specs; otherwise each
+// exported spec needs its own comment. Exported struct fields are held to
+// the same bar.
+func checkGenDecl(t *testing.T, file string, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				t.Errorf("%s: exported type %s has no doc comment", file, s.Name.Name)
+			}
+			if st, ok := s.Type.(*ast.StructType); ok && s.Name.IsExported() {
+				for _, fld := range st.Fields.List {
+					for _, n := range fld.Names {
+						if n.IsExported() && fld.Doc == nil && fld.Comment == nil {
+							t.Errorf("%s: exported field %s.%s has no doc comment", file, s.Name.Name, n.Name)
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, n := range s.Names {
+				if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					t.Errorf("%s: exported %s %s has no doc comment", file, d.Tok, n.Name)
+				}
+			}
+		}
+	}
+}

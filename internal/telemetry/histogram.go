@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram buckets durations on a log-linear scale: each power-of-two
+// octave is split into histSub linear sub-buckets, so the relative width of
+// any bucket is at most 1/histSub (6.25%) and a quantile read off the
+// bucket boundaries is within that of the true value. Values below histSub
+// nanoseconds get a bucket each and are exact. The layout is fixed at
+// compile time, which is what lets recording be a few atomic adds with no
+// allocation and no lock.
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits // sub-buckets per octave
+	// numHistBuckets covers every non-negative int64 nanosecond value:
+	// histSub exact buckets, then 59 octaves of histSub sub-buckets each
+	// (octave histSubBits through 62).
+	numHistBuckets = histSub + (63-histSubBits)*histSub
+)
+
+// Histogram is a lock-free latency histogram: concurrent writers record
+// durations with atomic adds, readers take consistent-enough snapshots at
+// any time. Values are bucketed log-linearly (histSub sub-buckets per
+// power-of-two octave), bounding quantile error to 1/histSub relative
+// (6.25%) while keeping the memory footprint fixed (~7.5 KiB) regardless
+// of the value range. The zero value is ready to use.
+type Histogram struct {
+	buckets [numHistBuckets]atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// Observe records one duration. Negative durations are clamped to zero.
+func (h *Histogram) Observe(d time.Duration) { h.RecordNs(int64(d)) }
+
+// RecordNs records one duration given in nanoseconds. Negative values are
+// clamped to zero. RecordNs is safe for concurrent use and never blocks:
+// it is two atomic adds and a compare-and-swap loop on the max.
+func (h *Histogram) RecordNs(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// bucketOf maps a non-negative nanosecond value to its bucket index.
+func bucketOf(ns int64) int {
+	if ns < histSub {
+		return int(ns)
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(ns))
+	sub := int((uint64(ns) >> (uint(exp) - histSubBits)) & (histSub - 1))
+	return (exp-histSubBits+1)*histSub + sub
+}
+
+// bucketLow is the inverse of bucketOf: the smallest value in bucket i.
+func bucketLow(i int) int64 {
+	if i < histSub {
+		return int64(i)
+	}
+	exp := uint(i/histSub + histSubBits - 1)
+	sub := int64(i % histSub)
+	return 1<<exp | sub<<(exp-histSubBits)
+}
+
+// bucketHigh is the largest value in bucket i.
+func bucketHigh(i int) int64 {
+	if i < histSub {
+		return int64(i)
+	}
+	if i == numHistBuckets-1 {
+		return 1<<63 - 1
+	}
+	return bucketLow(i+1) - 1
+}
+
+// Snapshot copies the histogram's state for reading. Writers may race the
+// copy, so a snapshot taken mid-record can be off by the records in flight
+// at that instant; totals never go backwards across snapshots.
+func (h *Histogram) Snapshot() *HistogramSnapshot {
+	s := &HistogramSnapshot{
+		SumNs:   h.sum.Load(),
+		MaxNs:   h.max.Load(),
+		buckets: make([]uint64, numHistBuckets),
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.buckets[i] = n
+		s.Count += n
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, from which
+// quantiles are computed. It is immutable and safe to share.
+type HistogramSnapshot struct {
+	// Count is the number of recorded values.
+	Count uint64
+	// SumNs is the sum of all recorded values in nanoseconds.
+	SumNs int64
+	// MaxNs is the largest recorded value in nanoseconds.
+	MaxNs int64
+
+	buckets []uint64
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) of the recorded values in
+// nanoseconds, using the nearest-rank definition. The estimate is the
+// upper edge of the bucket holding the ranked value, clamped to MaxNs, so
+// it never under-reports: it is at least the true value and within
+// 1/16 (6.25%) relative error above it. An empty snapshot returns 0.
+func (s *HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if float64(rank) < q*float64(s.Count) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i, n := range s.buckets {
+		cum += n
+		if cum >= rank {
+			v := bucketHigh(i)
+			if v > s.MaxNs {
+				v = s.MaxNs
+			}
+			return v
+		}
+	}
+	return s.MaxNs
+}

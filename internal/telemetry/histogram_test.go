@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// refQuantile is the nearest-rank quantile over a sorted slice — the exact
+// definition Histogram.Quantile approximates.
+func refQuantile(sorted []int64, q float64) int64 {
+	n := len(sorted)
+	rank := int(q * float64(n))
+	if float64(rank) < q*float64(n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// TestQuantileAccuracy is the percentile property test: for random value
+// distributions, every exported quantile must lie in [ref, ref*1.0625] —
+// at least the true nearest-rank value (never under-reports) and within
+// one sub-bucket's relative width above it.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dists := []struct {
+		name string
+		gen  func() int64
+	}{
+		{"uniform_us", func() int64 { return rng.Int63n(1_000_000) }},
+		{"exponentialish", func() int64 { return int64(1) << rng.Intn(40) }},
+		{"heavy_tail", func() int64 {
+			if rng.Intn(100) == 0 {
+				return 1_000_000_000 + rng.Int63n(9_000_000_000)
+			}
+			return 10_000 + rng.Int63n(90_000)
+		}},
+		{"tiny", func() int64 { return rng.Int63n(16) }},
+	}
+	qs := []float64{0.5, 0.9, 0.99, 0.999, 1}
+	for _, d := range dists {
+		var h Histogram
+		vals := make([]int64, 0, 20_000)
+		for i := 0; i < 20_000; i++ {
+			v := d.gen()
+			vals = append(vals, v)
+			h.RecordNs(v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		s := h.Snapshot()
+		if s.Count != uint64(len(vals)) {
+			t.Fatalf("%s: count %d, want %d", d.name, s.Count, len(vals))
+		}
+		if s.MaxNs != vals[len(vals)-1] {
+			t.Fatalf("%s: max %d, want %d", d.name, s.MaxNs, vals[len(vals)-1])
+		}
+		for _, q := range qs {
+			got, ref := s.Quantile(q), refQuantile(vals, q)
+			hi := ref + ref/16
+			if got < ref || got > hi {
+				t.Errorf("%s: q%v = %d, want in [%d, %d]", d.name, q, got, ref, hi)
+			}
+		}
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines with
+// snapshots racing the writers; totals must come out exact. Run under
+// -race this doubles as the data-race check.
+func TestHistogramConcurrent(t *testing.T) {
+	const (
+		writers = 8
+		perG    = 10_000
+	)
+	var h Histogram
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() { // racing reader: snapshots must be safe mid-record
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Snapshot()
+			}
+		}
+	}()
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.RecordNs(int64(g*perG + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	s := h.Snapshot()
+	if s.Count != writers*perG {
+		t.Fatalf("count %d, want %d", s.Count, writers*perG)
+	}
+	n := int64(writers * perG)
+	if want := n * (n - 1) / 2; s.SumNs != want {
+		t.Fatalf("sum %d, want %d", s.SumNs, want)
+	}
+	if s.MaxNs != n-1 {
+		t.Fatalf("max %d, want %d", s.MaxNs, n-1)
+	}
+}
+
+// TestBucketRoundtrip pins the bucket layout: every value falls inside its
+// bucket's [low, high] range, and bucket edges are contiguous.
+func TestBucketRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100_000; i++ {
+		v := rng.Int63() >> uint(rng.Intn(62))
+		b := bucketOf(v)
+		if lo, hi := bucketLow(b), bucketHigh(b); v < lo || v > hi {
+			t.Fatalf("value %d in bucket %d with range [%d, %d]", v, b, lo, hi)
+		}
+	}
+	for b := 1; b < numHistBuckets; b++ {
+		if bucketLow(b) != bucketHigh(b-1)+1 {
+			t.Fatalf("gap between buckets %d and %d: %d vs %d", b-1, b, bucketHigh(b-1), bucketLow(b))
+		}
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+	h.Observe(-5 * time.Second) // clamps to zero
+	h.Observe(time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 2 || s.SumNs != int64(time.Millisecond) {
+		t.Fatalf("negative record not clamped: %+v", s)
+	}
+	if got := s.Quantile(1); got != int64(time.Millisecond) {
+		t.Fatalf("q1 = %d, want max %d", got, time.Millisecond)
+	}
+}

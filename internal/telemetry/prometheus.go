@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Instance pairs a registry snapshot with labels prepended to every series
+// it contains. A process serving several corpora exports one Instance per
+// corpus (labels like dataset="recipes"), and WritePrometheus merges them
+// so each metric name gets its # HELP/# TYPE header exactly once — the
+// Prometheus text format forbids repeating it.
+type Instance struct {
+	// Labels are prepended to every series of the snapshot.
+	Labels []Label
+	// Snap is the registry snapshot to export.
+	Snap Snapshot
+}
+
+// quantiles are the summary quantiles exported for every histogram.
+var quantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.5},
+	{"0.9", 0.9},
+	{"0.99", 0.99},
+	{"0.999", 0.999},
+}
+
+// WritePrometheus renders the instances in the Prometheus text exposition
+// format (version 0.0.4). Metric names are emitted in sorted order, each
+// with one # HELP and # TYPE header; within a name, series appear in
+// instance order. Histograms are rendered as summaries — quantile series
+// plus _sum and _count — with durations converted from nanoseconds to
+// seconds per Prometheus convention.
+func WritePrometheus(w io.Writer, instances ...Instance) error {
+	type series struct {
+		labels []Label
+		m      Metric
+	}
+	type family struct {
+		help   string
+		kind   Kind
+		series []series
+	}
+	families := make(map[string]*family)
+	names := []string{}
+	for _, inst := range instances {
+		for _, m := range inst.Snap.Metrics {
+			f, ok := families[m.Name]
+			if !ok {
+				f = &family{help: m.Help, kind: m.Kind}
+				families[m.Name] = f
+				names = append(names, m.Name)
+			}
+			labels := make([]Label, 0, len(inst.Labels)+len(m.Labels))
+			labels = append(labels, inst.Labels...)
+			labels = append(labels, m.Labels...)
+			f.series = append(f.series, series{labels: labels, m: m})
+		}
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		f := families[name]
+		if f.help != "" {
+			bw.WriteString("# HELP " + name + " " + escapeHelp(f.help) + "\n")
+		}
+		bw.WriteString("# TYPE " + name + " " + typeName(f.kind) + "\n")
+		for _, s := range f.series {
+			switch f.kind {
+			case KindCounter, KindGauge:
+				bw.WriteString(name + renderLabels(s.labels) + " " + formatValue(s.m.Value) + "\n")
+			case KindHistogram:
+				h := s.m.Histogram
+				for _, q := range quantiles {
+					ql := append(append([]Label(nil), s.labels...), Label{Key: "quantile", Value: q.label})
+					bw.WriteString(name + renderLabels(ql) + " " + formatValue(seconds(h.Quantile(q.q))) + "\n")
+				}
+				bw.WriteString(name + "_sum" + renderLabels(s.labels) + " " + formatValue(seconds(h.SumNs)) + "\n")
+				bw.WriteString(name + "_count" + renderLabels(s.labels) + " " + strconv.FormatUint(h.Count, 10) + "\n")
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func seconds(ns int64) float64 { return float64(ns) / 1e9 }
+
+func typeName(k Kind) string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "summary"
+	}
+}
+
+// renderLabels renders {k1="v1",k2="v2"}, or "" for no labels.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the text format: backslash, quote
+// and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a help string: backslash and newline.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatValue renders a float the way Prometheus clients do: integers
+// without a decimal point, everything else in shortest round-trip form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition format byte for byte:
+// sorted families, one HELP/TYPE header per name across instances,
+// histograms as summaries with ns→seconds conversion.
+func TestWritePrometheusGolden(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("reqs_total", "Requests.").Add(3)
+	h := a.Histogram("q_seconds", "Query latency.")
+	for ns := int64(1); ns <= 10; ns++ {
+		h.RecordNs(ns)
+	}
+	a.Gauge("up", "Serving.", func() float64 { return 1 })
+
+	b := NewRegistry()
+	b.Counter("reqs_total", "Requests.").Add(4)
+
+	var sb strings.Builder
+	err := WritePrometheus(&sb,
+		Instance{Labels: []Label{L("dataset", "a")}, Snap: a.Snapshot()},
+		Instance{Labels: []Label{L("dataset", "b")}, Snap: b.Snapshot()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP q_seconds Query latency.
+# TYPE q_seconds summary
+q_seconds{dataset="a",quantile="0.5"} 5e-09
+q_seconds{dataset="a",quantile="0.9"} 9e-09
+q_seconds{dataset="a",quantile="0.99"} 1e-08
+q_seconds{dataset="a",quantile="0.999"} 1e-08
+q_seconds_sum{dataset="a"} 5.5e-08
+q_seconds_count{dataset="a"} 10
+# HELP reqs_total Requests.
+# TYPE reqs_total counter
+reqs_total{dataset="a"} 3
+reqs_total{dataset="b"} 4
+# HELP up Serving.
+# TYPE up gauge
+up{dataset="a"} 1
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "line one\nline two", L("q", `say "hi"\now`)).Inc()
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, Instance{Snap: r.Snapshot()}); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP m_total line one\\nline two\n" +
+		"# TYPE m_total counter\n" +
+		`m_total{q="say \"hi\"\\now"} 1` + "\n"
+	if got := sb.String(); got != want {
+		t.Fatalf("escaping mismatch:\n--- got ---\n%q\n--- want ---\n%q", got, want)
+	}
+}

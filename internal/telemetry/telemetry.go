@@ -1,0 +1,219 @@
+// Package telemetry is the observability layer: lock-free latency
+// histograms, counters, and gauges collected in a Registry whose snapshot
+// can be rendered as a Prometheus text exposition (WritePrometheus) or
+// consumed programmatically. It exists so the serving layer can record
+// per-stage query latency on the hot path — recording is a few atomic adds,
+// never a lock or an allocation — while operators read consistent
+// point-in-time snapshots off to the side.
+//
+// Histograms record durations in nanoseconds on a log-linear bucket scale
+// (relative quantile error at most 6.25%); counters and gauges are plain
+// atomics. Metric names follow Prometheus conventions: counters end in
+// _total, duration summaries in _seconds.
+package telemetry
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value pair attached to a metric, distinguishing
+// instances of the same metric name (for example the lifecycle stage of a
+// latency histogram).
+type Label struct {
+	// Key is the label name.
+	Key string
+	// Value is the label value.
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use, so counters can live as struct fields and be registered
+// later with Registry.AddCounter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is a programming error; it is applied as given).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Kind distinguishes the metric types a Registry can hold.
+type Kind int
+
+// The metric kinds.
+const (
+	// KindCounter is a monotonically increasing count.
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous value read from a callback.
+	KindGauge
+	// KindHistogram is a latency distribution (rendered as a Prometheus
+	// summary with quantile series).
+	KindHistogram
+)
+
+// metric is one registered instrument.
+type metric struct {
+	name   string
+	help   string
+	labels []Label
+	kind   Kind
+
+	counter *Counter
+	gauge   func() float64
+	hist    *Histogram
+}
+
+// Registry is a set of named metrics. Registration (get-or-create) takes a
+// lock; recording on the returned instruments is lock-free. A Registry is
+// safe for concurrent use. The zero value is not usable; use NewRegistry.
+type Registry struct {
+	mu    sync.Mutex
+	byKey map[string]*metric
+	order []*metric
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*metric)}
+}
+
+// seriesKey canonically identifies one metric instance: name plus labels
+// in the order given (callers use a fixed label order per name).
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('{')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+// lookup returns the metric registered under (name, labels), or registers
+// one built by mk. It panics if the existing registration has a different
+// kind — that is a programming error, not a runtime condition.
+func (r *Registry) lookup(name, help string, labels []Label, kind Kind, mk func() *metric) *metric {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byKey[key]; ok {
+		if m.kind != kind {
+			panic("telemetry: metric " + key + " re-registered with a different kind")
+		}
+		return m
+	}
+	m := mk()
+	m.name, m.help, m.kind = name, help, kind
+	m.labels = append([]Label(nil), labels...)
+	r.byKey[key] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter returns the counter registered under (name, labels), creating it
+// on first use. name should end in _total per Prometheus convention.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.lookup(name, help, labels, KindCounter, func() *metric {
+		return &metric{counter: &Counter{}}
+	})
+	return m.counter
+}
+
+// AddCounter registers an existing counter under (name, labels), so
+// counters embedded in other structs (the query cache's hit/miss counts)
+// join the registry without an indirection on their increment path. If the
+// series already exists the existing counter is kept and returned.
+func (r *Registry) AddCounter(name, help string, c *Counter, labels ...Label) *Counter {
+	m := r.lookup(name, help, labels, KindCounter, func() *metric {
+		return &metric{counter: c}
+	})
+	return m.counter
+}
+
+// Histogram returns the latency histogram registered under (name, labels),
+// creating it on first use. name should end in _seconds; values are
+// recorded in nanoseconds and converted on export.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	m := r.lookup(name, help, labels, KindHistogram, func() *metric {
+		return &metric{hist: &Histogram{}}
+	})
+	return m.hist
+}
+
+// Gauge registers a gauge whose value is read by calling fn at snapshot
+// time. fn must be safe to call concurrently with anything else the
+// program does.
+func (r *Registry) Gauge(name, help string, fn func() float64, labels ...Label) {
+	r.lookup(name, help, labels, KindGauge, func() *metric {
+		return &metric{gauge: fn}
+	})
+}
+
+// Metric is one metric instance in a Snapshot.
+type Metric struct {
+	// Name is the metric name (shared by all label combinations).
+	Name string
+	// Help is the one-line description emitted as # HELP.
+	Help string
+	// Kind is the metric type.
+	Kind Kind
+	// Labels are the instance's labels, if any.
+	Labels []Label
+	// Value holds the current value for counters and gauges.
+	Value float64
+	// Histogram holds the distribution for KindHistogram metrics.
+	Histogram *HistogramSnapshot
+}
+
+// Key returns the metric's canonical series key, name{k=v}... — the form
+// used to index snapshots.
+func (m *Metric) Key() string { return seriesKey(m.Name, m.Labels) }
+
+// Snapshot is a point-in-time copy of every metric in a registry, ordered
+// by name (then by registration order within a name).
+type Snapshot struct {
+	// Metrics lists every registered metric instance.
+	Metrics []Metric
+}
+
+// Snapshot reads every registered metric. Counters and histograms are read
+// atomically per instrument; gauges call their callbacks.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	ms := make([]*metric, len(r.order))
+	copy(ms, r.order)
+	r.mu.Unlock()
+
+	snap := Snapshot{Metrics: make([]Metric, 0, len(ms))}
+	for _, m := range ms {
+		out := Metric{Name: m.name, Help: m.help, Kind: m.kind, Labels: m.labels}
+		switch m.kind {
+		case KindCounter:
+			out.Value = float64(m.counter.Value())
+		case KindGauge:
+			out.Value = m.gauge()
+		case KindHistogram:
+			out.Histogram = m.hist.Snapshot()
+		}
+		snap.Metrics = append(snap.Metrics, out)
+	}
+	sort.SliceStable(snap.Metrics, func(i, j int) bool {
+		return snap.Metrics[i].Name < snap.Metrics[j].Name
+	})
+	return snap
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help")
+	b := r.Counter("x_total", "other help ignored")
+	if a != b {
+		t.Fatal("same series returned distinct counters")
+	}
+	l1 := r.Counter("x_total", "help", L("k", "v1"))
+	l2 := r.Counter("x_total", "help", L("k", "v2"))
+	if l1 == l2 || l1 == a {
+		t.Fatal("distinct label values must be distinct series")
+	}
+	h1 := r.Histogram("y_seconds", "help")
+	if h2 := r.Histogram("y_seconds", "help"); h1 != h2 {
+		t.Fatal("same histogram series returned distinct instruments")
+	}
+}
+
+func TestAddCounterKeepsEmbedded(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	c.Add(3)
+	if got := r.AddCounter("hits_total", "help", &c); got != &c {
+		t.Fatal("AddCounter did not adopt the embedded counter")
+	}
+	c.Inc()
+	snap := r.Snapshot()
+	if len(snap.Metrics) != 1 || snap.Metrics[0].Value != 4 {
+		t.Fatalf("snapshot = %+v, want one counter at 4", snap.Metrics)
+	}
+	// Re-registering keeps the incumbent.
+	var other Counter
+	if got := r.AddCounter("hits_total", "help", &other); got != &c {
+		t.Fatal("re-registration displaced the incumbent counter")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a histogram did not panic")
+		}
+	}()
+	r.Histogram("m", "help")
+}
+
+func TestSnapshotOrderAndGauge(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("b_seconds", "").Observe(2 * time.Millisecond)
+	r.Counter("c_total", "").Add(7)
+	r.Gauge("a_gauge", "", func() float64 { return 1.5 })
+	snap := r.Snapshot()
+	var names []string
+	for _, m := range snap.Metrics {
+		names = append(names, m.Name)
+	}
+	want := []string{"a_gauge", "b_seconds", "c_total"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("snapshot order %v, want %v", names, want)
+		}
+	}
+	if snap.Metrics[0].Value != 1.5 {
+		t.Fatalf("gauge value %v, want 1.5", snap.Metrics[0].Value)
+	}
+	if h := snap.Metrics[1].Histogram; h == nil || h.Count != 1 {
+		t.Fatalf("histogram snapshot missing: %+v", snap.Metrics[1])
+	}
+	if key := snap.Metrics[2].Key(); key != "c_total" {
+		t.Fatalf("key = %q", key)
+	}
+	lm := r.Counter("c_total", "", L("k", "v"))
+	lm.Inc()
+	for _, m := range r.Snapshot().Metrics {
+		if len(m.Labels) == 1 {
+			if got := m.Key(); got != "c_total{k=v}" {
+				t.Fatalf("labeled key = %q", got)
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package extract_test
+
+import (
+	"bytes"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"extract"
+	"extract/internal/gen"
+)
+
+// metricNameRe matches exported metric names wherever OBSERVABILITY.md or
+// a metrics exposition mentions them. Prometheus-synthesized suffixes are
+// normalized away so `extract_query_seconds_count` in a PromQL example
+// resolves to the histogram that emits it.
+var metricNameRe = regexp.MustCompile(`extract_[a-z0-9_]+`)
+
+func normalizeMetricName(n string) string {
+	for _, suf := range []string{"_count", "_sum", "_bucket"} {
+		n = strings.TrimSuffix(n, suf)
+	}
+	return n
+}
+
+// TestObservabilityDocMatchesRegistry diffs OBSERVABILITY.md against a
+// live registry in both directions: every metric the doc names must exist
+// in code, and every metric the code registers must be documented. The doc
+// is the operator contract — this test is what keeps it honest.
+func TestObservabilityDocMatchesRegistry(t *testing.T) {
+	c := extract.FromDocument(gen.Figure5Corpus(), nil)
+	// Touch every registration path: a computed query (serve metrics), a
+	// swap reload and a snapshot save (reload metrics), plus the gauges
+	// extractd registers for its watch loop — through the same
+	// RegisterGauge API it uses, so the documented wiring is the tested
+	// wiring.
+	if _, err := c.Query("store texas", 6); err != nil {
+		t.Fatal(err)
+	}
+	c.Reload(extract.FromDocument(gen.Figure5Corpus(), nil))
+	if err := c.SaveSnapshot(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	c.RegisterGauge("extract_reload_consecutive_failures",
+		"Consecutive failed reload attempts.", func() float64 { return 0 }, nil)
+	c.RegisterGauge("extract_reload_breaker_open",
+		"1 while the reload circuit breaker is open.", func() float64 { return 0 }, nil)
+
+	var buf bytes.Buffer
+	if err := c.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	registered := map[string]bool{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if name, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			registered[strings.Fields(name)[0]] = true
+		}
+	}
+	if len(registered) < 10 {
+		t.Fatalf("suspiciously small registry (%d metrics): %v", len(registered), registered)
+	}
+
+	doc, err := os.ReadFile("OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := map[string]bool{}
+	for _, m := range metricNameRe.FindAllString(string(doc), -1) {
+		documented[normalizeMetricName(m)] = true
+	}
+
+	for name := range documented {
+		if !registered[name] {
+			t.Errorf("OBSERVABILITY.md documents %s, but no such metric is registered", name)
+		}
+	}
+	for name := range registered {
+		if !documented[name] {
+			t.Errorf("metric %s is registered but OBSERVABILITY.md does not document it", name)
+		}
+	}
+}

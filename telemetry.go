@@ -1,0 +1,198 @@
+package extract
+
+import (
+	"io"
+	"sort"
+	"time"
+
+	"extract/internal/index"
+	"extract/internal/serve"
+	"extract/internal/telemetry"
+)
+
+// This file is the facade's observability surface: every Corpus carries a
+// metric registry fed by the serving layer (per-stage query latency
+// histograms, cache and failure counters) and by the reload paths, exported
+// in Prometheus text format by WriteMetrics and read programmatically with
+// QueryLatencies. See OBSERVABILITY.md for the metric-by-metric reference.
+
+// SlowQuery describes one query that crossed the ConfigureSlowQueryLog
+// threshold. It is sanitized for logging: Keywords are the query's
+// lowercased tokens (never the raw query string), and Err is an error
+// class, never an error message — nothing document- or value-derived can
+// leak into a log line.
+type SlowQuery struct {
+	// Keywords are the query's tokenized, lowercased terms.
+	Keywords []string
+	// Duration is the end-to-end wall time.
+	Duration time.Duration
+	// Stages maps lifecycle stage (admission, cache, dispatch, eval,
+	// snippet) to time spent there; stages the query never entered are
+	// absent (a cache hit has no dispatch/eval/snippet).
+	Stages map[string]time.Duration
+	// Cache is the cache outcome: hit, miss, coalesced, uncacheable, or ""
+	// when the query failed before the cache probe.
+	Cache string
+	// Results is the number of results returned (0 on error).
+	Results int
+	// Err classifies a failure — overload, timeout, canceled, panic,
+	// empty, other — or is "" for success.
+	Err string
+}
+
+// sanitizeSlowQuery converts the serving layer's record into the facade's
+// logging-safe form: the raw query string is tokenized the same way the
+// index tokenizes documents, and only the tokens are kept.
+func sanitizeSlowQuery(r serve.QueryRecord) SlowQuery {
+	return SlowQuery{
+		Keywords: index.Tokenize(r.Query),
+		Duration: r.Total,
+		Stages:   r.Stages,
+		Cache:    r.Cache,
+		Results:  r.Results,
+		Err:      r.ErrKind,
+	}
+}
+
+// ConfigureSlowQueryLog installs fn as the slow-query hook: every query
+// whose end-to-end latency reaches threshold is reported as a sanitized
+// SlowQuery after its response is ready. fn runs on the query's goroutine
+// and must not block. Like ConfigureServing, it must be called before the
+// first query; a zero threshold or nil fn disables the hook.
+func (c *Corpus) ConfigureSlowQueryLog(threshold time.Duration, fn func(SlowQuery)) {
+	c.slowThreshold = threshold
+	c.slowFn = fn
+}
+
+// StageLatency summarizes one query-lifecycle stage's latency
+// distribution. The pseudo-stage "total" covers the whole query end to
+// end; admission and cache count every query, while dispatch, eval and
+// snippet count only queries that computed (cache hits skip them).
+type StageLatency struct {
+	// Stage is total, admission, cache, dispatch, eval, or snippet.
+	Stage string
+	// Count is the number of recorded observations.
+	Count uint64
+	// P50, P90, P99 and P999 are latency quantiles; the estimates never
+	// under-report and are within 6.25% above the true value.
+	P50, P90, P99, P999 time.Duration
+	// Max is the largest latency recorded.
+	Max time.Duration
+}
+
+// queryStageOrder is the order QueryLatencies reports stages in: lifecycle
+// order, with the end-to-end distribution first.
+var queryStageOrder = []string{"total", "admission", "cache", "dispatch", "eval", "snippet"}
+
+// QueryLatencies reports the corpus's query latency distributions by
+// lifecycle stage, in lifecycle order with the end-to-end "total" first.
+// Quantiles are computed from lock-free histograms the serving layer
+// records into on every query; reading them costs nothing on the query
+// path.
+func (c *Corpus) QueryLatencies() []StageLatency {
+	c.server() // registration happens with the serving layer
+	byStage := map[string]*telemetry.HistogramSnapshot{}
+	for _, m := range c.reg.Snapshot().Metrics {
+		switch m.Name {
+		case serve.MetricQuerySeconds:
+			byStage["total"] = m.Histogram
+		case serve.MetricQueryStageSeconds:
+			for _, l := range m.Labels {
+				if l.Key == "stage" {
+					byStage[l.Value] = m.Histogram
+				}
+			}
+		}
+	}
+	out := make([]StageLatency, 0, len(queryStageOrder))
+	for _, st := range queryStageOrder {
+		h := byStage[st]
+		if h == nil {
+			continue
+		}
+		out = append(out, StageLatency{
+			Stage: st,
+			Count: h.Count,
+			P50:   time.Duration(h.Quantile(0.5)),
+			P90:   time.Duration(h.Quantile(0.9)),
+			P99:   time.Duration(h.Quantile(0.99)),
+			P999:  time.Duration(h.Quantile(0.999)),
+			Max:   time.Duration(h.MaxNs),
+		})
+	}
+	return out
+}
+
+// RegisterGauge adds a process-side gauge to the corpus's registry so it
+// exports through WriteMetrics next to the serving metrics — extractd uses
+// it for its reload-failure and circuit-breaker state. fn is called at
+// snapshot time and must be safe to call concurrently. Labels are rendered
+// in sorted key order; registering the same name and labels twice keeps
+// the first registration.
+func (c *Corpus) RegisterGauge(name, help string, fn func() float64, labels map[string]string) {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ls := make([]telemetry.Label, 0, len(keys))
+	for _, k := range keys {
+		ls = append(ls, telemetry.L(k, labels[k]))
+	}
+	c.reg.Gauge(name, help, fn, ls...)
+}
+
+// WriteMetrics renders every metric of the corpus in the Prometheus text
+// exposition format: query latency histograms per lifecycle stage, cache
+// effectiveness and failure counters, reload timings, and any gauges added
+// with RegisterGauge. A process serving several corpora should use the
+// package-level WriteMetrics to merge them under dataset labels.
+func (c *Corpus) WriteMetrics(w io.Writer) error {
+	c.server()
+	return telemetry.WritePrometheus(w, telemetry.Instance{Snap: c.reg.Snapshot()})
+}
+
+// WriteMetrics renders the corpora's metrics as one merged Prometheus text
+// exposition, labeling every series with dataset=<name>. Metric names are
+// emitted in sorted order with one HELP/TYPE header each, so the output is
+// a valid scrape target no matter how many corpora share the process.
+func WriteMetrics(w io.Writer, corpora map[string]*Corpus) error {
+	names := make([]string, 0, len(corpora))
+	for name := range corpora {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	instances := make([]telemetry.Instance, 0, len(names))
+	for _, name := range names {
+		c := corpora[name]
+		c.server()
+		instances = append(instances, telemetry.Instance{
+			Labels: []telemetry.Label{telemetry.L("dataset", name)},
+			Snap:   c.reg.Snapshot(),
+		})
+	}
+	return telemetry.WritePrometheus(w, instances...)
+}
+
+// recordReload records one reload into the registry: a duration histogram
+// labeled by source (swap, xml, snapshot) and mode (full, delta) plus an
+// outcome counter. Failed reloads count but do not pollute the duration
+// distribution — an early parse error is not a reload time.
+func (c *Corpus) recordReload(source, mode string, start time.Time, err error) {
+	if err != nil {
+		c.reg.Counter("extract_reloads_total", reloadsHelp, telemetry.L("result", "error")).Inc()
+		return
+	}
+	c.reg.Counter("extract_reloads_total", reloadsHelp, telemetry.L("result", "ok")).Inc()
+	c.reg.Histogram("extract_reload_seconds",
+		"Reload duration by source (swap, xml, snapshot) and mode (full, delta).",
+		telemetry.L("source", source), telemetry.L("mode", mode)).Observe(time.Since(start))
+}
+
+const reloadsHelp = "Reloads by result; errored reloads left the old generation serving."
+
+// recordSnapshotSave records one SaveSnapshot duration.
+func (c *Corpus) recordSnapshotSave(start time.Time) {
+	c.reg.Histogram("extract_snapshot_save_seconds",
+		"SaveSnapshot duration: manifest plus changed shard images.").Observe(time.Since(start))
+}

@@ -39,7 +39,12 @@
 //     contiguous int32 array for binary searches and merge scans.
 //   - internal/search computes SLCA by a depth-folding merge over the
 //     packed lists with a linear stack filter, and ELCA by exclusive
-//     counting over the match virtual tree with pooled scratch.
+//     counting over the match virtual tree with pooled scratch. Probes
+//     into skewed posting lists advance by galloping (exponential +
+//     branch-free binary search) past the measured crossover gap, and a
+//     result bound (WithMaxResults, SLCA) terminates the scan once the
+//     first k answers are provable — see PERFORMANCE.md for the model
+//     and the measured constants.
 //   - internal/classify interns element labels to dense ids;
 //     internal/features collects statistics in one walk into id-indexed
 //     slices keyed by packed integers, with collectors reused across
@@ -50,8 +55,14 @@
 // Load with WithShards(n) (or FromDocumentSharded) to partition a corpus by
 // its top-level entities into contiguous, size-balanced shards, each owning
 // its own packed inverted index while classification, mined keys, summary
-// and dataguide stay global (internal/shard). Queries fan out per shard in
-// parallel; the per-shard SLCA/ELCA sets merge root-aware — any non-root
+// and dataguide stay global (internal/shard). A multi-keyword query first
+// probes each shard's keyword-presence prefilter (sorted 64-bit keyword
+// hashes, persisted with the index) and dispatches work only to shards
+// that may contain every keyword — a shard provably missing one is
+// skipped without touching its posting lists, which is safe because a
+// prefilter miss proves absence (only hits can be false). The surviving
+// shards evaluate in parallel; the per-shard SLCA/ELCA sets merge
+// root-aware — any non-root
 // LCA is shard-local, and the root's own candidacy is decided from the
 // per-shard posting lists — through a bounded top-k merge into global
 // document order. Queries whose results genuinely cross shards (the root as
@@ -177,9 +188,13 @@
 // Dewey arena and postings without re-tokenizing anything, decoding the
 // tree and posting sections concurrently; loading a 100k-node corpus is an
 // order of magnitude faster than the legacy rebuild path (the "persist"
-// section of BENCH_search.json). Sharded corpora persist as one packed
-// image per shard behind a thin frame (magic "XTSH") and reload in
-// parallel.
+// section of BENCH_search.json). Version 3 puts the same stream behind a
+// per-section CRC-32C table; version 4, the format Save writes, appends
+// the shard's keyword-presence prefilter as a sixth checksummed section,
+// so a loaded or delta-patched shard answers skip probes without touching
+// its postings (older images build the filter lazily). Sharded corpora
+// persist as one packed image per shard behind a thin frame (magic
+// "XTSH") and reload in parallel.
 //
 // # Perf trajectory and CI gate
 //
@@ -192,11 +207,15 @@
 // >20% regression of QueryEndToEnd, of the packed load's advantage, of
 // the warm/cold throughput ratio, of the warm-p99 tail ratio (warm p99
 // over the same run's cold median — the serving layer's tail-latency
-// guarantee, measured from runs re-run until consecutive p99s agree), or
-// of the delta-reload speedup (machine-normalized ratios; see
+// guarantee, measured from runs re-run until consecutive p99s agree), of
+// the cold-path throughput (cold QPS normalized by the same run's
+// frozen-SLCA yardstick, so a regression that slows cold and warm
+// together cannot hide behind a flat warm/cold ratio), or of the
+// delta-reload speedup (machine-normalized ratios; see
 // bench.CompareReports). CI runs lint (vet + staticcheck) before
 // build/test, the race detector, fuzz smokes for the persist decoder,
-// XML parser, query-cache key codec and snapshot-manifest decoder, the
+// XML parser, query-cache key codec, snapshot-manifest decoder and the
+// galloping-search cursor, the
 // telemetry documentation gates (every exported internal/telemetry
 // identifier commented; OBSERVABILITY.md diffed against the live
 // registry), the bench-regression gate, the serve-throughput +
@@ -210,7 +229,11 @@
 // persist, serve and this facade — with request-lifecycle walkthroughs of
 // a cached sharded query (annotated with the telemetry stage on the
 // clock at each step), an online reload and a delta reload.
-// OBSERVABILITY.md is the operator-facing metric reference — every
+// PERFORMANCE.md is the cold-path performance model — the stage cost
+// breakdown, the prefilter/galloping/early-termination designs with their
+// measured crossover constants, and how to read and regenerate
+// BENCH_search.json. OBSERVABILITY.md is the operator-facing metric
+// reference — every
 // metric's name, labels, units and what a spike means, plus the
 // slow-query log schema and an SLO worked example. cmd/extractd/README.md
 // documents the demo server's flags and endpoints, including snapshot

@@ -64,6 +64,26 @@ func ExampleCorpus_Search_phrase() {
 	// 1 0
 }
 
+// WithMaxResults bounds the answer and, under SLCA semantics, terminates
+// evaluation early: the scan stops once the first n results are provable.
+// The bounded answer is always the document-order prefix of the unbounded
+// one — the option trades work, never correctness. On sharded corpora a
+// multi-keyword query also skips, before any evaluation, every shard whose
+// keyword-presence prefilter proves a missing keyword.
+func ExampleWithMaxResults() {
+	corpus, err := extract.LoadString(libraryXML, extract.WithShards(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	all, _ := corpus.Search("databases")
+	first, _ := corpus.Search("databases", extract.WithMaxResults(1))
+	fmt.Println(len(all), len(first))
+	fmt.Println(first[0].XML() == all[0].XML())
+	// Output:
+	// 2 1
+	// true
+}
+
 // Corpora built with the FromDocument* constructors take no load options;
 // ConfigureServing sets their serving-layer parameters — worker-pool size
 // and query-cache budget — before the first query.

@@ -904,7 +904,14 @@ func WithELCA() SearchOption {
 	return func(c *searchConfig) { c.opts.Semantics = search.SemanticsELCA }
 }
 
-// WithMaxResults bounds the number of results.
+// WithMaxResults bounds the number of results. Under SLCA semantics the
+// bound also terminates evaluation early: the scan stops as soon as the
+// first n answers in document order are provable, without visiting the
+// rest of the posting lists. The returned results are byte-identical to
+// taking the first n of an unbounded query (pinned by property tests) —
+// the bound changes cost, never answers. ELCA evaluation applies the bound
+// only after computing the full answer set, since no document-order prefix
+// of the ELCA set is provable mid-scan (see PERFORMANCE.md).
 func WithMaxResults(n int) SearchOption {
 	return func(c *searchConfig) { c.opts.MaxResults = n }
 }

@@ -181,6 +181,46 @@ func TestCompareReportsTailGate(t *testing.T) {
 	}
 }
 
+func coldReport(coldQPS float64, yardstickNs int64) *SearchPerfReport {
+	return &SearchPerfReport{
+		Serve: []ServePerfPoint{{Nodes: 100_000, Shards: 4,
+			ColdQPS: coldQPS, ColdYardstickNs: yardstickNs,
+			ColdP50Ns: 3_000_000}},
+	}
+}
+
+func TestCompareReportsColdQPSGate(t *testing.T) {
+	// Quiet-hardware baseline: 300 QPS cold, 8ms yardstick pass → cold
+	// work 2.4 baseline-SLCA passes/sec.
+	base := coldReport(300, 8_000_000)
+	// A machine half as fast halves the QPS but doubles the yardstick:
+	// same cold work, no regression.
+	if msgs := CompareReports(base, coldReport(150, 16_000_000), 1.2); len(msgs) != 0 {
+		t.Fatalf("machine-speed difference flagged: %v", msgs)
+	}
+	// Within tolerance: 2.4 / 1.2 = 2.0, so 2.05 passes …
+	if msgs := CompareReports(base, coldReport(256, 8_000_000), 1.2); len(msgs) != 0 {
+		t.Fatalf("within-tolerance dip flagged: %v", msgs)
+	}
+	// … and a real cold slowdown (same machine, QPS down 40%) fails.
+	msgs := CompareReports(base, coldReport(180, 8_000_000), 1.2)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "serve cold QPS") {
+		t.Fatalf("msgs = %v", msgs)
+	}
+	// Sub-half-millisecond cold medians are jitter-scale, not gated.
+	tiny := coldReport(3000, 800_000)
+	tiny.Serve[0].ColdP50Ns = 300_000
+	tinyCur := coldReport(1000, 800_000)
+	tinyCur.Serve[0].ColdP50Ns = 300_000
+	if msgs := CompareReports(tiny, tinyCur, 1.2); len(msgs) != 0 {
+		t.Fatalf("jitter-scale point flagged: %v", msgs)
+	}
+	// Baselines that predate the yardstick (zero field) are ignored.
+	if msgs := CompareReports(serveReport(400), coldReport(1, 8_000_000), 1.2); len(msgs) != 0 {
+		t.Fatalf("pre-yardstick baseline gated: %v", msgs)
+	}
+}
+
 // TestCompareReportsServeKeyedByShards: each size carries a sharded and an
 // unsharded serve point; a regression of one must be attributed to it, not
 // masked by (or blamed on) the other.

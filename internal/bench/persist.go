@@ -333,6 +333,36 @@ func CompareReports(baseline, current *SearchPerfReport, tol float64) []string {
 		}
 	}
 
+	// Cold-QPS gate: cold QPS times the same run's frozen-SLCA yardstick
+	// (ServePerfPoint.ColdWork) — dimensionless "baseline-SLCA passes
+	// served per second". The warm-speedup gate alone cannot catch a cold
+	// regression: cold and warm slowing down together keeps that ratio
+	// flat, and the tail gate would even *improve*. This gate pins the
+	// uncached path itself, so the prefilter/galloping/early-termination
+	// wins stay won. Both factors come from the same run — contention
+	// depresses QPS and inflates the yardstick together — so no
+	// quiet-hardware cap is needed; only the shared tolerance applies.
+	for _, p := range current.Serve {
+		bp, ok := baseTail[serveKey{p.Nodes, p.Shards}]
+		base := bp.ColdWork()
+		cur := p.ColdWork()
+		if !ok || base <= 0 || cur <= 0 {
+			continue // baseline predates the cold yardstick
+		}
+		// Same small-point rule as the tail gate: a sub-half-millisecond
+		// cold median means the ops measure dispatch overhead and
+		// scheduler jitter, not evaluation. The cold path's cost — and
+		// this gate — live at scale.
+		if bp.ColdP50Ns < 500_000 {
+			continue
+		}
+		if cur < base/tol {
+			msgs = append(msgs, fmt.Sprintf(
+				"serve cold QPS at %d nodes (%d shards) regressed: %.2f -> %.2f baseline-SLCA passes/sec (limit %.2f)",
+				p.Nodes, p.Shards, base, cur, base/tol))
+		}
+	}
+
 	// Reload points are keyed by (nodes, shards, source); the gated
 	// quantity is the in-run delta/full reload speedup after a one-entity
 	// edit.

@@ -51,7 +51,7 @@ func FuzzLoad(f *testing.F) {
 	})
 }
 
-// FuzzCorruptImage XORs one byte of a valid checked (version 3) image —
+// FuzzCorruptImage XORs one byte of a valid checked (version 4) image —
 // the single-bit-flip failure mode checksums exist for. Any flip inside
 // the checksummed body must be rejected with ErrBadFormat by section
 // verification; flips in the header must either fail cleanly or, if they

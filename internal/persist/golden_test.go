@@ -24,19 +24,21 @@ func goldenCorpus() *core.Corpus {
 // intentional change bumps the version byte, adds a new golden file and
 // regenerates with -update).
 //
-// figure1.checked.golden (v3) and figure1.legacy.golden (v1) track what
+// figure1.prefilter.golden (v4) and figure1.legacy.golden (v1) track what
 // Save and SaveLegacy write today and regenerate with -update;
-// figure1.packed.golden is a frozen v2 image from before the checksum
-// table existed — nothing writes that version anymore, so the file is
-// never regenerated, only required to keep loading.
+// figure1.packed.golden (v2, from before the checksum table) and
+// figure1.checked.golden (v3, from before the prefilter section) are
+// frozen images of versions nothing writes anymore — never regenerated,
+// only required to keep loading.
 func TestGoldenFiles(t *testing.T) {
 	c := goldenCorpus()
+	prefilterPath := filepath.Join("testdata", "figure1.prefilter.golden")
 	checkedPath := filepath.Join("testdata", "figure1.checked.golden")
 	packedPath := filepath.Join("testdata", "figure1.packed.golden")
 	legacyPath := filepath.Join("testdata", "figure1.legacy.golden")
 
-	var checked, legacy bytes.Buffer
-	if err := Save(&checked, c); err != nil {
+	var prefilter, legacy bytes.Buffer
+	if err := Save(&prefilter, c); err != nil {
 		t.Fatal(err)
 	}
 	if err := SaveLegacy(&legacy, c); err != nil {
@@ -47,7 +49,7 @@ func TestGoldenFiles(t *testing.T) {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(checkedPath, checked.Bytes(), 0o644); err != nil {
+		if err := os.WriteFile(prefilterPath, prefilter.Bytes(), 0o644); err != nil {
 			t.Fatal(err)
 		}
 		if err := os.WriteFile(legacyPath, legacy.Bytes(), 0o644); err != nil {
@@ -55,9 +57,13 @@ func TestGoldenFiles(t *testing.T) {
 		}
 	}
 
-	wantChecked, err := os.ReadFile(checkedPath)
+	wantPrefilter, err := os.ReadFile(prefilterPath)
 	if err != nil {
 		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	wantChecked, err := os.ReadFile(checkedPath)
+	if err != nil {
+		t.Fatalf("v3 compat golden missing (cannot be regenerated): %v", err)
 	}
 	wantPacked, err := os.ReadFile(packedPath)
 	if err != nil {
@@ -67,26 +73,33 @@ func TestGoldenFiles(t *testing.T) {
 	if err != nil {
 		t.Fatalf("golden file missing (run with -update): %v", err)
 	}
-	if !bytes.Equal(checked.Bytes(), wantChecked) {
-		t.Errorf("checked Save output drifted from golden (%d vs %d bytes); "+
-			"format changes must bump the version", checked.Len(), len(wantChecked))
+	if !bytes.Equal(prefilter.Bytes(), wantPrefilter) {
+		t.Errorf("Save output drifted from golden (%d vs %d bytes); "+
+			"format changes must bump the version", prefilter.Len(), len(wantPrefilter))
 	}
 	if !bytes.Equal(legacy.Bytes(), wantLegacy) {
 		t.Errorf("legacy Save output drifted from golden (%d vs %d bytes)", legacy.Len(), len(wantLegacy))
 	}
 
-	// The v3 body must be byte-identical to the v2 body: version 3 is the
-	// v2 stream behind a section table, nothing more.
+	// The layered-format invariants: the v3 body is byte-identical to the
+	// v2 body (version 3 is the v2 stream behind a section table, nothing
+	// more), and the v4 body starts with exactly that stream before the
+	// appended prefilter section.
 	v2Body := wantPacked[len(magic)+1:]
-	v3Body := wantChecked[len(magic)+2+8*numSections:]
+	v3Body := wantChecked[len(magic)+2+8*numSectionsChecked:]
+	v4Body := wantPrefilter[len(magic)+2+8*numSections:]
 	if !bytes.Equal(v2Body, v3Body) {
 		t.Errorf("v3 body diverged from v2 body (%d vs %d bytes)", len(v3Body), len(v2Body))
 	}
+	if len(v4Body) < len(v2Body) || !bytes.Equal(v4Body[:len(v2Body)], v2Body) {
+		t.Errorf("v4 body does not extend the v2 body (%d vs %d bytes)", len(v4Body), len(v2Body))
+	}
 
-	// Every golden image — all three versions — must load into a corpus
+	// Every golden image — all four versions — must load into a corpus
 	// that answers the paper's Figure 1 query correctly.
 	for name, data := range map[string][]byte{
-		"checked": wantChecked, "packed": wantPacked, "legacy": wantLegacy,
+		"prefilter": wantPrefilter, "checked": wantChecked,
+		"packed": wantPacked, "legacy": wantLegacy,
 	} {
 		loaded, err := Load(bytes.NewReader(data))
 		if err != nil {
@@ -104,6 +117,14 @@ func TestGoldenFiles(t *testing.T) {
 		}
 		if outs[0].IList.KeyValue != "Brook Brothers" {
 			t.Fatalf("%s golden: key = %q", name, outs[0].IList.KeyValue)
+		}
+		// Every loaded index answers prefilter queries soundly, whether
+		// the filter was decoded (v4) or lazily rebuilt (v1–v3).
+		pf := loaded.Index.Prefilter()
+		for _, kw := range loaded.Index.Vocabulary() {
+			if !pf.MayContain(kw) {
+				t.Fatalf("%s golden: prefilter misses indexed keyword %q", name, kw)
+			}
 		}
 	}
 }

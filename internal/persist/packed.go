@@ -34,6 +34,14 @@ import (
 //	magic "XTIX" | version u8 = 3 | u8 sectionCount = 5
 //	| (u32 length, u32 CRC-32C) x 5 | sections
 //
+// Version 4 is version 3 plus one trailing checksummed section, the
+// keyword-presence prefilter (sorted 64-bit FNV-1a hashes of every
+// indexed keyword, see index.Prefilter):
+//
+//	magic "XTIX" | version u8 = 4 | u8 sectionCount = 6
+//	| (u32 length, u32 CRC-32C) x 6 | sections
+//	prefilter: u32 H | u64[H] hashes   (strictly increasing)
+//
 //	meta:     u32 subsetLen, bytes  (DOCTYPE internal subset)
 //	          u32 dtdLen, bytes     (DTD rendered to declaration syntax)
 //	          u32 n                 (node count, early so the reader can
@@ -62,17 +70,21 @@ const (
 	maxCount = 1 << 28 // sanity bound on any persisted count
 )
 
-// Section indices of the version 3 table.
+// Section indices of the version 3/4 tables. Version 3 tables end at
+// secAux; version 4 appends the prefilter section.
 const (
 	secMeta = iota
 	secStrings
 	secTree
 	secPostings
 	secAux
+	secPrefilter
 	numSections
+
+	numSectionsChecked = numSections - 1 // version 3: no prefilter section
 )
 
-var sectionNames = [numSections]string{"meta", "strings", "tree", "postings", "aux"}
+var sectionNames = [numSections]string{"meta", "strings", "tree", "postings", "aux", "prefilter"}
 
 // castagnoli is the CRC-32C polynomial table for section checksums
 // (hardware-accelerated on amd64/arm64).
@@ -108,9 +120,9 @@ func appendI32(b []byte, v int32) []byte {
 	return binary.LittleEndian.AppendUint32(b, uint32(v))
 }
 
-// savePacked writes the checked (version 3) format: the packed body split
-// into five sections, each materialized so its CRC-32C lands in the header
-// before any body byte is written.
+// savePacked writes the prefilter (version 4) format: the packed body
+// split into six sections, each materialized so its CRC-32C lands in the
+// header before any body byte is written.
 func savePacked(w io.Writer, c *core.Corpus) error {
 	in := newInterner()
 
@@ -322,10 +334,21 @@ func savePacked(w io.Writer, c *core.Corpus) error {
 	}
 	secs[secAux] = buf
 
+	// Prefilter: the sorted keyword-hash slab. Written from the index's
+	// own filter so a loaded image skips the rebuild; sorted order makes
+	// the bytes deterministic for the golden tests.
+	hashes := c.Index.Prefilter().Hashes()
+	buf = make([]byte, 0, 4+8*len(hashes))
+	buf = appendU32(buf, uint32(len(hashes)))
+	for _, h := range hashes {
+		buf = binary.LittleEndian.AppendUint64(buf, h)
+	}
+	secs[secPrefilter] = buf
+
 	// Header, then the section bytes.
 	head := make([]byte, 0, len(magic)+2+8*numSections)
 	head = append(head, magic...)
-	head = append(head, versionChecked, numSections)
+	head = append(head, versionPrefilter, numSections)
 	for _, s := range secs {
 		head = appendU32(head, uint32(len(s)))
 		head = appendU32(head, crc32.Checksum(s, castagnoli))
@@ -342,22 +365,23 @@ func savePacked(w io.Writer, c *core.Corpus) error {
 	return bw.Flush()
 }
 
-// verifySections validates a version 3 header — section count, lengths
-// summing exactly to the body, per-section CRC-32C — and returns the body
-// offset decoding starts at. Checksums run before any structural decoding,
-// so corruption surfaces here as a named-section error rather than as
-// whatever downstream decoder happens to trip.
-func verifySections(data []byte) (int, error) {
+// verifySections validates a version 3/4 header — section count (want,
+// set by the version byte), lengths summing exactly to the body,
+// per-section CRC-32C — and returns the body offset decoding starts at.
+// Checksums run before any structural decoding, so corruption surfaces
+// here as a named-section error rather than as whatever downstream
+// decoder happens to trip.
+func verifySections(data []byte, want int) (int, error) {
 	tbl := len(magic) + 1
-	body := tbl + 1 + 8*numSections
+	body := tbl + 1 + 8*want
 	if len(data) < body {
 		return 0, fmt.Errorf("%w: truncated section table", ErrBadFormat)
 	}
-	if int(data[tbl]) != numSections {
-		return 0, fmt.Errorf("%w: section count %d, want %d", ErrBadFormat, data[tbl], numSections)
+	if int(data[tbl]) != want {
+		return 0, fmt.Errorf("%w: section count %d, want %d", ErrBadFormat, data[tbl], want)
 	}
 	pos := body
-	for i := 0; i < numSections; i++ {
+	for i := 0; i < want; i++ {
 		ln := int(binary.LittleEndian.Uint32(data[tbl+1+8*i:]))
 		want := binary.LittleEndian.Uint32(data[tbl+1+8*i+4:])
 		if ln > len(data)-pos {
@@ -452,11 +476,12 @@ func (t *stringTable) str(id int32) (string, bool) {
 
 // loadPackedAt decodes the packed body starting at bodyOff — immediately
 // after the version byte for version 2, after the verified section table
-// for version 3 (the body bytes are identical). The tree and posting
-// sections — the two large ones — decode concurrently: posting lists
-// reference nodes by address into the node slab, which is allocated before
-// either decoder runs.
-func loadPackedAt(data []byte, bodyOff int) (*core.Corpus, error) {
+// for versions 3 and 4 (the body bytes are identical; version 4 appends
+// the prefilter section, decoded when withPrefilter is set). The tree and
+// posting sections — the two large ones — decode concurrently: posting
+// lists reference nodes by address into the node slab, which is allocated
+// before either decoder runs.
+func loadPackedAt(data []byte, bodyOff int, withPrefilter bool) (*core.Corpus, error) {
 	c := &cursor{data: data, off: bodyOff}
 
 	// Meta.
@@ -533,6 +558,28 @@ func loadPackedAt(data []byte, bodyOff int) (*core.Corpus, error) {
 	sum, err := decodeSummary(c, table)
 	if err != nil {
 		return nil, err
+	}
+
+	// Prefilter (version 4): the sorted keyword-hash slab. Strictly
+	// increasing order is enforced — it is what Prefilter's binary search
+	// relies on, and a violation means the image is malformed. Hash
+	// completeness (every indexed keyword present) is the writer's
+	// invariant, protected at rest by the section CRC.
+	var pref *index.Prefilter
+	if withPrefilter {
+		ph := c.count("prefilter hash")
+		hashSlab := c.bytes(8 * ph)
+		if c.err != nil {
+			return nil, c.err
+		}
+		hs := make([]uint64, ph)
+		for i := range hs {
+			hs[i] = binary.LittleEndian.Uint64(hashSlab[8*i:])
+			if i > 0 && hs[i] <= hs[i-1] {
+				return nil, fmt.Errorf("%w: prefilter hashes out of order at %d", ErrBadFormat, i)
+			}
+		}
+		pref = index.PrefilterFromHashes(hs)
 	}
 	if c.off != len(c.data) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFormat, len(c.data)-c.off)
@@ -647,9 +694,13 @@ func loadPackedAt(data []byte, bodyOff int) (*core.Corpus, error) {
 	}
 	doc := xmltree.AdoptFinalized(docNodes)
 	doc.InternalSubset = subset
+	ix := index.FromPartsSized(doc, postings, total, maxList)
+	if pref != nil {
+		ix.AdoptPrefilter(pref)
+	}
 	return &core.Corpus{
 		Doc:     doc,
-		Index:   index.FromPartsSized(doc, postings, total, maxList),
+		Index:   ix,
 		Cls:     classify.FromCategories(cats, sum),
 		Keys:    keys.FromMap(km),
 		Summary: sum,

@@ -28,14 +28,22 @@
 // DTD-declared labels absent from the instance) and the mined keys are all
 // restored exactly; version 1 dropped the DTD and the internal subset.
 //
-// Version 3 (checked, the default written by Save) is version 2's exact
+// Version 3 (checked) is version 2's exact
 // byte stream split into five sections — meta, strings, tree, postings,
 // aux — with a section table (u32 length + u32 CRC-32C per section)
 // between the version byte and the body. The checksums are verified before
 // any decoding, so a truncated or bit-flipped image — the failure mode of
 // serving memory-mapped files off real disks — fails with a clean named
-// error instead of reaching the structural decoders. Versions 1 and 2
-// still load.
+// error instead of reaching the structural decoders.
+//
+// Version 4 (prefilter, the default written by Save) appends a sixth
+// checksummed section to the version 3 layout: the index's
+// keyword-presence prefilter (index.Prefilter) as a sorted u64 hash slab.
+// The section lets a loaded shard answer "can this image contain keyword
+// t?" without consulting the postings map — the shard-skip fast path of
+// multi-keyword queries — and is the piece a routing tier can hold without
+// loading postings at all. Versions 1–3 still load; their indexes build
+// the prefilter lazily from the postings map on first use.
 //
 // All readers validate magic, version, string ids, node counts and slab
 // bounds, and fail loudly on truncation or corruption (see FuzzLoad and
@@ -65,13 +73,17 @@ const (
 	// versionChecked is the packed format with a per-section CRC-32C
 	// table, verified before decoding.
 	versionChecked = 3
+	// versionPrefilter is the checked format plus a sixth section holding
+	// the keyword-presence prefilter hash slab.
+	versionPrefilter = 4
 )
 
 // ErrBadFormat reports a corrupted or foreign file.
 var ErrBadFormat = errors.New("persist: bad format")
 
-// Save writes the analyzed corpus to w in the checked (version 3) format:
-// the packed layout guarded by a per-section CRC-32C table.
+// Save writes the analyzed corpus to w in the prefilter (version 4)
+// format: the packed layout guarded by a per-section CRC-32C table, plus
+// the keyword-presence prefilter section.
 func Save(w io.Writer, c *core.Corpus) error {
 	return savePacked(w, c)
 }
@@ -112,7 +124,8 @@ func LoadFile(path string) (*core.Corpus, error) {
 	if data, unmap, ok := mapFile(f); ok {
 		f.Close()
 		if len(data) >= len(magic)+1 && string(data[:len(magic)]) == magic &&
-			(data[len(magic)] == versionPacked || data[len(magic)] == versionChecked) {
+			(data[len(magic)] == versionPacked || data[len(magic)] == versionChecked ||
+				data[len(magic)] == versionPrefilter) {
 			defer unmap()
 			return loadBytes(data)
 		}
@@ -150,13 +163,19 @@ func loadBytes(data []byte) (*core.Corpus, error) {
 	case versionLegacy:
 		return loadLegacy(bufio.NewReader(bytes.NewReader(data)))
 	case versionPacked:
-		return loadPackedAt(data, len(magic)+1)
+		return loadPackedAt(data, len(magic)+1, false)
 	case versionChecked:
-		body, err := verifySections(data)
+		body, err := verifySections(data, numSectionsChecked)
 		if err != nil {
 			return nil, err
 		}
-		return loadPackedAt(data, body)
+		return loadPackedAt(data, body, false)
+	case versionPrefilter:
+		body, err := verifySections(data, numSections)
+		if err != nil {
+			return nil, err
+		}
+		return loadPackedAt(data, body, true)
 	default:
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, data[len(magic)])
 	}

@@ -81,6 +81,11 @@ type Evaluation struct {
 	// LCAs is the SLCA/ELCA set in document order; nil when some keyword
 	// has no match here (conjunctive semantics).
 	LCAs []*xmltree.Node
+	// Truncated reports that LCAs is a bounded prefix of the full set:
+	// EvaluateBounded stopped the SLCA scan after proving the first k
+	// LCAs in document order. The prefix is byte-identical to the same
+	// prefix of an unbounded evaluation.
+	Truncated bool
 }
 
 // Complete reports whether every keyword matched at least once, i.e. the
@@ -99,6 +104,19 @@ func (ev *Evaluation) Complete() bool {
 // evaluation even when some keyword has no match, so callers merging
 // several documents (shards) can still see the per-keyword match counts.
 func (e *Engine) Evaluate(query string) (*Evaluation, error) {
+	return e.EvaluateBounded(query, 0)
+}
+
+// EvaluateBounded is Evaluate with top-k early termination: when limit > 0
+// and the engine runs SLCA semantics, the LCA scan stops once the first
+// limit SLCAs in document order are provable, marking the evaluation
+// Truncated. ELCA evaluation is never truncated: an ELCA pops off the
+// match virtual-tree stack only when the scan moves past its subtree, and
+// any of its stacked ancestors may still qualify from later matches, so no
+// document-order prefix of the ELCA set is provable before the scan
+// completes (see PERFORMANCE.md). limit <= 0 behaves exactly like
+// Evaluate.
+func (e *Engine) EvaluateBounded(query string, limit int) (*Evaluation, error) {
 	terms := ParseQuery(query)
 	if len(terms) == 0 {
 		return nil, ErrEmptyQuery
@@ -129,7 +147,7 @@ func (e *Engine) Evaluate(query string) (*Evaluation, error) {
 	case SemanticsELCA:
 		ev.LCAs = ELCAPacked(ev.Lists...)
 	default:
-		ev.LCAs = SLCAPacked(ev.Lists...)
+		ev.LCAs, ev.Truncated = SLCAPackedBounded(limit, ev.Lists...)
 	}
 	return ev, nil
 }
@@ -160,18 +178,54 @@ func (e *Engine) Results(ev *Evaluation, lcas []*xmltree.Node) []*Result {
 	return results
 }
 
+// EvaluateResults evaluates a query and materializes results for the LCAs
+// accepted by keep (nil keeps all), exploiting top-k early termination:
+// when the engine bounds results (MaxResults > 0, SLCA semantics), the LCA
+// scan stops after the first MaxResults provable SLCAs. If anchor
+// deduplication (DistinctAnchors) or the keep filter then consumes some of
+// the bound, the bound is widened 4x and evaluation retried, so the final
+// (kept, results) pair is byte-identical to an unbounded evaluation — the
+// occasional retry re-pays the cheap bounded scan, the common case touches
+// only the matches needed for k results. Returns the evaluation (LCAs nil
+// when some keyword has no match), the kept LCA subset, and the results.
+func (e *Engine) EvaluateResults(query string, keep func(*xmltree.Node) bool) (*Evaluation, []*xmltree.Node, []*Result, error) {
+	limit := 0
+	if e.opts.MaxResults > 0 && e.opts.Semantics != SemanticsELCA {
+		limit = e.opts.MaxResults
+	}
+	for {
+		ev, err := e.EvaluateBounded(query, limit)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if ev.LCAs == nil {
+			return ev, nil, nil, nil
+		}
+		kept := ev.LCAs
+		if keep != nil {
+			kept = make([]*xmltree.Node, 0, len(ev.LCAs))
+			for _, n := range ev.LCAs {
+				if keep(n) {
+					kept = append(kept, n)
+				}
+			}
+		}
+		results := e.Results(ev, kept)
+		if !ev.Truncated || len(results) >= e.opts.MaxResults {
+			return ev, kept, results, nil
+		}
+		limit *= 4
+	}
+}
+
 // Search evaluates a conjunctive keyword query and returns its results in
 // document order of their anchors. Double-quoted spans are phrase terms
-// that must match consecutively inside one text value.
+// that must match consecutively inside one text value. When the engine
+// bounds results, evaluation terminates early once the bound is provably
+// filled (see EvaluateResults).
 func (e *Engine) Search(query string) ([]*Result, error) {
-	ev, err := e.Evaluate(query)
-	if err != nil {
-		return nil, err
-	}
-	if ev.LCAs == nil {
-		return nil, nil
-	}
-	return e.Results(ev, ev.LCAs), nil
+	_, _, results, err := e.EvaluateResults(query, nil)
+	return results, err
 }
 
 // Explain returns a short per-keyword report of posting list sizes, used by

@@ -1,0 +1,133 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"extract/internal/index"
+)
+
+// FuzzGallop pins gallop against the obvious linear reference: the smallest
+// index at or after the cursor whose ord reaches the target. The fuzzer
+// builds arbitrary non-decreasing arrays (duplicates included — packed
+// posting ords are strictly increasing, but the helper must not depend on
+// that) and arbitrary cursor/target combinations, including cursors already
+// past the target and targets beyond the last element.
+func FuzzGallop(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, uint16(0), int32(5))
+	f.Add([]byte{0, 0, 7, 255}, uint16(2), int32(200))
+	f.Add([]byte{}, uint16(9), int32(-3))
+	f.Add([]byte{10, 0, 0, 0, 1}, uint16(1), int32(10))
+	f.Fuzz(func(t *testing.T, deltas []byte, from16 uint16, target int32) {
+		ords := make([]int32, len(deltas))
+		var cur int32
+		for i, d := range deltas {
+			cur += int32(d)
+			ords[i] = cur
+		}
+		from := int(from16) % (len(ords) + 1)
+		got := gallop(ords, from, target)
+		want := from
+		for want < len(ords) && ords[want] < target {
+			want++
+		}
+		if got != want {
+			t.Fatalf("gallop(%v, %d, %d) = %d, want %d", ords, from, target, got, want)
+		}
+	})
+}
+
+// Property: the bounded SLCA scan returns exactly the first limit elements
+// of the unbounded SLCA set (or the whole set, unmarked, when it fits), for
+// every limit, on random trees and keyword lists — early termination may
+// only cut work, never change answers.
+func TestSLCABoundedPrefixProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := randomDoc(r)
+		ix := index.Build(doc)
+		voc := ix.Vocabulary()
+		if len(voc) == 0 {
+			return true
+		}
+		k := 1 + r.Intn(4)
+		packed := make([]*index.PostingList, k)
+		for i := 0; i < k; i++ {
+			packed[i] = ix.List(voc[r.Intn(len(voc))])
+		}
+		full := SLCAPacked(packed...)
+		for limit := 1; limit <= len(full)+1; limit++ {
+			got, truncated := SLCAPackedBounded(limit, packed...)
+			wantLen := len(full)
+			if limit < wantLen {
+				wantLen = limit
+			}
+			if len(got) != wantLen || truncated != (limit < len(full)) {
+				t.Logf("seed %d limit %d: got %d nodes (truncated=%v), full set has %d",
+					seed, limit, len(got), truncated, len(full))
+				return false
+			}
+			for i := range got {
+				if got[i] != full[i] {
+					t.Logf("seed %d limit %d: element %d differs: %s vs %s",
+						seed, limit, i, got[i].Label, full[i].Label)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// BenchmarkSLCAProbeModes races the two cursor-advance strategies of
+// SLCAPackedBounded on a packed ord array at controlled probe gaps. This is
+// the measurement behind the gallopCost constant: at average gap g a linear
+// advance visits ~g elements per probe while a gallop spends
+// ~gallopCost*(log2(g)+1) visit-equivalents, so the gap where the two
+// curves cross pins gallopCost (see PERFORMANCE.md, "The galloping
+// crossover").
+func BenchmarkSLCAProbeModes(b *testing.B) {
+	const n = 1 << 20
+	ords := make([]int32, n)
+	for i := range ords {
+		ords[i] = int32(2 * i)
+	}
+	for _, gap := range []int{2, 4, 8, 16, 32, 64, 256, 1024} {
+		r := rand.New(rand.NewSource(42))
+		var targets []int32
+		for pos := r.Intn(gap + 1); pos < n; pos += 1 + r.Intn(2*gap) {
+			targets = append(targets, ords[pos]+1)
+		}
+		probe := func(b *testing.B, advance func(cur int, tg int32) int) {
+			b.Helper()
+			b.ReportMetric(float64(len(targets)), "probes/op")
+			for i := 0; i < b.N; i++ {
+				cur := 0
+				for _, tg := range targets {
+					cur = advance(cur, tg)
+				}
+				benchSink = cur
+			}
+		}
+		b.Run(fmt.Sprintf("gap=%d/linear", gap), func(b *testing.B) {
+			probe(b, func(cur int, tg int32) int {
+				for cur < len(ords) && ords[cur] < tg {
+					cur++
+				}
+				return cur
+			})
+		})
+		b.Run(fmt.Sprintf("gap=%d/gallop", gap), func(b *testing.B) {
+			probe(b, func(cur int, tg int32) int {
+				return gallop(ords, cur, tg)
+			})
+		})
+	}
+}
+
+var benchSink int

@@ -37,28 +37,63 @@ func SLCA(lists ...[]*xmltree.Node) []*xmltree.Node {
 }
 
 // SLCAPacked is SLCA over packed posting lists, the form the engine holds.
+// It is SLCAPackedBounded without a result bound.
+func SLCAPacked(lists ...*index.PostingList) []*xmltree.Node {
+	out, _ := SLCAPackedBounded(0, lists...)
+	return out
+}
+
+// gallopCost is the measured cost of one galloping probe step relative to
+// one linear-merge element visit, used by the probe-mode crossover below:
+// a galloping probe into a list with average inter-probe gap g costs about
+// gallopCost*(log2(g)+1) linear visits, so galloping pays once
+// g > gallopCost*(log2(g)+1) — an average gap of ~128 elements. Measured
+// on packed int32 ord arrays via BenchmarkSLCAProbeModes: a predictable
+// sequential visit retires at ~0.6–0.9ns while a gallop step (one doubling
+// or one branch-free binary halving, each a data-dependent load) costs
+// ~11–12ns, and the measured curves indeed cross between gap 64 (linear
+// 58ns/probe vs 63) and gap 256 (183 vs 105). See PERFORMANCE.md, "The
+// galloping crossover".
+const gallopCost = 16
+
+// SLCAPackedBounded is SLCAPacked with top-k early termination: when
+// limit > 0, the scan stops as soon as the first limit SLCAs in document
+// order are provable, and truncated reports whether the full SLCA set may
+// hold more. limit <= 0 computes the full set. The returned prefix is
+// byte-identical to the same prefix of the unbounded result (pinned by
+// property and fuzz tests).
 //
 // The algorithm follows the indexed-lookup approach: iterate the shortest
 // list; for each of its nodes find, in every other list, the closest match
-// in document order (predecessor or successor by Ord), and fold LCAs. When
-// the shortest list is a large fraction of the total, per-node binary
-// searches are replaced by monotone cursors, turning the candidate pass
-// into a linear merge over the ord arrays. The candidate set is then
-// reduced to the smallest elements by a single linear stack pass over the
-// preorder intervals.
-func SLCAPacked(lists ...*index.PostingList) []*xmltree.Node {
+// in document order (predecessor or successor by Ord), and fold LCAs. The
+// probes into the other lists use monotone cursors either way; when the
+// shortest list is a large fraction of the total the cursor advances as a
+// linear merge that touches each ord once and stays in cache, otherwise it
+// gallops (exponential search + branch-free binary refinement, see gallop)
+// so a skewed list costs O(log gap) per probe instead of O(gap). The
+// candidate stream is reduced to the smallest elements online by slcaStack,
+// which is also what makes early termination possible: once a candidate
+// lands strictly after the stack top, everything below it is sealed and
+// counts toward limit.
+func SLCAPackedBounded(limit int, lists ...*index.PostingList) ([]*xmltree.Node, bool) {
 	if len(lists) == 0 {
-		return nil
+		return nil, false
 	}
 	for _, l := range lists {
 		if l.Len() == 0 {
-			return nil
+			return nil, false
 		}
 	}
+	st := slcaStack{limit: limit}
 	if len(lists) == 1 {
 		// Even with one keyword, a match whose descendant also matches
 		// is not a smallest LCA.
-		return smallestOnly(append([]*xmltree.Node(nil), lists[0].Nodes...))
+		for _, v := range lists[0].Nodes {
+			if st.add(v) {
+				break
+			}
+		}
+		return st.results()
 	}
 
 	// Work on the shortest list for the outer loop.
@@ -71,10 +106,11 @@ func SLCAPacked(lists ...*index.PostingList) []*xmltree.Node {
 	}
 	s := lists[shortest]
 
-	// Binary searches win when the shortest list is far smaller than the
-	// rest; otherwise a linear merge with monotone cursors touches each
-	// ord once and stays in cache.
-	scan := s.Len()*ilog2(total) >= total-s.Len()
+	// Probe-mode crossover: galloping wins when the average gap between
+	// consecutive probe targets is large enough that ~gallopCost*(log2+1)
+	// probe steps beat visiting every element of the gap linearly.
+	avgGap := total / s.Len()
+	scan := s.Len()*gallopCost*(ilog2(avgGap)+1) >= total-s.Len()
 	cursors := make([]int, len(lists))
 
 	// For each node v of the shortest list, the folded LCA over all lists
@@ -82,8 +118,7 @@ func SLCAPacked(lists ...*index.PostingList) []*xmltree.Node {
 	// match of a list (pred or succ by ord) pins that list's contribution
 	// to the deeper of the two Dewey common-prefix lengths with v, and the
 	// fold takes the minimum across lists. One parent climb at the end
-	// materializes the candidate; consecutive duplicates collapse early.
-	candidates := make([]*xmltree.Node, 0, s.Len())
+	// materializes the candidate.
 	for si, v := range s.Nodes {
 		vOrd := s.Ords[si]
 		minDepth := len(v.Dewey)
@@ -91,16 +126,16 @@ func SLCAPacked(lists ...*index.PostingList) []*xmltree.Node {
 			if li == shortest {
 				continue
 			}
-			var i int
+			cur := cursors[li]
 			if scan {
-				cur := cursors[li]
 				for cur < len(l.Ords) && l.Ords[cur] < vOrd {
 					cur++
 				}
-				cursors[li], i = cur, cur
 			} else {
-				i = sort.Search(len(l.Ords), func(j int) bool { return l.Ords[j] >= vOrd })
+				cur = gallop(l.Ords, cur, vOrd)
 			}
+			cursors[li] = cur
+			i := cur
 			var lev int
 			switch {
 			case i <= 0:
@@ -124,12 +159,104 @@ func SLCAPacked(lists ...*index.PostingList) []*xmltree.Node {
 		for d := len(v.Dewey); d > minDepth; d-- {
 			c = c.Parent
 		}
-		if k := len(candidates); k > 0 && candidates[k-1] == c {
+		if st.add(c) {
+			break
+		}
+	}
+	return st.results()
+}
+
+// gallop returns the smallest index i >= from with ords[i] >= target, or
+// len(ords) if none: exponential search doubles a window out from the
+// cursor until it straddles the target, then a binary search narrows it.
+// The narrowing loop is a two-way select with no data-dependent memory
+// writes, which the compiler lowers to conditional moves — no branch
+// mispredictions on random gaps. Because the cursor only moves forward,
+// a sequence of calls with non-decreasing targets costs O(log gap) each
+// instead of O(log n).
+func gallop(ords []int32, from int, target int32) int {
+	n := len(ords)
+	if from >= n || ords[from] >= target {
+		return from
+	}
+	// Invariant: ords[lo] < target; hi is exclusive-capped at n.
+	lo, hi, step := from, from+1, 1
+	for hi < n && ords[hi] < target {
+		lo = hi
+		step <<= 1
+		hi += step
+	}
+	if hi > n {
+		hi = n
+	}
+	for hi-lo > 1 {
+		mid := int(uint(lo+hi) >> 1)
+		if ords[mid] < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// slcaStack reduces the SLCA candidate stream to the smallest elements
+// online. Candidates arrive ordered by the document position of the
+// shortest-list match that produced them, and every candidate contains its
+// match; with the preorder intervals forming a laminar family this leaves
+// exactly three cases per candidate (see add). Stack entries are mutually
+// disjoint in increasing document order, and only the top entry can ever
+// be popped — everything below it is sealed, which is what makes top-k
+// early termination provable mid-scan.
+type slcaStack struct {
+	limit int // seal this many entries, then stop; 0 = unlimited
+	stack []*xmltree.Node
+}
+
+// add folds candidate c into the stack and reports whether the first
+// limit SLCAs are now provable (the scan can stop).
+func (st *slcaStack) add(c *xmltree.Node) bool {
+	for {
+		if len(st.stack) == 0 {
+			st.stack = append(st.stack, c)
+			break
+		}
+		top := st.stack[len(st.stack)-1]
+		if c == top {
+			break // duplicate (Start is unique within a document)
+		}
+		if c.Start < top.Start {
+			// c strictly contains top (its match lies at or after top's
+			// interval, so the laminar intervals force c ⊃ top), or c
+			// duplicates a sealed entry; either way a candidate at least
+			// as small already exists inside c: drop c.
+			break
+		}
+		if c.Start <= top.End {
+			// top strictly contains c: not smallest. Entries below top
+			// are disjoint from it, so a single pop suffices.
+			st.stack = st.stack[:len(st.stack)-1]
 			continue
 		}
-		candidates = append(candidates, c)
+		// c lies strictly after top: push. Every entry below the new top
+		// is now sealed — later candidates have matches at or after c, so
+		// they can neither pop a sealed entry nor precede it.
+		st.stack = append(st.stack, c)
+		break
 	}
-	return smallestOnly(candidates)
+	return st.limit > 0 && len(st.stack) > st.limit
+}
+
+// results returns the accumulated SLCA set (or its first limit elements)
+// and whether the set was truncated by the bound.
+func (st *slcaStack) results() ([]*xmltree.Node, bool) {
+	if st.limit > 0 && len(st.stack) > st.limit {
+		return st.stack[:st.limit], true
+	}
+	if len(st.stack) == 0 {
+		return nil, false
+	}
+	return st.stack, false
 }
 
 // commonLevel returns the length of the longest common prefix of two Dewey

@@ -12,9 +12,14 @@ import (
 	"extract/xmltree"
 )
 
-// Search evaluates a conjunctive keyword query across every shard in
+// Search evaluates a conjunctive keyword query across the shards in
 // parallel and merges the per-shard results into global document order
-// through a bounded top-k merge. The result set is identical to evaluating
+// through a bounded top-k merge. Shards whose keyword-presence prefilter
+// (index.Prefilter) proves a query token absent are skipped before any
+// posting list is touched or pool work dispatched — a skip is always
+// sound, since such a shard can contain no local result — and per-shard
+// evaluation stops early once the result bound is provably filled
+// (search.EvaluateResults). The result set is identical to evaluating
 // the same query on the unsharded document (see the equivalence property
 // tests); opts carry the same semantics, construction-mode, distinct-anchor
 // and max-results options the unsharded engine takes.
@@ -180,6 +185,32 @@ func (sc *Corpus) SearchEnginesContext(ctx context.Context, query string, opts s
 		return rs, serr
 	}
 
+	// Prefilter pass: a shard whose keyword-presence filter is missing any
+	// query token provably contains no local LCA (conjunctive semantics),
+	// so no pool task is dispatched for it and its posting lists are never
+	// touched. The filter is one-sided — it only ever skips provably-empty
+	// shards; a hash collision merely evaluates a shard to an empty answer
+	// (see the never-skips property test). Skipped shards still owe the
+	// root decision their per-keyword match counts; those are filled in
+	// lazily below, only when the decision actually needs them.
+	terms := search.ParseQuery(query)
+	if len(terms) == 0 {
+		return nil, search.ErrEmptyQuery
+	}
+	queryTokens := make([]string, 0, len(terms))
+	for _, t := range terms {
+		queryTokens = append(queryTokens, t.Tokens...)
+	}
+	skip := make([]bool, len(sc.shards))
+	live := 0
+	for i, s := range sc.shards {
+		if s.Index.Prefilter().MayContainAll(queryTokens) {
+			live++
+		} else {
+			skip[i] = true
+		}
+	}
+
 	type shardOut struct {
 		eval *search.Evaluation
 		// nonRootLCAs is the local LCA set minus the shard root — under
@@ -192,39 +223,61 @@ func (sc *Corpus) SearchEnginesContext(ctx context.Context, query string, opts s
 		err          error
 	}
 	outs := make([]shardOut, len(sc.shards))
-	tasks := make([]func(), len(sc.shards))
+	tasks := make([]func(), 0, live)
 	for i, s := range sc.shards {
+		if skip[i] {
+			continue
+		}
 		i, eng, root := i, shardEngine(i), s.Doc.Root
-		tasks[i] = func() {
+		tasks = append(tasks, func() {
 			o := &outs[i]
 			if o.err = Checkpoint(ctx); o.err != nil {
 				return
 			}
-			o.eval, o.err = eng.Evaluate(query)
-			if o.err != nil || o.eval.LCAs == nil {
+			o.eval, o.nonRootLCAs, o.results, o.err = eng.EvaluateResults(query,
+				func(n *xmltree.Node) bool { return n != root })
+			if o.err != nil {
 				return
 			}
-			for _, lca := range o.eval.LCAs {
-				if lca != root {
-					o.nonRootLCAs = append(o.nonRootLCAs, lca)
-				}
-			}
-			o.results = eng.Results(o.eval, o.nonRootLCAs)
 			for _, r := range o.results {
 				if r.Anchor == root {
 					o.rootAnchored = true
 					break
 				}
 			}
-		}
+		})
 	}
-	if err := run(tasks); err != nil {
-		return nil, err
+	if len(tasks) > 0 {
+		if err := run(tasks); err != nil {
+			return nil, err
+		}
 	}
 	for i := range outs {
 		if outs[i].err != nil {
 			return nil, outs[i].err
 		}
+	}
+
+	// ensureSkippedEvals backfills evaluations for prefilter-skipped shards
+	// when the root decision needs corpus-wide per-keyword evidence. These
+	// evaluations are cheap — a skipped shard is missing some keyword, so
+	// evaluation is posting-list lookups with no LCA computation — and the
+	// common case (a non-root LCA exists somewhere) never pays for them.
+	ensureSkippedEvals := func() error {
+		for i := range outs {
+			if !skip[i] || outs[i].eval != nil {
+				continue
+			}
+			if err := Checkpoint(ctx); err != nil {
+				return err
+			}
+			ev, err := shardEngine(i).Evaluate(query)
+			if err != nil {
+				return err
+			}
+			outs[i].eval = ev
+		}
+		return nil
 	}
 
 	anyLCAs := false
@@ -238,16 +291,26 @@ func (sc *Corpus) SearchEnginesContext(ctx context.Context, query string, opts s
 		}
 	}
 
-	// Decide whether the global root belongs in the LCA set.
-	evals := make([]*search.Evaluation, len(outs))
-	nonRoot := make([][]*xmltree.Node, len(outs))
-	for i := range outs {
-		evals[i] = outs[i].eval
-		nonRoot[i] = outs[i].nonRootLCAs
+	// Decide whether the global root belongs in the LCA set. The ELCA
+	// witness check always needs every shard's posting lists; the SLCA
+	// check needs them only when no shard produced a non-root SLCA, so the
+	// common case never evaluates the prefilter-skipped shards at all.
+	collect := func() ([]*search.Evaluation, [][]*xmltree.Node) {
+		evals := make([]*search.Evaluation, len(outs))
+		nonRoot := make([][]*xmltree.Node, len(outs))
+		for i := range outs {
+			evals[i] = outs[i].eval
+			nonRoot[i] = outs[i].nonRootLCAs
+		}
+		return evals, nonRoot
 	}
 	rootQualifies := false
 	switch opts.Semantics {
 	case search.SemanticsELCA:
+		if err := ensureSkippedEvals(); err != nil {
+			return nil, err
+		}
+		evals, nonRoot := collect()
 		rootQualifies = rootIsELCA(evals, nonRoot)
 	default:
 		// SLCA: the root is smallest iff no proper descendant covers all
@@ -255,7 +318,13 @@ func (sc *Corpus) SearchEnginesContext(ctx context.Context, query string, opts s
 		// and the corpus as a whole covers them. This includes keywords
 		// spread across shards with no local co-occurrence at all (every
 		// local evaluation empty).
-		rootQualifies = !anyLCAs && allKeywordsMatch(evals)
+		if !anyLCAs {
+			if err := ensureSkippedEvals(); err != nil {
+				return nil, err
+			}
+			evals, _ := collect()
+			rootQualifies = allKeywordsMatch(evals)
+		}
 	}
 
 	if rootQualifies || rootAnchored {

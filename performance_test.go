@@ -1,0 +1,100 @@
+package extract_test
+
+import (
+	"encoding/json"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// benchFieldRe matches an inline-cited JSON field name: lowercase with at
+// least one underscore. Metric names share the shape but carry the
+// extract_ prefix and are already diffed against the live registry by
+// TestObservabilityDocMatchesRegistry, so they are excluded here.
+var benchFieldRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+
+// inlineCodeRe matches inline code spans on one line; fenced blocks are
+// stripped before it runs.
+var inlineCodeRe = regexp.MustCompile("`([^`\n]+)`")
+
+// collectJSONKeys gathers every object key appearing anywhere in v.
+func collectJSONKeys(v any, into map[string]bool) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, sub := range t {
+			into[k] = true
+			collectJSONKeys(sub, into)
+		}
+	case []any:
+		for _, sub := range t {
+			collectJSONKeys(sub, into)
+		}
+	}
+}
+
+// TestPerformanceDocCitesRealBenchFields keeps PERFORMANCE.md honest
+// against BENCH_search.json in both directions: every bench field or
+// section the doc cites in inline code must exist somewhere in the report,
+// and every trajectory section the report records must be documented. A
+// renamed JSON tag or a section added without prose fails here, exactly
+// like OBSERVABILITY.md and the metrics registry.
+func TestPerformanceDocCitesRealBenchFields(t *testing.T) {
+	docBytes, err := os.ReadFile("PERFORMANCE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportBytes, err := os.ReadFile("BENCH_search.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report map[string]any
+	if err := json.Unmarshal(reportBytes, &report); err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	collectJSONKeys(report, keys)
+	if len(keys) < 10 {
+		t.Fatalf("implausibly few keys in BENCH_search.json: %d", len(keys))
+	}
+
+	// Strip fenced code blocks: shell commands are not field citations.
+	var prose []string
+	fenced := false
+	for _, line := range strings.Split(string(docBytes), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			continue
+		}
+		if !fenced {
+			prose = append(prose, line)
+		}
+	}
+
+	cited := map[string]bool{}
+	for _, m := range inlineCodeRe.FindAllStringSubmatch(strings.Join(prose, "\n"), -1) {
+		tok := m[1]
+		if !benchFieldRe.MatchString(tok) || strings.HasPrefix(tok, "extract_") {
+			continue
+		}
+		cited[tok] = true
+		if !keys[tok] {
+			t.Errorf("PERFORMANCE.md cites %q, which is not a field of BENCH_search.json", tok)
+		}
+	}
+	if len(cited) < 5 {
+		t.Errorf("PERFORMANCE.md cites only %d bench fields; the extraction regex may have rotted", len(cited))
+	}
+
+	// Reverse direction: every recorded trajectory section must appear in
+	// the doc's prose as an inline-cited name.
+	doc := strings.Join(prose, "\n")
+	for name, v := range report {
+		if _, isSection := v.([]any); !isSection {
+			continue
+		}
+		if !strings.Contains(doc, "`"+name+"`") {
+			t.Errorf("BENCH_search.json records section %q but PERFORMANCE.md never documents it", name)
+		}
+	}
+}

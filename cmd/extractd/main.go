@@ -232,10 +232,20 @@ func main() {
 		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for draining in-flight requests")
 		slowQuery    = flag.Duration("slow-query", 0, "log queries at least this slow as JSON lines on stderr (0 disables)")
 		pprofFlag    = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
+		shardServer  = flag.Bool("shard-server", false, "run as a shard server for the distributed tier instead of the HTTP demo (requires -snapshot)")
+		snapshotDir  = flag.String("snapshot", "", "sharded snapshot directory for -shard-server and -router modes")
+		shardGroup   = flag.Int("shard-group", 0, "this shard server's replica group index (0-based)")
+		shardGroups  = flag.Int("shard-groups", 1, "total replica groups in the tier; placement is computed from the snapshot manifest")
+		routerFlag   = flag.String("router", "", "serve the -snapshot dataset through a remote shard tier: replica groups separated by ';', replicas by ',' (host:port,host:port;host:port)")
 	)
 	var dataFlags multiFlag
 	flag.Var(&dataFlags, "data", "dataset as name=file.xml (repeatable)")
 	flag.Parse()
+
+	if *shardServer {
+		runShardServer(*addr, *snapshotDir, *shardGroup, *shardGroups, *watch)
+		return
+	}
 
 	cacheBytes := *cacheMB
 	if cacheBytes > 0 {
@@ -308,6 +318,27 @@ func main() {
 			log.Printf("extractd: %s: %d shards", name, n)
 		}
 		s.add(name, c, path)
+	}
+	if *routerFlag != "" {
+		// Router mode: the dataset is served by a remote shard tier —
+		// queries fan out over the wire and answers come back
+		// byte-identical to a local corpus (see internal/remote). Only the
+		// snapshot's manifest and analysis image are read locally.
+		if *snapshotDir == "" {
+			log.Fatal("extractd: -router requires -snapshot <dir>")
+		}
+		groups := parseReplicaGroups(*routerFlag)
+		if len(groups) == 0 {
+			log.Fatalf("extractd: -router %q lists no replica addresses", *routerFlag)
+		}
+		c, err := extract.Connect(*snapshotDir, groups, s.loadOptions()...)
+		if err != nil {
+			log.Fatalf("extractd: connect to shard tier: %v", err)
+		}
+		log.Printf("extractd: remote dataset: %d shards across %d replica groups", c.Shards(), len(groups))
+		s.add("remote", c, *snapshotDir)
+		// Reloads go through the manifest + router re-placement, not XML.
+		s.datasets["remote"].Snapshot = true
 	}
 	sort.Strings(s.names)
 	s.tmpl = template.Must(template.New("page").Parse(pageHTML))

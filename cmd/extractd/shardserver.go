@@ -1,0 +1,120 @@
+// Shard-server mode: instead of the HTTP demo, extractd -shard-server
+// serves a sharded snapshot's evaluation subset over the remote wire
+// protocol to routers (extractd -router, or any extract.Connect client).
+// Every server loads the full snapshot — mmap'd packed images, so the
+// resident cost is paged in on demand — but evaluates only the shards its
+// replica group owns under the manifest's rendezvous placement; the full
+// corpus stays available for the whole-document fallback any replica can
+// serve. See README.md in this directory for the ops runbook.
+
+package main
+
+import (
+	"context"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"extract/internal/ingest"
+	"extract/internal/remote"
+)
+
+// runShardServer is the -shard-server entry point: load the snapshot, own
+// group `group` of `groups`, serve until SIGINT/SIGTERM. A -watch interval
+// polls the snapshot manifest and swaps generations online (Server.Swap),
+// pairing with the routers' own ReloadSnapshot.
+func runShardServer(addr, dir string, group, groups int, watch time.Duration) {
+	if dir == "" {
+		log.Fatal("extractd: -shard-server requires -snapshot <dir>")
+	}
+	if groups < 1 || group < 0 || group >= groups {
+		log.Fatalf("extractd: -shard-group %d of -shard-groups %d out of range", group, groups)
+	}
+	loaded, err := ingest.Load(dir)
+	if err != nil {
+		log.Fatalf("extractd: load snapshot %s: %v", dir, err)
+	}
+	if loaded.Corpus == nil {
+		log.Fatalf("extractd: %s is not a sharded snapshot; shard servers need one (build with extract -savesnapshot -shards N)", dir)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("extractd: listen %s: %v", addr, err)
+	}
+	owned := remote.OwnedShards(loaded.Source, group, groups)
+	srv := remote.NewServer(loaded.Corpus,
+		remote.WithOwnedShards(owned),
+		remote.WithServerTag(ln.Addr().String()))
+	log.Printf("extractd: shard server on %s: group %d/%d owns %d of %d shards from %s",
+		ln.Addr(), group, groups, len(owned), len(loaded.Source.Shards), dir)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if watch > 0 {
+		go watchSnapshot(ctx, srv, dir, group, groups, watch)
+	}
+	go func() {
+		<-ctx.Done()
+		log.Printf("extractd: shard server shutting down")
+		srv.Close()
+	}()
+	srv.Serve(ln)
+}
+
+// watchSnapshot polls the snapshot manifest's mtime and swaps the server
+// onto the new generation when it changes. A failed load logs and leaves
+// the old generation serving — same policy as the demo's dataset watcher.
+func watchSnapshot(ctx context.Context, srv *remote.Server, dir string, group, groups int, interval time.Duration) {
+	manifest := filepath.Join(dir, ingest.ManifestName)
+	var mtime time.Time
+	var size int64
+	if fi, err := os.Stat(manifest); err == nil {
+		mtime, size = fi.ModTime(), fi.Size()
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		fi, err := os.Stat(manifest)
+		if err != nil || (fi.ModTime().Equal(mtime) && fi.Size() == size) {
+			continue
+		}
+		loaded, err := ingest.Load(dir)
+		if err != nil || loaded.Corpus == nil {
+			log.Printf("extractd: reload snapshot %s: %v — still serving the loaded generation", dir, err)
+			continue
+		}
+		srv.Swap(loaded.Corpus,
+			remote.WithOwnedShards(remote.OwnedShards(loaded.Source, group, groups)))
+		mtime, size = fi.ModTime(), fi.Size()
+		log.Printf("extractd: shard server swapped to new snapshot generation (fingerprint %x)",
+			remote.Fingerprint(loaded.Source))
+	}
+}
+
+// parseReplicaGroups parses the -router topology: replica groups separated
+// by ';', replica addresses within a group by ','. Whitespace is ignored.
+func parseReplicaGroups(s string) [][]string {
+	var groups [][]string
+	for _, g := range strings.Split(s, ";") {
+		var addrs []string
+		for _, a := range strings.Split(g, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) > 0 {
+			groups = append(groups, addrs)
+		}
+	}
+	return groups
+}

@@ -176,6 +176,25 @@
 // beats a full snapshot load severalfold — and either snapshot reload is
 // two orders of magnitude cheaper than any XML path.
 //
+// # Distributed serving
+//
+// Connect opens a corpus whose evaluation runs on a remote shard-server
+// tier (internal/remote): shard servers (extractd -shard-server) each own
+// a replica group's subset of a sharded snapshot, and a stateless router
+// — a serve.Backend like any other — fans queries out over a checksummed
+// wire protocol and merges answers with the same root-aware procedure as
+// the local sharded path, so routed results, snippets and ranking are
+// byte-identical to a local corpus (pinned by property tests). Replica
+// groups fail over: a dead replica degrades to its peers with zero
+// failed queries, and only classified errors surface. Placement is a
+// pure function of the snapshot manifest (rendezvous hashing over shard
+// content hashes), so routers and servers agree without a coordinator,
+// and every response carries a generation fingerprint that turns reload
+// windows into clean retries instead of mixed answers. Operations that
+// need local documents (XPath, SaveSnapshot, delta reload) return
+// ErrRemoteCorpus. See cmd/extractd/README.md for the deployment
+// runbook.
+//
 // # Persisted indexes
 //
 // Corpus.SaveIndex / LoadIndex persist an analyzed corpus in a versioned

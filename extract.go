@@ -2,6 +2,7 @@ package extract
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"extract/internal/ingest"
 	"extract/internal/persist"
 	"extract/internal/rank"
+	"extract/internal/remote"
 	"extract/internal/search"
 	"extract/internal/serve"
 	"extract/internal/shard"
@@ -78,6 +80,10 @@ type Corpus struct {
 type corpusData struct {
 	c  *core.Corpus  // unsharded corpus; nil when sharded
 	sh *shard.Corpus // sharded corpus; nil when unsharded
+	// rt serves the generation from a remote shard-server tier (Connect);
+	// when set, both corpus fields are nil — the data lives in the shard
+	// servers, and only the snapshot's analysis artifacts are local.
+	rt *remote.Router
 
 	// src is the generation's delta-ingestion identity (root fingerprint
 	// + per-shard content hashes), computed lazily on the first delta
@@ -119,6 +125,9 @@ func (d *corpusData) source() ingest.Source {
 
 // backend adapts the generation to the serving layer's corpus interface.
 func (d *corpusData) backend() serve.Backend {
+	if d.rt != nil {
+		return d.rt
+	}
 	if d.sh != nil {
 		return d.sh
 	}
@@ -199,6 +208,9 @@ func (c *Corpus) Close() {
 	// first query: the sync.Once orders the pool's creation before
 	// its stop (worst case it builds a pool only to stop it).
 	c.server().Close()
+	if rt := c.data.Load().rt; rt != nil {
+		rt.Close()
+	}
 }
 
 // Reload replaces the corpus's analyzed data with src's — the online
@@ -286,6 +298,9 @@ func (c *Corpus) ReloadDelta(r io.Reader, opts ...Option) (stats DeltaStats, err
 	c.reloadMu.Lock()
 	defer c.reloadMu.Unlock()
 	old := c.data.Load()
+	if old.rt != nil {
+		return DeltaStats{}, ErrRemoteCorpus
+	}
 	diff := ingest.Diff(old.source(), doc, cfg.shards)
 
 	var nd *corpusData
@@ -383,6 +398,24 @@ func (c *Corpus) ReloadSnapshot(dir string) (stats DeltaStats, err error) {
 	c.reloadMu.Lock()
 	defer c.reloadMu.Unlock()
 	old := c.data.Load()
+	if old.rt != nil {
+		// Remote tier: re-read the manifest and re-place shards on the
+		// same router; the shard servers swap generations on their own
+		// (Server.Swap). The backend swap bumps the cache epoch, so no
+		// response computed against the old placement is ever replayed.
+		m, err := ingest.ReadManifest(dir)
+		if err != nil {
+			return DeltaStats{}, err
+		}
+		if err := old.rt.ReloadSnapshot(dir); err != nil {
+			return DeltaStats{}, err
+		}
+		src := m.Source()
+		nd := &corpusData{rt: old.rt, src: &src}
+		c.data.Store(nd)
+		c.server().Swap(nd.backend())
+		return DeltaStats{Shards: len(src.Shards), Rebuilt: len(src.Shards)}, nil
+	}
 	oldSrc := old.source()
 
 	// A writer may be refreshing the directory in place; the manifest is
@@ -487,6 +520,9 @@ func firstError(errs []error) error {
 func (c *Corpus) SaveSnapshot(dir string) error {
 	defer c.recordSnapshotSave(time.Now())
 	d := c.data.Load()
+	if d.rt != nil {
+		return ErrRemoteCorpus
+	}
 	if d.sh != nil {
 		return ingest.Snapshot(dir, d.sh)
 	}
@@ -561,6 +597,9 @@ func (c *Corpus) QueryCacheStats() (stats CacheStats, ok bool) {
 // of a sharded corpus.
 func (c *Corpus) analysis() *core.Corpus {
 	d := c.data.Load()
+	if d.rt != nil {
+		return d.rt.Analysis()
+	}
 	if d.sh != nil {
 		return d.sh.Analysis()
 	}
@@ -735,6 +774,50 @@ func LoadString(s string, opts ...Option) (*Corpus, error) {
 	return Load(strings.NewReader(s), opts...)
 }
 
+// ErrRemoteCorpus rejects an operation that needs local corpus data —
+// whole-document access, index persistence, or in-process reload — on a
+// corpus connected to a remote serving tier, which holds only the
+// snapshot's analysis artifacts locally.
+var ErrRemoteCorpus = errors.New("extract: operation requires local corpus data (corpus is served by a remote shard tier)")
+
+// Connect opens a corpus served by a remote shard-server tier instead of
+// local data: dir is the sharded snapshot directory the tier was started
+// from (only its manifest and small analysis image are read — the shard
+// images stay with the servers), and groups lists the replica addresses of
+// each shard-server group (groups[g] are peers serving the same placement
+// subset; see cmd/extractd's -shard-server mode). Queries, snippets and
+// ranking behave exactly as on a local corpus — the router pins answers
+// byte-identical — and the serving layer (cache, deadlines, worker pool)
+// applies unchanged, so only WithWorkers, WithQueryCache, WithQueryTimeout
+// and WithMaxInFlight load options are meaningful. Operations that need
+// the documents themselves (XPath, SaveSnapshot, SaveIndex, delta reload)
+// return ErrRemoteCorpus; ReloadSnapshot re-reads the manifest and re-places
+// shards, pairing with the servers' own reload. Close also disconnects.
+func Connect(dir string, groups [][]string, opts ...Option) (*Corpus, error) {
+	cfg := newLoadConfig()
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	reg := telemetry.NewRegistry()
+	rt, err := remote.OpenSnapshot(dir, groups, remote.WithRouterTelemetry(reg))
+	if err != nil {
+		return nil, err
+	}
+	m, err := ingest.ReadManifest(dir)
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	src := m.Source()
+	c := &Corpus{srvCache: -1, reg: reg}
+	c.data.Store(&corpusData{rt: rt, src: &src})
+	c.ConfigureServing(cfg.workers, cfg.cache)
+	c.ConfigureLimits(cfg.timeout, cfg.maxInFlight)
+	return c, nil
+}
+
 // LoadFile parses and analyzes an XML database from a file.
 func LoadFile(path string, opts ...Option) (*Corpus, error) {
 	f, err := os.Open(path)
@@ -786,6 +869,11 @@ func LoadFiles(paths []string, opts ...Option) (*Corpus, error) {
 // completions merge, re-ranked by corpus-wide frequency.
 func (c *Corpus) Suggest(prefix string, k int) []string {
 	d := c.data.Load()
+	if d.rt != nil {
+		// Completion needs the local vocabulary, which lives with the
+		// shard servers; a remote corpus has no suggestions.
+		return nil
+	}
 	if d.sh != nil {
 		return d.sh.CompletePrefix(prefix, k)
 	}
@@ -820,6 +908,10 @@ func FromDocumentSharded(doc *xmltree.Document, d *dtd.DTD, n int) *Corpus {
 // corpus it returns the reconstructed whole-document fallback corpus.
 func (c *Corpus) Internal() *core.Corpus {
 	d := c.data.Load()
+	if d.rt != nil {
+		// No local documents; the analysis view is all there is.
+		return d.rt.Analysis()
+	}
 	if d.sh != nil {
 		return d.sh.Fallback()
 	}
@@ -831,8 +923,12 @@ func (c *Corpus) InternalShards() *shard.Corpus { return c.data.Load().sh }
 
 // Shards returns the number of index shards (1 for an unsharded corpus).
 func (c *Corpus) Shards() int {
-	if sh := c.data.Load().sh; sh != nil {
-		return sh.NumShards()
+	d := c.data.Load()
+	if d.rt != nil {
+		return d.rt.NumShards()
+	}
+	if d.sh != nil {
+		return d.sh.NumShards()
 	}
 	return 1
 }
@@ -852,6 +948,17 @@ type Stats struct {
 // aggregate across shards (shard-root copies deduplicated).
 func (c *Corpus) Stats() Stats {
 	d := c.data.Load()
+	if d.rt != nil {
+		// Only what the analysis artifacts and the (remote) corpus-wide
+		// counters can answer; node-level statistics stay with the data.
+		cls := d.rt.Analysis().Cls
+		return Stats{
+			Elements:    d.rt.TotalElements(),
+			Entities:    cls.Entities(),
+			Attributes:  cls.Attributes(),
+			Connections: cls.Connections(),
+		}
+	}
 	if d.sh != nil {
 		maxDepth := 0
 		for _, s := range d.sh.Shards() {
@@ -885,6 +992,9 @@ func (c *Corpus) Stats() Stats {
 // EntityKey returns the mined key attribute of an entity label.
 func (c *Corpus) EntityKey(entity string) (attr string, ok bool) {
 	d := c.data.Load()
+	if d.rt != nil {
+		return d.rt.Analysis().Keys.KeyAttr(entity)
+	}
 	if d.sh != nil {
 		return d.sh.Keys().KeyAttr(entity)
 	}
@@ -1000,8 +1110,12 @@ func scorerFor(b serve.Backend) *rank.Scorer {
 		return rank.NewScorerFunc(x.Count, x.TotalElements())
 	case serve.Single:
 		return rank.NewScorer(x.C.Index)
+	case *remote.Router:
+		// Corpus-wide statistics come from the serving tier, cached per
+		// snapshot generation.
+		return rank.NewScorerFunc(x.Count, x.TotalElements())
 	}
-	// Unreachable: the facade only ever builds the two shapes above.
+	// Unreachable: the facade only ever builds the three shapes above.
 	panic("extract: unknown serving backend")
 }
 
@@ -1169,6 +1283,9 @@ func (c *Corpus) XPath(expr string) ([]*Result, error) {
 		return nil, err
 	}
 	d := c.data.Load()
+	if d.rt != nil {
+		return nil, ErrRemoteCorpus
+	}
 	xdoc := d.c
 	if d.sh != nil {
 		// XPath needs the whole document; evaluate on the reconstructed
@@ -1190,6 +1307,9 @@ func (c *Corpus) XPath(expr string) ([]*Result, error) {
 // reopens it without re-parsing, re-tokenizing or re-analyzing the XML.
 func (c *Corpus) SaveIndex(w io.Writer) error {
 	d := c.data.Load()
+	if d.rt != nil {
+		return ErrRemoteCorpus
+	}
 	if d.sh != nil {
 		return shard.Save(w, d.sh)
 	}
@@ -1199,6 +1319,9 @@ func (c *Corpus) SaveIndex(w io.Writer) error {
 // SaveIndexFile writes the analyzed corpus to a file.
 func (c *Corpus) SaveIndexFile(path string) error {
 	d := c.data.Load()
+	if d.rt != nil {
+		return ErrRemoteCorpus
+	}
 	if d.sh != nil {
 		return shard.SaveFile(path, d.sh)
 	}

@@ -27,14 +27,26 @@ const (
 	// ImageBytes transforms a persisted image before decoding — corrupt
 	// bytes here to simulate bit rot without touching disk.
 	ImageBytes
+	// RemoteSend fires on the router side before each remote shard call is
+	// written to the wire — error here to simulate an unreachable network,
+	// sleep to simulate a congested one. The tag is the replica address.
+	RemoteSend
+	// RemoteServe fires on the shard-server side as each request is
+	// handled — panic to crash one replica's request, sleep to stall it,
+	// error to fail it. The tag identifies the serving replica, so a chaos
+	// test can target one member of a replica group and leave its peer
+	// healthy.
+	RemoteServe
 
 	numPoints
 )
 
 // hook carries the installed behaviors for one point. Fire-style points use
-// fn; byte-transforming points use transform.
+// fn (or fnTag when the site supplies an identity tag); byte-transforming
+// points use transform.
 type hook struct {
 	fn        func() error
+	fnTag     func(tag string) error
 	transform func([]byte) []byte
 }
 
@@ -63,6 +75,27 @@ func Fire(p Point) error {
 	return h.fn()
 }
 
+// FireTag is Fire for sites that carry an identity tag — a replica
+// address, a dataset name. A tagged hook (SetTag) receives the tag and can
+// fault one identity while leaving its peers healthy; a plain hook (Set)
+// fires regardless of tag.
+func FireTag(p Point, tag string) error {
+	if !armed.Load() {
+		return nil
+	}
+	h := hooks[p].Load()
+	if h == nil {
+		return nil
+	}
+	if h.fnTag != nil {
+		return h.fnTag(tag)
+	}
+	if h.fn != nil {
+		return h.fn()
+	}
+	return nil
+}
+
 // Mutate passes data through the byte-transforming hook at p, if any,
 // returning the (possibly corrupted) replacement. Hooks must not modify
 // data in place — callers may hold read-only mappings — but return a
@@ -84,6 +117,17 @@ func Set(p Point, fn func() error) {
 		hooks[p].Store(nil)
 	} else {
 		hooks[p].Store(&hook{fn: fn})
+	}
+	rearm()
+}
+
+// SetTag installs a tagged hook at p (nil clears the point); FireTag hands
+// it the firing site's identity tag.
+func SetTag(p Point, fn func(tag string) error) {
+	if fn == nil {
+		hooks[p].Store(nil)
+	} else {
+		hooks[p].Store(&hook{fnTag: fn})
 	}
 	rearm()
 }

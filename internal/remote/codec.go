@@ -1,0 +1,690 @@
+package remote
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"extract/internal/search"
+	"extract/internal/shard"
+	"extract/xmltree"
+)
+
+// Payload encodings. All integers are unsigned varints unless a fixed
+// width is noted; strings are a uvarint length followed by the bytes.
+// Every decoder validates counts against hard caps before allocating and
+// returns *ProtocolError on malformed input — the frame checksum already
+// rejected corruption, so a decode failure here means version skew or a
+// buggy peer, and poisons the connection.
+
+// maxTreeNodes bounds one decoded result tree; maxWireResults bounds one
+// response's result count. Both exist to turn a hostile length field into
+// a classified error instead of an allocation.
+const (
+	maxTreeNodes   = 4 << 20
+	maxWireResults = 1 << 20
+	maxWireShards  = 1 << 16
+	maxWireStrings = 1 << 16
+)
+
+// cursor decodes one payload, accumulating the first failure.
+type cursor struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (c *cursor) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = protocolErrf(format, args...)
+	}
+}
+
+func (c *cursor) uvarint(what string) uint64 {
+	if c.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(c.data[c.off:])
+	if n <= 0 {
+		c.fail("truncated varint (%s)", what)
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *cursor) u8(what string) byte {
+	if c.err != nil {
+		return 0
+	}
+	if c.off >= len(c.data) {
+		c.fail("truncated byte (%s)", what)
+		return 0
+	}
+	b := c.data[c.off]
+	c.off++
+	return b
+}
+
+func (c *cursor) u64(what string) uint64 {
+	if c.err != nil {
+		return 0
+	}
+	if c.off+8 > len(c.data) {
+		c.fail("truncated u64 (%s)", what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.data[c.off:])
+	c.off += 8
+	return v
+}
+
+func (c *cursor) bytes(n int, what string) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || c.off+n > len(c.data) {
+		c.fail("truncated bytes (%s, want %d)", what, n)
+		return nil
+	}
+	b := c.data[c.off : c.off+n]
+	c.off += n
+	return b
+}
+
+func (c *cursor) str(what string) string {
+	n := c.uvarint(what + " length")
+	if n > uint64(len(c.data)) {
+		c.fail("oversized string (%s, %d bytes)", what, n)
+		return ""
+	}
+	return string(c.bytes(int(n), what))
+}
+
+// count reads a uvarint and validates it against a cap.
+func (c *cursor) count(what string, cap uint64) int {
+	n := c.uvarint(what)
+	if n > cap {
+		c.fail("%s count %d exceeds cap %d", what, n, cap)
+		return 0
+	}
+	return int(n)
+}
+
+func (c *cursor) done() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.off != len(c.data) {
+		return protocolErrf("%d trailing payload bytes", len(c.data)-c.off)
+	}
+	return nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// --- search options ---
+
+func appendOptions(b []byte, o search.Options) []byte {
+	b = append(b, byte(o.Semantics), byte(o.Mode))
+	if o.DistinctAnchors {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return binary.AppendUvarint(b, uint64(o.MaxResults))
+}
+
+func (c *cursor) options() search.Options {
+	var o search.Options
+	o.Semantics = search.Semantics(c.u8("semantics"))
+	o.Mode = search.ConstructionMode(c.u8("mode"))
+	o.DistinctAnchors = c.u8("distinct anchors") != 0
+	o.MaxResults = int(c.uvarint("max results"))
+	if o.Semantics > search.SemanticsELCA {
+		c.fail("unknown semantics %d", o.Semantics)
+	}
+	return o
+}
+
+// --- hello ---
+
+type helloMsg struct {
+	fingerprint uint64
+	shards      int
+	owned       []uint32 // owned shard indices, ascending
+}
+
+func encodeHello(h helloMsg) []byte {
+	b := binary.LittleEndian.AppendUint64(nil, h.fingerprint)
+	b = binary.AppendUvarint(b, uint64(h.shards))
+	b = binary.AppendUvarint(b, uint64(len(h.owned)))
+	for _, s := range h.owned {
+		b = binary.AppendUvarint(b, uint64(s))
+	}
+	return b
+}
+
+func decodeHello(data []byte) (helloMsg, error) {
+	c := &cursor{data: data}
+	var h helloMsg
+	h.fingerprint = c.u64("fingerprint")
+	h.shards = c.count("shard", maxWireShards)
+	n := c.count("owned shard", maxWireShards)
+	h.owned = make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		h.owned = append(h.owned, uint32(c.uvarint("owned shard index")))
+	}
+	return h, c.done()
+}
+
+// --- eval / digest / full requests ---
+
+type evalReq struct {
+	opts          search.Options
+	query         string
+	timeoutMillis uint64 // 0 = no deadline
+	shards        []uint32
+}
+
+func encodeEvalReq(r evalReq) []byte {
+	b := appendOptions(nil, r.opts)
+	b = appendString(b, r.query)
+	b = binary.AppendUvarint(b, r.timeoutMillis)
+	b = binary.AppendUvarint(b, uint64(len(r.shards)))
+	for _, s := range r.shards {
+		b = binary.AppendUvarint(b, uint64(s))
+	}
+	return b
+}
+
+func decodeEvalReq(data []byte) (evalReq, error) {
+	c := &cursor{data: data}
+	var r evalReq
+	r.opts = c.options()
+	r.query = c.str("query")
+	r.timeoutMillis = c.uvarint("timeout")
+	n := c.count("shard", maxWireShards)
+	r.shards = make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		r.shards = append(r.shards, uint32(c.uvarint("shard index")))
+	}
+	return r, c.done()
+}
+
+// fullReq doubles as the digest request (same fields, different type byte
+// on the frame): digests re-run the cheap no-LCA evaluation of
+// prefilter-skipped shards, the full request evaluates the reconstructed
+// whole document.
+type fullReq struct {
+	opts          search.Options
+	query         string
+	timeoutMillis uint64
+	shards        []uint32 // digest request only; empty for full eval
+}
+
+func encodeFullReq(r fullReq) []byte {
+	return encodeEvalReq(evalReq(r))
+}
+
+func decodeFullReq(data []byte) (fullReq, error) {
+	r, err := decodeEvalReq(data)
+	return fullReq(r), err
+}
+
+// --- digests ---
+
+const (
+	digestRootAnchored = 1 << iota
+	digestNonRootLCAs
+	digestHasFree
+	digestSkipped
+)
+
+func appendDigest(b []byte, d shard.Digest, skipped bool) []byte {
+	var flags byte
+	if d.RootAnchored {
+		flags |= digestRootAnchored
+	}
+	if d.HasNonRootLCAs {
+		flags |= digestNonRootLCAs
+	}
+	if d.Free != nil {
+		flags |= digestHasFree
+	}
+	if skipped {
+		flags |= digestSkipped
+	}
+	b = append(b, flags)
+	if skipped {
+		return b
+	}
+	b = binary.AppendUvarint(b, uint64(len(d.Matched)))
+	for _, m := range d.Matched {
+		b = append(b, boolByte(m))
+	}
+	if d.Free != nil {
+		for _, f := range d.Free {
+			b = append(b, boolByte(f))
+		}
+	}
+	return b
+}
+
+func (c *cursor) digest() (d shard.Digest, skipped bool) {
+	flags := c.u8("digest flags")
+	d.RootAnchored = flags&digestRootAnchored != 0
+	d.HasNonRootLCAs = flags&digestNonRootLCAs != 0
+	if flags&digestSkipped != 0 {
+		return d, true
+	}
+	k := c.count("keyword", maxWireStrings)
+	d.Matched = make([]bool, k)
+	for i := range d.Matched {
+		d.Matched[i] = c.u8("matched bit") != 0
+	}
+	if flags&digestHasFree != 0 {
+		d.Free = make([]bool, k)
+		for i := range d.Free {
+			d.Free[i] = c.u8("free bit") != 0
+		}
+	}
+	return d, false
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// --- results ---
+
+const (
+	nodeKindText = 1 << iota
+	nodeFromAttr
+)
+
+// appendResult encodes one result losslessly: the materialized tree in
+// preorder (labels, values, attribute origin, child counts), the LCA's
+// position within it, and the per-keyword match positions. Positions are
+// preorder ordinals in the result's own finalized document, so the decoder
+// rebuilds an identical tree and re-resolves them — Anchor becomes the
+// rebuilt root and Matches point into the rebuilt tree, preserving the
+// relative depths the ranking scorer reads.
+func appendResult(b []byte, r *search.Result) []byte {
+	nodes := r.Doc.Nodes()
+	b = binary.AppendUvarint(b, uint64(len(nodes)))
+	for _, n := range nodes {
+		var flags byte
+		s := n.Label
+		if n.IsText() {
+			flags |= nodeKindText
+			s = n.Value
+		}
+		if n.FromAttr {
+			flags |= nodeFromAttr
+		}
+		b = append(b, flags)
+		b = appendString(b, s)
+		b = binary.AppendUvarint(b, uint64(len(n.Children)))
+	}
+
+	// Positions of the LCA and the matches are source-document nodes;
+	// find their copies through the projection's Origin pointers.
+	originOrd := make(map[*xmltree.Node]int, len(nodes))
+	for _, n := range nodes {
+		if n.Origin != nil {
+			originOrd[n.Origin] = n.Ord
+		}
+	}
+	lca := uint64(0)
+	if ord, ok := originOrd[r.LCA]; ok {
+		lca = uint64(ord) + 1
+	}
+	b = binary.AppendUvarint(b, lca)
+
+	kws := make([]string, 0, len(r.Matches))
+	for kw := range r.Matches {
+		kws = append(kws, kw)
+	}
+	sort.Strings(kws)
+	b = binary.AppendUvarint(b, uint64(len(kws)))
+	for _, kw := range kws {
+		b = appendString(b, kw)
+		ms := r.Matches[kw]
+		ords := make([]uint64, 0, len(ms))
+		for _, m := range ms {
+			if ord, ok := originOrd[m]; ok {
+				ords = append(ords, uint64(ord))
+			}
+		}
+		b = binary.AppendUvarint(b, uint64(len(ords)))
+		for _, o := range ords {
+			b = binary.AppendUvarint(b, o)
+		}
+	}
+	return b
+}
+
+// result decodes one encoded result, rebuilding the tree and finalizing it
+// as a fresh document.
+func (c *cursor) result() *search.Result {
+	total := c.count("tree node", maxTreeNodes)
+	if c.err != nil {
+		return nil
+	}
+	if total == 0 {
+		c.fail("empty result tree")
+		return nil
+	}
+	// Iterative preorder rebuild: a stack of parents with outstanding
+	// child slots, so hostile nesting depth cannot overflow the decoder's
+	// own stack.
+	type pending struct {
+		node *xmltree.Node
+		left int
+	}
+	var root *xmltree.Node
+	stack := make([]pending, 0, 16)
+	for i := 0; i < total; i++ {
+		flags := c.u8("node flags")
+		s := c.str("node text")
+		kids := c.count("child", uint64(total))
+		if c.err != nil {
+			return nil
+		}
+		n := &xmltree.Node{}
+		if flags&nodeKindText != 0 {
+			n.Kind = xmltree.KindText
+			n.Value = s
+			if kids != 0 {
+				c.fail("text node with %d children", kids)
+				return nil
+			}
+		} else {
+			n.Label = s
+		}
+		n.FromAttr = flags&nodeFromAttr != 0
+		if len(stack) == 0 {
+			if root != nil {
+				c.fail("multiple roots in result tree")
+				return nil
+			}
+			root = n
+		} else {
+			top := &stack[len(stack)-1]
+			n.Parent = top.node
+			top.node.Children = append(top.node.Children, n)
+			top.left--
+			for len(stack) > 0 && stack[len(stack)-1].left == 0 {
+				stack = stack[:len(stack)-1]
+			}
+		}
+		if kids > 0 {
+			stack = append(stack, pending{node: n, left: kids})
+		}
+	}
+	if len(stack) != 0 {
+		c.fail("result tree truncated: %d unfilled child slots", stack[len(stack)-1].left)
+		return nil
+	}
+	doc := xmltree.NewDocument(root)
+
+	r := &search.Result{Root: root, Doc: doc, Anchor: root, LCA: root}
+	if lca := c.uvarint("lca ordinal"); lca > 0 {
+		if int(lca-1) >= total {
+			c.fail("lca ordinal %d out of range", lca-1)
+			return nil
+		}
+		r.LCA = doc.ByOrd(int(lca - 1))
+	}
+	nkw := c.count("match keyword", maxWireStrings)
+	r.Matches = make(map[string][]*xmltree.Node, nkw)
+	for i := 0; i < nkw; i++ {
+		kw := c.str("match keyword")
+		n := c.count("match ordinal", uint64(total))
+		ms := make([]*xmltree.Node, 0, n)
+		for j := 0; j < n; j++ {
+			ord := c.uvarint("match ordinal")
+			if ord >= uint64(total) {
+				c.fail("match ordinal %d out of range", ord)
+				return nil
+			}
+			ms = append(ms, doc.ByOrd(int(ord)))
+		}
+		if c.err != nil {
+			return nil
+		}
+		r.Matches[kw] = ms
+	}
+	if c.err != nil {
+		return nil
+	}
+	return r
+}
+
+func appendResults(b []byte, rs []*search.Result) []byte {
+	b = binary.AppendUvarint(b, uint64(len(rs)))
+	for _, r := range rs {
+		b = appendResult(b, r)
+	}
+	return b
+}
+
+func (c *cursor) results() []*search.Result {
+	n := c.count("result", maxWireResults)
+	rs := make([]*search.Result, 0, n)
+	for i := 0; i < n; i++ {
+		r := c.result()
+		if c.err != nil {
+			return nil
+		}
+		rs = append(rs, r)
+	}
+	return rs
+}
+
+// --- eval response ---
+
+// shardResp is one shard's share of an evaluation response. A
+// prefilter-skipped shard carries only the skipped marker; an evaluated
+// shard carries its digest evidence and local results.
+type shardResp struct {
+	shard   uint32
+	skipped bool
+	digest  shard.Digest
+	results []*search.Result
+}
+
+type evalResp struct {
+	fingerprint uint64
+	direct      bool // single-shard corpus: results are the whole answer
+	results     []*search.Result
+	shards      []shardResp
+}
+
+func encodeEvalResp(r evalResp) []byte {
+	b := binary.LittleEndian.AppendUint64(nil, r.fingerprint)
+	b = append(b, boolByte(r.direct))
+	if r.direct {
+		return appendResults(b, r.results)
+	}
+	b = binary.AppendUvarint(b, uint64(len(r.shards)))
+	for _, s := range r.shards {
+		b = binary.AppendUvarint(b, uint64(s.shard))
+		b = appendDigest(b, s.digest, s.skipped)
+		if !s.skipped {
+			b = appendResults(b, s.results)
+		}
+	}
+	return b
+}
+
+func decodeEvalResp(data []byte) (evalResp, error) {
+	c := &cursor{data: data}
+	var r evalResp
+	r.fingerprint = c.u64("fingerprint")
+	r.direct = c.u8("direct flag") != 0
+	if r.direct {
+		r.results = c.results()
+		return r, c.done()
+	}
+	n := c.count("shard response", maxWireShards)
+	r.shards = make([]shardResp, 0, n)
+	for i := 0; i < n; i++ {
+		var s shardResp
+		s.shard = uint32(c.uvarint("shard index"))
+		s.digest, s.skipped = c.digest()
+		if !s.skipped {
+			s.results = c.results()
+		}
+		if c.err != nil {
+			return r, c.err
+		}
+		r.shards = append(r.shards, s)
+	}
+	return r, c.done()
+}
+
+// --- digest response ---
+
+type digestResp struct {
+	fingerprint uint64
+	shards      []uint32
+	digests     []shard.Digest
+}
+
+func encodeDigestResp(r digestResp) []byte {
+	b := binary.LittleEndian.AppendUint64(nil, r.fingerprint)
+	b = binary.AppendUvarint(b, uint64(len(r.digests)))
+	for i, d := range r.digests {
+		b = binary.AppendUvarint(b, uint64(r.shards[i]))
+		b = appendDigest(b, d, false)
+	}
+	return b
+}
+
+func decodeDigestResp(data []byte) (digestResp, error) {
+	c := &cursor{data: data}
+	var r digestResp
+	r.fingerprint = c.u64("fingerprint")
+	n := c.count("digest", maxWireShards)
+	for i := 0; i < n; i++ {
+		r.shards = append(r.shards, uint32(c.uvarint("shard index")))
+		d, _ := c.digest()
+		r.digests = append(r.digests, d)
+	}
+	return r, c.done()
+}
+
+// --- full response ---
+
+type fullResp struct {
+	fingerprint uint64
+	results     []*search.Result
+}
+
+func encodeFullResp(r fullResp) []byte {
+	b := binary.LittleEndian.AppendUint64(nil, r.fingerprint)
+	return appendResults(b, r.results)
+}
+
+func decodeFullResp(data []byte) (fullResp, error) {
+	c := &cursor{data: data}
+	var r fullResp
+	r.fingerprint = c.u64("fingerprint")
+	r.results = c.results()
+	return r, c.done()
+}
+
+// --- stats ---
+
+type statsReq struct {
+	keywords []string
+}
+
+func encodeStatsReq(r statsReq) []byte {
+	b := binary.AppendUvarint(nil, uint64(len(r.keywords)))
+	for _, k := range r.keywords {
+		b = appendString(b, k)
+	}
+	return b
+}
+
+func decodeStatsReq(data []byte) (statsReq, error) {
+	c := &cursor{data: data}
+	var r statsReq
+	n := c.count("keyword", maxWireStrings)
+	for i := 0; i < n; i++ {
+		r.keywords = append(r.keywords, c.str("keyword"))
+	}
+	return r, c.done()
+}
+
+type statsResp struct {
+	fingerprint   uint64
+	totalElements uint64
+	counts        []uint64
+}
+
+func encodeStatsResp(r statsResp) []byte {
+	b := binary.LittleEndian.AppendUint64(nil, r.fingerprint)
+	b = binary.AppendUvarint(b, r.totalElements)
+	b = binary.AppendUvarint(b, uint64(len(r.counts)))
+	for _, v := range r.counts {
+		b = binary.AppendUvarint(b, v)
+	}
+	return b
+}
+
+func decodeStatsResp(data []byte) (statsResp, error) {
+	c := &cursor{data: data}
+	var r statsResp
+	r.fingerprint = c.u64("fingerprint")
+	r.totalElements = c.uvarint("total elements")
+	n := c.count("count", maxWireStrings)
+	for i := 0; i < n; i++ {
+		r.counts = append(r.counts, c.uvarint("count"))
+	}
+	return r, c.done()
+}
+
+// --- errors ---
+
+// errKind classifies a server-side failure on the wire; the router maps it
+// back to the sentinel the local path would have returned.
+type errKind uint8
+
+const (
+	errKindEmptyQuery errKind = iota + 1
+	errKindCanceled
+	errKindDeadline
+	errKindPanic
+	errKindInternal
+	errKindBadShard
+)
+
+type errMsg struct {
+	kind errKind
+	msg  string
+}
+
+func encodeErrMsg(e errMsg) []byte {
+	b := []byte{byte(e.kind)}
+	return appendString(b, e.msg)
+}
+
+func decodeErrMsg(data []byte) (errMsg, error) {
+	c := &cursor{data: data}
+	var e errMsg
+	e.kind = errKind(c.u8("error kind"))
+	e.msg = c.str("error message")
+	if e.kind < errKindEmptyQuery || e.kind > errKindBadShard {
+		c.fail("unknown error kind %d", e.kind)
+	}
+	return e, c.done()
+}

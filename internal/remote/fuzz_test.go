@@ -1,0 +1,103 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+
+	"extract/internal/search"
+)
+
+// frameBytes builds one well-formed frame for seeding.
+func frameBytes(version byte, t msgType, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	hdr[0], hdr[1] = frameMagic0, frameMagic1
+	hdr[2] = version
+	hdr[3] = byte(t)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.Checksum(payload, crcTable))
+	return append(hdr[:], payload...)
+}
+
+// FuzzFrame drives the wire-protocol decoder — frame reader plus every
+// payload decoder — with arbitrary bytes. Corrupt, truncated or
+// version-skewed input must come back as a classified error (a
+// *ProtocolError, or io.EOF for a clean close), never a panic, and the
+// length caps must keep any single allocation bounded regardless of what
+// the length fields claim.
+func FuzzFrame(f *testing.F) {
+	f.Add(frameBytes(wireVersion, msgPing, nil))
+	f.Add(frameBytes(wireVersion, msgHello, encodeHello(helloMsg{fingerprint: 7, shards: 3, owned: []uint32{0, 2}})))
+	f.Add(frameBytes(wireVersion, msgEval, encodeEvalReq(evalReq{
+		opts:   search.Options{DistinctAnchors: true, MaxResults: 5},
+		query:  "xml keyword",
+		shards: []uint32{0, 1},
+	})))
+	f.Add(frameBytes(wireVersion, msgStats, encodeStatsReq(statsReq{keywords: []string{"a", "b"}})))
+	f.Add(frameBytes(wireVersion, msgError, encodeErrMsg(errMsg{kind: errKindPanic, msg: "boom"})))
+	f.Add(frameBytes(wireVersion+1, msgPing, nil)) // version skew
+	f.Add(frameBytes(wireVersion, msgType(200), nil))
+	f.Add([]byte("XR"))               // truncated header
+	f.Add([]byte("xx..............")) // bad magic
+	// Oversized length claim with no body.
+	big := frameBytes(wireVersion, msgEval, nil)
+	binary.LittleEndian.PutUint32(big[4:8], maxFramePayload+1)
+	f.Add(big)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mt, payload, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			var pe *ProtocolError
+			if !errors.As(err, &pe) && !errors.Is(err, io.EOF) {
+				t.Fatalf("readFrame: unclassified error %T: %v", err, err)
+			}
+			return
+		}
+		// A structurally valid frame: every payload decoder for its type
+		// must classify or accept, never panic. Decoders for both
+		// directions run — a router and a server must each survive a
+		// hostile peer.
+		switch mt {
+		case msgHello:
+			_, _ = decodeHello(payload)
+		case msgEval, msgDigest, msgFull:
+			_, _ = decodeEvalReq(payload)
+			_, _ = decodeFullReq(payload)
+		case msgEvalResp:
+			_, _ = decodeEvalResp(payload)
+		case msgDigestResp:
+			_, _ = decodeDigestResp(payload)
+		case msgFullResp:
+			_, _ = decodeFullResp(payload)
+		case msgStats:
+			_, _ = decodeStatsReq(payload)
+		case msgStatsResp:
+			_, _ = decodeStatsResp(payload)
+		case msgError:
+			_, _ = decodeErrMsg(payload)
+		}
+	})
+}
+
+// FuzzEvalRespDecode aims the fuzzer straight at the deepest decoder — the
+// result-tree rebuild — without requiring the fuzzer to first learn the
+// frame checksum.
+func FuzzEvalRespDecode(f *testing.F) {
+	f.Add(encodeEvalResp(evalResp{fingerprint: 1, direct: true}))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if resp, err := decodeEvalResp(data); err == nil {
+			// Accepted payloads must be internally consistent enough to
+			// re-encode without panicking.
+			_ = encodeEvalResp(resp)
+		} else {
+			var pe *ProtocolError
+			if !errors.As(err, &pe) {
+				t.Fatalf("unclassified decode error %T: %v", err, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,251 @@
+package remote
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"extract/internal/core"
+	"extract/internal/gen"
+	"extract/internal/ingest"
+	"extract/internal/rank"
+	"extract/internal/search"
+	"extract/internal/shard"
+	"extract/internal/workload"
+	"extract/xmltree"
+)
+
+// The distributed tier's central property: a router fanning out to shard
+// servers over real loopback connections returns answers — result trees,
+// snippets, and ranking scores — byte-identical to the same query on the
+// local sharded corpus (which is itself pinned byte-identical to the
+// unsharded engine by internal/shard's property tests).
+
+// cluster is one in-process serving tier: shard servers on loopback
+// listeners, grouped, and a router over them.
+type cluster struct {
+	router  *Router
+	servers []*Server
+	lns     []net.Listener
+	addrs   [][]string
+}
+
+func (c *cluster) Close() {
+	if c.router != nil {
+		c.router.Close()
+	}
+	for _, s := range c.servers {
+		s.Close()
+	}
+}
+
+// startCluster serves sc from `groups` replica groups with `replicas`
+// servers each, every server restricted to its group's placement subset,
+// and returns a router over them.
+func startCluster(t testing.TB, sc *shard.Corpus, groups, replicas int, opts ...RouterOption) *cluster {
+	t.Helper()
+	src := CorpusSource(sc)
+	c := &cluster{}
+	for g := 0; g < groups; g++ {
+		owned := OwnedShards(src, g, groups)
+		var addrs []string
+		for r := 0; r < replicas; r++ {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatalf("listen: %v", err)
+			}
+			srv := NewServer(sc, WithOwnedShards(owned), WithServerTag(ln.Addr().String()))
+			go srv.Serve(ln)
+			c.servers = append(c.servers, srv)
+			c.lns = append(c.lns, ln)
+			addrs = append(addrs, ln.Addr().String())
+		}
+		c.addrs = append(c.addrs, addrs)
+	}
+	rt, err := NewRouter(sc.Analysis(), src, c.addrs, opts...)
+	if err != nil {
+		c.Close()
+		t.Fatalf("NewRouter: %v", err)
+	}
+	c.router = rt
+	t.Cleanup(c.Close)
+	return c
+}
+
+func testCorpora() []struct {
+	name string
+	mk   func() *xmltree.Document
+} {
+	return []struct {
+		name string
+		mk   func() *xmltree.Document
+	}{
+		{"figure1", gen.Figure1Corpus},
+		{"stores", func() *xmltree.Document {
+			return gen.Stores(gen.StoresConfig{Retailers: 4, StoresPerRetailer: 3, ClothesPerStore: 5, Seed: 11})
+		}},
+		{"movies", func() *xmltree.Document {
+			return gen.Movies(gen.MoviesConfig{Movies: 10, Seed: 5})
+		}},
+	}
+}
+
+func testQueries(doc *xmltree.Document, unsharded *core.Corpus) []string {
+	qs := []string{}
+	for _, q := range workload.Generate(doc, workload.Config{Queries: 5, Keywords: 2, Seed: 13}) {
+		qs = append(qs, q.Text())
+	}
+	for _, q := range workload.Generate(doc, workload.Config{Queries: 3, Keywords: 3, Seed: 29}) {
+		qs = append(qs, q.Text())
+	}
+	qs = append(qs, "zzznosuchkeyword", "")
+	if voc := unsharded.Index.Vocabulary(); len(voc) > 0 {
+		qs = append(qs, voc[len(voc)/2])
+	}
+	return qs
+}
+
+var testOptions = []search.Options{
+	{DistinctAnchors: true},
+	{DistinctAnchors: true, Semantics: search.SemanticsELCA},
+	{DistinctAnchors: false},
+	{DistinctAnchors: true, Mode: search.ModeXSeek},
+	{DistinctAnchors: true, MaxResults: 3},
+}
+
+// TestRouterMatchesLocal is the byte-identity pin: results, snippets and
+// ranking scores from the routed tier equal the local sharded corpus's for
+// every corpus × shard count × option mix × query in the matrix.
+func TestRouterMatchesLocal(t *testing.T) {
+	for _, cc := range testCorpora() {
+		cc := cc
+		t.Run(cc.name, func(t *testing.T) {
+			for _, n := range []int{1, 2, 3, 5} {
+				sc := shard.Build(cc.mk(), n)
+				cl := startCluster(t, sc, 2, 1)
+				checkRouterEquivalence(t, fmt.Sprintf("%s/n=%d", cc.name, n), sc, cl.router)
+			}
+		})
+	}
+}
+
+// TestRouterMatchesLocalReplicated re-runs one corpus with 2-way replica
+// groups: replication must not change answers (every replica serves the
+// same subset from the same snapshot).
+func TestRouterMatchesLocalReplicated(t *testing.T) {
+	sc := shard.Build(gen.Stores(gen.StoresConfig{Retailers: 4, StoresPerRetailer: 3, ClothesPerStore: 5, Seed: 11}), 3)
+	cl := startCluster(t, sc, 2, 2)
+	checkRouterEquivalence(t, "stores/replicated", sc, cl.router)
+}
+
+// TestRouterFromSnapshot runs the same pin with the servers loading the
+// corpus from an on-disk snapshot (mmap path) and the router built from
+// the snapshot's manifest — the full production wiring.
+func TestRouterFromSnapshot(t *testing.T) {
+	mk := func() *xmltree.Document {
+		return gen.Movies(gen.MoviesConfig{Movies: 10, Seed: 5})
+	}
+	local := shard.Build(mk(), 3)
+	dir := t.TempDir()
+	if err := ingest.Snapshot(dir, shard.Build(mk(), 3)); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	loaded, err := ingest.Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded.Corpus == nil {
+		t.Fatal("snapshot did not load as a sharded corpus")
+	}
+
+	groups := 2
+	var addrs [][]string
+	var servers []*Server
+	for g := 0; g < groups; g++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		srv := NewServer(loaded.Corpus, WithOwnedShards(OwnedShards(loaded.Source, g, groups)))
+		go srv.Serve(ln)
+		servers = append(servers, srv)
+		addrs = append(addrs, []string{ln.Addr().String()})
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	rt, err := OpenSnapshot(dir, addrs)
+	if err != nil {
+		t.Fatalf("OpenSnapshot: %v", err)
+	}
+	defer rt.Close()
+	checkRouterEquivalence(t, "snapshot", local, rt)
+}
+
+// checkRouterEquivalence pins router answers to the local corpus's over
+// the full query × options matrix: same errors, same result trees, same
+// snippets (tree, inline text list, key), same ranking scores.
+func checkRouterEquivalence(t *testing.T, name string, sc *shard.Corpus, rt *Router) {
+	t.Helper()
+	ctx := context.Background()
+	fb := sc.Fallback()
+	queries := testQueries(fb.Doc, fb)
+	genLocal := core.NewGenerator(sc.Analysis())
+	genRemote := core.NewGenerator(rt.Analysis())
+	scorerLocal := rank.NewScorerFunc(sc.Count, sc.TotalElements())
+	scorerRemote := rank.NewScorerFunc(rt.Count, rt.TotalElements())
+	for _, opts := range testOptions {
+		for _, q := range queries {
+			label := fmt.Sprintf("%s/sem=%d/mode=%d/max=%d/q=%q",
+				name, opts.Semantics, opts.Mode, opts.MaxResults, q)
+			want, werr := sc.Search(q, opts)
+			got, gerr := rt.SearchEnginesContext(ctx, q, opts, nil, nil)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("%s: errors differ: local %v, routed %v", label, werr, gerr)
+			}
+			if werr != nil {
+				continue
+			}
+			if len(want) != len(got) {
+				t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+			}
+			keys := queryKeys(q)
+			wantScores := scorerLocal.Sort(want, keys)
+			gotScores := scorerRemote.Sort(got, keys)
+			for i := range want {
+				w := xmltree.XMLString(want[i].Root)
+				g := xmltree.XMLString(got[i].Root)
+				if w != g {
+					t.Fatalf("%s: result %d differs\nwant %s\ngot  %s", label, i, w, g)
+				}
+				if wantScores[i] != gotScores[i] {
+					t.Fatalf("%s: result %d score = %v, want %v", label, i, gotScores[i], wantScores[i])
+				}
+				sw := genLocal.ForResult(want[i], q, 10)
+				sg := genRemote.ForResult(got[i], q, 10)
+				if a, b := xmltree.XMLString(sw.Snippet.Root), xmltree.XMLString(sg.Snippet.Root); a != b {
+					t.Fatalf("%s: snippet %d differs\nwant %s\ngot  %s", label, i, a, b)
+				}
+				if a, b := strings.Join(sw.IList.Texts(), "|"), strings.Join(sg.IList.Texts(), "|"); a != b {
+					t.Fatalf("%s: ilist %d differs\nwant %s\ngot  %s", label, i, a, b)
+				}
+				if sw.IList.KeyValue != sg.IList.KeyValue {
+					t.Fatalf("%s: key %d = %q, want %q", label, i, sg.IList.KeyValue, sw.IList.KeyValue)
+				}
+			}
+		}
+	}
+}
+
+func queryKeys(query string) []string {
+	terms := search.ParseQuery(query)
+	keys := make([]string, len(terms))
+	for i, t := range terms {
+		keys[i] = t.String()
+	}
+	return keys
+}

@@ -1,0 +1,687 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"extract/internal/core"
+	"extract/internal/ingest"
+	"extract/internal/search"
+	"extract/internal/shard"
+	"extract/internal/telemetry"
+)
+
+// mix64 is the SplitMix64 finalizer — the rendezvous-hash mixer placement
+// scores shards with.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// PlaceShards assigns every shard of a generation to a replica group by
+// rendezvous-hashing its manifest content hash against each group index:
+// out[i] is shard i's group. The assignment is a pure function of content
+// and group count — every router and every shard server configured with
+// the same snapshot and group count computes the identical placement, with
+// no coordination state; content-identical shards always land on the same
+// group, and changing one shard moves only that shard.
+func PlaceShards(src ingest.Source, groups int) []int {
+	out := make([]int, len(src.Shards))
+	for i, h := range src.Shards {
+		best, bestScore := 0, uint64(0)
+		for g := 0; g < groups; g++ {
+			s := mix64(h ^ mix64(uint64(g)+0x9e3779b97f4a7c15))
+			if g == 0 || s > bestScore {
+				best, bestScore = g, s
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// OwnedShards lists the shard indices PlaceShards assigns to one group —
+// the subset a shard server in that group evaluates (Server's
+// WithOwnedShards input).
+func OwnedShards(src ingest.Source, group, groups int) []uint32 {
+	var owned []uint32
+	for i, g := range PlaceShards(src, groups) {
+		if g == group {
+			owned = append(owned, uint32(i))
+		}
+	}
+	return owned
+}
+
+// placement is one immutable generation of the router's world view: the
+// shard→group assignment and the generation fingerprint every response
+// must echo. Reload swaps it atomically; queries in flight finish on the
+// placement they loaded.
+type placement struct {
+	fingerprint uint64
+	groupOf     []int
+	byGroup     [][]uint32 // group → its shard indices, ascending
+
+	// stats caches the corpus-wide ranking statistics (document frequency
+	// per keyword, total element count) fetched from the serving tier;
+	// one cache per generation, so a reload never serves stale counts.
+	stats struct {
+		sync.Mutex
+		df    map[string]int
+		total int // 0 = not yet fetched
+	}
+}
+
+// group is one replica group with its rotation counter for spreading
+// first-attempt load across peers.
+type group struct {
+	replicas []*replica
+	rr       atomic.Uint32
+}
+
+// Router is the stateless routing half of the distributed tier: a
+// serve.Backend that fans a query out to shard-server replica groups and
+// combines the per-shard answers with exactly the root decision
+// (shard.RootQualifies) and bounded merge (shard.MergeResults) the
+// in-process sharded corpus uses, so a routed answer is byte-identical to
+// a local one. "Stateless" means no query state and no placement
+// authority: everything the router knows is recomputed from the snapshot
+// manifest, and two routers over the same snapshot agree without talking
+// to each other.
+//
+// A dead replica degrades to its peer, not to an error: transport
+// failures, protocol violations, generation skew and server-side faults
+// fail over within the shard's group (a failure-counting circuit breaker
+// skips persistently dead replicas); only genuine query classifications —
+// empty query, cancellation, deadline — propagate.
+type Router struct {
+	analysis *core.Corpus
+	groups   []*group
+	all      []*replica // flat, for calls any replica can serve
+	allRR    atomic.Uint32
+
+	place atomic.Pointer[placement]
+
+	metrics *routerMetrics
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// RouterOption configures NewRouter.
+type RouterOption func(*Router)
+
+// WithDialer substitutes the function that dials replica addresses
+// (default: TCP). Tests use it for in-process loopback transports.
+func WithDialer(dial func(ctx context.Context, addr string) (net.Conn, error)) RouterOption {
+	return func(rt *Router) {
+		for _, r := range rt.all {
+			r.dial = dial
+		}
+	}
+}
+
+// WithRouterTelemetry registers the router's remote-call metrics on reg.
+func WithRouterTelemetry(reg *telemetry.Registry) RouterOption {
+	return func(rt *Router) { rt.metrics = newRouterMetrics(reg) }
+}
+
+// NewRouter builds a router over replica groups (groups[g] lists the
+// addresses of group g's replicas; every address in a group serves the
+// same shard subset). analysis carries the snapshot's shared analysis
+// artifacts (classification, keys — what snippet generation needs) and src
+// its manifest identity; placement is computed from src immediately.
+func NewRouter(analysis *core.Corpus, src ingest.Source, groups [][]string, opts ...RouterOption) (*Router, error) {
+	if len(groups) == 0 {
+		return nil, errors.New("remote: router needs at least one replica group")
+	}
+	rt := &Router{analysis: analysis}
+	for _, addrs := range groups {
+		if len(addrs) == 0 {
+			return nil, errors.New("remote: empty replica group")
+		}
+		g := &group{}
+		for _, addr := range addrs {
+			r := &replica{addr: addr, dial: netDial}
+			g.replicas = append(g.replicas, r)
+			rt.all = append(rt.all, r)
+		}
+		rt.groups = append(rt.groups, g)
+	}
+	for _, o := range opts {
+		o(rt)
+	}
+	if rt.metrics == nil {
+		rt.metrics = newRouterMetrics(telemetry.NewRegistry())
+	}
+	rt.Reload(src)
+	return rt, nil
+}
+
+// OpenSnapshot builds a router from a sharded snapshot directory: the
+// manifest supplies the placement identity, the analysis image the snippet
+// artifacts. The shard images themselves are not loaded — the serving tier
+// owns them.
+func OpenSnapshot(dir string, groups [][]string, opts ...RouterOption) (*Router, error) {
+	m, err := ingest.ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !m.Sharded {
+		return nil, errors.New("remote: router requires a sharded snapshot")
+	}
+	a, _, _, _, err := ingest.LoadAnalysis(dir, m)
+	if err != nil {
+		return nil, err
+	}
+	analysis := &core.Corpus{Cls: a.Cls, Keys: a.Keys, Summary: a.Summary, Guide: a.Guide, DTD: a.DTD}
+	return NewRouter(analysis, m.Source(), groups, opts...)
+}
+
+// Reload recomputes placement for a new snapshot generation and swaps it
+// in atomically. Queries already in flight finish against the old
+// placement — their responses' fingerprints still match it, so they are
+// internally consistent; the skew check only rejects mixing generations
+// within one query.
+func (rt *Router) Reload(src ingest.Source) {
+	pl := &placement{
+		fingerprint: Fingerprint(src),
+		groupOf:     PlaceShards(src, len(rt.groups)),
+		byGroup:     make([][]uint32, len(rt.groups)),
+	}
+	for i, g := range pl.groupOf {
+		pl.byGroup[g] = append(pl.byGroup[g], uint32(i))
+	}
+	pl.stats.df = make(map[string]int)
+	rt.place.Store(pl)
+}
+
+// ReloadSnapshot re-reads a snapshot directory's manifest and analysis and
+// swaps the router onto that generation — the router half of an online
+// reload (shard servers swap via Server.Swap).
+func (rt *Router) ReloadSnapshot(dir string) error {
+	m, err := ingest.ReadManifest(dir)
+	if err != nil {
+		return err
+	}
+	if !m.Sharded {
+		return errors.New("remote: router requires a sharded snapshot")
+	}
+	a, _, _, _, err := ingest.LoadAnalysis(dir, m)
+	if err != nil {
+		return err
+	}
+	rt.mu.Lock()
+	rt.analysis = &core.Corpus{Cls: a.Cls, Keys: a.Keys, Summary: a.Summary, Guide: a.Guide, DTD: a.DTD}
+	rt.mu.Unlock()
+	rt.Reload(m.Source())
+	return nil
+}
+
+// Close severs every pooled connection; in-flight calls fail over and then
+// error out.
+func (rt *Router) Close() {
+	rt.mu.Lock()
+	rt.closed = true
+	rt.mu.Unlock()
+	for _, r := range rt.all {
+		r.close()
+	}
+}
+
+// NumShards returns the current generation's shard count.
+func (rt *Router) NumShards() int { return len(rt.place.Load().groupOf) }
+
+// Analysis returns the document-less corpus carrying the snapshot's
+// classification and keys — what serve.Server's snippet generator needs.
+func (rt *Router) Analysis() *core.Corpus {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.analysis
+}
+
+// Engines returns nil: the router holds no local engines, and its
+// SearchEnginesContext ignores the engine set. The serving layer's
+// per-option engine memo degenerates to a no-op.
+func (rt *Router) Engines(opts search.Options) []*search.Engine { return nil }
+
+// ctxTimeoutMillis converts ctx's deadline to the wire's timeout field
+// (0 = none), so shard servers stop evaluating queries the router has
+// already given up on.
+func ctxTimeoutMillis(ctx context.Context) uint64 {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	ms := time.Until(d).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return uint64(ms)
+}
+
+// runTasks schedules independent tasks through the serving layer's Runner
+// (nil = one goroutine each), with per-task panic recovery either way.
+func runTasks(run shard.Runner, tasks []func()) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	if run == nil {
+		run = func(tasks []func()) error {
+			var wg sync.WaitGroup
+			errs := make([]error, len(tasks))
+			wg.Add(len(tasks))
+			for i, t := range tasks {
+				go func(i int, f func()) {
+					defer wg.Done()
+					errs[i] = shard.Recover(f)
+				}(i, t)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	return run(tasks)
+}
+
+// groupCall performs one remote call against a replica set with failover:
+// replicas are tried in rotation order (breaker-open ones last, as
+// half-open probes), and any transport, protocol, skew or server-fault
+// failure moves on to the next peer. decode parses and validates the
+// response payload; its failure is itself grounds for failover. Only
+// context failures and genuine query classifications end the loop early.
+func (rt *Router) groupCall(ctx context.Context, replicas []*replica, rr *atomic.Uint32, kind string, t msgType, payload []byte, want msgType, decode func([]byte) error) error {
+	start := time.Now()
+	outcome := "error"
+	defer func() {
+		rt.metrics.observe(kind, outcome, time.Since(start))
+	}()
+
+	n := len(replicas)
+	order := make([]*replica, 0, n)
+	var open []*replica
+	first := int(rr.Add(1) - 1)
+	now := time.Now()
+	for i := 0; i < n; i++ {
+		r := replicas[(first+i)%n]
+		if r.available(now) {
+			order = append(order, r)
+		} else {
+			open = append(open, r)
+		}
+	}
+	order = append(order, open...)
+
+	var lastErr error
+	for i, r := range order {
+		if i > 0 {
+			rt.metrics.failovers.Inc()
+		}
+		resp, serr, err := r.call(ctx, t, payload, want)
+		if err != nil {
+			if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		if serr != nil {
+			mapped, failover := mapServerErr(r.addr, *serr)
+			if !failover {
+				return mapped
+			}
+			lastErr = mapped
+			continue
+		}
+		if err := decode(resp); err != nil {
+			kind := ErrKindProtocol
+			if errors.Is(err, errSkew) {
+				kind = ErrKindSkew
+			}
+			lastErr = &RemoteError{Addr: r.addr, Kind: kind, Err: err}
+			continue
+		}
+		outcome = "ok"
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = &RemoteError{Kind: ErrKindUnavailable, Msg: "no replicas configured"}
+	}
+	return lastErr
+}
+
+// mapServerErr converts a server-side error classification into the error
+// the caller sees, and reports whether it is grounds for failover (a
+// replica-local fault) or a query classification to propagate.
+func mapServerErr(addr string, e errMsg) (error, bool) {
+	switch e.kind {
+	case errKindEmptyQuery:
+		return search.ErrEmptyQuery, false
+	case errKindCanceled:
+		return context.Canceled, false
+	case errKindDeadline:
+		return context.DeadlineExceeded, false
+	case errKindPanic:
+		return &RemoteError{Addr: addr, Kind: ErrKindPanic, Msg: e.msg}, true
+	case errKindBadShard:
+		return &RemoteError{Addr: addr, Kind: ErrKindBadShard, Msg: e.msg}, true
+	default:
+		return &RemoteError{Addr: addr, Kind: ErrKindInternal, Msg: e.msg}, true
+	}
+}
+
+// SearchEnginesContext evaluates a query across the replica groups and
+// merges the answers with the same root-aware procedure as the in-process
+// sharded path (see internal/shard.SearchEnginesContext, whose structure
+// this mirrors round for round): a parallel evaluation round, a lazy
+// digest round for prefilter-skipped shards only when the root decision
+// needs corpus-wide evidence, and a whole-document fallback evaluation for
+// root-involving queries. engines is ignored (the router has none); run
+// schedules the per-group fan-out, so the serving layer's worker pool
+// bounds remote concurrency exactly as it bounds local shard evaluation.
+func (rt *Router) SearchEnginesContext(ctx context.Context, query string, opts search.Options, _ []*search.Engine, run shard.Runner) ([]*search.Result, error) {
+	pl := rt.place.Load()
+	nshards := len(pl.groupOf)
+	if nshards == 0 {
+		return nil, search.ErrEmptyQuery
+	}
+	if len(search.ParseQuery(query)) == 0 {
+		return nil, search.ErrEmptyQuery
+	}
+	timeout := ctxTimeoutMillis(ctx)
+
+	// Round 1: evaluate every group's shard subset in parallel. Each group
+	// returns, per shard, either a skipped marker (prefilter proved a
+	// query token absent) or the shard's local results plus its digest
+	// evidence.
+	type groupOut struct {
+		resp evalResp
+		err  error
+	}
+	active := make([]int, 0, len(rt.groups)) // group indices with shards
+	for g := range rt.groups {
+		if len(pl.byGroup[g]) > 0 {
+			active = append(active, g)
+		}
+	}
+	outs := make([]groupOut, len(active))
+	tasks := make([]func(), 0, len(active))
+	for oi, g := range active {
+		oi, g := oi, g
+		shardSet := pl.byGroup[g]
+		payload := encodeEvalReq(evalReq{opts: opts, query: query, timeoutMillis: timeout, shards: shardSet})
+		tasks = append(tasks, func() {
+			out := &outs[oi]
+			out.err = rt.groupCall(ctx, rt.groups[g].replicas, &rt.groups[g].rr, "eval", msgEval, payload, msgEvalResp, func(data []byte) error {
+				resp, err := decodeEvalResp(data)
+				if err != nil {
+					return err
+				}
+				if resp.fingerprint != pl.fingerprint {
+					return errSkew
+				}
+				if resp.direct {
+					if nshards != 1 {
+						return protocolErrf("direct response from a %d-shard corpus", nshards)
+					}
+				} else if err := checkShardEcho(resp.shards, shardSet); err != nil {
+					return err
+				}
+				out.resp = resp
+				return nil
+			})
+		})
+	}
+	if err := runTasks(run, tasks); err != nil {
+		return nil, err
+	}
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+	}
+
+	if nshards == 1 {
+		// Single-shard corpus: the shard's direct answer is the whole
+		// answer, with no root-decision bookkeeping — same as local.
+		return outs[0].resp.results, nil
+	}
+
+	byShard := make([][]*search.Result, nshards)
+	digests := make([]shard.Digest, nshards)
+	haveDigest := make([]bool, nshards)
+	skipped := make([]bool, nshards)
+	anyLCAs, rootAnchored := false, false
+	for i := range outs {
+		for _, s := range outs[i].resp.shards {
+			if s.skipped {
+				skipped[s.shard] = true
+				continue
+			}
+			byShard[s.shard] = s.results
+			digests[s.shard] = s.digest
+			haveDigest[s.shard] = true
+			if s.digest.HasNonRootLCAs {
+				anyLCAs = true
+			}
+			if s.digest.RootAnchored {
+				rootAnchored = true
+			}
+		}
+	}
+
+	// Root decision, mirroring the local laziness: the ELCA witness check
+	// always needs every shard's evidence; the SLCA check only fires when
+	// no shard produced a non-root SLCA. Prefilter-skipped shards owe
+	// their (cheap) digests only now — round 2 fetches exactly those.
+	rootQualifies := false
+	if opts.Semantics == search.SemanticsELCA || !anyLCAs {
+		need := make([][]uint32, len(rt.groups))
+		total := 0
+		for i := 0; i < nshards; i++ {
+			if skipped[i] && !haveDigest[i] {
+				g := pl.groupOf[i]
+				need[g] = append(need[g], uint32(i))
+				total++
+			}
+		}
+		if total > 0 {
+			errs := make([]error, len(rt.groups))
+			var mu sync.Mutex
+			tasks = tasks[:0]
+			for g := range rt.groups {
+				if len(need[g]) == 0 {
+					continue
+				}
+				g := g
+				payload := encodeFullReq(fullReq{opts: opts, query: query, timeoutMillis: ctxTimeoutMillis(ctx), shards: need[g]})
+				tasks = append(tasks, func() {
+					errs[g] = rt.groupCall(ctx, rt.groups[g].replicas, &rt.groups[g].rr, "digest", msgDigest, payload, msgDigestResp, func(data []byte) error {
+						resp, err := decodeDigestResp(data)
+						if err != nil {
+							return err
+						}
+						if resp.fingerprint != pl.fingerprint {
+							return errSkew
+						}
+						if err := checkShardEcho32(resp.shards, need[g]); err != nil {
+							return err
+						}
+						mu.Lock()
+						for i, idx := range resp.shards {
+							digests[idx] = resp.digests[i]
+						}
+						mu.Unlock()
+						return nil
+					})
+				})
+			}
+			if err := runTasks(run, tasks); err != nil {
+				return nil, err
+			}
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		rootQualifies = shard.RootQualifies(opts.Semantics, digests)
+	}
+
+	if rootQualifies || rootAnchored {
+		// Cross-shard result: one whole-document evaluation, served by any
+		// replica (every shard server holds the full snapshot). Re-check
+		// cancellation first — this is the expensive tail.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var fr fullResp
+		payload := encodeFullReq(fullReq{opts: opts, query: query, timeoutMillis: ctxTimeoutMillis(ctx)})
+		err := rt.groupCall(ctx, rt.all, &rt.allRR, "full", msgFull, payload, msgFullResp, func(data []byte) error {
+			resp, err := decodeFullResp(data)
+			if err != nil {
+				return err
+			}
+			if resp.fingerprint != pl.fingerprint {
+				return errSkew
+			}
+			fr = resp
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return fr.results, nil
+	}
+
+	return shard.MergeResults(byShard, opts.MaxResults), nil
+}
+
+// checkShardEcho validates that a response covers exactly the requested
+// shard set — a server echoing a different set (a buggy or skewed peer)
+// must not silently drop shards from the merge.
+func checkShardEcho(got []shardResp, want []uint32) error {
+	if len(got) != len(want) {
+		return protocolErrf("response covers %d shards, requested %d", len(got), len(want))
+	}
+	for i, s := range got {
+		if s.shard != want[i] {
+			return protocolErrf("response shard %d at position %d, requested %d", s.shard, i, want[i])
+		}
+	}
+	return nil
+}
+
+func checkShardEcho32(got, want []uint32) error {
+	if len(got) != len(want) {
+		return protocolErrf("response covers %d shards, requested %d", len(got), len(want))
+	}
+	for i, s := range got {
+		if s != want[i] {
+			return protocolErrf("response shard %d at position %d, requested %d", s, i, want[i])
+		}
+	}
+	return nil
+}
+
+// statsFor fetches (and caches, per generation) the corpus-wide ranking
+// statistics for one keyword. Any replica can answer; a failure returns
+// zero counts, degrading ranking for the query rather than failing it.
+func (rt *Router) statsFor(keyword string) (df, total int) {
+	pl := rt.place.Load()
+	pl.stats.Lock()
+	cachedDF, ok := pl.stats.df[keyword]
+	cachedTotal := pl.stats.total
+	pl.stats.Unlock()
+	if ok && cachedTotal > 0 {
+		return cachedDF, cachedTotal
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var sr statsResp
+	err := rt.groupCall(ctx, rt.all, &rt.allRR, "stats", msgStats,
+		encodeStatsReq(statsReq{keywords: []string{keyword}}), msgStatsResp, func(data []byte) error {
+			resp, err := decodeStatsResp(data)
+			if err != nil {
+				return err
+			}
+			if resp.fingerprint != pl.fingerprint {
+				return errSkew
+			}
+			if len(resp.counts) != 1 {
+				return protocolErrf("stats response with %d counts, want 1", len(resp.counts))
+			}
+			sr = resp
+			return nil
+		})
+	if err != nil {
+		return 0, cachedTotal
+	}
+	df, total = int(sr.counts[0]), int(sr.totalElements)
+	pl.stats.Lock()
+	pl.stats.df[keyword] = df
+	pl.stats.total = total
+	pl.stats.Unlock()
+	return df, total
+}
+
+// Count returns the corpus-wide document frequency of one keyword — the
+// ranking scorer's df input, fetched from the serving tier and cached per
+// generation.
+func (rt *Router) Count(keyword string) int {
+	df, _ := rt.statsFor(keyword)
+	return df
+}
+
+// TotalElements returns the corpus-wide element count — the ranking
+// scorer's N, fetched from the serving tier and cached per generation.
+func (rt *Router) TotalElements() int {
+	_, total := rt.statsFor("")
+	return total
+}
+
+// routerMetrics pre-registers the router's telemetry series; see
+// OBSERVABILITY.md for the contract.
+type routerMetrics struct {
+	calls     map[[2]string]*telemetry.Counter
+	failovers *telemetry.Counter
+	seconds   *telemetry.Histogram
+}
+
+var callKinds = []string{"eval", "digest", "full", "stats"}
+
+func newRouterMetrics(reg *telemetry.Registry) *routerMetrics {
+	m := &routerMetrics{calls: make(map[[2]string]*telemetry.Counter)}
+	for _, k := range callKinds {
+		for _, o := range []string{"ok", "error"} {
+			m.calls[[2]string{k, o}] = reg.Counter("extract_remote_calls_total",
+				"Remote shard-server calls by call kind and outcome.",
+				telemetry.L("kind", k), telemetry.L("outcome", o))
+		}
+	}
+	m.failovers = reg.Counter("extract_remote_failovers_total",
+		"Remote calls retried on a peer replica after a replica-local failure.")
+	m.seconds = reg.Histogram("extract_remote_call_seconds",
+		"Remote call latency, including failover retries.")
+	return m
+}
+
+func (m *routerMetrics) observe(kind, outcome string, d time.Duration) {
+	if c := m.calls[[2]string{kind, outcome}]; c != nil {
+		c.Inc()
+	}
+	m.seconds.Observe(d)
+}

@@ -1,0 +1,520 @@
+package remote
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"extract/internal/faultinject"
+	"extract/internal/ingest"
+	"extract/internal/search"
+	"extract/internal/shard"
+	"extract/xmltree"
+)
+
+// ErrDropConnection, returned from a faultinject.RemoteServe hook, makes
+// the server sever the connection without responding — the wire-visible
+// shape of a replica crashing mid-query, which chaos tests use to prove
+// the router's failover keeps answers flowing.
+var ErrDropConnection = errors.New("remote: fault injection dropped connection")
+
+// Fingerprint condenses a corpus generation's content identity — the root
+// fingerprint plus every shard's content hash, in shard order — to one
+// comparison word. Servers stamp it on every response and routers check it
+// against the manifest they placed shards with, so a response computed
+// against a different snapshot generation (a mid-reload window) is
+// detected and classified instead of silently merged.
+func Fingerprint(src ingest.Source) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(src.RootHash)
+	for _, s := range src.Shards {
+		put(s)
+	}
+	return h.Sum64()
+}
+
+// CorpusSource fingerprints a live sharded corpus the way a snapshot
+// manifest records it (ingest.RootHash + per-shard ingest.ShardHash), so a
+// server built from an in-memory corpus and a router built from the
+// manifest of the snapshot it was written to agree on the generation.
+func CorpusSource(sc *shard.Corpus) ingest.Source {
+	label, fromAttr := sc.Root()
+	src := ingest.Source{RootHash: ingest.RootHash(label, fromAttr, sc.InternalSubset())}
+	for _, s := range sc.Shards() {
+		src.Shards = append(src.Shards, ingest.ShardHash(s.Doc))
+	}
+	return src
+}
+
+// serverState is one immutable generation of the served corpus; Swap
+// replaces it atomically, and every request works on the snapshot it
+// loaded, so a reload never mixes generations within one response.
+type serverState struct {
+	sc          *shard.Corpus
+	fingerprint uint64
+	owned       []bool   // per shard index; nil = all
+	ownedList   []uint32 // ascending, for the hello frame
+}
+
+// Server answers the wire protocol over one sharded corpus. It loads (or
+// is handed) the full snapshot — mmap'd images make the non-owned shards
+// nearly free — but evaluates queries only for the shard subset it owns;
+// whole-document fallback, digest and statistics calls are answerable by
+// any replica. A Server is safe for concurrent connections; evaluation
+// within one request fans out over goroutines with per-shard panic
+// isolation, exactly like the in-process path.
+type Server struct {
+	tag string // identity handed to faultinject.RemoteServe hooks
+
+	state atomic.Pointer[serverState]
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ServerOption configures NewServer.
+type ServerOption func(*Server, *serverState)
+
+// WithOwnedShards restricts the server to evaluating the given shard
+// indices (the replica group's placement subset). Requests for other
+// shards are refused — a router whose placement disagrees fails over and
+// surfaces a classified error rather than silently double-serving.
+func WithOwnedShards(owned []uint32) ServerOption {
+	return func(_ *Server, st *serverState) {
+		st.owned = make([]bool, st.sc.NumShards())
+		st.ownedList = nil
+		for _, i := range owned {
+			if int(i) < len(st.owned) && !st.owned[i] {
+				st.owned[i] = true
+				st.ownedList = append(st.ownedList, i)
+			}
+		}
+	}
+}
+
+// WithServerTag sets the identity tag handed to fault-injection hooks
+// (defaults to empty; extractd passes its listen address).
+func WithServerTag(tag string) ServerOption {
+	return func(s *Server, _ *serverState) { s.tag = tag }
+}
+
+// NewServer builds a shard server over a sharded corpus. The corpus's
+// content fingerprint is computed once here (one linear pass) and stamped
+// on every response.
+func NewServer(sc *shard.Corpus, opts ...ServerOption) *Server {
+	s := &Server{conns: make(map[net.Conn]struct{})}
+	st := newServerState(sc)
+	for _, o := range opts {
+		o(s, st)
+	}
+	s.state.Store(st)
+	return s
+}
+
+func newServerState(sc *shard.Corpus) *serverState {
+	st := &serverState{sc: sc, fingerprint: Fingerprint(CorpusSource(sc))}
+	for i := 0; i < sc.NumShards(); i++ {
+		st.ownedList = append(st.ownedList, uint32(i))
+	}
+	return st
+}
+
+// Swap replaces the served corpus generation — the shard-server half of an
+// online reload. In-flight requests finish on the generation they started
+// with; responses stamp the fingerprint of the generation that actually
+// answered, so a router merging across the swap window detects the skew.
+// The ownership subset is recomputed for the new shard count by the given
+// options (none = own all).
+func (s *Server) Swap(sc *shard.Corpus, opts ...ServerOption) {
+	st := newServerState(sc)
+	for _, o := range opts {
+		o(s, st)
+	}
+	s.state.Store(st)
+}
+
+// Serve accepts and serves connections on ln until Close. It always
+// returns a non-nil error (net.ErrClosed after a clean Close).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, severs every open connection and waits for their
+// handlers to return.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// serveConn runs one connection: greet, then answer framed requests in
+// order until the peer hangs up or a protocol violation poisons the
+// stream.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	st := s.state.Load()
+	if err := writeFrame(bw, msgHello, encodeHello(helloMsg{
+		fingerprint: st.fingerprint,
+		shards:      st.sc.NumShards(),
+		owned:       st.ownedList,
+	})); err != nil {
+		return
+	}
+	if bw.Flush() != nil {
+		return
+	}
+	br := bufio.NewReader(conn)
+	for {
+		t, payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		if faultinject.Enabled() {
+			if err := faultinject.FireTag(faultinject.RemoteServe, s.tag); err != nil {
+				if errors.Is(err, ErrDropConnection) {
+					return
+				}
+				if s.reply(bw, msgError, encodeErrMsg(classifyServerErr(err))) != nil {
+					return
+				}
+				continue
+			}
+		}
+		rt, resp := s.handle(t, payload)
+		if s.reply(bw, rt, resp) != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) reply(bw *bufio.Writer, t msgType, payload []byte) error {
+	if err := writeFrame(bw, t, payload); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// handle dispatches one request and never panics: evaluation panics are
+// recovered per shard and classified, and a malformed request is answered
+// with a protocol error message.
+func (s *Server) handle(t msgType, payload []byte) (msgType, []byte) {
+	st := s.state.Load()
+	switch t {
+	case msgPing:
+		return msgPong, nil
+	case msgEval:
+		req, err := decodeEvalReq(payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		resp, err := s.evaluate(st, req)
+		if err != nil {
+			return errFrame(err)
+		}
+		return msgEvalResp, encodeEvalResp(resp)
+	case msgDigest:
+		req, err := decodeFullReq(payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		resp, err := s.digests(st, req)
+		if err != nil {
+			return errFrame(err)
+		}
+		return msgDigestResp, encodeDigestResp(resp)
+	case msgFull:
+		req, err := decodeFullReq(payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		resp, err := s.fullEval(st, req)
+		if err != nil {
+			return errFrame(err)
+		}
+		return msgFullResp, encodeFullResp(resp)
+	case msgStats:
+		req, err := decodeStatsReq(payload)
+		if err != nil {
+			return errFrame(err)
+		}
+		resp := statsResp{
+			fingerprint:   st.fingerprint,
+			totalElements: uint64(st.sc.TotalElements()),
+		}
+		for _, kw := range req.keywords {
+			resp.counts = append(resp.counts, uint64(st.sc.Count(kw)))
+		}
+		return msgStatsResp, encodeStatsResp(resp)
+	default:
+		return errFrame(protocolErrf("unexpected request type %d", t))
+	}
+}
+
+func errFrame(err error) (msgType, []byte) {
+	return msgError, encodeErrMsg(classifyServerErr(err))
+}
+
+// classifyServerErr maps a server-side failure to its wire classification.
+func classifyServerErr(err error) errMsg {
+	var pe *shard.PanicError
+	var se *shardRangeError
+	switch {
+	case errors.As(err, &se):
+		return errMsg{kind: errKindBadShard, msg: err.Error()}
+	case errors.Is(err, search.ErrEmptyQuery):
+		return errMsg{kind: errKindEmptyQuery, msg: err.Error()}
+	case errors.Is(err, context.Canceled):
+		return errMsg{kind: errKindCanceled, msg: err.Error()}
+	case errors.Is(err, context.DeadlineExceeded):
+		return errMsg{kind: errKindDeadline, msg: err.Error()}
+	case errors.As(err, &pe):
+		return errMsg{kind: errKindPanic, msg: fmt.Sprint(pe.Value)}
+	default:
+		return errMsg{kind: errKindInternal, msg: err.Error()}
+	}
+}
+
+// reqContext applies the request's deadline, if any.
+func reqContext(timeoutMillis uint64) (context.Context, context.CancelFunc) {
+	if timeoutMillis == 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), time.Duration(timeoutMillis)*time.Millisecond)
+}
+
+// evaluate answers one eval request: the owned-subset mirror of the
+// per-shard half of shard.Corpus.SearchEnginesContext. Each requested
+// shard is prefilter-probed, then evaluated in parallel under panic
+// recovery; evaluated shards return their local results plus the digest
+// evidence the router's root decision needs (free-witness bits only under
+// ELCA, where alone they are read).
+func (s *Server) evaluate(st *serverState, req evalReq) (evalResp, error) {
+	ctx, cancel := reqContext(req.timeoutMillis)
+	defer cancel()
+	terms := search.ParseQuery(req.query)
+	if len(terms) == 0 {
+		return evalResp{}, search.ErrEmptyQuery
+	}
+	resp := evalResp{fingerprint: st.fingerprint}
+
+	shards := st.sc.Shards()
+	if len(shards) == 1 {
+		// Single-shard corpus: the local path searches the one shard
+		// directly, with no root-decision bookkeeping. Mirror it.
+		if err := requireOwned(st, 0); err != nil {
+			return evalResp{}, err
+		}
+		if err := shard.Checkpoint(ctx); err != nil {
+			return evalResp{}, err
+		}
+		rs, err := shards[0].Engine(req.opts).Search(req.query)
+		if err != nil {
+			return evalResp{}, err
+		}
+		resp.direct = true
+		resp.results = rs
+		return resp, nil
+	}
+
+	var queryTokens []string
+	for _, t := range terms {
+		queryTokens = append(queryTokens, t.Tokens...)
+	}
+	withFree := req.opts.Semantics == search.SemanticsELCA
+
+	resp.shards = make([]shardResp, len(req.shards))
+	errs := make([]error, len(req.shards))
+	var wg sync.WaitGroup
+	for i, idx := range req.shards {
+		out := &resp.shards[i]
+		out.shard = idx
+		if err := requireOwned(st, int(idx)); err != nil {
+			return evalResp{}, err
+		}
+		sc := shards[idx]
+		if !sc.Index.Prefilter().MayContainAll(queryTokens) {
+			out.skipped = true
+			continue
+		}
+		wg.Add(1)
+		i := i
+		go func() {
+			defer wg.Done()
+			errs[i] = shard.Recover(func() {
+				if err := shard.Checkpoint(ctx); err != nil {
+					errs[i] = err
+					return
+				}
+				root := sc.Doc.Root
+				eval, nonRoot, results, err := sc.Engine(req.opts).EvaluateResults(req.query,
+					func(n *xmltree.Node) bool { return n != root })
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				rootAnchored := false
+				for _, r := range results {
+					if r.Anchor == root {
+						rootAnchored = true
+						break
+					}
+				}
+				out.digest = shard.NewDigest(eval, nonRoot, rootAnchored, withFree)
+				out.results = results
+			})
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return evalResp{}, err
+		}
+	}
+	return resp, nil
+}
+
+// digests answers the lazy second round of the root decision: the cheap
+// no-LCA evaluations of prefilter-skipped shards (every such shard is
+// missing a keyword, so evaluation is posting-list lookups only).
+func (s *Server) digests(st *serverState, req fullReq) (digestResp, error) {
+	ctx, cancel := reqContext(req.timeoutMillis)
+	defer cancel()
+	withFree := req.opts.Semantics == search.SemanticsELCA
+	resp := digestResp{fingerprint: st.fingerprint}
+	shards := st.sc.Shards()
+	for _, idx := range req.shards {
+		if err := requireOwned(st, int(idx)); err != nil {
+			return digestResp{}, err
+		}
+		if err := shard.Checkpoint(ctx); err != nil {
+			return digestResp{}, err
+		}
+		var d shard.Digest
+		var evalErr error
+		if err := shard.Recover(func() {
+			ev, err := shards[idx].Engine(req.opts).Evaluate(req.query)
+			if err != nil {
+				evalErr = err
+				return
+			}
+			d = shard.NewDigest(ev, nil, false, withFree)
+		}); err != nil {
+			return digestResp{}, err
+		}
+		if evalErr != nil {
+			return digestResp{}, evalErr
+		}
+		resp.shards = append(resp.shards, idx)
+		resp.digests = append(resp.digests, d)
+	}
+	return resp, nil
+}
+
+// fullEval answers the cross-shard fallback: evaluation on the
+// reconstructed whole document, exactly what the in-process merge does for
+// root-involving queries. Any replica can serve it — every server holds
+// the full snapshot.
+func (s *Server) fullEval(st *serverState, req fullReq) (fullResp, error) {
+	ctx, cancel := reqContext(req.timeoutMillis)
+	defer cancel()
+	if err := shard.Checkpoint(ctx); err != nil {
+		return fullResp{}, err
+	}
+	resp := fullResp{fingerprint: st.fingerprint}
+	var evalErr error
+	err := shard.Recover(func() {
+		fb := st.sc.Fallback()
+		rs, err := search.NewEngine(fb.Doc, fb.Index, st.sc.Classification(), req.opts).Search(req.query)
+		if err != nil {
+			evalErr = err
+			return
+		}
+		resp.results = rs
+	})
+	if err != nil {
+		return fullResp{}, err
+	}
+	if evalErr != nil {
+		return fullResp{}, evalErr
+	}
+	return resp, nil
+}
+
+func requireOwned(st *serverState, idx int) error {
+	if idx < 0 || idx >= st.sc.NumShards() {
+		return &shardRangeError{idx: idx, n: st.sc.NumShards()}
+	}
+	if st.owned != nil && !st.owned[idx] {
+		return &shardRangeError{idx: idx, n: st.sc.NumShards(), unowned: true}
+	}
+	return nil
+}
+
+// shardRangeError refuses a request for a shard this replica does not
+// serve; it classifies as errKindBadShard on the wire.
+type shardRangeError struct {
+	idx     int
+	n       int
+	unowned bool
+}
+
+func (e *shardRangeError) Error() string {
+	if e.unowned {
+		return fmt.Sprintf("remote: shard %d not owned by this replica", e.idx)
+	}
+	return fmt.Sprintf("remote: shard %d out of range (corpus has %d)", e.idx, e.n)
+}

@@ -1,0 +1,205 @@
+package shard
+
+import (
+	"extract/internal/index"
+	"extract/internal/search"
+	"extract/xmltree"
+)
+
+// Digest is the cross-shard evidence one shard contributes to the root
+// decision of a sharded (or distributed) query: per-keyword match and
+// free-witness bits plus two local facts about the shard's own answer set.
+// It is everything the root-aware merge needs from a shard besides the
+// result trees themselves, which is what lets a remote shard server send a
+// few booleans instead of posting lists — the router combines Digests with
+// exactly the functions the in-process merge uses, so the two paths cannot
+// diverge.
+type Digest struct {
+	// Matched reports, per query keyword (in search.ParseQuery order),
+	// whether the shard has at least one match.
+	Matched []bool
+	// Free reports, per query keyword, whether the shard has a witness
+	// match outside the subtrees of its outermost non-root LCAs — the
+	// per-shard half of the ELCA root check (see RootIsELCA).
+	Free []bool
+	// HasNonRootLCAs reports a non-empty local LCA set below the shard
+	// root.
+	HasNonRootLCAs bool
+	// RootAnchored reports a local result anchored at the shard root —
+	// i.e. at (the copy of) the global document root.
+	RootAnchored bool
+}
+
+// NewDigest summarizes one shard's evaluation. nonRootLCAs is the local LCA
+// set minus the shard root, in document order (the kept subset
+// SearchEnginesContext evaluates with); rootAnchored reports a local result
+// anchored at the shard root. ev must be non-nil; a prefilter-skipped
+// shard digests its cheap no-LCA evaluation (posting-list lookups only).
+// withFree additionally computes the per-keyword free-witness bits, which
+// cost a linear scan of every posting list — only the ELCA root check
+// (RootIsELCA) reads them, so SLCA digests skip the scan.
+func NewDigest(ev *search.Evaluation, nonRootLCAs []*xmltree.Node, rootAnchored, withFree bool) Digest {
+	d := Digest{
+		Matched:        make([]bool, len(ev.Lists)),
+		HasNonRootLCAs: len(nonRootLCAs) > 0,
+		RootAnchored:   rootAnchored,
+	}
+	for j, l := range ev.Lists {
+		d.Matched[j] = l.Len() > 0
+	}
+	if withFree {
+		d.Free = make([]bool, len(ev.Lists))
+		blocked := outermostIntervals(nonRootLCAs)
+		for j, l := range ev.Lists {
+			d.Free[j] = hasFreeOrd(l, blocked)
+		}
+	}
+	return d
+}
+
+// keywordCount returns the per-keyword width of a digest set (digests from
+// one query all agree; zero-width digests come from shards that never
+// evaluated).
+func keywordCount(digests []Digest) int {
+	for _, d := range digests {
+		if len(d.Matched) > 0 {
+			return len(d.Matched)
+		}
+	}
+	return 0
+}
+
+// AllKeywordsMatch reports whether every query keyword has at least one
+// match in some shard (conjunctive semantics at corpus scope) — the SLCA
+// half of the root decision: when no shard produced a non-root SLCA, the
+// root is the (sole) answer iff this holds.
+func AllKeywordsMatch(digests []Digest) bool {
+	k := keywordCount(digests)
+	if k == 0 {
+		return false
+	}
+	for j := 0; j < k; j++ {
+		found := false
+		for _, d := range digests {
+			if j < len(d.Matched) && d.Matched[j] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// RootIsELCA decides whether the original document root is an exclusive LCA
+// (see search.ELCABaseline): the root qualifies iff every keyword still has
+// a witness match after excluding the subtrees of the root's ELCA
+// descendants. The non-root ELCAs are exactly the per-shard local ELCA
+// sets, so the exclusion zones are shard-local and each shard's free bits
+// (Digest.Free) are computed independently; a witness in any shard serves
+// (including the shard root itself at ord 0, which carries the global
+// root's tag and direct-text matches).
+func RootIsELCA(digests []Digest) bool {
+	k := keywordCount(digests)
+	if k == 0 {
+		return false
+	}
+	for j := 0; j < k; j++ {
+		free := false
+		for _, d := range digests {
+			if j < len(d.Free) && d.Free[j] {
+				free = true
+				break
+			}
+		}
+		if !free {
+			return false
+		}
+	}
+	return true
+}
+
+// RootQualifies runs the semantics-appropriate root decision over one
+// query's digests: under ELCA the free-witness check, under SLCA the
+// all-keywords-match check gated on no shard having produced a non-root
+// SLCA. It is the shared decision procedure of the in-process merge and the
+// distributed router.
+func RootQualifies(sem search.Semantics, digests []Digest) bool {
+	if sem == search.SemanticsELCA {
+		return RootIsELCA(digests)
+	}
+	for _, d := range digests {
+		if d.HasNonRootLCAs {
+			return false
+		}
+	}
+	return AllKeywordsMatch(digests)
+}
+
+// MergeResults merges the per-shard result lists (each sorted by anchor
+// document order) into global order, keeping at most maxResults results
+// (0 = all). The global sort key is (shard index, local anchor ord), and
+// contiguous partitioning makes that key shard-major — a k-way merge heap
+// over the stream heads would only ever drain the streams one after
+// another — so the bounded top-k merge is a concatenation with a cutoff.
+// A future non-contiguous partitioner must replace this with a real k-way
+// merge on a global position key.
+func MergeResults(byShard [][]*search.Result, maxResults int) []*search.Result {
+	total := 0
+	for _, rs := range byShard {
+		total += len(rs)
+	}
+	if total == 0 {
+		return nil
+	}
+	if maxResults > 0 && total > maxResults {
+		total = maxResults
+	}
+	out := make([]*search.Result, 0, total)
+	for _, rs := range byShard {
+		for _, r := range rs {
+			if len(out) == total {
+				return out
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// outermostIntervals collapses a document-ordered node list to the preorder
+// intervals of its outermost members (nested nodes are absorbed by their
+// containing ancestor).
+func outermostIntervals(nodes []*xmltree.Node) [][2]int32 {
+	var out [][2]int32
+	lastEnd := int32(-1)
+	for _, n := range nodes {
+		if n.Start > lastEnd {
+			out = append(out, [2]int32{n.Start, n.End})
+			lastEnd = n.End
+		}
+	}
+	return out
+}
+
+// hasFreeOrd reports whether the list has an entry outside every blocked
+// interval (both sides sorted; one linear merge scan). The shard root
+// itself (ord 0) is never inside a child interval, so a match on the root's
+// own tag or direct text is always a free witness.
+func hasFreeOrd(l *index.PostingList, blocked [][2]int32) bool {
+	if l.Len() == 0 {
+		return false
+	}
+	bi := 0
+	for _, o := range l.Ords {
+		for bi < len(blocked) && blocked[bi][1] < o {
+			bi++
+		}
+		if bi >= len(blocked) || o < blocked[bi][0] {
+			return true
+		}
+	}
+	return false
+}

@@ -7,7 +7,6 @@ import (
 	"sync"
 
 	"extract/internal/faultinject"
-	"extract/internal/index"
 	"extract/internal/search"
 	"extract/xmltree"
 )
@@ -291,40 +290,25 @@ func (sc *Corpus) SearchEnginesContext(ctx context.Context, query string, opts s
 		}
 	}
 
-	// Decide whether the global root belongs in the LCA set. The ELCA
+	// Decide whether the global root belongs in the LCA set, via the same
+	// Digest decision procedure the distributed router uses. The ELCA
 	// witness check always needs every shard's posting lists; the SLCA
-	// check needs them only when no shard produced a non-root SLCA, so the
-	// common case never evaluates the prefilter-skipped shards at all.
-	collect := func() ([]*search.Evaluation, [][]*xmltree.Node) {
-		evals := make([]*search.Evaluation, len(outs))
-		nonRoot := make([][]*xmltree.Node, len(outs))
-		for i := range outs {
-			evals[i] = outs[i].eval
-			nonRoot[i] = outs[i].nonRootLCAs
-		}
-		return evals, nonRoot
-	}
+	// check needs them only when no shard produced a non-root SLCA (the
+	// root is smallest iff no proper descendant covers all keywords and
+	// the corpus as a whole covers them — including keywords spread across
+	// shards with no local co-occurrence at all), so the common case never
+	// evaluates the prefilter-skipped shards at all.
 	rootQualifies := false
-	switch opts.Semantics {
-	case search.SemanticsELCA:
+	if opts.Semantics == search.SemanticsELCA || !anyLCAs {
 		if err := ensureSkippedEvals(); err != nil {
 			return nil, err
 		}
-		evals, nonRoot := collect()
-		rootQualifies = rootIsELCA(evals, nonRoot)
-	default:
-		// SLCA: the root is smallest iff no proper descendant covers all
-		// keywords — equivalently, no shard produced a non-root SLCA —
-		// and the corpus as a whole covers them. This includes keywords
-		// spread across shards with no local co-occurrence at all (every
-		// local evaluation empty).
-		if !anyLCAs {
-			if err := ensureSkippedEvals(); err != nil {
-				return nil, err
-			}
-			evals, _ := collect()
-			rootQualifies = allKeywordsMatch(evals)
+		withFree := opts.Semantics == search.SemanticsELCA
+		digests := make([]Digest, len(outs))
+		for i := range outs {
+			digests[i] = NewDigest(outs[i].eval, outs[i].nonRootLCAs, outs[i].rootAnchored, withFree)
 		}
+		rootQualifies = RootQualifies(opts.Semantics, digests)
 	}
 
 	if rootQualifies || rootAnchored {
@@ -342,132 +326,5 @@ func (sc *Corpus) SearchEnginesContext(ctx context.Context, query string, opts s
 	for i := range outs {
 		byShard[i] = outs[i].results
 	}
-	return mergeResults(byShard, opts.MaxResults), nil
-}
-
-// allKeywordsMatch reports whether every query keyword has at least one
-// match in some shard (conjunctive semantics at corpus scope).
-func allKeywordsMatch(evals []*search.Evaluation) bool {
-	if len(evals) == 0 || evals[0] == nil {
-		return false
-	}
-	k := len(evals[0].Lists)
-	if k == 0 {
-		return false
-	}
-	for j := 0; j < k; j++ {
-		found := false
-		for _, ev := range evals {
-			if ev != nil && j < len(ev.Lists) && ev.Lists[j].Len() > 0 {
-				found = true
-				break
-			}
-		}
-		if !found {
-			return false
-		}
-	}
-	return true
-}
-
-// rootIsELCA decides whether the original document root is an exclusive
-// LCA under this engine's ELCA semantics (see search.ELCABaseline): the
-// root qualifies iff every keyword still has a witness match after
-// excluding the subtrees of the root's ELCA descendants. The non-root
-// ELCAs are exactly the per-shard local ELCA sets, so the exclusion zones
-// are their outermost preorder intervals, per shard; a witness in any
-// shard serves (including the shard root itself at ord 0, which carries
-// the global root's tag and direct-text matches).
-func rootIsELCA(evals []*search.Evaluation, nonRootLCAs [][]*xmltree.Node) bool {
-	if len(evals) == 0 || evals[0] == nil {
-		return false
-	}
-	k := len(evals[0].Lists)
-	if k == 0 {
-		return false
-	}
-	free := make([]bool, k)
-	for i, ev := range evals {
-		if ev == nil {
-			continue
-		}
-		blocked := outermostIntervals(nonRootLCAs[i])
-		for j := 0; j < k && j < len(ev.Lists); j++ {
-			if !free[j] && hasFreeOrd(ev.Lists[j], blocked) {
-				free[j] = true
-			}
-		}
-	}
-	for _, f := range free {
-		if !f {
-			return false
-		}
-	}
-	return true
-}
-
-// outermostIntervals collapses a document-ordered node list to the preorder
-// intervals of its outermost members (nested nodes are absorbed by their
-// containing ancestor).
-func outermostIntervals(nodes []*xmltree.Node) [][2]int32 {
-	var out [][2]int32
-	lastEnd := int32(-1)
-	for _, n := range nodes {
-		if n.Start > lastEnd {
-			out = append(out, [2]int32{n.Start, n.End})
-			lastEnd = n.End
-		}
-	}
-	return out
-}
-
-// hasFreeOrd reports whether the list has an entry outside every blocked
-// interval (both sides sorted; one linear merge scan). The shard root
-// itself (ord 0) is never inside a child interval, so a match on the root's
-// own tag or direct text is always a free witness.
-func hasFreeOrd(l *index.PostingList, blocked [][2]int32) bool {
-	if l.Len() == 0 {
-		return false
-	}
-	bi := 0
-	for _, o := range l.Ords {
-		for bi < len(blocked) && blocked[bi][1] < o {
-			bi++
-		}
-		if bi >= len(blocked) || o < blocked[bi][0] {
-			return true
-		}
-	}
-	return false
-}
-
-// mergeResults merges the per-shard result lists (each sorted by anchor
-// document order) into global order, keeping at most maxResults results
-// (0 = all). The global sort key is (shard index, local anchor ord), and
-// contiguous partitioning makes that key shard-major — a k-way merge heap
-// over the stream heads would only ever drain the streams one after
-// another — so the bounded top-k merge is a concatenation with a cutoff.
-// A future non-contiguous partitioner must replace this with a real k-way
-// merge on a global position key.
-func mergeResults(byShard [][]*search.Result, maxResults int) []*search.Result {
-	total := 0
-	for _, rs := range byShard {
-		total += len(rs)
-	}
-	if total == 0 {
-		return nil
-	}
-	if maxResults > 0 && total > maxResults {
-		total = maxResults
-	}
-	out := make([]*search.Result, 0, total)
-	for _, rs := range byShard {
-		for _, r := range rs {
-			if len(out) == total {
-				return out
-			}
-			out = append(out, r)
-		}
-	}
-	return out
+	return MergeResults(byShard, opts.MaxResults), nil
 }

@@ -2,6 +2,7 @@ package extract_test
 
 import (
 	"bytes"
+	"net"
 	"os"
 	"regexp"
 	"strings"
@@ -9,6 +10,9 @@ import (
 
 	"extract"
 	"extract/internal/gen"
+	"extract/internal/ingest"
+	"extract/internal/remote"
+	"extract/xmltree"
 )
 
 // metricNameRe matches exported metric names wherever OBSERVABILITY.md or
@@ -51,6 +55,12 @@ func TestObservabilityDocMatchesRegistry(t *testing.T) {
 	if err := c.WriteMetrics(&buf); err != nil {
 		t.Fatal(err)
 	}
+	// A remote corpus registers the router's remote-call metrics on the
+	// same registry; exercise one over a loopback shard tier so the doc is
+	// held to those series too.
+	if err := remoteCorpusMetrics(t, &buf); err != nil {
+		t.Fatal(err)
+	}
 	registered := map[string]bool{}
 	for _, line := range strings.Split(buf.String(), "\n") {
 		if name, ok := strings.CutPrefix(line, "# TYPE "); ok {
@@ -80,4 +90,41 @@ func TestObservabilityDocMatchesRegistry(t *testing.T) {
 			t.Errorf("metric %s is registered but OBSERVABILITY.md does not document it", name)
 		}
 	}
+}
+
+// remoteCorpusMetrics serves a tiny snapshot from one loopback shard
+// server, queries it through extract.Connect, and appends the remote
+// corpus's metrics exposition to buf.
+func remoteCorpusMetrics(t *testing.T, buf *bytes.Buffer) error {
+	t.Helper()
+	lc, err := extract.LoadString(xmltree.XMLString(gen.Figure5Corpus().Root), extract.WithShards(2))
+	if err != nil {
+		return err
+	}
+	defer lc.Close()
+	snapDir := t.TempDir()
+	if err := lc.SaveSnapshot(snapDir); err != nil {
+		return err
+	}
+	loaded, err := ingest.Load(snapDir)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := remote.NewServer(loaded.Corpus,
+		remote.WithOwnedShards(remote.OwnedShards(loaded.Source, 0, 1)))
+	go srv.Serve(ln)
+	defer srv.Close()
+	rc, err := extract.Connect(snapDir, [][]string{{ln.Addr().String()}})
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	if _, err := rc.Query("store texas", 6); err != nil {
+		return err
+	}
+	return rc.WriteMetrics(buf)
 }

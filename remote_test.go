@@ -1,0 +1,284 @@
+package extract
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"extract/internal/faultinject"
+	"extract/internal/gen"
+	"extract/internal/ingest"
+	"extract/internal/remote"
+	"extract/internal/workload"
+	"extract/xmltree"
+)
+
+// startShardTier serves the snapshot at dir from groups×replicas shard
+// servers on loopback listeners — each server loads its own mapping of the
+// snapshot, exactly like separate extractd -shard-server processes — and
+// returns the address matrix (addrs[g] are the replicas of group g) plus
+// the servers keyed by their address, so chaos tests can kill one.
+func startShardTier(t *testing.T, dir string, groups, replicas int) ([][]string, map[string]*remote.Server) {
+	t.Helper()
+	addrs := make([][]string, groups)
+	servers := map[string]*remote.Server{}
+	for g := 0; g < groups; g++ {
+		for r := 0; r < replicas; r++ {
+			loaded, err := ingest.Load(dir)
+			if err != nil {
+				t.Fatalf("ingest.Load: %v", err)
+			}
+			if loaded.Corpus == nil {
+				t.Fatal("snapshot is not sharded")
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatalf("listen: %v", err)
+			}
+			addr := ln.Addr().String()
+			srv := remote.NewServer(loaded.Corpus,
+				remote.WithOwnedShards(remote.OwnedShards(loaded.Source, g, groups)),
+				remote.WithServerTag(addr))
+			go srv.Serve(ln)
+			t.Cleanup(srv.Close)
+			addrs[g] = append(addrs[g], addr)
+			servers[addr] = srv
+		}
+	}
+	return addrs, servers
+}
+
+// TestConnectMatchesLocal pins the facade's remote mode to its local mode:
+// a corpus opened with Connect against a live shard tier answers Query —
+// results, snippets, and ranked order — byte-identical to the local corpus
+// the snapshot was saved from, across the full option mix; local-only
+// operations are rejected with ErrRemoteCorpus; and ReloadSnapshot works
+// against the same generation.
+func TestConnectMatchesLocal(t *testing.T) {
+	doc := gen.Stores(gen.StoresConfig{Retailers: 4, StoresPerRetailer: 3, ClothesPerStore: 5, Seed: 11})
+	xml := xmltree.XMLString(doc.Root)
+	local, err := LoadString(xml, WithShards(3), WithQueryCache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	snapDir := t.TempDir()
+	if err := local.SaveSnapshot(snapDir); err != nil {
+		t.Fatal(err)
+	}
+
+	addrs, _ := startShardTier(t, snapDir, 2, 1)
+	rc, err := Connect(snapDir, addrs, WithQueryCache(0))
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	defer rc.Close()
+
+	if got, want := rc.Shards(), local.Shards(); got != want {
+		t.Fatalf("Shards() = %d, want %d", got, want)
+	}
+	// Remote Stats carries only what the analysis artifacts and corpus-wide
+	// counters can answer (node-level statistics stay with the servers).
+	if ls, rs := local.Stats(), rc.Stats(); rs.Elements != ls.Elements ||
+		strings.Join(rs.Entities, ",") != strings.Join(ls.Entities, ",") {
+		t.Fatalf("Stats() = %+v, want Elements/Entities of %+v", rs, ls)
+	}
+
+	var queries []string
+	for _, wq := range workload.Generate(doc, workload.Config{Queries: 8, Keywords: 2, Seed: 7}) {
+		queries = append(queries, wq.Text())
+	}
+	queries = append(queries, "zzznosuchkeyword", "")
+	optionMixes := [][]SearchOption{
+		nil,
+		{WithELCA()},
+		{WithTrimmedResults()},
+		{WithRanking()},
+		{WithMaxResults(3), WithRanking()},
+	}
+	const bound = 8
+	for mi, mix := range optionMixes {
+		for _, q := range queries {
+			want, werr := local.Query(q, bound, mix...)
+			got, gerr := rc.Query(q, bound, mix...)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("mix %d, %q: errors differ: local %v, remote %v", mi, q, werr, gerr)
+			}
+			if werr != nil {
+				continue
+			}
+			if w, g := renderChaosHits(want), renderChaosHits(got); w != g {
+				t.Fatalf("mix %d, %q: answers differ\nlocal  %s\nremote %s", mi, q, w, g)
+			}
+		}
+	}
+
+	// Operations that need local documents or indexes must refuse cleanly.
+	if err := rc.SaveSnapshot(t.TempDir()); !errors.Is(err, ErrRemoteCorpus) {
+		t.Fatalf("SaveSnapshot on remote corpus: %v, want ErrRemoteCorpus", err)
+	}
+	if err := rc.SaveIndex(io.Discard); !errors.Is(err, ErrRemoteCorpus) {
+		t.Fatalf("SaveIndex on remote corpus: %v, want ErrRemoteCorpus", err)
+	}
+	if _, err := rc.XPath("//store"); !errors.Is(err, ErrRemoteCorpus) {
+		t.Fatalf("XPath on remote corpus: %v, want ErrRemoteCorpus", err)
+	}
+	if _, err := rc.ReloadDelta(strings.NewReader(xml)); !errors.Is(err, ErrRemoteCorpus) {
+		t.Fatalf("ReloadDelta on remote corpus: %v, want ErrRemoteCorpus", err)
+	}
+	if s := rc.Suggest("st", 5); s != nil {
+		t.Fatalf("Suggest on remote corpus = %v, want nil", s)
+	}
+
+	// ReloadSnapshot re-reads the manifest and re-places; same generation,
+	// so answers must be untouched.
+	if _, err := rc.ReloadSnapshot(snapDir); err != nil {
+		t.Fatalf("ReloadSnapshot: %v", err)
+	}
+	q := queries[0]
+	want, err := local.Query(q, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rc.Query(q, bound)
+	if err != nil {
+		t.Fatalf("query after ReloadSnapshot: %v", err)
+	}
+	if renderChaosHits(want) != renderChaosHits(got) {
+		t.Fatal("answers drifted after ReloadSnapshot")
+	}
+}
+
+// TestChaosRemoteReplicaFailover is the distributed chaos pin: with 2-way
+// replica groups, one replica misbehaving — dropping connections, erroring,
+// stalling, and finally being killed outright mid-stream — must cost ZERO
+// failed queries: every query fails over to the healthy peer and answers
+// byte-identical to the fault-free baseline. After the faults clear the
+// tier keeps answering identically through the surviving replicas. Run
+// under -race in CI.
+func TestChaosRemoteReplicaFailover(t *testing.T) {
+	defer faultinject.Reset()
+	doc := gen.Stores(gen.StoresConfig{Retailers: 5, StoresPerRetailer: 3, ClothesPerStore: 4, Seed: 77})
+	xml := xmltree.XMLString(doc.Root)
+	seedCorpus, err := LoadString(xml, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapDir := t.TempDir()
+	if err := seedCorpus.SaveSnapshot(snapDir); err != nil {
+		t.Fatal(err)
+	}
+	seedCorpus.Close()
+
+	addrs, servers := startShardTier(t, snapDir, 2, 2)
+	rc, err := Connect(snapDir, addrs, WithWorkers(3), WithQueryCache(0))
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	defer rc.Close()
+
+	// Pin fault-free baselines for queries with results.
+	const bound = 8
+	var queries []string
+	want := map[string]string{}
+	for _, wq := range workload.Generate(doc, workload.Config{Queries: 12, Keywords: 2, Seed: 7}) {
+		q := wq.Text()
+		hits, err := rc.Query(q, bound)
+		if err != nil {
+			t.Fatalf("baseline query %q: %v", q, err)
+		}
+		if len(hits) == 0 {
+			continue
+		}
+		queries = append(queries, q)
+		want[q] = renderChaosHits(hits)
+		if len(queries) == 4 {
+			break
+		}
+	}
+	if len(queries) < 2 {
+		t.Fatalf("only %d workload queries produced results", len(queries))
+	}
+
+	// Phase 1: the victim — second replica of group 0 — cycles through the
+	// three remote failure shapes. The server-side hook severs connections
+	// and injects evaluation errors; the router-side hook injects transport
+	// faults on send. Every failure class must fail over to the peer.
+	victim := addrs[0][1]
+	var tick atomic.Uint64
+	replicaErr := errors.New("chaos: injected replica failure")
+	faultinject.SetTag(faultinject.RemoteServe, func(tag string) error {
+		if tag != victim {
+			return nil
+		}
+		switch tick.Add(1) % 3 {
+		case 0:
+			return remote.ErrDropConnection
+		case 1:
+			return replicaErr
+		default:
+			time.Sleep(200 * time.Microsecond)
+			return nil
+		}
+	})
+	faultinject.SetTag(faultinject.RemoteSend, func(tag string) error {
+		if tag == victim && tick.Add(1)%5 == 0 {
+			return replicaErr
+		}
+		return nil
+	})
+
+	runPhase := func(phase string, mid func()) {
+		const workers, iters = 6, 30
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					q := queries[(id+i)%len(queries)]
+					hits, err := rc.Query(q, bound)
+					if err != nil {
+						t.Errorf("%s: query %q failed (failover should cover every fault): %v", phase, q, err)
+						return
+					}
+					if renderChaosHits(hits) != want[q] {
+						t.Errorf("%s: wrong answer for %q", phase, q)
+						return
+					}
+				}
+			}(w)
+		}
+		if mid != nil {
+			mid()
+		}
+		wg.Wait()
+	}
+	runPhase("injected faults", nil)
+
+	// Phase 2: faults cleared, then the victim is killed for real
+	// mid-stream — in-flight connections sever, new dials are refused.
+	// Still zero failed queries.
+	faultinject.Reset()
+	runPhase("replica killed", func() {
+		time.Sleep(2 * time.Millisecond)
+		servers[victim].Close()
+	})
+
+	// Recovery: the degraded tier (one replica in group 0) answers every
+	// pinned query byte-identically.
+	for _, q := range queries {
+		hits, err := rc.Query(q, bound)
+		if err != nil {
+			t.Fatalf("query %q after chaos: %v", q, err)
+		}
+		if renderChaosHits(hits) != want[q] {
+			t.Fatalf("query %q drifted after chaos", q)
+		}
+	}
+}

@@ -12,6 +12,10 @@
 //	benchrunner -persist BENCH_search.json # update the persist-load perf points
 //	benchrunner -serve BENCH_search.json   # update the serving-layer QPS points
 //	                                       # (zipf workload, cold vs warm cache)
+//	benchrunner -serve-remote BENCH_search.json
+//	                                       # update the routed serving point (same
+//	                                       # workload through a loopback shard tier
+//	                                       # — the router + wire overhead row)
 //	benchrunner -reload BENCH_search.json  # update the refresh points (full vs
 //	                                       # delta reload after a one-entity edit)
 //	benchrunner -search new.json -persist new.json -baseline BENCH_search.json
@@ -41,6 +45,7 @@ func main() {
 		search     = flag.String("search", "", "update the search→snippet hot-path perf points in this JSON file")
 		persist    = flag.String("persist", "", "update the persist-load perf points in this JSON file")
 		serve      = flag.String("serve", "", "update the serving-layer concurrent-QPS perf points in this JSON file")
+		serveRem   = flag.String("serve-remote", "", "update the routed loopback serving point in this JSON file")
 		reload     = flag.String("reload", "", "update the full-vs-delta reload perf points in this JSON file")
 		baseline   = flag.String("baseline", "", "compare the updated JSON against this baseline report and fail on regression")
 		maxRegress = flag.Float64("maxregress", 1.20, "regression tolerance for -baseline (1.20 = 20% slower fails)")
@@ -48,7 +53,7 @@ func main() {
 	flag.Parse()
 
 	sizes := bench.Sizes{Quick: *quick}
-	perfMode := *search != "" || *persist != "" || *serve != "" || *reload != ""
+	perfMode := *search != "" || *persist != "" || *serve != "" || *serveRem != "" || *reload != ""
 	if *search != "" {
 		report, err := bench.WriteSearchPerf(*search, sizes.SearchPerfSizes())
 		if err != nil {
@@ -73,6 +78,14 @@ func main() {
 		}
 		fmt.Print(bench.RenderServe(points))
 	}
+	if *serveRem != "" {
+		point, err := bench.UpdateServeRemotePerf(*serveRem, sizes.ServeRemoteSize())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.RenderServe([]bench.ServePerfPoint{point}))
+	}
 	if *reload != "" {
 		points, err := reloadperf.UpdateReloadPerf(*reload, sizes.SearchPerfSizes())
 		if err != nil {
@@ -88,6 +101,9 @@ func main() {
 		}
 		if current == "" {
 			current = *serve
+		}
+		if current == "" {
+			current = *serveRem
 		}
 		if current == "" {
 			current = *reload

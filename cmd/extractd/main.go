@@ -233,6 +233,7 @@ func main() {
 		slowQuery    = flag.Duration("slow-query", 0, "log queries at least this slow as JSON lines on stderr (0 disables)")
 		pprofFlag    = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
 		shardServer  = flag.Bool("shard-server", false, "run as a shard server for the distributed tier instead of the HTTP demo (requires -snapshot)")
+		metricsAddr  = flag.String("metrics-addr", "", "with -shard-server, also serve GET /metrics and /healthz over HTTP on this address (empty disables)")
 		snapshotDir  = flag.String("snapshot", "", "sharded snapshot directory for -shard-server and -router modes")
 		shardGroup   = flag.Int("shard-group", 0, "this shard server's replica group index (0-based)")
 		shardGroups  = flag.Int("shard-groups", 1, "total replica groups in the tier; placement is computed from the snapshot manifest")
@@ -243,7 +244,7 @@ func main() {
 	flag.Parse()
 
 	if *shardServer {
-		runShardServer(*addr, *snapshotDir, *shardGroup, *shardGroups, *watch)
+		runShardServer(*addr, *metricsAddr, *snapshotDir, *shardGroup, *shardGroups, *watch)
 		return
 	}
 
@@ -382,6 +383,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/reload", s.handleReload)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/debug/traces", s.handleTraces)
 	if s.pprofEnabled {
 		// Mounted explicitly rather than via the package's init-time
 		// registration on http.DefaultServeMux, which this server never
@@ -548,12 +550,70 @@ func (s *server) add(name string, c *extract.Corpus, path string) {
 type slowQueryLine struct {
 	TS       string             `json:"ts"` // RFC 3339, UTC
 	Dataset  string             `json:"dataset"`
+	TraceID  string             `json:"trace_id,omitempty"` // 16 hex digits; matches /debug/traces
 	Keywords []string           `json:"keywords"`
 	TotalMs  float64            `json:"total_ms"`
 	StagesMs map[string]float64 `json:"stages_ms"`
 	Cache    string             `json:"cache,omitempty"`
 	Results  int                `json:"results"`
 	Error    string             `json:"error,omitempty"`
+	// Hops lists the remote call attempts a routed query made, in order;
+	// absent for local datasets, cache hits and coalesced followers.
+	Hops []hopLine `json:"hops,omitempty"`
+}
+
+// hopLine renders one remote call attempt in a slow-query record or a
+// /debug/traces entry: replica identity, attempt number, wire round trip,
+// the server-reported stage breakdown (wire v2 peers only), and the
+// failure class when the attempt failed.
+type hopLine struct {
+	Kind           string             `json:"kind"`
+	Group          string             `json:"group"`
+	Replica        string             `json:"replica"`
+	Attempt        int                `json:"attempt"`
+	WireMs         float64            `json:"wire_ms"`
+	ServerStagesMs map[string]float64 `json:"server_stages_ms,omitempty"`
+	Error          string             `json:"error,omitempty"`
+}
+
+// hopLines converts facade hops to their log/JSON form (nil in, nil out).
+func hopLines(hops []extract.Hop) []hopLine {
+	if len(hops) == 0 {
+		return nil
+	}
+	out := make([]hopLine, len(hops))
+	for i, h := range hops {
+		out[i] = hopLine{
+			Kind:    h.Kind,
+			Group:   h.Group,
+			Replica: h.Replica,
+			Attempt: h.Attempt,
+			WireMs:  roundMs(h.Wire),
+			Error:   h.Err,
+		}
+		stages := map[string]time.Duration{
+			"decode": h.ServerDecode, "eval": h.ServerEval,
+			"digest": h.ServerDigest, "encode": h.ServerEncode,
+		}
+		for name, d := range stages {
+			if d > 0 {
+				if out[i].ServerStagesMs == nil {
+					out[i].ServerStagesMs = make(map[string]float64, len(stages))
+				}
+				out[i].ServerStagesMs[name] = roundMs(d)
+			}
+		}
+	}
+	return out
+}
+
+// traceIDString renders a trace ID the way every surface logs it: 16 hex
+// digits, or "" for the zero (untraced) ID.
+func traceIDString(id uint64) string {
+	if id == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%016x", id)
 }
 
 // maxLoggedKeywords caps a slow-query line's keyword list: enough to
@@ -571,12 +631,14 @@ func (s *server) logSlowQuery(dataset string, q extract.SlowQuery) {
 	line := slowQueryLine{
 		TS:       time.Now().UTC().Format(time.RFC3339Nano),
 		Dataset:  dataset,
+		TraceID:  traceIDString(q.TraceID),
 		Keywords: kws,
 		TotalMs:  roundMs(q.Duration),
 		StagesMs: make(map[string]float64, len(q.Stages)),
 		Cache:    q.Cache,
 		Results:  q.Results,
 		Error:    q.Err,
+		Hops:     hopLines(q.Hops),
 	}
 	for st, d := range q.Stages {
 		line.StagesMs[st] = roundMs(d)
@@ -615,6 +677,65 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := extract.WriteMetrics(w, corpora); err != nil {
 		log.Printf("extractd: metrics: %v", err)
+	}
+}
+
+// traceEntry is one /debug/traces record: a retained query trace with the
+// same hop rendering the slow-query log uses, so an operator can pivot
+// between the two surfaces on trace_id. Traces carry no query text — the
+// endpoint is safe to expose without leaking what users searched for.
+type traceEntry struct {
+	TraceID  string             `json:"trace_id"`
+	TS       string             `json:"ts"` // RFC 3339, UTC
+	TotalMs  float64            `json:"total_ms"`
+	StagesMs map[string]float64 `json:"stages_ms"`
+	Cache    string             `json:"cache,omitempty"`
+	Results  int                `json:"results"`
+	Error    string             `json:"error,omitempty"`
+	Kept     string             `json:"kept"`
+	Hops     []hopLine          `json:"hops,omitempty"`
+}
+
+// handleTraces serves every dataset's recent-trace ring as JSON: a steady
+// sample of recent queries plus the slowest seen, newest first per
+// dataset, with per-hop replica addresses and server-side stage timings on
+// routed queries.
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.notReady(w) {
+		return
+	}
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	out := make(map[string][]traceEntry, len(s.datasets))
+	for name, ds := range s.datasets {
+		traces := ds.Corpus.RecentTraces()
+		entries := make([]traceEntry, len(traces))
+		for i, qt := range traces {
+			e := traceEntry{
+				TraceID:  traceIDString(qt.TraceID),
+				TS:       qt.Time.UTC().Format(time.RFC3339Nano),
+				TotalMs:  roundMs(qt.Total),
+				StagesMs: make(map[string]float64, len(qt.Stages)),
+				Cache:    qt.Cache,
+				Results:  qt.Results,
+				Error:    qt.Err,
+				Kept:     qt.Kept,
+				Hops:     hopLines(qt.Hops),
+			}
+			for _, st := range qt.Stages {
+				e.StagesMs[st.Name] = roundMs(st.Duration)
+			}
+			entries[i] = e
+		}
+		out[name] = entries
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Printf("extractd: traces: %v", err)
 	}
 }
 

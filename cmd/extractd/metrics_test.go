@@ -9,11 +9,15 @@ import (
 	"os"
 	"regexp"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"extract"
 	"extract/internal/gen"
+	"extract/internal/remote"
+	"extract/internal/shard"
+	"extract/internal/telemetry"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
@@ -109,6 +113,87 @@ func TestMetricsMultiDatasetHeaders(t *testing.T) {
 	}
 	if !strings.Contains(rr.Body.String(), `dataset="movies"`) {
 		t.Error("movies dataset missing from merged exposition")
+	}
+}
+
+// TestShardServerMetricsGolden pins the shard-server /metrics surface
+// (-shard-server -metrics-addr): every series is pre-registered, so the
+// exposition's structure must match the golden from the very first scrape,
+// before any request has been served.
+func TestShardServerMetricsGolden(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sc := shard.Build(gen.Figure5Corpus(), 2)
+	src := remote.CorpusSource(sc)
+	srv := remote.NewServer(sc,
+		remote.WithOwnedShards(remote.OwnedShards(src, 0, 1)),
+		remote.WithServerTelemetry(reg))
+	var draining atomic.Bool
+	mux := shardServerMux(reg, srv, &draining)
+
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("GET /metrics = %d: %s", rr.Code, rr.Body.String())
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	got := normalizeExposition(rr.Body.String())
+
+	const goldenPath = "testdata/shard_server_metrics.golden"
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("shard-server metrics structure drifted from %s (run with -update if intended):\n--- got ---\n%s", goldenPath, got)
+	}
+}
+
+// TestShardServerHealthz pins the shard-server health surface: generation
+// fingerprint, owned shard set, and the drain flip at shutdown.
+func TestShardServerHealthz(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sc := shard.Build(gen.Figure5Corpus(), 2)
+	src := remote.CorpusSource(sc)
+	srv := remote.NewServer(sc,
+		remote.WithOwnedShards(remote.OwnedShards(src, 0, 1)),
+		remote.WithServerTelemetry(reg))
+	var draining atomic.Bool
+	mux := shardServerMux(reg, srv, &draining)
+
+	get := func() map[string]any {
+		rr := httptest.NewRecorder()
+		mux.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+		if rr.Code != 200 {
+			t.Fatalf("GET /healthz = %d: %s", rr.Code, rr.Body.String())
+		}
+		var m map[string]any
+		if err := json.Unmarshal(rr.Body.Bytes(), &m); err != nil {
+			t.Fatalf("healthz is not JSON: %v\n%s", err, rr.Body.String())
+		}
+		return m
+	}
+	m := get()
+	if m["status"] != "ok" || m["draining"] != false {
+		t.Fatalf("healthz before drain: %v", m)
+	}
+	fp, _ := m["fingerprint"].(string)
+	if len(fp) != 16 || fp == "0000000000000000" {
+		t.Fatalf("fingerprint = %q, want 16 hex digits", fp)
+	}
+	owned, _ := m["shards_owned"].([]any)
+	if len(owned) != 2 || m["shards_total"] != float64(2) {
+		t.Fatalf("one group of one must own both shards: %v", m)
+	}
+	draining.Store(true)
+	if m := get(); m["status"] != "draining" || m["draining"] != true {
+		t.Fatalf("healthz after drain: %v", m)
 	}
 }
 

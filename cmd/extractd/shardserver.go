@@ -11,24 +11,30 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"extract/internal/ingest"
 	"extract/internal/remote"
+	"extract/internal/telemetry"
 )
 
 // runShardServer is the -shard-server entry point: load the snapshot, own
 // group `group` of `groups`, serve until SIGINT/SIGTERM. A -watch interval
 // polls the snapshot manifest and swaps generations online (Server.Swap),
-// pairing with the routers' own ReloadSnapshot.
-func runShardServer(addr, dir string, group, groups int, watch time.Duration) {
+// pairing with the routers' own ReloadSnapshot. A -metrics-addr serves the
+// shard server's own telemetry over HTTP next to the wire listener.
+func runShardServer(addr, metricsAddr, dir string, group, groups int, watch time.Duration) {
 	if dir == "" {
 		log.Fatal("extractd: -shard-server requires -snapshot <dir>")
 	}
@@ -46,24 +52,80 @@ func runShardServer(addr, dir string, group, groups int, watch time.Duration) {
 	if err != nil {
 		log.Fatalf("extractd: listen %s: %v", addr, err)
 	}
+	reg := telemetry.NewRegistry()
 	owned := remote.OwnedShards(loaded.Source, group, groups)
 	srv := remote.NewServer(loaded.Corpus,
 		remote.WithOwnedShards(owned),
-		remote.WithServerTag(ln.Addr().String()))
+		remote.WithServerTag(ln.Addr().String()),
+		remote.WithServerTelemetry(reg))
 	log.Printf("extractd: shard server on %s: group %d/%d owns %d of %d shards from %s",
 		ln.Addr(), group, groups, len(owned), len(loaded.Source.Shards), dir)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	var draining atomic.Bool
+	if metricsAddr != "" {
+		mln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			log.Fatalf("extractd: listen %s: %v", metricsAddr, err)
+		}
+		log.Printf("extractd: shard-server metrics on %s", mln.Addr())
+		go func() {
+			httpSrv := &http.Server{Handler: shardServerMux(reg, srv, &draining)}
+			if err := httpSrv.Serve(mln); err != nil && ctx.Err() == nil {
+				log.Printf("extractd: shard-server metrics serve: %v", err)
+			}
+		}()
+	}
 	if watch > 0 {
 		go watchSnapshot(ctx, srv, dir, group, groups, watch)
 	}
 	go func() {
 		<-ctx.Done()
+		draining.Store(true)
 		log.Printf("extractd: shard server shutting down")
 		srv.Close()
 	}()
 	srv.Serve(ln)
+}
+
+// shardServerMux builds the shard server's observability surface: GET
+// /metrics serves the server's own registry (request counts by kind and
+// outcome, per-stage latency histograms) in Prometheus text format, and
+// GET /healthz reports the served generation's fingerprint, the owned
+// shard set, and whether shutdown has begun draining. It is a separate
+// tiny mux — the wire listener stays pure protocol.
+func shardServerMux(reg *telemetry.Registry, srv *remote.Server, draining *atomic.Bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := telemetry.WritePrometheus(w, telemetry.Instance{Snap: reg.Snapshot()}); err != nil {
+			log.Printf("extractd: shard-server metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		status := "ok"
+		if draining.Load() {
+			status = "draining"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":       status,
+			"fingerprint":  fmt.Sprintf("%016x", srv.Fingerprint()),
+			"shards_owned": srv.Owned(),
+			"shards_total": srv.NumShards(),
+			"draining":     draining.Load(),
+		})
+	})
+	return mux
 }
 
 // watchSnapshot polls the snapshot manifest's mtime and swaps the server
@@ -93,11 +155,12 @@ func watchSnapshot(ctx context.Context, srv *remote.Server, dir string, group, g
 			log.Printf("extractd: reload snapshot %s: %v — still serving the loaded generation", dir, err)
 			continue
 		}
+		old := srv.Fingerprint()
 		srv.Swap(loaded.Corpus,
 			remote.WithOwnedShards(remote.OwnedShards(loaded.Source, group, groups)))
 		mtime, size = fi.ModTime(), fi.Size()
-		log.Printf("extractd: shard server swapped to new snapshot generation (fingerprint %x)",
-			remote.Fingerprint(loaded.Source))
+		log.Printf("extractd: shard server swapped snapshot generation %016x -> %016x",
+			old, srv.Fingerprint())
 	}
 }
 

@@ -32,6 +32,17 @@ func (s Sizes) searchSizes() []int {
 // (cmd/benchrunner -search).
 func (s Sizes) SearchPerfSizes() []int { return s.searchSizes() }
 
+// ServeRemoteSize is the corpus size of the routed loopback serving point
+// (cmd/benchrunner -serve-remote): one mid-trajectory size, big enough
+// that per-query evaluation dominates scheduler jitter but small enough
+// that the point stays a seconds-long run.
+func (s Sizes) ServeRemoteSize() int {
+	if s.Quick {
+		return 1_000
+	}
+	return 10_000
+}
+
 func (s Sizes) exactCases() int {
 	if s.Quick {
 		return 10

@@ -258,14 +258,18 @@ func CompareReports(baseline, current *SearchPerfReport, tol float64) []string {
 	}
 
 	// Serve points come in sharded and unsharded variants at each corpus
-	// size, so the baseline is keyed on both dimensions.
-	type serveKey struct{ nodes, shards int }
+	// size, plus the routed loopback point, so the baseline is keyed on
+	// all three dimensions — a remote point never gates a local one.
+	type serveKey struct {
+		nodes, shards int
+		backend       string
+	}
 	baseServe := map[serveKey]float64{}
 	for _, p := range baseline.Serve {
-		baseServe[serveKey{p.Nodes, p.Shards}] = p.WarmSpeedup
+		baseServe[serveKey{p.Nodes, p.Shards, p.Backend}] = p.WarmSpeedup
 	}
 	for _, p := range current.Serve {
-		base, ok := baseServe[serveKey{p.Nodes, p.Shards}]
+		base, ok := baseServe[serveKey{p.Nodes, p.Shards, p.Backend}]
 		if !ok || base <= 0 || p.WarmSpeedup <= 0 {
 			continue
 		}
@@ -298,10 +302,10 @@ func CompareReports(baseline, current *SearchPerfReport, tol float64) []string {
 	// behind a lock would pass the QPS gate and fail here.
 	baseTail := map[serveKey]ServePerfPoint{}
 	for _, p := range baseline.Serve {
-		baseTail[serveKey{p.Nodes, p.Shards}] = p
+		baseTail[serveKey{p.Nodes, p.Shards, p.Backend}] = p
 	}
 	for _, p := range current.Serve {
-		bp, ok := baseTail[serveKey{p.Nodes, p.Shards}]
+		bp, ok := baseTail[serveKey{p.Nodes, p.Shards, p.Backend}]
 		base := bp.TailRatio()
 		cur := p.TailRatio()
 		if !ok || base <= 0 || cur <= 0 {
@@ -343,7 +347,7 @@ func CompareReports(baseline, current *SearchPerfReport, tol float64) []string {
 	// depresses QPS and inflates the yardstick together — so no
 	// quiet-hardware cap is needed; only the shared tolerance applies.
 	for _, p := range current.Serve {
-		bp, ok := baseTail[serveKey{p.Nodes, p.Shards}]
+		bp, ok := baseTail[serveKey{p.Nodes, p.Shards, p.Backend}]
 		base := bp.ColdWork()
 		cur := p.ColdWork()
 		if !ok || base <= 0 || cur <= 0 {

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"net"
 	"runtime"
 	"strings"
 	"sync"
@@ -10,6 +11,7 @@ import (
 
 	"extract/internal/core"
 	"extract/internal/index"
+	"extract/internal/remote"
 	"extract/internal/search"
 	"extract/internal/serve"
 	"extract/internal/shard"
@@ -36,6 +38,12 @@ type ServePerfPoint struct {
 	Clients         int `json:"clients"`
 	DistinctQueries int `json:"distinct_queries"`
 	Ops             int `json:"ops"`
+
+	// Backend distinguishes the evaluation path: "" for a local corpus
+	// (the regular trajectory) and "remote" for the routed point — the
+	// same workload served through a loopback shard tier, so the gap to
+	// the local point of the same size is the router + wire overhead.
+	Backend string `json:"backend,omitempty"`
 
 	ColdQPS     float64 `json:"cold_qps"`
 	WarmQPS     float64 `json:"warm_qps"`
@@ -143,20 +151,86 @@ func ServePerf(sizes []int) ([]ServePerfPoint, error) {
 }
 
 func servePerfPoint(size, shards int) (ServePerfPoint, error) {
-	doc := storesCorpusOfSize(size, 3)
-	nodes := doc.Len()
-	qdoc := storesCorpusOfSize(size, 3) // corpus building consumes its document
-	qs := workload.Generate(qdoc, workload.Config{Queries: 40, Keywords: 2, Seed: 17})
-	if len(qs) == 0 {
-		return ServePerfPoint{}, fmt.Errorf("bench: no serve workload at %d nodes", size)
+	doc, nodes, qs, yardstickNs, err := serveWorkload(size)
+	if err != nil {
+		return ServePerfPoint{}, err
 	}
+	var backend serve.Backend
+	numShards := 1
+	if shards > 1 {
+		sc := shard.Build(doc, shards)
+		numShards = sc.NumShards()
+		backend = sc
+	} else {
+		backend = serve.Single{C: core.BuildCorpus(doc)}
+	}
+	return measureServePoint(backend, nodes, numShards, "", qs, yardstickNs)
+}
 
-	// Frozen-code yardstick for the cold-QPS gate (ServePerfPoint.ColdWork):
-	// one SLCABaseline pass over the distinct workload queries, on an index
-	// of the query corpus — same machine, same moment, same keyword lists
-	// the serving layer is about to chew on.
+// ServePerfRemote measures the routed point: the same corpus and workload
+// as the local sharded point of the same size, served through a loopback
+// shard tier — two replica groups of one remote.Server each behind a
+// remote.Router backend. The gap between this row and the local sharded
+// row of the same size is the distribution tax: router fan-out, wire
+// framing, and server-side decode/encode.
+func ServePerfRemote(size int) (ServePerfPoint, error) {
+	doc, nodes, qs, yardstickNs, err := serveWorkload(size)
+	if err != nil {
+		return ServePerfPoint{}, err
+	}
+	sc := shard.Build(doc, servePerfShards)
+	src := remote.CorpusSource(sc)
+	const groups = 2
+	var lns []net.Listener
+	var servers []*remote.Server
+	addrs := make([][]string, 0, groups)
+	closeTier := func() {
+		for _, s := range servers {
+			s.Close()
+		}
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}
+	for g := 0; g < groups; g++ {
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			closeTier()
+			return ServePerfPoint{}, lerr
+		}
+		srv := remote.NewServer(sc, remote.WithOwnedShards(remote.OwnedShards(src, g, groups)))
+		go srv.Serve(ln)
+		lns = append(lns, ln)
+		servers = append(servers, srv)
+		addrs = append(addrs, []string{ln.Addr().String()})
+	}
+	rt, err := remote.NewRouter(sc.Analysis(), src, addrs)
+	if err != nil {
+		closeTier()
+		return ServePerfPoint{}, err
+	}
+	defer func() {
+		rt.Close()
+		closeTier()
+	}()
+	return measureServePoint(rt, nodes, sc.NumShards(), "remote", qs, yardstickNs)
+}
+
+// serveWorkload builds the serve-trajectory document, its Zipf query
+// workload, and the frozen-code yardstick for the cold-QPS gate
+// (ServePerfPoint.ColdWork): one SLCABaseline pass over the distinct
+// workload queries, on an index of the query corpus — same machine, same
+// moment, same keyword lists the serving layer is about to chew on.
+func serveWorkload(size int) (doc *xmltree.Document, nodes int, qs []workload.Query, yardstickNs int64, err error) {
+	doc = storesCorpusOfSize(size, 3)
+	nodes = doc.Len()
+	qdoc := storesCorpusOfSize(size, 3) // corpus building consumes its document
+	qs = workload.Generate(qdoc, workload.Config{Queries: 40, Keywords: 2, Seed: 17})
+	if len(qs) == 0 {
+		return nil, 0, nil, 0, fmt.Errorf("bench: no serve workload at %d nodes", size)
+	}
 	yardIx := index.Build(qdoc)
-	yardstickNs := timeIt(3, func() {
+	yardstickNs = timeIt(3, func() {
 		for _, q := range qs {
 			lists := make([][]*xmltree.Node, 0, len(q.Keywords))
 			for _, kw := range q.Keywords {
@@ -165,12 +239,13 @@ func servePerfPoint(size, shards int) (ServePerfPoint, error) {
 			search.SLCABaseline(lists...)
 		}
 	})
-	var backend serve.Backend
-	if shards > 1 {
-		backend = shard.Build(doc, shards)
-	} else {
-		backend = serve.Single{C: core.BuildCorpus(doc)}
-	}
+	return doc, nodes, qs, yardstickNs, nil
+}
+
+// measureServePoint replays the cold and warm phases against an
+// already-built backend and assembles the point. Shared by the local
+// trajectory and the routed loopback point, so both measure identically.
+func measureServePoint(backend serve.Backend, nodes, numShards int, backendKind string, qs []workload.Query, yardstickNs int64) (ServePerfPoint, error) {
 	workers := runtime.GOMAXPROCS(0)
 	clients := workers
 	if clients > 8 {
@@ -269,10 +344,6 @@ func servePerfPoint(size, shards int) (ServePerfPoint, error) {
 	}
 	post := warmSrv.Stats()
 
-	numShards := 1
-	if sc, ok := backend.(*shard.Corpus); ok {
-		numShards = sc.NumShards()
-	}
 	p := ServePerfPoint{
 		Nodes:           nodes,
 		Shards:          numShards,
@@ -280,6 +351,7 @@ func servePerfPoint(size, shards int) (ServePerfPoint, error) {
 		Clients:         clients,
 		DistinctQueries: len(qs),
 		Ops:             ops,
+		Backend:         backendKind,
 		ColdQPS:         cold,
 		WarmQPS:         warm,
 		ColdYardstickNs: yardstickNs,
@@ -309,20 +381,53 @@ func UpdateServePerf(path string, sizes []int) ([]ServePerfPoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Keep any routed points: the local suite replaces only its own rows,
+	// so -serve and -serve-remote can update the report independently.
+	for _, p := range report.Serve {
+		if p.Backend != "" {
+			points = append(points, p)
+		}
+	}
 	report.Serve = points
 	return points, WriteReport(path, report)
+}
+
+// UpdateServeRemotePerf measures the routed loopback point at the given
+// size and merges it into the report at path, replacing only previously
+// recorded remote points and leaving the local trajectory untouched.
+func UpdateServeRemotePerf(path string, size int) (ServePerfPoint, error) {
+	p, err := ServePerfRemote(size)
+	if err != nil {
+		return ServePerfPoint{}, err
+	}
+	report, err := ReadReport(path)
+	if err != nil {
+		return ServePerfPoint{}, err
+	}
+	kept := report.Serve[:0:0]
+	for _, q := range report.Serve {
+		if q.Backend == "" {
+			kept = append(kept, q)
+		}
+	}
+	report.Serve = append(kept, p)
+	return p, WriteReport(path, report)
 }
 
 // RenderServe prints a human summary of the serve points.
 func RenderServe(points []ServePerfPoint) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "## serving layer: concurrent QPS and latency, cold vs warm cache\n\n")
-	fmt.Fprintf(&b, "| nodes | shards | clients | ops | cold qps | cold work | warm qps | x | hit rate | cold p50/p99 | warm p50/p99 | tail ratio | runs |\n")
-	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	fmt.Fprintf(&b, "| nodes | shards | backend | clients | ops | cold qps | cold work | warm qps | x | hit rate | cold p50/p99 | warm p50/p99 | tail ratio | runs |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
 	us := func(ns int64) string { return fmt.Sprintf("%.0fµs", float64(ns)/1e3) }
 	for _, p := range points {
-		fmt.Fprintf(&b, "| %d | %d | %d | %d | %.0f | %.2f | %.0f | %.1f | %.2f | %s / %s | %s / %s | %.3f | %d |\n",
-			p.Nodes, p.Shards, p.Clients, p.Ops,
+		backend := p.Backend
+		if backend == "" {
+			backend = "local"
+		}
+		fmt.Fprintf(&b, "| %d | %d | %s | %d | %d | %.0f | %.2f | %.0f | %.1f | %.2f | %s / %s | %s / %s | %.3f | %d |\n",
+			p.Nodes, p.Shards, backend, p.Clients, p.Ops,
 			p.ColdQPS, p.ColdWork(), p.WarmQPS, p.WarmSpeedup, p.HitRate,
 			us(p.ColdP50Ns), us(p.ColdP99Ns), us(p.WarmP50Ns), us(p.WarmP99Ns),
 			p.TailRatio(), p.LatencyRuns)

@@ -180,6 +180,72 @@ func decodeHello(data []byte) (helloMsg, error) {
 	return h, c.done()
 }
 
+// --- version negotiation ---
+
+// encodeVerMsg encodes a negotiation payload: the sender's highest
+// supported wire version. A router sends it as a msgHello request right
+// after the greeting; a server echoes its own maximum back. Both sides
+// then speak min(theirs, ours). The payload is one uvarint so future
+// versions can extend it with capability flags.
+func encodeVerMsg(v byte) []byte {
+	return binary.AppendUvarint(nil, uint64(v))
+}
+
+// decodeVerMsg decodes a negotiation payload, tolerating trailing bytes a
+// future version might add.
+func decodeVerMsg(data []byte) (byte, error) {
+	c := &cursor{data: data}
+	v := c.uvarint("wire version")
+	if c.err != nil {
+		return 0, c.err
+	}
+	if v == 0 || v > 255 {
+		return 0, protocolErrf("implausible negotiated wire version %d", v)
+	}
+	return byte(v), nil
+}
+
+// --- server-side stage breakdown (wire v2) ---
+
+// serverStages is the server-side timing breakdown a v2 shard server
+// appends to eval/digest/full responses: nanoseconds spent decoding the
+// request, evaluating shards, computing digests, and encoding the
+// response body. Stages that did not run are zero.
+type serverStages struct {
+	decodeNs uint64
+	evalNs   uint64
+	digestNs uint64
+	encodeNs uint64
+}
+
+// appendServerStages appends the v2 trailing stage block to an encoded
+// response body.
+func appendServerStages(b []byte, s serverStages) []byte {
+	b = binary.AppendUvarint(b, s.decodeNs)
+	b = binary.AppendUvarint(b, s.evalNs)
+	b = binary.AppendUvarint(b, s.digestNs)
+	return binary.AppendUvarint(b, s.encodeNs)
+}
+
+func (c *cursor) serverStages() serverStages {
+	var s serverStages
+	s.decodeNs = c.uvarint("decode ns")
+	s.evalNs = c.uvarint("eval ns")
+	s.digestNs = c.uvarint("digest ns")
+	s.encodeNs = c.uvarint("encode ns")
+	return s
+}
+
+// appendTraceID appends the v2 trailing trace ID to an encoded
+// eval/digest/full request. The copy is deliberate: the base payload is
+// shared across replicas and retries, so it must never be appended to in
+// place.
+func appendTraceID(payload []byte, traceID uint64) []byte {
+	out := make([]byte, len(payload), len(payload)+8)
+	copy(out, payload)
+	return binary.LittleEndian.AppendUint64(out, traceID)
+}
+
 // --- eval / digest / full requests ---
 
 type evalReq struct {
@@ -187,6 +253,7 @@ type evalReq struct {
 	query         string
 	timeoutMillis uint64 // 0 = no deadline
 	shards        []uint32
+	traceID       uint64 // v2+: the originating query's trace ID (0 = none)
 }
 
 func encodeEvalReq(r evalReq) []byte {
@@ -200,7 +267,7 @@ func encodeEvalReq(r evalReq) []byte {
 	return b
 }
 
-func decodeEvalReq(data []byte) (evalReq, error) {
+func decodeEvalReq(data []byte, ver byte) (evalReq, error) {
 	c := &cursor{data: data}
 	var r evalReq
 	r.opts = c.options()
@@ -210,6 +277,9 @@ func decodeEvalReq(data []byte) (evalReq, error) {
 	r.shards = make([]uint32, 0, n)
 	for i := 0; i < n; i++ {
 		r.shards = append(r.shards, uint32(c.uvarint("shard index")))
+	}
+	if ver >= 2 {
+		r.traceID = c.u64("trace id")
 	}
 	return r, c.done()
 }
@@ -223,14 +293,15 @@ type fullReq struct {
 	query         string
 	timeoutMillis uint64
 	shards        []uint32 // digest request only; empty for full eval
+	traceID       uint64   // v2+: the originating query's trace ID (0 = none)
 }
 
 func encodeFullReq(r fullReq) []byte {
 	return encodeEvalReq(evalReq(r))
 }
 
-func decodeFullReq(data []byte) (fullReq, error) {
-	r, err := decodeEvalReq(data)
+func decodeFullReq(data []byte, ver byte) (fullReq, error) {
+	r, err := decodeEvalReq(data, ver)
 	return fullReq(r), err
 }
 
@@ -505,6 +576,7 @@ type evalResp struct {
 	direct      bool // single-shard corpus: results are the whole answer
 	results     []*search.Result
 	shards      []shardResp
+	stages      serverStages // v2+: server-side timing breakdown
 }
 
 func encodeEvalResp(r evalResp) []byte {
@@ -524,13 +596,16 @@ func encodeEvalResp(r evalResp) []byte {
 	return b
 }
 
-func decodeEvalResp(data []byte) (evalResp, error) {
+func decodeEvalResp(data []byte, ver byte) (evalResp, error) {
 	c := &cursor{data: data}
 	var r evalResp
 	r.fingerprint = c.u64("fingerprint")
 	r.direct = c.u8("direct flag") != 0
 	if r.direct {
 		r.results = c.results()
+		if ver >= 2 {
+			r.stages = c.serverStages()
+		}
 		return r, c.done()
 	}
 	n := c.count("shard response", maxWireShards)
@@ -547,6 +622,9 @@ func decodeEvalResp(data []byte) (evalResp, error) {
 		}
 		r.shards = append(r.shards, s)
 	}
+	if ver >= 2 {
+		r.stages = c.serverStages()
+	}
 	return r, c.done()
 }
 
@@ -556,6 +634,7 @@ type digestResp struct {
 	fingerprint uint64
 	shards      []uint32
 	digests     []shard.Digest
+	stages      serverStages // v2+: server-side timing breakdown
 }
 
 func encodeDigestResp(r digestResp) []byte {
@@ -568,7 +647,7 @@ func encodeDigestResp(r digestResp) []byte {
 	return b
 }
 
-func decodeDigestResp(data []byte) (digestResp, error) {
+func decodeDigestResp(data []byte, ver byte) (digestResp, error) {
 	c := &cursor{data: data}
 	var r digestResp
 	r.fingerprint = c.u64("fingerprint")
@@ -578,6 +657,9 @@ func decodeDigestResp(data []byte) (digestResp, error) {
 		d, _ := c.digest()
 		r.digests = append(r.digests, d)
 	}
+	if ver >= 2 {
+		r.stages = c.serverStages()
+	}
 	return r, c.done()
 }
 
@@ -586,6 +668,7 @@ func decodeDigestResp(data []byte) (digestResp, error) {
 type fullResp struct {
 	fingerprint uint64
 	results     []*search.Result
+	stages      serverStages // v2+: server-side timing breakdown
 }
 
 func encodeFullResp(r fullResp) []byte {
@@ -593,11 +676,14 @@ func encodeFullResp(r fullResp) []byte {
 	return appendResults(b, r.results)
 }
 
-func decodeFullResp(data []byte) (fullResp, error) {
+func decodeFullResp(data []byte, ver byte) (fullResp, error) {
 	c := &cursor{data: data}
 	var r fullResp
 	r.fingerprint = c.u64("fingerprint")
 	r.results = c.results()
+	if ver >= 2 {
+		r.stages = c.serverStages()
+	}
 	return r, c.done()
 }
 

@@ -48,7 +48,7 @@ func FuzzFrame(f *testing.F) {
 	f.Add(big)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		mt, payload, err := readFrame(bytes.NewReader(data))
+		ver, mt, payload, err := readFrame(bytes.NewReader(data))
 		if err != nil {
 			var pe *ProtocolError
 			if !errors.As(err, &pe) && !errors.Is(err, io.EOF) {
@@ -57,27 +57,31 @@ func FuzzFrame(f *testing.F) {
 			return
 		}
 		// A structurally valid frame: every payload decoder for its type
-		// must classify or accept, never panic. Decoders for both
-		// directions run — a router and a server must each survive a
-		// hostile peer.
-		switch mt {
-		case msgHello:
-			_, _ = decodeHello(payload)
-		case msgEval, msgDigest, msgFull:
-			_, _ = decodeEvalReq(payload)
-			_, _ = decodeFullReq(payload)
-		case msgEvalResp:
-			_, _ = decodeEvalResp(payload)
-		case msgDigestResp:
-			_, _ = decodeDigestResp(payload)
-		case msgFullResp:
-			_, _ = decodeFullResp(payload)
-		case msgStats:
-			_, _ = decodeStatsReq(payload)
-		case msgStatsResp:
-			_, _ = decodeStatsResp(payload)
-		case msgError:
-			_, _ = decodeErrMsg(payload)
+		// must classify or accept, never panic, at both the frame's own
+		// version and the other supported one (a hostile peer may lie
+		// about either). Decoders for both directions run — a router and
+		// a server must each survive a hostile peer.
+		for _, v := range [...]byte{ver, wireVersionMin, wireVersion} {
+			switch mt {
+			case msgHello:
+				_, _ = decodeHello(payload)
+				_, _ = decodeVerMsg(payload)
+			case msgEval, msgDigest, msgFull:
+				_, _ = decodeEvalReq(payload, v)
+				_, _ = decodeFullReq(payload, v)
+			case msgEvalResp:
+				_, _ = decodeEvalResp(payload, v)
+			case msgDigestResp:
+				_, _ = decodeDigestResp(payload, v)
+			case msgFullResp:
+				_, _ = decodeFullResp(payload, v)
+			case msgStats:
+				_, _ = decodeStatsReq(payload)
+			case msgStatsResp:
+				_, _ = decodeStatsResp(payload)
+			case msgError:
+				_, _ = decodeErrMsg(payload)
+			}
 		}
 	})
 }
@@ -87,16 +91,19 @@ func FuzzFrame(f *testing.F) {
 // frame checksum.
 func FuzzEvalRespDecode(f *testing.F) {
 	f.Add(encodeEvalResp(evalResp{fingerprint: 1, direct: true}))
+	f.Add(appendServerStages(encodeEvalResp(evalResp{fingerprint: 1, direct: true}), serverStages{decodeNs: 1, evalNs: 2, encodeNs: 3}))
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 1})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		if resp, err := decodeEvalResp(data); err == nil {
-			// Accepted payloads must be internally consistent enough to
-			// re-encode without panicking.
-			_ = encodeEvalResp(resp)
-		} else {
-			var pe *ProtocolError
-			if !errors.As(err, &pe) {
-				t.Fatalf("unclassified decode error %T: %v", err, err)
+		for _, v := range [...]byte{wireVersionMin, wireVersion} {
+			if resp, err := decodeEvalResp(data, v); err == nil {
+				// Accepted payloads must be internally consistent enough to
+				// re-encode without panicking.
+				_ = encodeEvalResp(resp)
+			} else {
+				var pe *ProtocolError
+				if !errors.As(err, &pe) {
+					t.Fatalf("unclassified decode error %T: %v", err, err)
+				}
 			}
 		}
 	})

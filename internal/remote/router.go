@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -110,6 +111,7 @@ type Router struct {
 
 	place atomic.Pointer[placement]
 
+	reg     *telemetry.Registry
 	metrics *routerMetrics
 
 	mu     sync.Mutex
@@ -130,8 +132,10 @@ func WithDialer(dial func(ctx context.Context, addr string) (net.Conn, error)) R
 }
 
 // WithRouterTelemetry registers the router's remote-call metrics on reg.
+// Series are labeled by replica group, so registration happens once the
+// group count is known (in NewRouter, after options run).
 func WithRouterTelemetry(reg *telemetry.Registry) RouterOption {
-	return func(rt *Router) { rt.metrics = newRouterMetrics(reg) }
+	return func(rt *Router) { rt.reg = reg }
 }
 
 // NewRouter builds a router over replica groups (groups[g] lists the
@@ -159,9 +163,10 @@ func NewRouter(analysis *core.Corpus, src ingest.Source, groups [][]string, opts
 	for _, o := range opts {
 		o(rt)
 	}
-	if rt.metrics == nil {
-		rt.metrics = newRouterMetrics(telemetry.NewRegistry())
+	if rt.reg == nil {
+		rt.reg = telemetry.NewRegistry()
 	}
+	rt.metrics = newRouterMetrics(rt.reg, len(rt.groups))
 	rt.Reload(src)
 	return rt, nil
 }
@@ -301,14 +306,39 @@ func runTasks(run shard.Runner, tasks []func()) error {
 // replicas are tried in rotation order (breaker-open ones last, as
 // half-open probes), and any transport, protocol, skew or server-fault
 // failure moves on to the next peer. decode parses and validates the
-// response payload; its failure is itself grounds for failover. Only
+// response payload at its frame version, returning the server-reported
+// stage breakdown; its failure is itself grounds for failover. Only
 // context failures and genuine query classifications end the loop early.
-func (rt *Router) groupCall(ctx context.Context, replicas []*replica, rr *atomic.Uint32, kind string, t msgType, payload []byte, want msgType, decode func([]byte) error) error {
+//
+// group labels the call's metrics, and every attempt — failed or not — is
+// appended as a hop span to the query's SpanSink when the context carries
+// one, so a slow or failed-over query can be attributed to the exact
+// replica, attempt and server-side stage afterwards.
+func (rt *Router) groupCall(ctx context.Context, replicas []*replica, rr *atomic.Uint32, kind, group string, t msgType, payload []byte, want msgType, decode func(data []byte, ver byte) (serverStages, error)) error {
 	start := time.Now()
 	outcome := "error"
 	defer func() {
-		rt.metrics.observe(kind, outcome, time.Since(start))
+		rt.metrics.observe(kind, outcome, group, time.Since(start))
 	}()
+	sink := telemetry.SpanSinkFrom(ctx)
+	var traceID uint64
+	if sink != nil {
+		traceID = uint64(sink.TraceID)
+	}
+	hop := func(r *replica, attempt int, wire time.Duration, st serverStages, errClass string) {
+		if sink == nil {
+			return
+		}
+		sink.Add(telemetry.HopSpan{
+			Kind: kind, Group: group, Replica: r.addr, Attempt: attempt,
+			Wire:         wire,
+			ServerDecode: time.Duration(st.decodeNs),
+			ServerEval:   time.Duration(st.evalNs),
+			ServerDigest: time.Duration(st.digestNs),
+			ServerEncode: time.Duration(st.encodeNs),
+			Err:          errClass,
+		})
+	}
 
 	n := len(replicas)
 	order := make([]*replica, 0, n)
@@ -328,32 +358,40 @@ func (rt *Router) groupCall(ctx context.Context, replicas []*replica, rr *atomic
 	var lastErr error
 	for i, r := range order {
 		if i > 0 {
-			rt.metrics.failovers.Inc()
+			rt.metrics.failover(group)
 		}
-		resp, serr, err := r.call(ctx, t, payload, want)
+		attemptStart := time.Now()
+		resp, respVer, serr, err := r.call(ctx, t, payload, want, traceID)
+		wire := time.Since(attemptStart)
 		if err != nil {
 			if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+				hop(r, i, wire, serverStages{}, "canceled")
 				return err
 			}
+			hop(r, i, wire, serverStages{}, remoteErrClass(err))
 			lastErr = err
 			continue
 		}
 		if serr != nil {
 			mapped, failover := mapServerErr(r.addr, *serr)
+			hop(r, i, wire, serverStages{}, errKindClass(serr.kind))
 			if !failover {
 				return mapped
 			}
 			lastErr = mapped
 			continue
 		}
-		if err := decode(resp); err != nil {
+		st, err := decode(resp, respVer)
+		if err != nil {
 			kind := ErrKindProtocol
 			if errors.Is(err, errSkew) {
 				kind = ErrKindSkew
 			}
+			hop(r, i, wire, serverStages{}, kind)
 			lastErr = &RemoteError{Addr: r.addr, Kind: kind, Err: err}
 			continue
 		}
+		hop(r, i, wire, st, "")
 		outcome = "ok"
 		return nil
 	}
@@ -361,6 +399,34 @@ func (rt *Router) groupCall(ctx context.Context, replicas []*replica, rr *atomic
 		lastErr = &RemoteError{Kind: ErrKindUnavailable, Msg: "no replicas configured"}
 	}
 	return lastErr
+}
+
+// remoteErrClass condenses a call error to the failover-cause label a hop
+// span carries.
+func remoteErrClass(err error) string {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.Kind
+	}
+	return ErrKindTransport
+}
+
+// errKindClass maps a wire error classification to its hop-span label.
+func errKindClass(k errKind) string {
+	switch k {
+	case errKindEmptyQuery:
+		return "empty-query"
+	case errKindCanceled:
+		return "canceled"
+	case errKindDeadline:
+		return "deadline"
+	case errKindPanic:
+		return ErrKindPanic
+	case errKindBadShard:
+		return ErrKindBadShard
+	default:
+		return ErrKindInternal
+	}
 }
 
 // mapServerErr converts a server-side error classification into the error
@@ -425,23 +491,23 @@ func (rt *Router) SearchEnginesContext(ctx context.Context, query string, opts s
 		payload := encodeEvalReq(evalReq{opts: opts, query: query, timeoutMillis: timeout, shards: shardSet})
 		tasks = append(tasks, func() {
 			out := &outs[oi]
-			out.err = rt.groupCall(ctx, rt.groups[g].replicas, &rt.groups[g].rr, "eval", msgEval, payload, msgEvalResp, func(data []byte) error {
-				resp, err := decodeEvalResp(data)
+			out.err = rt.groupCall(ctx, rt.groups[g].replicas, &rt.groups[g].rr, "eval", strconv.Itoa(g), msgEval, payload, msgEvalResp, func(data []byte, ver byte) (serverStages, error) {
+				resp, err := decodeEvalResp(data, ver)
 				if err != nil {
-					return err
+					return serverStages{}, err
 				}
 				if resp.fingerprint != pl.fingerprint {
-					return errSkew
+					return serverStages{}, errSkew
 				}
 				if resp.direct {
 					if nshards != 1 {
-						return protocolErrf("direct response from a %d-shard corpus", nshards)
+						return serverStages{}, protocolErrf("direct response from a %d-shard corpus", nshards)
 					}
 				} else if err := checkShardEcho(resp.shards, shardSet); err != nil {
-					return err
+					return serverStages{}, err
 				}
 				out.resp = resp
-				return nil
+				return resp.stages, nil
 			})
 		})
 	}
@@ -509,23 +575,23 @@ func (rt *Router) SearchEnginesContext(ctx context.Context, query string, opts s
 				g := g
 				payload := encodeFullReq(fullReq{opts: opts, query: query, timeoutMillis: ctxTimeoutMillis(ctx), shards: need[g]})
 				tasks = append(tasks, func() {
-					errs[g] = rt.groupCall(ctx, rt.groups[g].replicas, &rt.groups[g].rr, "digest", msgDigest, payload, msgDigestResp, func(data []byte) error {
-						resp, err := decodeDigestResp(data)
+					errs[g] = rt.groupCall(ctx, rt.groups[g].replicas, &rt.groups[g].rr, "digest", strconv.Itoa(g), msgDigest, payload, msgDigestResp, func(data []byte, ver byte) (serverStages, error) {
+						resp, err := decodeDigestResp(data, ver)
 						if err != nil {
-							return err
+							return serverStages{}, err
 						}
 						if resp.fingerprint != pl.fingerprint {
-							return errSkew
+							return serverStages{}, errSkew
 						}
 						if err := checkShardEcho32(resp.shards, need[g]); err != nil {
-							return err
+							return serverStages{}, err
 						}
 						mu.Lock()
 						for i, idx := range resp.shards {
 							digests[idx] = resp.digests[i]
 						}
 						mu.Unlock()
-						return nil
+						return resp.stages, nil
 					})
 				})
 			}
@@ -550,16 +616,16 @@ func (rt *Router) SearchEnginesContext(ctx context.Context, query string, opts s
 		}
 		var fr fullResp
 		payload := encodeFullReq(fullReq{opts: opts, query: query, timeoutMillis: ctxTimeoutMillis(ctx)})
-		err := rt.groupCall(ctx, rt.all, &rt.allRR, "full", msgFull, payload, msgFullResp, func(data []byte) error {
-			resp, err := decodeFullResp(data)
+		err := rt.groupCall(ctx, rt.all, &rt.allRR, "full", "any", msgFull, payload, msgFullResp, func(data []byte, ver byte) (serverStages, error) {
+			resp, err := decodeFullResp(data, ver)
 			if err != nil {
-				return err
+				return serverStages{}, err
 			}
 			if resp.fingerprint != pl.fingerprint {
-				return errSkew
+				return serverStages{}, errSkew
 			}
 			fr = resp
-			return nil
+			return resp.stages, nil
 		})
 		if err != nil {
 			return nil, err
@@ -612,20 +678,20 @@ func (rt *Router) statsFor(keyword string) (df, total int) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	var sr statsResp
-	err := rt.groupCall(ctx, rt.all, &rt.allRR, "stats", msgStats,
-		encodeStatsReq(statsReq{keywords: []string{keyword}}), msgStatsResp, func(data []byte) error {
+	err := rt.groupCall(ctx, rt.all, &rt.allRR, "stats", "any", msgStats,
+		encodeStatsReq(statsReq{keywords: []string{keyword}}), msgStatsResp, func(data []byte, _ byte) (serverStages, error) {
 			resp, err := decodeStatsResp(data)
 			if err != nil {
-				return err
+				return serverStages{}, err
 			}
 			if resp.fingerprint != pl.fingerprint {
-				return errSkew
+				return serverStages{}, errSkew
 			}
 			if len(resp.counts) != 1 {
-				return protocolErrf("stats response with %d counts, want 1", len(resp.counts))
+				return serverStages{}, protocolErrf("stats response with %d counts, want 1", len(resp.counts))
 			}
 			sr = resp
-			return nil
+			return serverStages{}, nil
 		})
 	if err != nil {
 		return 0, cachedTotal
@@ -653,35 +719,63 @@ func (rt *Router) TotalElements() int {
 	return total
 }
 
-// routerMetrics pre-registers the router's telemetry series; see
-// OBSERVABILITY.md for the contract.
+// routerMetrics pre-registers the router's telemetry series, labeled by
+// replica group so a sick group is attributable from metrics alone; see
+// OBSERVABILITY.md for the contract. Numbered groups carry the per-group
+// call kinds (eval, digest); the "any" pseudo-group carries the calls any
+// replica may serve (full, stats).
 type routerMetrics struct {
-	calls     map[[2]string]*telemetry.Counter
-	failovers *telemetry.Counter
-	seconds   *telemetry.Histogram
+	calls     map[[3]string]*telemetry.Counter // kind, outcome, group
+	failovers map[string]*telemetry.Counter    // group
+	seconds   map[string]*telemetry.Histogram  // group
 }
 
-var callKinds = []string{"eval", "digest", "full", "stats"}
+// groupCallKinds are the per-replica-group call kinds; anyCallKinds the
+// kinds served by any replica.
+var (
+	groupCallKinds = []string{"eval", "digest"}
+	anyCallKinds   = []string{"full", "stats"}
+)
 
-func newRouterMetrics(reg *telemetry.Registry) *routerMetrics {
-	m := &routerMetrics{calls: make(map[[2]string]*telemetry.Counter)}
-	for _, k := range callKinds {
-		for _, o := range []string{"ok", "error"} {
-			m.calls[[2]string{k, o}] = reg.Counter("extract_remote_calls_total",
-				"Remote shard-server calls by call kind and outcome.",
-				telemetry.L("kind", k), telemetry.L("outcome", o))
-		}
+func newRouterMetrics(reg *telemetry.Registry, ngroups int) *routerMetrics {
+	m := &routerMetrics{
+		calls:     make(map[[3]string]*telemetry.Counter),
+		failovers: make(map[string]*telemetry.Counter),
+		seconds:   make(map[string]*telemetry.Histogram),
 	}
-	m.failovers = reg.Counter("extract_remote_failovers_total",
-		"Remote calls retried on a peer replica after a replica-local failure.")
-	m.seconds = reg.Histogram("extract_remote_call_seconds",
-		"Remote call latency, including failover retries.")
+	add := func(group string, kinds []string) {
+		for _, k := range kinds {
+			for _, o := range []string{"ok", "error"} {
+				m.calls[[3]string{k, o, group}] = reg.Counter("extract_remote_calls_total",
+					"Remote shard-server calls by call kind, outcome and replica group.",
+					telemetry.L("kind", k), telemetry.L("outcome", o), telemetry.L("group", group))
+			}
+		}
+		m.failovers[group] = reg.Counter("extract_remote_failovers_total",
+			"Remote calls retried on a peer replica after a replica-local failure, by replica group.",
+			telemetry.L("group", group))
+		m.seconds[group] = reg.Histogram("extract_remote_call_seconds",
+			"Remote call latency, including failover retries, by replica group.",
+			telemetry.L("group", group))
+	}
+	for g := 0; g < ngroups; g++ {
+		add(strconv.Itoa(g), groupCallKinds)
+	}
+	add("any", anyCallKinds)
 	return m
 }
 
-func (m *routerMetrics) observe(kind, outcome string, d time.Duration) {
-	if c := m.calls[[2]string{kind, outcome}]; c != nil {
+func (m *routerMetrics) observe(kind, outcome, group string, d time.Duration) {
+	if c := m.calls[[3]string{kind, outcome, group}]; c != nil {
 		c.Inc()
 	}
-	m.seconds.Observe(d)
+	if h := m.seconds[group]; h != nil {
+		h.Observe(d)
+	}
+}
+
+func (m *routerMetrics) failover(group string) {
+	if c := m.failovers[group]; c != nil {
+		c.Inc()
+	}
 }

@@ -15,6 +15,7 @@ import (
 	"extract/internal/ingest"
 	"extract/internal/search"
 	"extract/internal/shard"
+	"extract/internal/telemetry"
 	"extract/xmltree"
 )
 
@@ -77,7 +78,15 @@ type serverState struct {
 // within one request fans out over goroutines with per-shard panic
 // isolation, exactly like the in-process path.
 type Server struct {
-	tag string // identity handed to faultinject.RemoteServe hooks
+	tag     string // identity handed to faultinject.RemoteServe hooks
+	metrics *serverMetrics
+
+	// Test knobs for cross-version interop: maxVer caps the version this
+	// server negotiates (0 = wireVersion); legacyHello makes it answer the
+	// negotiation request the way a pre-negotiation build does (a
+	// classified error on an unexpected request type).
+	maxVer      byte
+	legacyHello bool
 
 	state atomic.Pointer[serverState]
 
@@ -114,6 +123,14 @@ func WithServerTag(tag string) ServerOption {
 	return func(s *Server, _ *serverState) { s.tag = tag }
 }
 
+// WithServerTelemetry registers the shard server's own metrics — request
+// counts by kind/outcome and per-stage latency histograms — on reg, which
+// extractd serves at the shard server's -metrics-addr. Without this
+// option the server records nothing.
+func WithServerTelemetry(reg *telemetry.Registry) ServerOption {
+	return func(s *Server, _ *serverState) { s.metrics = newServerMetrics(reg) }
+}
+
 // NewServer builds a shard server over a sharded corpus. The corpus's
 // content fingerprint is computed once here (one linear pass) and stamped
 // on every response.
@@ -148,6 +165,20 @@ func (s *Server) Swap(sc *shard.Corpus, opts ...ServerOption) {
 	}
 	s.state.Store(st)
 }
+
+// Fingerprint returns the content fingerprint of the corpus generation
+// currently served (the value stamped on every response and greeting);
+// extractd's health endpoint and swap logging read it.
+func (s *Server) Fingerprint() uint64 { return s.state.Load().fingerprint }
+
+// Owned returns the shard indices this server currently evaluates,
+// ascending. The slice is a copy.
+func (s *Server) Owned() []uint32 {
+	return append([]uint32(nil), s.state.Load().ownedList...)
+}
+
+// NumShards returns the served generation's total shard count.
+func (s *Server) NumShards() int { return s.state.Load().sc.NumShards() }
 
 // Serve accepts and serves connections on ln until Close. It always
 // returns a non-nil error (net.ErrClosed after a clean Close).
@@ -207,7 +238,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	bw := bufio.NewWriter(conn)
 	st := s.state.Load()
-	if err := writeFrame(bw, msgHello, encodeHello(helloMsg{
+	// The greeting is framed at the baseline version so any router can
+	// read it; the peer's subsequent requests carry the version each
+	// exchange actually uses.
+	if err := writeFrame(bw, wireVersionMin, msgHello, encodeHello(helloMsg{
 		fingerprint: st.fingerprint,
 		shards:      st.sc.NumShards(),
 		owned:       st.ownedList,
@@ -219,7 +253,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	br := bufio.NewReader(conn)
 	for {
-		t, payload, err := readFrame(br)
+		ver, t, payload, err := readFrame(br)
 		if err != nil {
 			return
 		}
@@ -228,21 +262,24 @@ func (s *Server) serveConn(conn net.Conn) {
 				if errors.Is(err, ErrDropConnection) {
 					return
 				}
-				if s.reply(bw, msgError, encodeErrMsg(classifyServerErr(err))) != nil {
+				if s.reply(bw, ver, msgError, encodeErrMsg(classifyServerErr(err))) != nil {
 					return
 				}
 				continue
 			}
 		}
-		rt, resp := s.handle(t, payload)
-		if s.reply(bw, rt, resp) != nil {
+		rt, resp := s.handle(ver, t, payload)
+		if s.reply(bw, ver, rt, resp) != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) reply(bw *bufio.Writer, t msgType, payload []byte) error {
-	if err := writeFrame(bw, t, payload); err != nil {
+// reply frames the response at the version the request arrived with, so
+// the server needs no per-connection version state: a v1 router gets v1
+// responses, a negotiated v2 router gets the v2 payload extensions.
+func (s *Server) reply(bw *bufio.Writer, ver byte, t msgType, payload []byte) error {
+	if err := writeFrame(bw, ver, t, payload); err != nil {
 		return err
 	}
 	return bw.Flush()
@@ -250,46 +287,96 @@ func (s *Server) reply(bw *bufio.Writer, t msgType, payload []byte) error {
 
 // handle dispatches one request and never panics: evaluation panics are
 // recovered per shard and classified, and a malformed request is answered
-// with a protocol error message.
-func (s *Server) handle(t msgType, payload []byte) (msgType, []byte) {
+// with a protocol error message. Evaluation requests are timed per stage
+// (decode, eval/digest work, encode) into the server's own telemetry; when
+// the request arrived at wire v2 the same breakdown is appended to the
+// response so the router can attribute a slow hop to the stage that
+// caused it.
+func (s *Server) handle(ver byte, t msgType, payload []byte) (msgType, []byte) {
 	st := s.state.Load()
 	switch t {
 	case msgPing:
+		s.metrics.observe("ping", true, serverStages{})
 		return msgPong, nil
+	case msgHello:
+		if s.legacyHello {
+			// Interop test knob: answer like a build that predates version
+			// negotiation — an errFrame for the unexpected request type,
+			// connection kept open.
+			return errFrame(protocolErrf("unexpected request type %d", t))
+		}
+		if _, err := decodeVerMsg(payload); err != nil {
+			return s.fail("hello", serverStages{}, err)
+		}
+		s.metrics.observe("hello", true, serverStages{})
+		return msgHello, encodeVerMsg(s.maxWireVersion())
 	case msgEval:
-		req, err := decodeEvalReq(payload)
+		start := time.Now()
+		req, err := decodeEvalReq(payload, ver)
+		stages := serverStages{decodeNs: nanosSince(start)}
 		if err != nil {
-			return errFrame(err)
+			return s.fail("eval", stages, err)
 		}
+		t1 := time.Now()
 		resp, err := s.evaluate(st, req)
+		stages.evalNs = nanosSince(t1)
 		if err != nil {
-			return errFrame(err)
+			return s.fail("eval", stages, err)
 		}
-		return msgEvalResp, encodeEvalResp(resp)
+		t2 := time.Now()
+		body := encodeEvalResp(resp)
+		stages.encodeNs = nanosSince(t2)
+		s.metrics.observe("eval", true, stages)
+		if ver >= 2 {
+			body = appendServerStages(body, stages)
+		}
+		return msgEvalResp, body
 	case msgDigest:
-		req, err := decodeFullReq(payload)
+		start := time.Now()
+		req, err := decodeFullReq(payload, ver)
+		stages := serverStages{decodeNs: nanosSince(start)}
 		if err != nil {
-			return errFrame(err)
+			return s.fail("digest", stages, err)
 		}
+		t1 := time.Now()
 		resp, err := s.digests(st, req)
+		stages.digestNs = nanosSince(t1)
 		if err != nil {
-			return errFrame(err)
+			return s.fail("digest", stages, err)
 		}
-		return msgDigestResp, encodeDigestResp(resp)
+		t2 := time.Now()
+		body := encodeDigestResp(resp)
+		stages.encodeNs = nanosSince(t2)
+		s.metrics.observe("digest", true, stages)
+		if ver >= 2 {
+			body = appendServerStages(body, stages)
+		}
+		return msgDigestResp, body
 	case msgFull:
-		req, err := decodeFullReq(payload)
+		start := time.Now()
+		req, err := decodeFullReq(payload, ver)
+		stages := serverStages{decodeNs: nanosSince(start)}
 		if err != nil {
-			return errFrame(err)
+			return s.fail("full", stages, err)
 		}
+		t1 := time.Now()
 		resp, err := s.fullEval(st, req)
+		stages.evalNs = nanosSince(t1)
 		if err != nil {
-			return errFrame(err)
+			return s.fail("full", stages, err)
 		}
-		return msgFullResp, encodeFullResp(resp)
+		t2 := time.Now()
+		body := encodeFullResp(resp)
+		stages.encodeNs = nanosSince(t2)
+		s.metrics.observe("full", true, stages)
+		if ver >= 2 {
+			body = appendServerStages(body, stages)
+		}
+		return msgFullResp, body
 	case msgStats:
 		req, err := decodeStatsReq(payload)
 		if err != nil {
-			return errFrame(err)
+			return s.fail("stats", serverStages{}, err)
 		}
 		resp := statsResp{
 			fingerprint:   st.fingerprint,
@@ -298,10 +385,25 @@ func (s *Server) handle(t msgType, payload []byte) (msgType, []byte) {
 		for _, kw := range req.keywords {
 			resp.counts = append(resp.counts, uint64(st.sc.Count(kw)))
 		}
+		s.metrics.observe("stats", true, serverStages{})
 		return msgStatsResp, encodeStatsResp(resp)
 	default:
 		return errFrame(protocolErrf("unexpected request type %d", t))
 	}
+}
+
+// fail counts one failed request and encodes its classified error.
+func (s *Server) fail(kind string, stages serverStages, err error) (msgType, []byte) {
+	s.metrics.observe(kind, false, stages)
+	return errFrame(err)
+}
+
+// maxWireVersion is the version this server offers during negotiation.
+func (s *Server) maxWireVersion() byte {
+	if s.maxVer != 0 {
+		return s.maxVer
+	}
+	return wireVersion
 }
 
 func errFrame(err error) (msgType, []byte) {

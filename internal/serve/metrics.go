@@ -55,10 +55,14 @@ var errKinds = []string{"overload", "timeout", "canceled", "panic", "empty", "ot
 // trace accumulates one query's per-stage durations. Stages that never ran
 // (dispatch/eval/snippet on a cache hit) stay untouched and are not
 // recorded, so each stage histogram describes only queries that actually
-// entered the stage.
+// entered the stage. The embedded span sink carries the query's trace ID
+// and collects the remote hop spans the router attaches on computed
+// queries — embedding it here keeps the per-query cost inside the one
+// trace allocation serve already pays.
 type trace struct {
 	d       [numStages]time.Duration
 	touched [numStages]bool
+	sink    telemetry.SpanSink
 }
 
 func (t *trace) add(st stage, d time.Duration) {
@@ -73,6 +77,9 @@ func (t *trace) add(st stage, d time.Duration) {
 type QueryRecord struct {
 	// Query is the raw query string as received.
 	Query string
+	// TraceID is the query's trace ID, matching the /debug/traces entry and
+	// the ID propagated to shard servers on remote backends.
+	TraceID telemetry.TraceID
 	// Total is the end-to-end wall time, the duration compared against the
 	// slow-query threshold.
 	Total time.Duration
@@ -88,6 +95,12 @@ type QueryRecord struct {
 	// empty, other — or "" for success. The error text itself is withheld:
 	// panic messages can embed document values.
 	ErrKind string
+	// Hops lists the remote call attempts made on the query's behalf, in
+	// order, with per-attempt wire durations and the server-reported stage
+	// breakdown when the peer speaks wire v2. Empty for local backends,
+	// cache hits, and coalesced followers (the leader's record carries the
+	// hops its computation made).
+	Hops []telemetry.HopSpan
 }
 
 // SlowQueryFunc receives one QueryRecord per query at least as slow as the
@@ -183,11 +196,13 @@ func (m *metricsSet) finish(tr *trace, query, outcome string, results int, err e
 	}
 	m.slowFn(QueryRecord{
 		Query:   query,
+		TraceID: tr.sink.TraceID,
 		Total:   total,
 		Stages:  stages,
 		Cache:   outcome,
 		Results: results,
 		ErrKind: kind,
+		Hops:    tr.sink.Hops(),
 	})
 }
 

@@ -96,6 +96,10 @@ type Server struct {
 	// not supply one via WithTelemetry).
 	metrics *metricsSet
 
+	// traces retains recent query traces (sampled plus slowest) for the
+	// /debug/traces endpoint; always non-nil.
+	traces *telemetry.TraceRing
+
 	mu      sync.Mutex
 	backend Backend
 	gen     *core.Generator // shared snippet generator over the corpus analysis
@@ -191,6 +195,16 @@ func WithSlowQueries(threshold time.Duration, fn SlowQueryFunc) Option {
 	}
 }
 
+// Trace-ring retention: one query in traceSampleEvery is kept as a steady
+// sample of normal traffic (the first query always, so cold starts are
+// visible), in a ring of traceRingSize slots; the traceSlowSize slowest
+// queries are kept besides, so outliers survive however rare.
+const (
+	traceSampleEvery = 16
+	traceRingSize    = 64
+	traceSlowSize    = 16
+)
+
 // New builds a serving layer over b.
 func New(b Backend, opts ...Option) *Server {
 	cfg := config{workers: runtime.GOMAXPROCS(0), cacheBytes: DefaultCacheBytes}
@@ -205,6 +219,7 @@ func New(b Backend, opts ...Option) *Server {
 		gen:         core.NewGenerator(b.Analysis()),
 		timeout:     cfg.timeout,
 		maxInFlight: int64(cfg.maxInFlight),
+		traces:      telemetry.NewTraceRing(traceSampleEvery, traceRingSize, traceSlowSize),
 	}
 	s.engines = make(map[search.Options][]*search.Engine)
 	reg := cfg.reg
@@ -481,7 +496,9 @@ func (s *Server) compute(ctx context.Context, tr *trace, fn computeFn) (v *Cache
 			s.panics.Inc()
 		}
 	}()
-	v, err = fn(ctx, tr)
+	// Install the query's span sink only on the compute path: cache hits
+	// make no remote calls, so they skip the context allocation too.
+	v, err = fn(telemetry.WithSpanSink(ctx, &tr.sink), tr)
 	if err != nil {
 		var pe *shard.PanicError
 		if errors.As(err, &pe) {
@@ -500,13 +517,38 @@ func (s *Server) compute(ctx context.Context, tr *trace, fn computeFn) (v *Cache
 func (s *Server) serve(ctx context.Context, query string, opts search.Options, bound int, compute computeFn) (*Cached, error) {
 	start := time.Now()
 	tr := &trace{}
+	tr.sink.TraceID = telemetry.NextTraceID()
 	v, outcome, err := s.serveTraced(ctx, query, opts, bound, compute, tr)
+	total := time.Since(start)
 	results := 0
 	if v != nil {
 		results = len(v.Results)
 	}
-	s.metrics.finish(tr, query, outcome, results, err, time.Since(start))
+	s.metrics.finish(tr, query, outcome, results, err, total)
+	// The ring decides retention from total alone; an unretained query pays
+	// a mutex and a few compares here, nothing more.
+	s.traces.Record(total, func(qt *telemetry.QueryTrace) {
+		qt.ID = tr.sink.TraceID
+		qt.Time = time.Now()
+		qt.Cache = outcome
+		qt.Results = results
+		qt.Err = errKind(err)
+		for st := stage(0); st < numStages; st++ {
+			if tr.touched[st] {
+				qt.Stages = append(qt.Stages, telemetry.StageSpan{Name: stageNames[st], D: tr.d[st]})
+			}
+		}
+		qt.Hops = tr.sink.AppendHops(qt.Hops)
+	})
 	return v, err
+}
+
+// RecentTraces snapshots the retained query traces, newest first: a steady
+// sample of recent traffic plus the slowest queries seen. The copies share
+// no memory with the ring. Traces carry no query text; correlate with the
+// slow-query log by trace ID when the query itself is needed.
+func (s *Server) RecentTraces() []telemetry.QueryTrace {
+	return s.traces.Snapshot()
 }
 
 // serveTraced is serve's cache-vs-compute decision, reporting the cache

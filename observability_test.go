@@ -12,6 +12,7 @@ import (
 	"extract/internal/gen"
 	"extract/internal/ingest"
 	"extract/internal/remote"
+	"extract/internal/telemetry"
 	"extract/xmltree"
 )
 
@@ -93,8 +94,10 @@ func TestObservabilityDocMatchesRegistry(t *testing.T) {
 }
 
 // remoteCorpusMetrics serves a tiny snapshot from one loopback shard
-// server, queries it through extract.Connect, and appends the remote
-// corpus's metrics exposition to buf.
+// server, queries it through extract.Connect, and appends both sides'
+// expositions to buf: the router-side remote corpus's registry and the
+// shard server's own registry (what -metrics-addr scrapes), so the doc
+// diff covers the whole distributed surface.
 func remoteCorpusMetrics(t *testing.T, buf *bytes.Buffer) error {
 	t.Helper()
 	lc, err := extract.LoadString(xmltree.XMLString(gen.Figure5Corpus().Root), extract.WithShards(2))
@@ -114,8 +117,10 @@ func remoteCorpusMetrics(t *testing.T, buf *bytes.Buffer) error {
 	if err != nil {
 		return err
 	}
+	serverReg := telemetry.NewRegistry()
 	srv := remote.NewServer(loaded.Corpus,
-		remote.WithOwnedShards(remote.OwnedShards(loaded.Source, 0, 1)))
+		remote.WithOwnedShards(remote.OwnedShards(loaded.Source, 0, 1)),
+		remote.WithServerTelemetry(serverReg))
 	go srv.Serve(ln)
 	defer srv.Close()
 	rc, err := extract.Connect(snapDir, [][]string{{ln.Addr().String()}})
@@ -126,5 +131,8 @@ func remoteCorpusMetrics(t *testing.T, buf *bytes.Buffer) error {
 	if _, err := rc.Query("store texas", 6); err != nil {
 		return err
 	}
-	return rc.WriteMetrics(buf)
+	if err := rc.WriteMetrics(buf); err != nil {
+		return err
+	}
+	return telemetry.WritePrometheus(buf, telemetry.Instance{Snap: serverReg.Snapshot()})
 }

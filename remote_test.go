@@ -282,3 +282,94 @@ func TestChaosRemoteReplicaFailover(t *testing.T) {
 		}
 	}
 }
+
+// TestRoutedQueryTracing pins the distributed-tracing acceptance surface:
+// a slow routed query's slow-query record and the corpus's recent-trace
+// ring both carry the same trace ID, per-hop replica addresses, and the
+// server-side stage breakdown the wire-v2 shard servers echoed.
+func TestRoutedQueryTracing(t *testing.T) {
+	doc := gen.Stores(gen.StoresConfig{Retailers: 4, StoresPerRetailer: 3, ClothesPerStore: 5, Seed: 11})
+	seedCorpus, err := LoadString(xmltree.XMLString(doc.Root), WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapDir := t.TempDir()
+	if err := seedCorpus.SaveSnapshot(snapDir); err != nil {
+		t.Fatal(err)
+	}
+	seedCorpus.Close()
+
+	addrs, _ := startShardTier(t, snapDir, 2, 1)
+	rc, err := Connect(snapDir, addrs, WithQueryCache(0))
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	defer rc.Close()
+	var records []SlowQuery
+	rc.ConfigureSlowQueryLog(time.Nanosecond, func(q SlowQuery) { records = append(records, q) })
+
+	if _, err := rc.Query("store texas", 6); err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 {
+		t.Fatalf("got %d slow-query records, want 1", len(records))
+	}
+	rec := records[0]
+	if rec.TraceID == 0 {
+		t.Fatal("slow-query record has no trace ID")
+	}
+	if len(rec.Hops) == 0 {
+		t.Fatal("routed slow query recorded no hops")
+	}
+	replicas := map[string]bool{}
+	for _, g := range addrs {
+		for _, a := range g {
+			replicas[a] = true
+		}
+	}
+	groups := map[string]bool{}
+	for _, h := range rec.Hops {
+		if h.Err != "" {
+			t.Fatalf("unexpected failed hop: %+v", h)
+		}
+		if !replicas[h.Replica] {
+			t.Fatalf("hop names unknown replica %q: %+v", h.Replica, h)
+		}
+		if h.Wire <= 0 {
+			t.Fatalf("hop missing wire duration: %+v", h)
+		}
+		if h.ServerDecode <= 0 || h.ServerEncode <= 0 {
+			t.Fatalf("hop missing server-side stage timings: %+v", h)
+		}
+		groups[h.Group] = true
+	}
+	if !groups["0"] || !groups["1"] {
+		t.Fatalf("hops did not span both replica groups: %v", groups)
+	}
+
+	// The same query must be in the recent-trace ring (the first query is
+	// always sampled), findable by the slow-query record's trace ID and
+	// carrying the same hop detail — but no query text.
+	traces := rc.RecentTraces()
+	var qt *QueryTrace
+	for i := range traces {
+		if traces[i].TraceID == rec.TraceID {
+			qt = &traces[i]
+			break
+		}
+	}
+	if qt == nil {
+		t.Fatalf("trace %016x not in RecentTraces", rec.TraceID)
+	}
+	if len(qt.Hops) != len(rec.Hops) {
+		t.Fatalf("trace has %d hops, slow-query record %d", len(qt.Hops), len(rec.Hops))
+	}
+	if len(qt.Stages) == 0 || qt.Cache == "" || qt.Kept == "" {
+		t.Fatalf("trace missing stage/cache/kept detail: %+v", qt)
+	}
+	for _, h := range qt.Hops {
+		if !replicas[h.Replica] || h.ServerDecode <= 0 {
+			t.Fatalf("trace hop incomplete: %+v", h)
+		}
+	}
+}

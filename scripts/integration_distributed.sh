@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Distributed-tier integration smoke: build a sharded snapshot with the
-# extract CLI, serve it from two shard-server replicas (one replica group
-# owning every shard) plus a router-mode extractd, smoke-query through the
-# HTTP surface, then hard-kill one replica mid-stream and require every
-# subsequent query to keep answering byte-identically — the replica kill
-# must cost zero failed queries.
+# extract CLI, serve it from two replica groups of two shard-server
+# replicas each (every server with an HTTP -metrics-addr), route through
+# an extractd -router, and assert the observability surface end to end:
+# byte-identical answers, shard-server /metrics counting real requests,
+# and a /debug/traces entry whose hops span the router and both replica
+# groups with server-reported stage timings. Then hard-kill one replica
+# mid-stream and require every subsequent query to keep answering
+# byte-identically — the replica kill must cost zero failed queries.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -42,11 +45,18 @@ EOF
 
 "$work/extract" -data "$work/stores.xml" -shards 3 -savesnapshot "$work/snap.xtsnap"
 
+# Two replica groups, two replicas each. Placement is rendezvous-hashed
+# from the snapshot manifest: with this corpus, group 0 owns two shards
+# and group 1 one, so a fanned-out query must touch both groups.
 "$work/extractd" -shard-server -snapshot "$work/snap.xtsnap" \
-  -shard-group 0 -shard-groups 1 -addr 127.0.0.1:7801 &
+  -shard-group 0 -shard-groups 2 -addr 127.0.0.1:7801 -metrics-addr 127.0.0.1:9801 &
 replica_a=$!
 "$work/extractd" -shard-server -snapshot "$work/snap.xtsnap" \
-  -shard-group 0 -shard-groups 1 -addr 127.0.0.1:7802 &
+  -shard-group 0 -shard-groups 2 -addr 127.0.0.1:7802 -metrics-addr 127.0.0.1:9802 &
+"$work/extractd" -shard-server -snapshot "$work/snap.xtsnap" \
+  -shard-group 1 -shard-groups 2 -addr 127.0.0.1:7803 -metrics-addr 127.0.0.1:9803 &
+"$work/extractd" -shard-server -snapshot "$work/snap.xtsnap" \
+  -shard-group 1 -shard-groups 2 -addr 127.0.0.1:7804 -metrics-addr 127.0.0.1:9804 &
 
 wait_port() {
   for _ in $(seq 1 100); do
@@ -56,11 +66,15 @@ wait_port() {
   echo "port $1 never came up" >&2
   return 1
 }
-wait_port 7801
-wait_port 7802
+for p in 7801 7802 7803 7804 9801 9802 9803 9804; do wait_port "$p"; done
 
-"$work/extractd" -router 127.0.0.1:7801,127.0.0.1:7802 \
-  -snapshot "$work/snap.xtsnap" -addr 127.0.0.1:7800 &
+# Shard-server health must name the generation and the owned shards.
+health=$(curl -fsS http://127.0.0.1:9801/healthz)
+echo "$health" | jq -e '.status == "ok" and (.fingerprint | length == 16) and (.shards_total == 3)' >/dev/null \
+  || { echo "shard-server healthz malformed: $health" >&2; exit 1; }
+
+"$work/extractd" -router '127.0.0.1:7801,127.0.0.1:7802;127.0.0.1:7803,127.0.0.1:7804' \
+  -snapshot "$work/snap.xtsnap" -addr 127.0.0.1:7800 -slow-query 1ns &
 
 for _ in $(seq 1 100); do
   if curl -fsS http://127.0.0.1:7800/readyz >/dev/null 2>&1; then break; fi
@@ -77,6 +91,28 @@ for i in $(seq 1 5); do
   [ "$(query)" = "$base" ] || { echo "router answer $i drifted" >&2; exit 1; }
 done
 
+# The shard servers' own /metrics must have counted the wire requests the
+# routed queries caused (each group owns shards, so each side of the tier
+# served something).
+for p in 9801 9803; do
+  total=$(curl -fsS "http://127.0.0.1:$p/metrics" \
+    | awk '/^extract_shard_server_requests_total/ {sum += $2} END {print sum+0}')
+  [ "$total" -gt 0 ] || { echo "shard server :$p counted no requests" >&2; exit 1; }
+done
+
+# One /debug/traces entry on the router must span the tier: hops naming
+# replicas of both groups, each with server-reported stage timings — the
+# first computed query is always retained, so the ring cannot be empty.
+traces=$(curl -fsS http://127.0.0.1:7800/debug/traces)
+echo "$traces" | jq -e '
+  .remote | map(select(
+    ([.hops[]?.replica | select(test(":780[12]$"))] | length > 0) and
+    ([.hops[]?.replica | select(test(":780[34]$"))] | length > 0) and
+    ([.hops[]? | select(.server_stages_ms.decode > 0)] | length > 0) and
+    (.trace_id | length == 16)
+  )) | length > 0' >/dev/null \
+  || { echo "no trace spans both replica groups with server stages: $traces" >&2; exit 1; }
+
 # Hard-kill one replica mid-stream: the router must fail over to the peer
 # with zero failed queries and byte-identical answers.
 kill -9 "$replica_a"
@@ -84,4 +120,4 @@ for i in $(seq 1 10); do
   [ "$(query)" = "$base" ] || { echo "query $i failed or drifted after replica kill" >&2; exit 1; }
 done
 
-echo "distributed integration smoke passed: replica kill cost zero failed queries"
+echo "distributed integration smoke passed: tracing spans the tier, metrics scraped, replica kill cost zero failed queries"

@@ -24,6 +24,10 @@ import (
 type SlowQuery struct {
 	// Keywords are the query's tokenized, lowercased terms.
 	Keywords []string
+	// TraceID identifies the query end to end: the same ID indexes the
+	// RecentTraces ring and is propagated to shard servers on remote
+	// backends. Zero only for records produced before tracing existed.
+	TraceID uint64
 	// Duration is the end-to-end wall time.
 	Duration time.Duration
 	// Stages maps lifecycle stage (admission, cache, dispatch, eval,
@@ -38,6 +42,63 @@ type SlowQuery struct {
 	// Err classifies a failure — overload, timeout, canceled, panic,
 	// empty, other — or is "" for success.
 	Err string
+	// Hops lists the remote call attempts made on the query's behalf, in
+	// order. Empty for local backends, cache hits, and coalesced followers
+	// (the computing leader's record carries the hops).
+	Hops []Hop
+}
+
+// Hop describes one remote call attempt a routed query made: which replica
+// was asked, whether it was a failover retry, the client-observed wire
+// round trip, and — when the shard server speaks wire v2 — the server-side
+// stage breakdown it reported. A query that failed over leaves one Hop per
+// attempt, so the failed attempts and their causes stay visible next to
+// the one that succeeded.
+type Hop struct {
+	// Kind is the remote call kind: eval, digest, full, or stats.
+	Kind string
+	// Group is the replica-group label the call targeted ("0".."n-1", or
+	// "any" for calls any replica may serve).
+	Group string
+	// Replica is the network address of the replica this attempt used.
+	Replica string
+	// Attempt is the zero-based attempt number; attempts after the first
+	// are failovers.
+	Attempt int
+	// Wire is the client-observed round trip, including encode, network,
+	// and server time.
+	Wire time.Duration
+	// ServerDecode, ServerEval, ServerDigest and ServerEncode are the
+	// server-reported stage durations (zero when the peer predates wire v2
+	// or the attempt failed before a response).
+	ServerDecode, ServerEval, ServerDigest, ServerEncode time.Duration
+	// Err classifies why the attempt failed ("" on success); it is the
+	// failover cause for the retry that follows it.
+	Err string
+}
+
+// hopsFromInternal converts the serving layer's hop spans to the facade's
+// public form (nil in, nil out).
+func hopsFromInternal(hops []telemetry.HopSpan) []Hop {
+	if len(hops) == 0 {
+		return nil
+	}
+	out := make([]Hop, len(hops))
+	for i, h := range hops {
+		out[i] = Hop{
+			Kind:         h.Kind,
+			Group:        h.Group,
+			Replica:      h.Replica,
+			Attempt:      h.Attempt,
+			Wire:         h.Wire,
+			ServerDecode: h.ServerDecode,
+			ServerEval:   h.ServerEval,
+			ServerDigest: h.ServerDigest,
+			ServerEncode: h.ServerEncode,
+			Err:          h.Err,
+		}
+	}
+	return out
 }
 
 // sanitizeSlowQuery converts the serving layer's record into the facade's
@@ -46,12 +107,81 @@ type SlowQuery struct {
 func sanitizeSlowQuery(r serve.QueryRecord) SlowQuery {
 	return SlowQuery{
 		Keywords: index.Tokenize(r.Query),
+		TraceID:  uint64(r.TraceID),
 		Duration: r.Total,
 		Stages:   r.Stages,
 		Cache:    r.Cache,
 		Results:  r.Results,
 		Err:      r.ErrKind,
+		Hops:     hopsFromInternal(r.Hops),
 	}
+}
+
+// QueryTrace is one retained query trace from the serving layer's
+// recent-trace ring: the local stage breakdown plus every remote hop made
+// on the query's behalf. Traces deliberately carry no query text or
+// keywords — they are safe to expose on a debug endpoint without leaking
+// what users searched for; correlate with the slow-query log by TraceID
+// when the query itself is needed.
+type QueryTrace struct {
+	// TraceID matches the slow-query record and the ID propagated to shard
+	// servers.
+	TraceID uint64
+	// Time is when the trace was recorded (query end).
+	Time time.Time
+	// Total is the end-to-end serve duration.
+	Total time.Duration
+	// Stages is the local per-stage breakdown (admission, cache, dispatch,
+	// eval, snippet) in execution order; stages the query never entered are
+	// absent.
+	Stages []TraceStage
+	// Cache is the cache outcome: hit, miss, coalesced, or uncacheable.
+	Cache string
+	// Results is the number of results returned.
+	Results int
+	// Err classifies the query error ("" on success).
+	Err string
+	// Kept says why the ring retained this trace: "sampled" (the steady
+	// one-in-N sample of traffic) or "slow" (among the slowest seen).
+	Kept string
+	// Hops lists the remote call attempts made for this query, in order.
+	// Empty for local backends and cache hits.
+	Hops []Hop
+}
+
+// TraceStage is one named local stage timing inside a QueryTrace.
+type TraceStage struct {
+	// Name is the stage name (admission, cache, dispatch, eval, snippet).
+	Name string
+	// Duration is the time spent in the stage.
+	Duration time.Duration
+}
+
+// RecentTraces snapshots the corpus's retained query traces, newest first:
+// a steady sample of recent traffic plus the slowest queries seen. The
+// ring is bounded and retention is decided per query in nanoseconds, so
+// tracing is always on — there is nothing to configure.
+func (c *Corpus) RecentTraces() []QueryTrace {
+	traces := c.server().RecentTraces()
+	out := make([]QueryTrace, len(traces))
+	for i, qt := range traces {
+		stages := make([]TraceStage, len(qt.Stages))
+		for j, st := range qt.Stages {
+			stages[j] = TraceStage{Name: st.Name, Duration: st.D}
+		}
+		out[i] = QueryTrace{
+			TraceID: uint64(qt.ID),
+			Time:    qt.Time,
+			Total:   qt.Total,
+			Stages:  stages,
+			Cache:   qt.Cache,
+			Results: qt.Results,
+			Err:     qt.Err,
+			Kept:    qt.Kept,
+			Hops:    hopsFromInternal(qt.Hops),
+		}
+	}
+	return out
 }
 
 // ConfigureSlowQueryLog installs fn as the slow-query hook: every query
